@@ -1,0 +1,53 @@
+//! Disk-model throughput: simulated requests per second of host time.
+//!
+//! The evaluation sweeps run hundreds of thousands of simulated disk
+//! requests; this bench keeps the model's host-side cost visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robustore_diskmodel::request::{Direction, DiskRequest, RequestId, StreamId};
+use robustore_diskmodel::{Disk, DiskGeometry, LayoutConfig};
+use robustore_simkit::{SeedSequence, SimTime};
+
+fn bench_disk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk_service");
+    g.sample_size(20);
+    const REQUESTS: u64 = 1_000;
+    for (label, layout) in [
+        ("sequential", LayoutConfig::grid_point(1024, 1.0)),
+        ("random_4k_runs", LayoutConfig::grid_point(8, 0.0)),
+    ] {
+        g.throughput(Throughput::Elements(REQUESTS));
+        g.bench_with_input(BenchmarkId::new("layout", label), &layout, |b, &layout| {
+            b.iter(|| {
+                let mut disk = Disk::new(
+                    0,
+                    DiskGeometry::default(),
+                    layout,
+                    SeedSequence::new(1).fork("d", 0),
+                );
+                let mut now = SimTime::ZERO;
+                for i in 0..REQUESTS {
+                    let done = disk
+                        .submit(
+                            now,
+                            DiskRequest {
+                                id: RequestId(i),
+                                stream: StreamId::Foreground(0),
+                                direction: Direction::Read,
+                                sectors: 2048,
+                                tag: 0,
+                            },
+                        )
+                        .unwrap();
+                    disk.on_complete(done);
+                    now = done;
+                }
+                now
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_disk);
+criterion_main!(benches);

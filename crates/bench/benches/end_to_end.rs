@@ -1,0 +1,34 @@
+//! End-to-end access simulation cost: one trial per scheme.
+//!
+//! A reduced configuration (64 MB over 8 of 16 disks) of the Figure 6-6
+//! baseline, measuring how fast the full engine — cluster build, LT plan,
+//! event loop, metrics — turns around one access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robustore_schemes::{run_access, AccessConfig, SchemeKind};
+use robustore_simkit::SeedSequence;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_trial");
+    g.sample_size(20);
+    for scheme in SchemeKind::ALL {
+        let mut cfg = AccessConfig::default().with_scheme(scheme).with_disks(8);
+        cfg.data_bytes = 64 << 20;
+        cfg.cluster.num_disks = 16;
+        g.bench_with_input(
+            BenchmarkId::new("scheme", scheme.name()),
+            &cfg,
+            |b, cfg| {
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    run_access(cfg, &SeedSequence::new(77).subsequence("trial", t))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

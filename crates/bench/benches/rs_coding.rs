@@ -1,0 +1,48 @@
+//! Reed–Solomon coding throughput vs K (Table 5-1).
+//!
+//! The reproduction target is the *scaling shape*: bandwidth halves as K
+//! doubles, which is what disqualifies optimal codes for long code words
+//! (§5.2.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robustore_erasure::ReedSolomon;
+
+const DATA: usize = 4 << 20;
+
+fn bench_rs(c: &mut Criterion) {
+    let mut enc = c.benchmark_group("rs_encode");
+    enc.sample_size(10);
+    for k in [4usize, 8, 16, 32] {
+        let rs = ReedSolomon::new(k, 2 * k).unwrap();
+        let block = DATA / k;
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..block).map(|j| ((i + j) % 256) as u8).collect())
+            .collect();
+        enc.throughput(Throughput::Bytes(DATA as u64));
+        enc.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| rs.encode(&data).unwrap());
+        });
+    }
+    enc.finish();
+
+    let mut dec = c.benchmark_group("rs_decode");
+    dec.sample_size(10);
+    for k in [4usize, 8, 16, 32] {
+        let rs = ReedSolomon::new(k, 2 * k).unwrap();
+        let block = DATA / k;
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..block).map(|j| ((i + j) % 256) as u8).collect())
+            .collect();
+        let coded = rs.encode(&data).unwrap();
+        // Decode from the parity half: forces a full matrix solve.
+        let rx: Vec<_> = (k..2 * k).map(|i| (i, coded[i].clone())).collect();
+        dec.throughput(Throughput::Bytes(DATA as u64));
+        dec.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| rs.decode(&rx).unwrap());
+        });
+    }
+    dec.finish();
+}
+
+criterion_group!(benches, bench_rs);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Ablations of RobuSTore's design choices.
+//!
+//! Not figures from the paper, but direct tests of the claims behind its
+//! design decisions: the §5.2.3 LT improvements and the §5.3.3 request
+//! cancellation.
+
+use rand::seq::SliceRandom;
+use robustore_cluster::{BackgroundPolicy, LayoutPolicy};
+use robustore_diskmodel::QueueDiscipline;
+use robustore_erasure::lt::{blocks_needed, GreedyDecoder, LtCode, LtDecoder};
+use robustore_erasure::LtParams;
+use robustore_schemes::{AccessConfig, SchemeKind};
+use robustore_simkit::SimDuration;
+use robustore_simkit::report::Table;
+use robustore_simkit::{OnlineStats, SeedSequence};
+
+use super::{metric_header, metric_row, trials_for};
+use crate::MASTER_SEED;
+
+/// Ablation: stock LT codes (random neighbours, no decodability check,
+/// no repair) vs the paper's improved construction, across redundancy.
+pub fn ablation_lt(trials: u64) -> String {
+    let seq = SeedSequence::new(MASTER_SEED ^ 0xAB17);
+    let k = 256usize;
+    let mut table = Table::new(
+        "Ablation: stock vs improved LT construction, K=256",
+        &[
+            "N/K",
+            "variant",
+            "decode failures",
+            "reception overhead",
+            "coverage spread (max-min degree)",
+        ],
+    );
+    for (pi, ratio) in [1.0f64, 1.1, 1.5, 3.0].into_iter().enumerate() {
+        let n = (k as f64 * ratio) as usize;
+        for (variant, improved) in [("stock", false), ("improved", true)] {
+            let mut failures = 0u64;
+            let mut overhead = OnlineStats::new();
+            let mut spread = OnlineStats::new();
+            for t in 0..trials {
+                let seed = seq.seed_for(variant, (pi as u64) << 32 | t);
+                let code = if improved {
+                    LtCode::plan(k, n, LtParams::default(), seed).unwrap()
+                } else {
+                    LtCode::plan_stock(k, n, LtParams::default(), seed).unwrap()
+                };
+                // Original-coverage spread (the uniform-coverage claim).
+                let mut deg = vec![0u32; k];
+                for j in 0..code.n() {
+                    for &i in code.neighbors(j) {
+                        deg[i as usize] += 1;
+                    }
+                }
+                spread.push((deg.iter().max().unwrap() - deg.iter().min().unwrap()) as f64);
+                // Random-order decode.
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut rng = seq.fork("order", (pi as u64) << 32 | t);
+                order.shuffle(&mut rng);
+                match blocks_needed(&code, order) {
+                    Some((needed, _)) => overhead.push(needed as f64 / k as f64 - 1.0),
+                    None => failures += 1,
+                }
+            }
+            table.row(vec![
+                format!("{ratio:.1}"),
+                variant.into(),
+                format!("{failures}/{trials}"),
+                if overhead.count() > 0 {
+                    format!("{:.3}", overhead.mean())
+                } else {
+                    "-".into()
+                },
+                format!("{:.1}", spread.mean()),
+            ]);
+        }
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nClaims under test (§5.2.3): the improved construction never fails to decode from \
+         its full block set (guaranteed decodability), covers originals near-uniformly \
+         (small spread), and keeps reception overhead no worse than stock.\n",
+    );
+    out
+}
+
+/// Ablation: lazy vs greedy XOR scheduling in the LT decoder (§5.2.3
+/// improvement 3) — same decode, different memory traffic.
+pub fn ablation_xor(trials: u64) -> String {
+    let seq = SeedSequence::new(MASTER_SEED ^ 0xAB02);
+    let k = 512usize;
+    let n = 3 * k;
+    let block = 4 << 10;
+    let mut table = Table::new(
+        "Ablation: lazy vs greedy XOR decoding, K=512",
+        &["decoder", "block XORs (mean)", "XORs per decoded block", "saving"],
+    );
+    let mut lazy_ops = OnlineStats::new();
+    let mut greedy_ops = OnlineStats::new();
+    for t in 0..trials.clamp(1, 30) {
+        let code = LtCode::plan(k, n, LtParams::default(), seq.seed_for("plan", t)).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..block).map(|j| ((i + j) % 256) as u8).collect())
+            .collect();
+        let coded = code.encode(&data).unwrap();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = seq.fork("order", t);
+        order.shuffle(&mut rng);
+        let mut lazy = LtDecoder::new(&code, block);
+        let mut greedy = GreedyDecoder::new(&code, block);
+        for &j in &order {
+            let done = lazy.receive(j, coded[j].clone());
+            greedy.receive(j, coded[j].clone());
+            if done {
+                break;
+            }
+        }
+        lazy_ops.push(lazy.xor_ops() as f64);
+        greedy_ops.push(greedy.xor_ops() as f64);
+    }
+    let saving = 1.0 - lazy_ops.mean() / greedy_ops.mean();
+    for (name, ops) in [("greedy", &greedy_ops), ("lazy", &lazy_ops)] {
+        table.row(vec![
+            name.into(),
+            format!("{:.0}", ops.mean()),
+            format!("{:.2}", ops.mean() / k as f64),
+            if name == "lazy" {
+                format!("{:.0}%", saving * 100.0)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\n§5.2.3: lazy XOR performs an operation only when it decodes a block, skipping \
+         intermediate reductions that never pay off; both decoders produce identical data.\n",
+    );
+    out
+}
+
+/// Extension: disk queue discipline under heavy sharing. The paper's
+/// evaluation uses FCFS and defers scheduling/QoS policy to future work
+/// (§5.4); this experiment shows how much policy matters: the same heavy
+/// competitive load costs very different foreground performance under
+/// FCFS, fair-share, and foreground-first scheduling.
+pub fn ablation_sched(trials: u64) -> String {
+    let header = metric_header("discipline");
+    let mut table = Table::new(
+        "Extension: disk scheduling under heavy sharing (1 GB read, bg interval 12 ms)",
+        &header,
+    );
+    for scheme in [SchemeKind::Raid0, SchemeKind::RobuStore] {
+        for (label, discipline) in [
+            ("FCFS", QueueDiscipline::Fcfs),
+            ("fair-share", QueueDiscipline::FairShare),
+            ("fg-first", QueueDiscipline::ForegroundFirst),
+        ] {
+            let mut cfg = AccessConfig::default().with_scheme(scheme);
+            cfg.layout = LayoutPolicy::Homogeneous;
+            cfg.background = BackgroundPolicy::Uniform(SimDuration::from_millis(12));
+            cfg.cluster.discipline = discipline;
+            let s = trials_for(
+                &cfg,
+                trials,
+                "ablation-sched",
+                (scheme as u64) << 8 | discipline as u64,
+            );
+            metric_row(&mut table, label.into(), scheme.name(), &s);
+        }
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nFCFS makes clients wait behind the competing tenant's backlog; fair-share removes \
+         most of the damage; foreground-first all of it (at the tenant's expense). The gap \
+         between policies dwarfs the gap between schemes — the reason §5.4 calls admission \
+         and scheduling policy critical for shared deployments. (Homogeneous disks, so \
+         RobuSTore sits below RAID-0 here as in Figure 6-24.)\n",
+    );
+    out
+}
+
+/// Ablation: speculative access with and without request cancellation
+/// (§5.3.3) — same latency, very different I/O cost.
+pub fn ablation_cancel(trials: u64) -> String {
+    let header = metric_header("cancellation");
+    let mut table = Table::new(
+        "Ablation: request cancellation on speculative reads (1 GB, 64 disks, D=3)",
+        &header,
+    );
+    for scheme in [SchemeKind::RraidS, SchemeKind::RobuStore] {
+        for (label, cancel) in [("on", true), ("off", false)] {
+            let mut cfg = AccessConfig::default().with_scheme(scheme);
+            cfg.read_cancellation = cancel;
+            let s = trials_for(&cfg, trials, "ablation-cancel", (scheme as u64) << 1 | cancel as u64);
+            metric_row(&mut table, label.into(), scheme.name(), &s);
+        }
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nWithout cancellation every requested block is read and shipped: latency is \
+         unchanged (completion already happened) but I/O overhead rises to the full stored \
+         redundancy — the resource-abuse §5.3.3 exists to prevent.\n",
+    );
+    out
+}

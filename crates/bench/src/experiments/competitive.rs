@@ -1,0 +1,125 @@
+//! §6.3.2 experiments: performance variation from competitive workloads.
+//!
+//! These isolate disk sharing as the variation source, so the in-disk
+//! layout is homogeneous (good sequential layout on every disk; only zone
+//! placement differs) and each disk runs a background request stream.
+
+use robustore_cluster::{BackgroundPolicy, LayoutPolicy};
+use robustore_schemes::{AccessConfig, AccessKind, SchemeKind};
+use robustore_simkit::report::Table;
+use robustore_simkit::SimDuration;
+
+use super::{metric_header, metric_row, trials_for};
+use crate::experiments::layoutvar::REDUNDANCY_SWEEP;
+
+fn competitive_baseline(scheme: SchemeKind) -> AccessConfig {
+    let mut cfg = AccessConfig::default().with_scheme(scheme);
+    cfg.layout = LayoutPolicy::Homogeneous;
+    cfg.background = BackgroundPolicy::Heterogeneous;
+    cfg
+}
+
+/// Figures 6-24/6-25: read vs background request interval, homogeneous
+/// layout and homogeneous (same-interval) competitive workloads.
+pub fn fig6_24(trials: u64) -> String {
+    let header = metric_header("bg interval (ms)");
+    let mut table = Table::new(
+        "Figures 6-24/6-25: 1 GB read vs background interval, homogeneous layout & load",
+        &header,
+    );
+    for (i, &interval_ms) in [6u64, 12, 25, 50, 100, 200].iter().enumerate() {
+        for scheme in SchemeKind::ALL {
+            let mut cfg = AccessConfig::default().with_scheme(scheme);
+            cfg.layout = LayoutPolicy::Homogeneous;
+            cfg.background =
+                BackgroundPolicy::Uniform(SimDuration::from_millis(interval_ms));
+            let s = trials_for(&cfg, trials, "fig6-24", (i * 4) as u64);
+            metric_row(&mut table, interval_ms.to_string(), scheme.name(), &s);
+        }
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper: all schemes improve as background load lightens; in this homogeneous \
+         environment RobuSTore is ~18% *below* the best baseline at peak (reception overhead \
+         with nothing to hide) — the paper's own negative result.\n",
+    );
+    out
+}
+
+fn competitive_redundancy_sweep(
+    title: &str,
+    id: &str,
+    kind: AccessKind,
+    trials: u64,
+) -> Table {
+    let header = metric_header("redundancy");
+    let mut table = Table::new(title, &header);
+    {
+        let mut cfg = competitive_baseline(SchemeKind::Raid0).with_kind(kind);
+        cfg.redundancy = 0.0;
+        let s = trials_for(&cfg, trials, id, 999);
+        metric_row(&mut table, "0%".into(), SchemeKind::Raid0.name(), &s);
+    }
+    for (i, &d) in REDUNDANCY_SWEEP.iter().enumerate() {
+        for scheme in [SchemeKind::RraidS, SchemeKind::RraidA, SchemeKind::RobuStore] {
+            let cfg = competitive_baseline(scheme)
+                .with_kind(kind)
+                .with_redundancy(d);
+            let s = trials_for(&cfg, trials, id, (i * 4 + scheme as usize) as u64);
+            metric_row(&mut table, format!("{:.0}%", d * 100.0), scheme.name(), &s);
+        }
+    }
+    table
+}
+
+/// Figures 6-26/6-27/6-28: read vs redundancy under heterogeneous
+/// competitive workloads.
+pub fn fig6_26(trials: u64) -> String {
+    let table = competitive_redundancy_sweep(
+        "Figures 6-26/6-27/6-28: 1 GB read vs redundancy, heterogeneous competitive load",
+        "fig6-26",
+        AccessKind::Read,
+        trials,
+    );
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper: RobuSTore's read bandwidth rises quickly and peaks once redundancy exceeds \
+         ~140% (peak/average disk bandwidth with sharing ≈ 44/33, times 1.5 reception \
+         overhead); beyond that its latency stdev is far below RRAID-S/A; I/O overhead ~50%.\n",
+    );
+    out
+}
+
+/// Figures 6-29/6-30/6-31: write vs redundancy under heterogeneous
+/// competitive workloads.
+pub fn fig6_29(trials: u64) -> String {
+    let table = competitive_redundancy_sweep(
+        "Figures 6-29/6-30/6-31: 1 GB write vs redundancy, heterogeneous competitive load",
+        "fig6-29",
+        AccessKind::Write,
+        trials,
+    );
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper: write bandwidth falls with redundancy for all schemes; RobuSTore stays far \
+         above RAID-0/RRAID with much lower write-latency stdev.\n",
+    );
+    out
+}
+
+/// Figures 6-32/6-33/6-34: read-after-write (unbalanced striping) vs
+/// redundancy under heterogeneous competitive workloads.
+pub fn fig6_32(trials: u64) -> String {
+    let table = competitive_redundancy_sweep(
+        "Figures 6-32/6-33/6-34: 1 GB read-after-write vs redundancy, competitive load",
+        "fig6-32",
+        AccessKind::ReadAfterWrite,
+        trials,
+    );
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper: RobuSTore with unbalanced striping still delivers the highest bandwidth and \
+         the lowest latency variation; I/O overhead ~40-50%, set by LT reception overhead.\n",
+    );
+    out
+}

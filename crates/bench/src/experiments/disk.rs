@@ -1,0 +1,172 @@
+//! Disk-substrate experiments: Table 6-1 and Figure 6-5.
+
+use robustore_diskmodel::background::{BackgroundLoad, MAX_BACKLOG};
+use robustore_diskmodel::calibration::{grid_average, table_grid};
+use robustore_diskmodel::request::{Direction, DiskRequest, RequestId, StreamId};
+use robustore_diskmodel::{Disk, DiskGeometry, LayoutConfig};
+use robustore_simkit::report::Table;
+use robustore_simkit::{EventQueue, OnlineStats, SeedSequence, SimDuration, SimTime};
+
+use crate::MASTER_SEED;
+
+/// Table 6-1: average disk bandwidth for every (blocking factor,
+/// sequential-probability) layout configuration.
+pub fn table6_1(trials: u64) -> String {
+    let geometry = DiskGeometry::default();
+    let cells = table_grid(&geometry, 64 << 20, trials.clamp(1, 10));
+    let mut table = Table::new(
+        "Table 6-1: average disk bandwidth (MB/s) per in-disk layout configuration",
+        &["seq prob \\ blocking factor", "8", "16", "32", "64", "128", "256", "512", "1024"],
+    );
+    for &p in &[0.0, 1.0] {
+        let mut row = vec![format!("{p}")];
+        for c in cells.iter().filter(|c| c.seq_prob == p) {
+            row.push(format!("{:.2}", c.bandwidth / 1e6));
+        }
+        table.row(row);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\ngrid average: {:.1} MB/s (paper: 14.9 MB/s; paper row p=0: 0.52-21.4, p=1: 3.6-53)\n",
+        grid_average(&cells) / 1e6
+    ));
+    out
+}
+
+/// Figure 6-5: disk utilisation by the background workload and foreground
+/// access bandwidth as the background request interval varies 6–200 ms.
+///
+/// One disk with a good (sequential) layout runs a closed-loop foreground
+/// stream of 1 MB reads while the background generator injects ~25 KB
+/// random requests at the given mean interval.
+pub fn fig6_5(trials: u64) -> String {
+    let mut table = Table::new(
+        "Figure 6-5: background interval vs disk utilisation and foreground bandwidth",
+        &["interval (ms)", "bg utilisation", "fg bandwidth (MB/s)"],
+    );
+    let seq = SeedSequence::new(MASTER_SEED ^ 0x65);
+    for (i, &interval_ms) in [6u64, 12, 25, 50, 100, 200].iter().enumerate() {
+        let mut util = OnlineStats::new();
+        let mut fg_bw = OnlineStats::new();
+        for t in 0..trials.clamp(1, 20) {
+            let cell = seq.subsequence("cell", (i as u64) << 32 | t);
+            let (u, bw) = background_duel(SimDuration::from_millis(interval_ms), &cell);
+            util.push(u);
+            fg_bw.push(bw / 1e6);
+        }
+        table.row(vec![
+            interval_ms.to_string(),
+            format!("{:.0}%", util.mean() * 100.0),
+            format!("{:.1}", fg_bw.mean()),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str("\nPaper: 93% utilisation at 6 ms with 2.2 MB/s foreground; ~43 MB/s foreground at 200 ms.\n");
+    out
+}
+
+/// Simulate 60 virtual seconds of one disk shared between a closed-loop
+/// foreground reader and a background generator; returns (background
+/// utilisation, foreground bandwidth in bytes/s).
+fn background_duel(interval: SimDuration, seq: &SeedSequence) -> (f64, f64) {
+    const HORIZON_SECS: u64 = 60;
+    const FG_SECTORS: u64 = 2048; // 1 MB
+
+    enum Ev {
+        Bg,
+        Done,
+    }
+    let horizon = SimTime::ZERO + SimDuration::from_secs(HORIZON_SECS);
+    let mut disk = Disk::new(
+        0,
+        DiskGeometry::default(),
+        LayoutConfig::grid_point(1024, 1.0),
+        seq.fork("disk", 0),
+    );
+    let mut bg = BackgroundLoad::new(interval, seq.fork("bg", 0));
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut next_id = 0u64;
+    let mut fg_bytes = 0u64;
+    let mut bg_busy = SimDuration::ZERO;
+
+    let fg_request = |id: u64| DiskRequest {
+        id: RequestId(id),
+        stream: StreamId::Foreground(0),
+        direction: Direction::Read,
+        sectors: FG_SECTORS,
+        tag: 0,
+    };
+
+    // Seed: one foreground request in flight, first background arrival.
+    next_id += 1;
+    let t = disk
+        .submit(SimTime::ZERO, fg_request(next_id))
+        .expect("idle disk");
+    q.schedule(t, Ev::Done);
+    q.schedule(bg.next_arrival(SimTime::ZERO), Ev::Bg);
+
+    while let Some((now, ev)) = q.pop() {
+        if now > horizon {
+            break;
+        }
+        match ev {
+            Ev::Bg => {
+                if disk.queued_background() < MAX_BACKLOG {
+                    next_id += 1;
+                    let req = bg.make_request(RequestId(next_id));
+                    if let Some(t) = disk.submit(now, req) {
+                        q.schedule(t, Ev::Done);
+                    }
+                }
+                q.schedule(bg.next_arrival(now), Ev::Bg);
+            }
+            Ev::Done => {
+                let (done, next) = disk.on_complete(now);
+                if let Some(t) = next {
+                    q.schedule(t, Ev::Done);
+                }
+                match done.request.stream {
+                    StreamId::Foreground(_) => {
+                        fg_bytes += done.bytes();
+                        // Closed loop: immediately issue the next read.
+                        next_id += 1;
+                        if let Some(t) = disk.submit(now, fg_request(next_id)) {
+                            q.schedule(t, Ev::Done);
+                        }
+                    }
+                    StreamId::Background => bg_busy += done.service_time,
+                }
+            }
+        }
+    }
+    (
+        bg_busy.as_secs_f64() / HORIZON_SECS as f64,
+        fg_bytes as f64 / HORIZON_SECS as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_falls_with_interval() {
+        let seq = SeedSequence::new(1);
+        let (u_heavy, bw_heavy) = background_duel(SimDuration::from_millis(6), &seq);
+        let (u_light, bw_light) = background_duel(SimDuration::from_millis(200), &seq);
+        assert!(u_heavy > 0.7, "6 ms interval should near-saturate: {u_heavy}");
+        assert!(u_light < 0.3, "200 ms interval should be light: {u_light}");
+        assert!(
+            bw_light > 4.0 * bw_heavy,
+            "foreground must recover as load lightens: {bw_heavy} vs {bw_light}"
+        );
+    }
+
+    #[test]
+    fn foreground_survives_saturation() {
+        // The backlog cap guarantees the foreground still makes progress.
+        let seq = SeedSequence::new(2);
+        let (_, bw) = background_duel(SimDuration::from_millis(6), &seq);
+        assert!(bw > 0.2e6, "foreground starved: {bw}");
+    }
+}

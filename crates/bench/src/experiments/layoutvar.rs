@@ -1,0 +1,190 @@
+//! §6.3.1 experiments: performance variation from in-disk data layout.
+//!
+//! All sweeps start from the paper baseline (1 GB, 64 disks, 1 ms RTT,
+//! 1 MB blocks, 3× redundancy, heterogeneous layout, idle disks) and vary
+//! one parameter.
+
+use robustore_schemes::{AccessConfig, AccessKind, SchemeKind};
+use robustore_simkit::report::Table;
+use robustore_simkit::SimDuration;
+
+use super::{metric_header, metric_row, trials_for};
+
+/// Figures 6-6/6-7/6-8: read vs number of disks (2–128).
+pub fn fig6_6(trials: u64) -> String {
+    let header = metric_header("disks");
+    let header_refs: Vec<&str> = header.to_vec();
+    let mut table = Table::new(
+        "Figures 6-6/6-7/6-8: 1 GB read vs number of disks, heterogeneous layout",
+        &header_refs,
+    );
+    for (i, &disks) in [2usize, 4, 8, 16, 32, 64, 128].iter().enumerate() {
+        for scheme in SchemeKind::ALL {
+            let cfg = AccessConfig::default().with_scheme(scheme).with_disks(disks);
+            let s = trials_for(&cfg, trials, "fig6-6", (i * 4) as u64);
+            metric_row(&mut table, disks.to_string(), scheme.name(), &s);
+        }
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper @64 disks: RAID-0 31, RRAID-S 117, RRAID-A 228, RobuSTore 459 MB/s; \
+         latency stdev 1.9 / 7.3 / 1.9 / 0.5 s; RobuSTore scales ~linearly, I/O overhead ~40%.\n",
+    );
+    out
+}
+
+/// Figures 6-9/6-10/6-11: read vs block size (0.5–64 MB).
+pub fn fig6_9(trials: u64) -> String {
+    let header = metric_header("block (MB)");
+    let header_refs: Vec<&str> = header.to_vec();
+    let mut table = Table::new(
+        "Figures 6-9/6-10/6-11: 1 GB read vs block size, heterogeneous layout",
+        &header_refs,
+    );
+    for (i, &mb2) in [1u64, 2, 4, 8, 16, 32, 64, 128].iter().enumerate() {
+        // mb2 is block size in half-megabytes: 0.5, 1, 2, ... 64 MB.
+        let block_bytes = mb2 * (1 << 19);
+        for scheme in SchemeKind::ALL {
+            let mut cfg = AccessConfig::default().with_scheme(scheme);
+            cfg.block_bytes = block_bytes;
+            let s = trials_for(&cfg, trials, "fig6-9", (i * 4) as u64);
+            metric_row(
+                &mut table,
+                format!("{}", mb2 as f64 / 2.0),
+                scheme.name(),
+                &s,
+            );
+        }
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper: block size affects only RobuSTore — bandwidth peaks around 1 MB, \
+         falls toward 64 MB; I/O overhead grows with block size but stays below RRAID-S.\n",
+    );
+    out
+}
+
+/// Figures 6-12/6-13/6-14: read vs network RTT for 1 GB and 128 MB
+/// segments.
+pub fn fig6_12(trials: u64) -> String {
+    let header = metric_header("RTT (ms)");
+    let header_refs: Vec<&str> = header.to_vec();
+    let mut out = String::new();
+    for (label, bytes) in [("1024 MB", 1u64 << 30), ("128 MB", 128 << 20)] {
+        let mut table = Table::new(
+            format!("Figures 6-12/6-13/6-14: {label} read vs network latency"),
+            &header_refs,
+        );
+        for (i, &rtt_ms) in [1u64, 10, 30, 100].iter().enumerate() {
+            for scheme in SchemeKind::ALL {
+                let mut cfg = AccessConfig::default().with_scheme(scheme);
+                cfg.data_bytes = bytes;
+                cfg.cluster.rtt = SimDuration::from_millis(rtt_ms);
+                let s = trials_for(&cfg, trials, "fig6-12", (bytes >> 20) + (i * 4) as u64);
+                metric_row(&mut table, rtt_ms.to_string(), scheme.name(), &s);
+            }
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper: only RRAID-A degrades with RTT (multi-round adaptation): −30% over 1→100 ms \
+         at 1 GB, −52% at 128 MB; the single-round speculative schemes are flat.\n",
+    );
+    out
+}
+
+/// The redundancy sweep used by Figures 6-15..6-23 (and the competitive
+/// variants): D from 0 to 9 (0%–900%).
+pub const REDUNDANCY_SWEEP: [f64; 8] = [0.0, 0.4, 1.0, 2.0, 3.0, 5.0, 7.0, 9.0];
+
+/// Schemes that appear in redundancy sweeps (RAID-0 has no redundancy
+/// knob; the paper represents it as the zero-redundancy point).
+const REDUNDANT_SCHEMES: [SchemeKind; 3] =
+    [SchemeKind::RraidS, SchemeKind::RraidA, SchemeKind::RobuStore];
+
+fn redundancy_sweep(
+    title: &str,
+    id: &str,
+    kind: AccessKind,
+    trials: u64,
+    mutate: impl Fn(&mut AccessConfig),
+) -> Table {
+    let header = metric_header("redundancy");
+    let header_refs: Vec<&str> = header.to_vec();
+    let mut table = Table::new(title, &header_refs);
+    // RAID-0 reference point (zero redundancy).
+    {
+        let mut cfg = AccessConfig::default()
+            .with_scheme(SchemeKind::Raid0)
+            .with_kind(kind);
+        mutate(&mut cfg);
+        let s = trials_for(&cfg, trials, id, 999);
+        metric_row(&mut table, "0%".into(), SchemeKind::Raid0.name(), &s);
+    }
+    for (i, &d) in REDUNDANCY_SWEEP.iter().enumerate() {
+        for scheme in REDUNDANT_SCHEMES {
+            let mut cfg = AccessConfig::default()
+                .with_scheme(scheme)
+                .with_kind(kind)
+                .with_redundancy(d);
+            mutate(&mut cfg);
+            let s = trials_for(&cfg, trials, id, (i * 4 + scheme as usize) as u64);
+            metric_row(&mut table, format!("{:.0}%", d * 100.0), scheme.name(), &s);
+        }
+    }
+    table
+}
+
+/// Figures 6-15/6-16/6-17: read vs data redundancy.
+pub fn fig6_15(trials: u64) -> String {
+    let table = redundancy_sweep(
+        "Figures 6-15/6-16/6-17: 1 GB read vs data redundancy, heterogeneous layout",
+        "fig6-15",
+        AccessKind::Read,
+        trials,
+        |_| {},
+    );
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper: RobuSTore approaches peak by 200% redundancy (peak ≥500%); RRAID-S/A gain \
+         less; RobuSTore needs only 1-2x redundancy for most robustness benefit; RobuSTore \
+         I/O overhead stays ~40-50% while RRAID-S grows with redundancy.\n",
+    );
+    out
+}
+
+/// Figures 6-18/6-19/6-20: write vs data redundancy.
+pub fn fig6_18(trials: u64) -> String {
+    let table = redundancy_sweep(
+        "Figures 6-18/6-19/6-20: 1 GB write vs data redundancy, heterogeneous layout",
+        "fig6-18",
+        AccessKind::Write,
+        trials,
+        |_| {},
+    );
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper @300%: RobuSTore 186 MB/s vs RRAID-S/A 7.5 MB/s and RAID-0 30 MB/s; write \
+         latency stdev 0.5 s vs 6.4 s; write I/O overhead ≈ redundancy (RobuSTore slightly more).\n",
+    );
+    out
+}
+
+/// Figures 6-21/6-22/6-23: read-after-write (RobuSTore unbalanced
+/// striping) vs data redundancy.
+pub fn fig6_21(trials: u64) -> String {
+    let table = redundancy_sweep(
+        "Figures 6-21/6-22/6-23: 1 GB read-after-write vs redundancy (RobuSTore unbalanced)",
+        "fig6-21",
+        AccessKind::ReadAfterWrite,
+        trials,
+        |_| {},
+    );
+    let mut out = table.render();
+    out.push_str(
+        "\nPaper: RobuSTore with unbalanced striping reads slightly slower than balanced but \
+         still beats every baseline, with the lowest latency variation; I/O overhead unchanged.\n",
+    );
+    out
+}

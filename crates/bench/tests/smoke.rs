@@ -1,0 +1,40 @@
+//! Smoke tests: every registered experiment runs and produces a
+//! non-trivial report. Fast experiments run at tiny trial counts in the
+//! normal suite; the full registry sweep is `#[ignore]`d for CI time.
+
+use robustore_bench::{find, registry};
+
+fn run(id: &str, trials: u64) -> String {
+    let e = find(id).unwrap_or_else(|| panic!("experiment {id} not registered"));
+    let out = (e.run)(trials);
+    assert!(
+        out.lines().count() > 4,
+        "{id} produced a trivial report:\n{out}"
+    );
+    assert!(out.contains('#'), "{id} report lacks a title");
+    out
+}
+
+#[test]
+fn fast_experiments_run() {
+    for id in ["table6-1", "fig6-5", "fig4-1", "ablation-lt"] {
+        run(id, 2);
+    }
+}
+
+#[test]
+fn scheme_sweep_experiments_run() {
+    for id in ["fig6-6", "fig6-15", "fig6-24"] {
+        let out = run(id, 2);
+        assert!(out.contains("RobuSTore"), "{id} should report RobuSTore rows");
+        assert!(out.contains("RAID-0"), "{id} should report RAID-0 rows");
+    }
+}
+
+#[test]
+#[ignore = "runs the entire registry; invoke with --ignored for the full sweep"]
+fn every_registered_experiment_runs() {
+    for e in registry() {
+        run(e.id, 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Set-associative LRU filesystem cache.
+//!
+//! §6.2.5: "Each filer maintains a 2 GB filesystem cache shared by the
+//! eight disks attached to it. We model the cache as LRU based and
+//! four-way associative with a 4 KB cache line." Keys are opaque 64-bit
+//! line addresses (the cluster layer encodes disk id and on-disk offset
+//! into them); the cache itself knows nothing about blocks.
+
+/// A W-way set-associative cache of 64-bit line addresses with per-set LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct SetAssociativeCache {
+    /// sets[s] holds up to `ways` lines, most recently used last.
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssociativeCache {
+    /// A cache of `capacity_bytes` with `line_bytes` lines and
+    /// `ways`-way associativity. The number of sets is rounded up to a
+    /// power of two so set indexing is a mask.
+    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(line_bytes > 0 && ways > 0, "degenerate cache geometry");
+        assert!(
+            capacity_bytes >= line_bytes * ways as u64,
+            "capacity below one set"
+        );
+        let lines = capacity_bytes / line_bytes;
+        let sets = (lines as usize / ways).next_power_of_two();
+        SetAssociativeCache {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            line_bytes,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's filer cache: 2 GB, 4 KB lines, 4-way.
+    pub fn filer_default() -> Self {
+        SetAssociativeCache::new(2 << 30, 4 << 10, 4)
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.sets.len() * self.ways) as u64 * self.line_bytes
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        // Mix the address before masking so structured addresses (disk id
+        // in high bits, sequential offsets low) spread across sets.
+        let mut z = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 29;
+        (z as usize) & (self.sets.len() - 1)
+    }
+
+    /// Look up a line *without* changing LRU state or statistics.
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].contains(&line)
+    }
+
+    /// Access a line: on hit, refresh LRU and return `true`; on miss,
+    /// insert it (evicting the set's LRU victim if full) and return
+    /// `false`.
+    pub fn access(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            // Move to MRU position.
+            let l = set.remove(pos);
+            set.push(l);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0); // evict LRU
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Access a contiguous range of lines; returns how many hit. The whole
+    /// range is inserted (a block read populates all its lines).
+    pub fn access_range(&mut self, first_line: u64, count: u64) -> u64 {
+        (first_line..first_line + count)
+            .filter(|&l| self.access(l))
+            .count() as u64
+    }
+
+    /// Check a contiguous range without touching state; returns hits.
+    pub fn probe_range(&self, first_line: u64, count: u64) -> u64 {
+        (first_line..first_line + count)
+            .filter(|&l| self.contains(l))
+            .count() as u64
+    }
+
+    /// Cache hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drop all cached lines and statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = SetAssociativeCache::new(1 << 20, 4 << 10, 4);
+        assert!(!c.access(42));
+        assert!(c.access(42));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_rounding() {
+        let c = SetAssociativeCache::new(2 << 30, 4 << 10, 4);
+        // 2 GB / 4 KB = 524288 lines; 131072 sets is already a power of 2.
+        assert_eq!(c.capacity_bytes(), 2 << 30);
+        assert_eq!(c.line_bytes(), 4 << 10);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        // One set (4 lines capacity, 4-way): pure LRU.
+        let mut c = SetAssociativeCache::new(16 << 10, 4 << 10, 4);
+        assert_eq!(c.sets.len(), 1);
+        for l in 0..4 {
+            c.access(l);
+        }
+        c.access(0); // refresh 0 → LRU order is 1,2,3,0
+        c.access(100); // evicts 1
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+        assert!(c.contains(3));
+        assert!(c.contains(100));
+    }
+
+    #[test]
+    fn range_access_counts_hits() {
+        let mut c = SetAssociativeCache::new(1 << 20, 4 << 10, 4);
+        assert_eq!(c.access_range(1000, 10), 0);
+        assert_eq!(c.access_range(1000, 10), 10);
+        assert_eq!(c.access_range(1005, 10), 5);
+        assert_eq!(c.probe_range(1005, 10), 10);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = SetAssociativeCache::new(1 << 20, 4 << 10, 4);
+        assert_eq!(c.probe_range(7, 3), 0);
+        assert_eq!(c.hits() + c.misses(), 0);
+        c.access(7);
+        assert!(c.contains(7));
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = SetAssociativeCache::new(1 << 20, 4 << 10, 4);
+        c.access(1);
+        c.clear();
+        assert!(!c.contains(1));
+        assert_eq!(c.hits() + c.misses(), 0);
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = SetAssociativeCache::new(64 << 10, 4 << 10, 4); // 16 lines
+        let lines: Vec<u64> = (0..64).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        // Second pass over a 4x-capacity working set: mostly misses.
+        let hits: u64 = lines.iter().filter(|&&l| c.access(l)).count() as u64;
+        assert!(hits < 16, "thrashing working set should mostly miss, hits {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity below one set")]
+    fn tiny_capacity_panics() {
+        SetAssociativeCache::new(4 << 10, 4 << 10, 4);
+    }
+}

@@ -1,0 +1,290 @@
+//! Cluster assembly: disks, filers, and background loads from one seed.
+
+use rand::Rng;
+use robustore_diskmodel::background::BackgroundLoad;
+use robustore_diskmodel::{Disk, DiskGeometry, LayoutConfig};
+use robustore_simkit::{SeedSequence, SimDuration};
+
+use crate::cache::SetAssociativeCache;
+use crate::config::ClusterConfig;
+use crate::server::StorageServer;
+
+/// How per-disk in-file layouts are drawn (§6.2.5, Figure 6-1 context).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayoutPolicy {
+    /// The paper's heterogeneous layout: random blocking factor, random
+    /// sequentiality, random zone per disk — the ~100× bandwidth spread.
+    Heterogeneous,
+    /// Homogeneous layout: every disk sequential at the largest blocking
+    /// factor; only zone placement varies (≈2× spread, Figures 6-24/25).
+    Homogeneous,
+    /// All disks share one fixed configuration (tests, calibration).
+    Fixed(LayoutConfig),
+}
+
+/// How per-disk competitive workloads are configured (§6.3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackgroundPolicy {
+    /// Idle disks: variation comes from layout only.
+    None,
+    /// Every disk sees the same mean arrival interval (Figures 6-5, 6-24).
+    Uniform(SimDuration),
+    /// Each disk draws its mean interval uniformly from [6, 200] ms
+    /// (the heterogeneous competitive workloads of Figures 6-26..34).
+    Heterogeneous,
+}
+
+/// The assembled storage system.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    servers: Vec<StorageServer>,
+    disks: Vec<Disk>,
+    backgrounds: Vec<Option<BackgroundLoad>>,
+}
+
+impl Cluster {
+    /// Build a cluster deterministically from `seeds`. Layout draws,
+    /// background intervals, and all disk service randomness derive from
+    /// labelled streams, so trials with different seeds are independent
+    /// and identical seeds reproduce exactly.
+    pub fn build(
+        config: ClusterConfig,
+        layout: LayoutPolicy,
+        background: BackgroundPolicy,
+        seeds: &SeedSequence,
+    ) -> Self {
+        config.validate().expect("invalid cluster config");
+        let geometry = DiskGeometry::default();
+        let mut layout_rng = seeds.fork("layout-draw", 0);
+        let mut bg_rng = seeds.fork("background-draw", 0);
+
+        let disks: Vec<Disk> = (0..config.num_disks)
+            .map(|i| {
+                let lc = match layout {
+                    LayoutPolicy::Heterogeneous => {
+                        LayoutConfig::random_heterogeneous(&mut layout_rng)
+                    }
+                    LayoutPolicy::Homogeneous => LayoutConfig::homogeneous(&mut layout_rng),
+                    LayoutPolicy::Fixed(lc) => lc,
+                };
+                Disk::new(i, geometry.clone(), lc, seeds.fork("disk", i as u64))
+                    .with_discipline(config.discipline)
+            })
+            .collect();
+
+        let backgrounds: Vec<Option<BackgroundLoad>> = (0..config.num_disks)
+            .map(|i| match background {
+                BackgroundPolicy::None => None,
+                BackgroundPolicy::Uniform(interval) => Some(BackgroundLoad::new(
+                    interval,
+                    seeds.fork("background", i as u64),
+                )),
+                BackgroundPolicy::Heterogeneous => {
+                    let ms = bg_rng
+                        .gen_range(robustore_diskmodel::background::INTERVAL_RANGE_MS.0
+                            ..=robustore_diskmodel::background::INTERVAL_RANGE_MS.1);
+                    Some(BackgroundLoad::new(
+                        SimDuration::from_millis(ms),
+                        seeds.fork("background", i as u64),
+                    ))
+                }
+            })
+            .collect();
+
+        let servers: Vec<StorageServer> = (0..config.num_servers())
+            .map(|s| {
+                let cache = config
+                    .cache_bytes
+                    .map(|b| SetAssociativeCache::new(b, config.cache_line_bytes, config.cache_ways));
+                StorageServer::new(s, cache)
+            })
+            .collect();
+
+        Cluster {
+            config,
+            servers,
+            disks,
+            backgrounds,
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Total disks.
+    pub fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Immutable disk access.
+    pub fn disk(&self, i: usize) -> &Disk {
+        &self.disks[i]
+    }
+
+    /// Mutable disk access (the coordinator submits/cancels through this).
+    pub fn disk_mut(&mut self, i: usize) -> &mut Disk {
+        &mut self.disks[i]
+    }
+
+    /// The filer fronting disk `i`, mutably (cache operations).
+    pub fn server_of_disk_mut(&mut self, disk: usize) -> &mut StorageServer {
+        let s = self.config.server_of_disk(disk);
+        &mut self.servers[s]
+    }
+
+    /// The filer fronting disk `i`.
+    pub fn server_of_disk(&self, disk: usize) -> &StorageServer {
+        &self.servers[self.config.server_of_disk(disk)]
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[StorageServer] {
+        &self.servers
+    }
+
+    /// Background load generator of disk `i`, if configured.
+    pub fn background_mut(&mut self, disk: usize) -> Option<&mut BackgroundLoad> {
+        self.backgrounds[disk].as_mut()
+    }
+
+    /// Whether any disk has a background load.
+    pub fn has_background(&self) -> bool {
+        self.backgrounds.iter().any(|b| b.is_some())
+    }
+
+    /// Clear every filer cache (cold-start a trial).
+    pub fn clear_caches(&mut self) {
+        for s in &mut self.servers {
+            s.clear_cache();
+        }
+    }
+
+    /// Quiesce every disk: drop queued and in-service requests. A new
+    /// access coordinator must call this before reusing a cluster whose
+    /// previous coordinator has gone away (its completion events died
+    /// with its event queue).
+    pub fn quiesce(&mut self) {
+        for d in &mut self.disks {
+            d.quiesce();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustore_simkit::SeedSequence;
+
+    fn seeds() -> SeedSequence {
+        SeedSequence::new(1234)
+    }
+
+    #[test]
+    fn build_default_shape() {
+        let c = Cluster::build(
+            ClusterConfig::default(),
+            LayoutPolicy::Heterogeneous,
+            BackgroundPolicy::None,
+            &seeds(),
+        );
+        assert_eq!(c.num_disks(), 128);
+        assert_eq!(c.servers().len(), 16);
+        assert!(!c.has_background());
+        assert!(!c.server_of_disk(0).has_cache());
+    }
+
+    #[test]
+    fn heterogeneous_layouts_differ_across_disks() {
+        let c = Cluster::build(
+            ClusterConfig::default(),
+            LayoutPolicy::Heterogeneous,
+            BackgroundPolicy::None,
+            &seeds(),
+        );
+        let distinct: std::collections::HashSet<_> = (0..c.num_disks())
+            .map(|i| {
+                let l = c.disk(i).layout();
+                (l.blocking_factor, l.seq_prob as u32)
+            })
+            .collect();
+        assert!(distinct.len() >= 8, "expected layout diversity, got {distinct:?}");
+    }
+
+    #[test]
+    fn homogeneous_layouts_share_blocking_factor() {
+        let c = Cluster::build(
+            ClusterConfig::default(),
+            LayoutPolicy::Homogeneous,
+            BackgroundPolicy::None,
+            &seeds(),
+        );
+        for i in 0..c.num_disks() {
+            let l = c.disk(i).layout();
+            assert_eq!(l.blocking_factor, 1024);
+            assert_eq!(l.seq_prob, 1.0);
+        }
+    }
+
+    #[test]
+    fn background_policies() {
+        let mut uniform = Cluster::build(
+            ClusterConfig::default(),
+            LayoutPolicy::Homogeneous,
+            BackgroundPolicy::Uniform(SimDuration::from_millis(50)),
+            &seeds(),
+        );
+        assert!(uniform.has_background());
+        assert_eq!(
+            uniform.background_mut(0).unwrap().mean_interval(),
+            SimDuration::from_millis(50)
+        );
+
+        let mut hetero = Cluster::build(
+            ClusterConfig::default(),
+            LayoutPolicy::Homogeneous,
+            BackgroundPolicy::Heterogeneous,
+            &seeds(),
+        );
+        let intervals: std::collections::HashSet<u64> = (0..hetero.num_disks())
+            .map(|i| hetero.background_mut(i).unwrap().mean_interval().as_nanos())
+            .collect();
+        assert!(intervals.len() > 10, "heterogeneous intervals should vary");
+    }
+
+    #[test]
+    fn cache_enabled_when_configured() {
+        let c = Cluster::build(
+            ClusterConfig::default().with_cache(2 << 30),
+            LayoutPolicy::Homogeneous,
+            BackgroundPolicy::None,
+            &seeds(),
+        );
+        assert!(c.server_of_disk(0).has_cache());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let layout_of = |c: &Cluster, i: usize| {
+            let l = c.disk(i).layout();
+            (l.blocking_factor, l.seq_prob as u32, l.zone_frac.to_bits())
+        };
+        let a = Cluster::build(
+            ClusterConfig::default(),
+            LayoutPolicy::Heterogeneous,
+            BackgroundPolicy::None,
+            &seeds(),
+        );
+        let b = Cluster::build(
+            ClusterConfig::default(),
+            LayoutPolicy::Heterogeneous,
+            BackgroundPolicy::None,
+            &seeds(),
+        );
+        for i in 0..a.num_disks() {
+            assert_eq!(layout_of(&a, i), layout_of(&b, i));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Cluster configuration.
+//!
+//! Defaults follow the experiment system of Figure 6-4 / §6.2.5: 128 disks
+//! behind 16 filers, 1 ms RTT, a 10 Gb/s client NIC, 2 GB filer caches
+//! (disabled by default — the paper enables caching only for the
+//! Figure 6-35/36 experiments), and a 5 ms metadata/connection overhead
+//! per access.
+
+use robustore_diskmodel::QueueDiscipline;
+use robustore_simkit::SimDuration;
+
+/// Static description of the simulated storage system.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Total disks in the system (the paper's pool is 128; accesses select
+    /// a subset).
+    pub num_disks: usize,
+    /// Disks attached to each filer (8 in Figure 6-4).
+    pub disks_per_server: usize,
+    /// Fixed network round-trip time between client and servers.
+    pub rtt: SimDuration,
+    /// Client NIC bandwidth, bytes/second (10 Gb/s in §5.2.2). Bandwidth
+    /// inside the network core is presumed plentiful; the client link is
+    /// the only serialisation point we model.
+    pub client_bandwidth: f64,
+    /// Filesystem cache per filer, bytes; `None` disables caching.
+    pub cache_bytes: Option<u64>,
+    /// Cache line size (4 KB).
+    pub cache_line_bytes: u64,
+    /// Cache associativity (4-way).
+    pub cache_ways: usize,
+    /// Metadata-server access / connection setup charge per access
+    /// (§6.2.2: "modeled as a constant latency of five milliseconds").
+    pub metadata_overhead: SimDuration,
+    /// Disk queue discipline (FCFS in the paper's evaluation).
+    pub discipline: QueueDiscipline,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_disks: 128,
+            disks_per_server: 8,
+            rtt: SimDuration::from_millis(1),
+            client_bandwidth: 1.25e9, // 10 Gb/s
+            cache_bytes: None,
+            cache_line_bytes: 4 << 10,
+            cache_ways: 4,
+            metadata_overhead: SimDuration::from_millis(5),
+            discipline: QueueDiscipline::Fcfs,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Number of filers (⌈disks / disks-per-server⌉).
+    pub fn num_servers(&self) -> usize {
+        self.num_disks.div_ceil(self.disks_per_server)
+    }
+
+    /// Which server fronts a disk.
+    pub fn server_of_disk(&self, disk: usize) -> usize {
+        assert!(disk < self.num_disks, "disk id out of range");
+        disk / self.disks_per_server
+    }
+
+    /// Enable the paper's filer cache (2 GB unless overridden).
+    pub fn with_cache(mut self, bytes: u64) -> Self {
+        self.cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the network RTT.
+    pub fn with_rtt(mut self, rtt: SimDuration) -> Self {
+        self.rtt = rtt;
+        self
+    }
+
+    /// Sanity checks; called by the cluster builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_disks == 0 {
+            return Err("num_disks must be positive".into());
+        }
+        if self.disks_per_server == 0 {
+            return Err("disks_per_server must be positive".into());
+        }
+        if self.client_bandwidth <= 0.0 {
+            return Err("client_bandwidth must be positive".into());
+        }
+        if let Some(bytes) = self.cache_bytes {
+            if bytes < self.cache_line_bytes * self.cache_ways as u64 {
+                return Err("cache capacity below one set".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_baseline_pool() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.num_disks, 128);
+        assert_eq!(c.num_servers(), 16);
+        assert_eq!(c.rtt, SimDuration::from_millis(1));
+        assert!(c.cache_bytes.is_none());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn server_mapping() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.server_of_disk(0), 0);
+        assert_eq!(c.server_of_disk(7), 0);
+        assert_eq!(c.server_of_disk(8), 1);
+        assert_eq!(c.server_of_disk(127), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_disk_panics() {
+        ClusterConfig::default().server_of_disk(128);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ClusterConfig::default()
+            .with_cache(2 << 30)
+            .with_rtt(SimDuration::from_millis(40));
+        assert_eq!(c.cache_bytes, Some(2 << 30));
+        assert_eq!(c.rtt, SimDuration::from_millis(40));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = ClusterConfig::default();
+        c.num_disks = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::default();
+        c.client_bandwidth = 0.0;
+        assert!(c.validate().is_err());
+        let c = ClusterConfig::default().with_cache(1);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn uneven_server_division_rounds_up() {
+        let mut c = ClusterConfig::default();
+        c.num_disks = 10;
+        c.disks_per_server = 8;
+        assert_eq!(c.num_servers(), 2);
+        assert_eq!(c.server_of_disk(9), 1);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Storage-server and cluster model for RobuSTore.
+//!
+//! The paper's virtual server (§6.2.2) is a *filer* fronting eight disks:
+//! the filer charges a fixed network round-trip per request, maintains a
+//! 2 GB LRU 4-way set-associative filesystem cache with 4 KB lines, and
+//! forwards misses to its disks. The experiment system (Figure 6-4) is 16
+//! such filers — 128 disks — reached over a network whose *bandwidth* is
+//! presumed plentiful and whose *latency* is a fixed RTT between 1 and
+//! 100 ms (§6.2.5).
+//!
+//! * [`cache`] — the set-associative LRU filesystem cache.
+//! * [`config`] — cluster-level configuration (counts, RTT, cache, layout
+//!   and background-workload policies).
+//! * [`server`] — one filer: cache + the identity of its disks.
+//! * [`cluster`] — the assembled cluster: servers, disks, and per-disk
+//!   background loads, built deterministically from a seed.
+//!
+//! Like the disk model, everything here is passive: the scheme coordinator
+//! in `robustore-schemes` owns the event loop and drives these objects.
+
+pub mod cache;
+pub mod cluster;
+pub mod config;
+pub mod server;
+
+pub use cache::SetAssociativeCache;
+pub use cluster::{BackgroundPolicy, Cluster, LayoutPolicy};
+pub use config::ClusterConfig;
+pub use server::StorageServer;

@@ -1,0 +1,132 @@
+//! One storage server (virtual filer).
+//!
+//! The filer's roles in the simulator (§6.2.2): charge the network
+//! round-trip, consult the filesystem cache, and forward misses to its
+//! disks. The cache is per-filer and shared by the filer's disks.
+
+use crate::cache::SetAssociativeCache;
+
+/// A filer: an optional filesystem cache plus an id. (Network timing and
+/// disk queues live with the coordinator and the disks themselves.)
+#[derive(Debug)]
+pub struct StorageServer {
+    id: usize,
+    cache: Option<SetAssociativeCache>,
+}
+
+impl StorageServer {
+    /// A server with the given cache (or none — the paper's default
+    /// experiments run uncached).
+    pub fn new(id: usize, cache: Option<SetAssociativeCache>) -> Self {
+        StorageServer { id, cache }
+    }
+
+    /// Server id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether this server caches at all.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Read-side cache access for a whole block: returns `true` on a *full*
+    /// hit (every line present — the block can be served from memory) and
+    /// populates all the block's lines either way, modelling the fill that
+    /// accompanies the disk read. Uncached servers always miss.
+    pub fn cache_read_block(&mut self, first_line: u64, lines: u64) -> bool {
+        match &mut self.cache {
+            Some(c) => c.access_range(first_line, lines) == lines,
+            None => false,
+        }
+    }
+
+    /// Probe without touching LRU state: fraction of the block's lines
+    /// present.
+    pub fn cache_probe_block(&self, first_line: u64, lines: u64) -> f64 {
+        match &self.cache {
+            Some(c) => c.probe_range(first_line, lines) as f64 / lines as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Cache statistics `(hits, misses)`; zeros when uncached.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache
+            .as_ref()
+            .map(|c| (c.hits(), c.misses()))
+            .unwrap_or((0, 0))
+    }
+
+    /// Drop cache contents (between trials that must start cold).
+    pub fn clear_cache(&mut self) {
+        if let Some(c) = &mut self.cache {
+            c.clear();
+        }
+    }
+}
+
+/// Encode a (disk, block tag, line-within-block) into a global cache line
+/// address. Disk ids and tags are both far below 2²⁰/2³² in practice.
+pub fn line_address(disk: usize, tag: u64, line_in_block: u64) -> u64 {
+    ((disk as u64) << 44) | (tag << 12) | line_in_block
+}
+
+/// Lines per block for a given block size and line size.
+pub fn lines_per_block(block_bytes: u64, line_bytes: u64) -> u64 {
+    block_bytes.div_ceil(line_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncached_server_always_misses() {
+        let mut s = StorageServer::new(0, None);
+        assert!(!s.cache_read_block(0, 256));
+        assert!(!s.cache_read_block(0, 256));
+        assert_eq!(s.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn cached_server_hits_on_refetch() {
+        let mut s = StorageServer::new(1, Some(SetAssociativeCache::new(64 << 20, 4 << 10, 4)));
+        let lines = lines_per_block(1 << 20, 4 << 10);
+        assert_eq!(lines, 256);
+        let addr = line_address(3, 17, 0);
+        assert!(!s.cache_read_block(addr, lines), "cold read misses");
+        assert!(s.cache_read_block(addr, lines), "warm read hits");
+        assert!(s.cache_probe_block(addr, lines) == 1.0);
+    }
+
+    #[test]
+    fn partial_residency_is_not_a_hit() {
+        let mut s = StorageServer::new(2, Some(SetAssociativeCache::new(64 << 20, 4 << 10, 4)));
+        let addr = line_address(0, 5, 0);
+        s.cache_read_block(addr, 128); // half the block
+        assert!(
+            !s.cache_read_block(addr, 256),
+            "half-resident block must be a miss"
+        );
+        assert!(s.cache_read_block(addr, 256), "now fully resident");
+    }
+
+    #[test]
+    fn line_addresses_disjoint_across_disks_and_tags() {
+        let a = line_address(1, 0, 0)..line_address(1, 0, 0) + 256;
+        let b = line_address(1, 1, 0)..line_address(1, 1, 0) + 256;
+        let c = line_address(2, 0, 0)..line_address(2, 0, 0) + 256;
+        assert!(a.end <= b.start || b.end <= a.start);
+        assert!(a.end <= c.start || c.end <= a.start);
+    }
+
+    #[test]
+    fn clear_cache_forgets() {
+        let mut s = StorageServer::new(3, Some(SetAssociativeCache::new(64 << 20, 4 << 10, 4)));
+        s.cache_read_block(0, 256);
+        s.clear_cache();
+        assert!(!s.cache_read_block(0, 256));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the cluster substrate.
+
+use proptest::prelude::*;
+use robustore_cluster::server::{line_address, lines_per_block};
+use robustore_cluster::{
+    BackgroundPolicy, Cluster, ClusterConfig, LayoutPolicy, SetAssociativeCache,
+};
+use robustore_simkit::SeedSequence;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A line accessed and not displaced by ≥ `ways` conflicting inserts
+    /// is still resident; hit/miss counters account for every access.
+    #[test]
+    fn cache_accounting_is_exact(lines in proptest::collection::vec(0u64..5_000, 1..300)) {
+        let mut c = SetAssociativeCache::new(1 << 22, 4 << 10, 4);
+        let mut hits = 0u64;
+        for &l in &lines {
+            if c.access(l) {
+                hits += 1;
+            }
+        }
+        prop_assert_eq!(c.hits(), hits);
+        prop_assert_eq!(c.misses(), lines.len() as u64 - hits);
+    }
+
+    /// Immediately re-accessing any line hits (it was just inserted).
+    #[test]
+    fn immediate_reaccess_hits(line in any::<u64>()) {
+        let mut c = SetAssociativeCache::new(1 << 20, 4 << 10, 4);
+        c.access(line);
+        prop_assert!(c.access(line));
+    }
+
+    /// Line addresses are injective over (disk, tag, line-in-block) for
+    /// realistic ranges.
+    #[test]
+    fn line_addresses_injective(
+        a in (0usize..256, 0u64..1u64 << 20, 0u64..256),
+        b in (0usize..256, 0u64..1u64 << 20, 0u64..256),
+    ) {
+        let la = line_address(a.0, a.1 << 8, a.2);
+        let lb = line_address(b.0, b.1 << 8, b.2);
+        if a != b {
+            prop_assert_ne!(la, lb);
+        } else {
+            prop_assert_eq!(la, lb);
+        }
+    }
+
+    /// lines_per_block rounds up and never loses bytes.
+    #[test]
+    fn lines_cover_block(block in 1u64..1u64 << 26, line in 1u64..1u64 << 16) {
+        let n = lines_per_block(block, line);
+        prop_assert!(n * line >= block);
+        prop_assert!((n - 1) * line < block);
+    }
+
+    /// Cluster builds are valid for arbitrary sizes: every disk maps to a
+    /// server, layouts validate, determinism holds.
+    #[test]
+    fn cluster_builds_consistently(
+        num_disks in 1usize..64,
+        per_server in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ClusterConfig::default();
+        cfg.num_disks = num_disks;
+        cfg.disks_per_server = per_server;
+        let seq = SeedSequence::new(seed);
+        let c = Cluster::build(cfg.clone(), LayoutPolicy::Heterogeneous, BackgroundPolicy::None, &seq);
+        prop_assert_eq!(c.num_disks(), num_disks);
+        for d in 0..num_disks {
+            prop_assert!(c.disk(d).layout().is_valid());
+            let s = cfg.server_of_disk(d);
+            prop_assert!(s < cfg.num_servers());
+        }
+        let c2 = Cluster::build(cfg, LayoutPolicy::Heterogeneous, BackgroundPolicy::None, &seq);
+        for d in 0..num_disks {
+            prop_assert_eq!(c.disk(d).layout(), c2.disk(d).layout());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Storage-server data plane.
+//!
+//! The framework's clients speak to storage servers at block granularity
+//! (§4.2: "Storage Servers provide data storage at block level"). The
+//! [`StorageBackend`] trait abstracts that data plane; the in-memory
+//! implementation stands in for the remote filers, with a per-disk
+//! *speed* used to emulate the arrival order speculative reads exploit
+//! and counters for the bytes a cancellation saves.
+
+use std::collections::HashMap;
+
+use crate::error::StoreError;
+
+/// Block-granular storage under the client.
+pub trait StorageBackend {
+    /// Number of disks in the system.
+    fn num_disks(&self) -> usize;
+
+    /// Store `data` as block `block` of disk `disk`.
+    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), StoreError>;
+
+    /// Fetch block `block` of disk `disk`.
+    fn read_block(&self, disk: usize, block: u64) -> Result<Vec<u8>, StoreError>;
+
+    /// Remove a block (updates delete obsolete coded blocks, §4.3.4).
+    fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError>;
+
+    /// Nominal bandwidth of a disk, bytes/second — what the metadata
+    /// server reports as "expected performance".
+    fn disk_speed(&self, disk: usize) -> f64;
+
+    /// Bytes currently stored on a disk.
+    fn disk_used(&self, disk: usize) -> u64;
+
+    /// Account one block read (reads go through `&self`, so the client
+    /// reports them explicitly).
+    fn count_read(&mut self) {}
+
+    /// Blocks read so far (speculative-access accounting).
+    fn reads(&self) -> u64 {
+        0
+    }
+
+    /// Blocks written so far.
+    fn writes(&self) -> u64 {
+        0
+    }
+
+    /// Failure injection: take a disk offline or bring it back. Backends
+    /// without failure support may ignore this.
+    fn set_offline(&mut self, _disk: usize, _offline: bool) {}
+}
+
+/// In-memory backend: one block map per disk plus a nominal speed.
+#[derive(Debug, Default)]
+pub struct InMemoryBackend {
+    disks: Vec<DiskStore>,
+    /// Blocks read (speculative access may read more than needed).
+    reads: u64,
+    /// Blocks written.
+    writes: u64,
+}
+
+#[derive(Debug, Default)]
+struct DiskStore {
+    blocks: HashMap<u64, Vec<u8>>,
+    speed: f64,
+    used: u64,
+    offline: bool,
+}
+
+impl InMemoryBackend {
+    /// A backend with the given per-disk nominal speeds (bytes/second).
+    pub fn new(speeds: Vec<f64>) -> Self {
+        assert!(!speeds.is_empty(), "need at least one disk");
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        InMemoryBackend {
+            disks: speeds
+                .into_iter()
+                .map(|speed| DiskStore {
+                    blocks: HashMap::new(),
+                    speed,
+                    used: 0,
+                    offline: false,
+                })
+                .collect(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// A uniform backend of `n` disks at `speed` bytes/second.
+    pub fn uniform(n: usize, speed: f64) -> Self {
+        InMemoryBackend::new(vec![speed; n])
+    }
+
+    /// Whether a disk is currently offline.
+    pub fn is_offline(&self, disk: usize) -> bool {
+        self.disks.get(disk).is_some_and(|d| d.offline)
+    }
+}
+
+impl StorageBackend for InMemoryBackend {
+    fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), StoreError> {
+        let d = self
+            .disks
+            .get_mut(disk)
+            .ok_or(StoreError::MissingBlock { disk, block })?;
+        if d.offline {
+            return Err(StoreError::MissingBlock { disk, block });
+        }
+        d.used += data.len() as u64;
+        if let Some(old) = d.blocks.insert(block, data) {
+            d.used -= old.len() as u64;
+        }
+        self.writes += 1;
+        Ok(())
+    }
+
+    fn read_block(&self, disk: usize, block: u64) -> Result<Vec<u8>, StoreError> {
+        self.disks
+            .get(disk)
+            .filter(|d| !d.offline)
+            .and_then(|d| d.blocks.get(&block))
+            .cloned()
+            .ok_or(StoreError::MissingBlock { disk, block })
+    }
+
+    fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {
+        let d = self
+            .disks
+            .get_mut(disk)
+            .ok_or(StoreError::MissingBlock { disk, block })?;
+        match d.blocks.remove(&block) {
+            Some(old) => {
+                d.used -= old.len() as u64;
+                Ok(())
+            }
+            None => Err(StoreError::MissingBlock { disk, block }),
+        }
+    }
+
+    fn disk_speed(&self, disk: usize) -> f64 {
+        self.disks[disk].speed
+    }
+
+    fn disk_used(&self, disk: usize) -> u64 {
+        self.disks[disk].used
+    }
+
+    fn count_read(&mut self) {
+        self.reads += 1;
+    }
+
+    fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Stored blocks survive an outage; only I/O is refused.
+    fn set_offline(&mut self, disk: usize, offline: bool) {
+        self.disks[disk].offline = offline;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_delete_roundtrip() {
+        let mut b = InMemoryBackend::uniform(2, 10e6);
+        b.write_block(0, 7, vec![1, 2, 3]).unwrap();
+        assert_eq!(b.read_block(0, 7).unwrap(), vec![1, 2, 3]);
+        assert_eq!(b.disk_used(0), 3);
+        b.delete_block(0, 7).unwrap();
+        assert!(matches!(
+            b.read_block(0, 7),
+            Err(StoreError::MissingBlock { .. })
+        ));
+        assert_eq!(b.disk_used(0), 0);
+    }
+
+    #[test]
+    fn overwrite_adjusts_usage() {
+        let mut b = InMemoryBackend::uniform(1, 10e6);
+        b.write_block(0, 1, vec![0; 100]).unwrap();
+        b.write_block(0, 1, vec![0; 40]).unwrap();
+        assert_eq!(b.disk_used(0), 40);
+        assert_eq!(b.writes(), 2);
+    }
+
+    #[test]
+    fn invalid_disk_errors() {
+        let mut b = InMemoryBackend::uniform(1, 10e6);
+        assert!(b.write_block(5, 0, vec![]).is_err());
+        assert!(b.read_block(5, 0).is_err());
+        assert!(b.delete_block(0, 99).is_err());
+    }
+
+    #[test]
+    fn speeds_vary() {
+        let b = InMemoryBackend::new(vec![1e6, 50e6]);
+        assert_eq!(b.disk_speed(0), 1e6);
+        assert_eq!(b.disk_speed(1), 50e6);
+        assert_eq!(b.num_disks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_panics() {
+        InMemoryBackend::new(vec![0.0]);
+    }
+}

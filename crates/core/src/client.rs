@@ -1,0 +1,1013 @@
+//! The RobuSTore client and its access procedures (§4.3).
+//!
+//! Clients do the heavy lifting in RobuSTore (Figure 4-3): they query the
+//! metadata server, plan the layout, encode and decode on their own CPU
+//! ("end-to-end" placement of coding, §4.2), and drive speculative access.
+//! [`System`] bundles the shared services — metadata server, storage
+//! backend, per-server admission controllers, key authority — behind
+//! locks, so multiple clients can share one store.
+//!
+//! The speculative behaviours are realised with real data movement:
+//!
+//! * **write** (§4.3.2) — rateless LT encoding; more blocks flow to faster
+//!   disks (blocks ∝ disk bandwidth, the §5.3.2 layout), stopping at
+//!   N = (1+D)·K committed blocks.
+//! * **read** (§4.3.3) — blocks are consumed in simulated arrival order
+//!   (per-disk streams merged by virtual time); the incremental decoder
+//!   stops the access the moment it completes, and the remaining requests
+//!   are cancelled — the backend's read counter shows the savings.
+//! * **update** (§4.3.4) — only the coded blocks whose coding-graph
+//!   neighbourhood intersects the changed originals are regenerated.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use robustore_erasure::lt::{LtCode, LtDecoder};
+use robustore_erasure::LtParams;
+use robustore_schemes::placement::Placement;
+
+use crate::admission::AdmissionController;
+use crate::backend::{InMemoryBackend, StorageBackend};
+use crate::credentials::{CredentialChain, KeyAuthority, PublicKey, Rights};
+use crate::error::StoreError;
+use crate::metadata::{AccessMode, CodingSpec, DiskInfo, FileMeta, MetadataServer};
+use crate::planner::LayoutPlanner;
+use crate::qos::QosOptions;
+
+/// System-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Coding block size, bytes (1 MB is the paper's sweet spot; small
+    /// values keep tests fast).
+    pub block_bytes: u64,
+    /// LT parameters used for new files.
+    pub lt: LtParams,
+    /// Concurrent accesses each storage server admits (§5.4).
+    pub admission_capacity: usize,
+    /// Application domain stamped into credentials.
+    pub app_domain: String,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            block_bytes: 1 << 20,
+            lt: LtParams::default(),
+            admission_capacity: 4,
+            app_domain: "RobuSTore".into(),
+        }
+    }
+}
+
+struct SystemInner {
+    config: SystemConfig,
+    meta: Mutex<MetadataServer>,
+    backend: Mutex<Box<dyn StorageBackend + Send>>,
+    admission: Mutex<Vec<AdmissionController>>,
+    authority: Mutex<KeyAuthority>,
+    clock: AtomicU64,
+    next_access: AtomicU64,
+}
+
+/// A shared RobuSTore deployment: metadata, storage, admission, keys.
+#[derive(Clone)]
+pub struct System {
+    inner: Arc<SystemInner>,
+}
+
+impl System {
+    /// Stand up a system over an in-memory backend, registering every disk
+    /// with the metadata server.
+    pub fn new(backend: InMemoryBackend, config: SystemConfig) -> Self {
+        Self::with_backend(Box::new(backend), config)
+    }
+
+    /// Stand up a system over any [`StorageBackend`] (e.g. the durable
+    /// [`crate::file_backend::FileBackend`]).
+    pub fn with_backend(backend: Box<dyn StorageBackend + Send>, config: SystemConfig) -> Self {
+        let mut meta = MetadataServer::new();
+        let admission = (0..backend.num_disks())
+            .map(|_| AdmissionController::new(config.admission_capacity))
+            .collect();
+        for id in 0..backend.num_disks() {
+            meta.register_disk(DiskInfo {
+                id,
+                capacity_bytes: 1 << 40,
+                used_bytes: 0,
+                expected_bandwidth: backend.disk_speed(id),
+                load: 0.0,
+                // Alternate availability classes so the planner's mixing
+                // policy has something to mix.
+                availability: if id % 2 == 0 { 0.999 } else { 0.95 },
+            });
+        }
+        System {
+            inner: Arc::new(SystemInner {
+                config,
+                meta: Mutex::new(meta),
+                backend: Mutex::new(backend),
+                admission: Mutex::new(admission),
+                authority: Mutex::new(KeyAuthority::new()),
+                clock: AtomicU64::new(0),
+                next_access: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// System configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.inner.config.clone()
+    }
+
+    /// Create an identity (keypair) in this system's key authority.
+    pub fn register_user(&self) -> PublicKey {
+        self.inner.authority.lock().generate()
+    }
+
+    /// Issue a delegation credential (see [`crate::credentials`]).
+    pub fn issue_credential(
+        &self,
+        authorizer: PublicKey,
+        licensee: PublicKey,
+        rights: Rights,
+        file: &str,
+        valid_until: u64,
+    ) -> Result<crate::credentials::Credential, StoreError> {
+        let handle = self
+            .inner
+            .meta
+            .lock()
+            .stat(file)
+            .map(|m| m.file_id)
+            .ok_or_else(|| StoreError::NotFound(file.to_string()))?;
+        self.inner
+            .authority
+            .lock()
+            .issue(
+                authorizer,
+                licensee,
+                crate::credentials::Conditions {
+                    app_domain: self.inner.config.app_domain.clone(),
+                    handle,
+                    rights,
+                    valid_from: 0,
+                    valid_until,
+                },
+            )
+            .map(Ok)
+            .unwrap_or_else(|e| Err(StoreError::AccessDenied(e)))
+    }
+
+    /// Current logical time (credential validity).
+    pub fn now(&self) -> u64 {
+        self.inner.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advance logical time.
+    pub fn advance_clock(&self, by: u64) {
+        self.inner.clock.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Backend traffic counters `(block_reads, block_writes)`.
+    pub fn backend_stats(&self) -> (u64, u64) {
+        let b = self.inner.backend.lock();
+        (b.reads(), b.writes())
+    }
+
+    /// Admission occupancy per disk (diagnostics / examples).
+    pub fn admission_loads(&self) -> Vec<f64> {
+        self.inner.admission.lock().iter().map(|a| a.load()).collect()
+    }
+
+    /// Hold an admission slot on `disk` out-of-band (used by examples and
+    /// tests to emulate competing tenants).
+    pub fn occupy_admission(&self, disk: usize, token: u64) -> bool {
+        self.inner.admission.lock()[disk].request(token)
+    }
+
+    /// Release an out-of-band admission slot.
+    pub fn release_admission(&self, disk: usize, token: u64) -> bool {
+        self.inner.admission.lock()[disk].release(token)
+    }
+
+    /// Failure injection: take a disk offline or bring it back. Reads
+    /// degrade gracefully (redundancy permitting); writes route around.
+    pub fn set_disk_offline(&self, disk: usize, offline: bool) {
+        self.inner.backend.lock().set_offline(disk, offline);
+    }
+
+    /// Snapshot a file's metadata (for persistence alongside a durable
+    /// backend).
+    pub fn export_meta(&self, name: &str) -> Option<FileMeta> {
+        self.inner.meta.lock().stat(name).cloned()
+    }
+
+    /// Restore metadata saved by [`System::export_meta`] into a freshly
+    /// opened system (bootstrapping a durable store).
+    pub fn import_meta(&self, meta: FileMeta) {
+        self.inner.meta.lock().restore(meta);
+    }
+
+    /// List the files the metadata server knows about.
+    pub fn list_files(&self) -> Vec<String> {
+        self.inner.meta.lock().list()
+    }
+
+    fn next_access_id(&self) -> u64 {
+        self.inner.next_access.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// An open file.
+pub struct FileHandle {
+    name: String,
+    mode: AccessMode,
+    qos: QosOptions,
+    meta: Option<FileMeta>,
+    closed: bool,
+}
+
+impl FileHandle {
+    /// File name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Open mode.
+    pub fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    /// Metadata snapshot (absent for a brand-new file before its first
+    /// write).
+    pub fn meta(&self) -> Option<&FileMeta> {
+        self.meta.as_ref()
+    }
+}
+
+/// Report of a completed write.
+#[derive(Debug, Clone)]
+pub struct WriteReport {
+    /// Coded blocks committed (N).
+    pub blocks_written: usize,
+    /// Redundancy degree used.
+    pub redundancy: f64,
+    /// Disks used.
+    pub disks: usize,
+}
+
+/// Report of a completed read.
+#[derive(Debug, Clone)]
+pub struct ReadReport {
+    /// Blocks actually fetched before the decoder completed.
+    pub blocks_fetched: usize,
+    /// Blocks whose requests were cancelled unfetched.
+    pub blocks_cancelled: usize,
+    /// Reception overhead: fetched/K − 1.
+    pub reception_overhead: f64,
+}
+
+/// Report of an update.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Original blocks the patch touched.
+    pub originals_changed: usize,
+    /// Coded blocks regenerated and rewritten.
+    pub coded_rewritten: usize,
+    /// Fraction of all stored blocks rewritten (§4.3.4: ≈0.5 % for a
+    /// one-block change at K=1024, N=4096).
+    pub fraction_rewritten: f64,
+}
+
+/// A RobuSTore client bound to one identity.
+pub struct Client {
+    system: System,
+    identity: PublicKey,
+    planner: LayoutPlanner,
+}
+
+impl Client {
+    /// Connect to `system` as `identity`.
+    pub fn connect(system: &System, identity: PublicKey) -> Self {
+        Client {
+            system: system.clone(),
+            identity,
+            planner: LayoutPlanner::default(),
+        }
+    }
+
+    /// The client's identity.
+    pub fn identity(&self) -> PublicKey {
+        self.identity
+    }
+
+    /// Override the planner (tests / tuning).
+    pub fn with_planner(mut self, planner: LayoutPlanner) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// `open(filename, access_type, qos)` — Appendix B. Owners open their
+    /// own files directly; everyone else needs [`Client::open_with_chain`].
+    pub fn open(
+        &self,
+        name: &str,
+        mode: AccessMode,
+        qos: QosOptions,
+    ) -> Result<FileHandle, StoreError> {
+        self.open_inner(name, mode, qos, None)
+    }
+
+    /// Open with a credential chain delegating access from the file owner.
+    pub fn open_with_chain(
+        &self,
+        name: &str,
+        mode: AccessMode,
+        qos: QosOptions,
+        chain: &CredentialChain,
+    ) -> Result<FileHandle, StoreError> {
+        self.open_inner(name, mode, qos, Some(chain))
+    }
+
+    fn open_inner(
+        &self,
+        name: &str,
+        mode: AccessMode,
+        qos: QosOptions,
+        chain: Option<&CredentialChain>,
+    ) -> Result<FileHandle, StoreError> {
+        qos.validate().map_err(StoreError::AccessDenied)?;
+        let mut meta_srv = self.system.inner.meta.lock();
+        let meta = meta_srv.open(name, mode)?;
+        // Authorisation: owners pass; others must present a chain.
+        if let Some(m) = &meta {
+            if m.owner != self.identity {
+                let needed = match mode {
+                    AccessMode::Read => Rights::R,
+                    AccessMode::Write => Rights::W,
+                };
+                let ok = match chain {
+                    Some(c) => self
+                        .system
+                        .inner
+                        .authority
+                        .lock()
+                        .validate_chain(
+                            c,
+                            m.owner,
+                            self.identity,
+                            needed,
+                            m.file_id,
+                            &self.system.inner.config.app_domain,
+                            self.system.now(),
+                        )
+                        .map_err(StoreError::AccessDenied),
+                    None => Err(StoreError::AccessDenied(
+                        "not the owner and no credential chain presented".into(),
+                    )),
+                };
+                if let Err(e) = ok {
+                    meta_srv.close(name, mode);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(FileHandle {
+            name: name.to_string(),
+            mode,
+            qos,
+            meta,
+            closed: false,
+        })
+    }
+
+    /// `write(fdescriptor, data)` — §4.3.2: plan layout, encode, spread
+    /// coded blocks (more to faster disks), commit metadata.
+    pub fn write(&self, handle: &mut FileHandle, data: &[u8]) -> Result<WriteReport, StoreError> {
+        if handle.mode != AccessMode::Write || handle.closed {
+            return Err(StoreError::WrongMode);
+        }
+        if data.is_empty() {
+            return Err(StoreError::OutOfRange);
+        }
+        let block_bytes = self.system.inner.config.block_bytes as usize;
+        let k = data.len().div_ceil(block_bytes);
+        let blocks = split_blocks(data, block_bytes, k);
+
+        // Plan disks + redundancy from the registry.
+        let plan = {
+            let meta_srv = self.system.inner.meta.lock();
+            self.planner.plan(&handle.qos, meta_srv.disks())?
+        };
+
+        // Admission per selected storage server (§5.4): refused disks are
+        // dropped; the access proceeds if at least one server admits.
+        let access_id = self.system.next_access_id();
+        let admitted: Vec<usize> = {
+            let mut adm = self.system.inner.admission.lock();
+            plan.disks
+                .iter()
+                .copied()
+                .filter(|&d| adm[d].request(access_id))
+                .collect()
+        };
+        if admitted.is_empty() {
+            return Err(StoreError::AdmissionDenied {
+                disk: *plan.disks.first().expect("plan has disks"),
+            });
+        }
+
+        let result = self.write_admitted(handle, &blocks, data.len() as u64, &admitted, plan.redundancy);
+
+        // Release admission regardless of outcome.
+        let mut adm = self.system.inner.admission.lock();
+        for &d in &admitted {
+            adm[d].release(access_id);
+        }
+        result
+    }
+
+    fn write_admitted(
+        &self,
+        handle: &mut FileHandle,
+        blocks: &[Vec<u8>],
+        size_bytes: u64,
+        disks: &[usize],
+        redundancy: f64,
+    ) -> Result<WriteReport, StoreError> {
+        let k = blocks.len();
+        let n = (((1.0 + redundancy) * k as f64).round() as usize).max(k);
+        let (file_id, version) = {
+            let mut meta_srv = self.system.inner.meta.lock();
+            match &handle.meta {
+                Some(m) => (m.file_id, m.version + 1),
+                None => (meta_srv.allocate_file_id(), 1),
+            }
+        };
+        let seed = file_id
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(version);
+        let params = self.system.inner.config.lt;
+        let code = LtCode::plan(k, n, params, seed)?;
+
+        // Speculative spreading: block counts proportional to disk speed.
+        let weights: Vec<f64> = {
+            let backend = self.system.inner.backend.lock();
+            disks.iter().map(|&d| backend.disk_speed(d)).collect()
+        };
+        let placement = Placement::coded_weighted(k, n, &weights);
+
+        let meta = FileMeta {
+            name: handle.name.clone(),
+            file_id,
+            size_bytes,
+            coding: CodingSpec {
+                k,
+                n,
+                block_bytes: self.system.inner.config.block_bytes,
+                params,
+                seed,
+            },
+            layout: disks
+                .iter()
+                .enumerate()
+                .map(|(slot, &d)| {
+                    (
+                        d,
+                        placement.per_disk[slot].iter().map(|b| b.semantic).collect(),
+                    )
+                })
+                .collect(),
+            owner: handle.meta.as_ref().map(|m| m.owner).unwrap_or(self.identity),
+            version,
+        };
+
+        let mut meta = meta;
+        {
+            let mut backend = self.system.inner.backend.lock();
+            // Remove the previous version's blocks first (replace
+            // semantics), then write the new generation.
+            if let Some(old) = &handle.meta {
+                for (disk, ids) in &old.layout {
+                    for &id in ids {
+                        let _ = backend.delete_block(*disk, old.block_key(id));
+                    }
+                }
+            }
+            // Rateless writing routes around refusing disks (§4.1.1): any
+            // block a disk rejects is redirected to the healthy disks.
+            let mut displaced: Vec<u32> = Vec::new();
+            for (disk, ids) in &mut meta.layout {
+                let mut kept = Vec::with_capacity(ids.len());
+                for &coded in ids.iter() {
+                    let data = code.encode_block(blocks, coded as usize);
+                    match backend.write_block(*disk, meta_key(file_id, coded), data) {
+                        Ok(()) => kept.push(coded),
+                        Err(StoreError::MissingBlock { .. }) => displaced.push(coded),
+                        Err(e) => return Err(e),
+                    }
+                }
+                *ids = kept;
+            }
+            if !displaced.is_empty() {
+                let healthy: Vec<usize> = meta
+                    .layout
+                    .iter()
+                    .filter(|(_, ids)| !ids.is_empty())
+                    .map(|(d, _)| *d)
+                    .collect();
+                if healthy.is_empty() {
+                    return Err(StoreError::InsufficientDisks {
+                        got: 0,
+                        need: 1,
+                    });
+                }
+                for (i, coded) in displaced.into_iter().enumerate() {
+                    let disk = healthy[i % healthy.len()];
+                    let data = code.encode_block(blocks, coded as usize);
+                    backend.write_block(disk, meta_key(file_id, coded), data)?;
+                    meta.layout
+                        .iter_mut()
+                        .find(|(d, _)| *d == disk)
+                        .expect("healthy disk is in the layout")
+                        .1
+                        .push(coded);
+                }
+            }
+            // Feed fresh usage back to the registry (§4.2: dynamic storage
+            // information comes from client accesses).
+            let mut meta_srv = self.system.inner.meta.lock();
+            for &d in disks {
+                let used = backend.disk_used(d);
+                let load = { self.system.inner.admission.lock()[d].load() };
+                meta_srv.update_disk(d, used, load);
+            }
+            meta_srv.commit(meta.clone())?;
+        }
+        handle.meta = Some(meta);
+        Ok(WriteReport {
+            blocks_written: n,
+            redundancy,
+            disks: disks.len(),
+        })
+    }
+
+    /// `read(fdescriptor, ...)` — §4.3.3: request everything, decode from
+    /// the early arrivals, cancel the rest.
+    pub fn read(&self, handle: &FileHandle) -> Result<Vec<u8>, StoreError> {
+        self.read_with_report(handle).map(|(d, _)| d)
+    }
+
+    /// Read returning the speculative-access accounting.
+    pub fn read_with_report(
+        &self,
+        handle: &FileHandle,
+    ) -> Result<(Vec<u8>, ReadReport), StoreError> {
+        if handle.closed {
+            return Err(StoreError::StaleHandle);
+        }
+        let meta = handle.meta.as_ref().ok_or(StoreError::StaleHandle)?;
+        let spec = &meta.coding;
+        let code = LtCode::plan(spec.k, spec.n, spec.params, spec.seed)?;
+        let mut decoder = LtDecoder::new(&code, spec.block_bytes as usize);
+
+        // Merge per-disk streams by virtual arrival time: block `idx` on
+        // disk `d` arrives at (idx+1)·block/speed(d). BinaryHeap is a
+        // max-heap, so order by Reverse of time.
+        use std::cmp::Reverse;
+        #[derive(PartialEq, PartialOrd)]
+        struct T(f64);
+        #[allow(clippy::derive_ord_xor_partial_ord)]
+        impl Eq for T {}
+        #[allow(clippy::derive_ord_xor_partial_ord)]
+        impl Ord for T {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).expect("finite arrival times")
+            }
+        }
+        let mut heap: BinaryHeap<Reverse<(T, usize, usize)>> = BinaryHeap::new();
+        let speeds: Vec<f64> = {
+            let backend = self.system.inner.backend.lock();
+            meta.layout.iter().map(|(d, _)| backend.disk_speed(*d)).collect()
+        };
+        let per_block_time: Vec<f64> = speeds
+            .iter()
+            .map(|&s| spec.block_bytes as f64 / s)
+            .collect();
+        for (slot, (_, ids)) in meta.layout.iter().enumerate() {
+            if !ids.is_empty() {
+                heap.push(Reverse((T(per_block_time[slot]), slot, 0)));
+            }
+        }
+
+        let mut fetched = 0usize;
+        {
+            let mut backend = self.system.inner.backend.lock();
+            while let Some(Reverse((T(t), slot, idx))) = heap.pop() {
+                let (disk, ids) = &meta.layout[slot];
+                let coded = ids[idx];
+                // Degraded read: an unreadable block (offline server, lost
+                // sector) is simply a block that never arrives — the
+                // redundancy absorbs it (§4.1.3). Skip to the disk's next
+                // block; decoding fails only if no sufficient subset
+                // remains anywhere.
+                match backend.read_block(*disk, meta.block_key(coded)) {
+                    Ok(data) => {
+                        backend.count_read();
+                        fetched += 1;
+                        if decoder.receive(coded as usize, data) {
+                            break; // completion: cancel everything still queued
+                        }
+                    }
+                    Err(StoreError::MissingBlock { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+                if idx + 1 < ids.len() {
+                    heap.push(Reverse((T(t + per_block_time[slot]), slot, idx + 1)));
+                }
+            }
+        }
+        let blocks = decoder.into_data().ok_or(StoreError::Coding(
+            robustore_erasure::CodingError::DecodeFailed,
+        ))?;
+        let mut out = Vec::with_capacity(meta.size_bytes as usize);
+        for b in blocks {
+            out.extend_from_slice(&b);
+        }
+        out.truncate(meta.size_bytes as usize);
+        Ok((
+            out,
+            ReadReport {
+                blocks_fetched: fetched,
+                blocks_cancelled: meta.stored_blocks() - fetched,
+                reception_overhead: fetched as f64 / spec.k as f64 - 1.0,
+            },
+        ))
+    }
+
+    /// Update `patch.len()` bytes at `offset` — §4.3.4: regenerate only
+    /// the coded blocks touching the changed originals.
+    pub fn update(
+        &self,
+        handle: &mut FileHandle,
+        offset: u64,
+        patch: &[u8],
+    ) -> Result<UpdateReport, StoreError> {
+        if handle.mode != AccessMode::Write || handle.closed {
+            return Err(StoreError::WrongMode);
+        }
+        let meta = handle.meta.clone().ok_or(StoreError::StaleHandle)?;
+        if patch.is_empty() || offset + patch.len() as u64 > meta.size_bytes {
+            return Err(StoreError::OutOfRange);
+        }
+        let spec = meta.coding.clone();
+        let code = LtCode::plan(spec.k, spec.n, spec.params, spec.seed)?;
+
+        // Current content, patched.
+        let (mut data, _) = self.read_with_report(handle)?;
+        data[offset as usize..offset as usize + patch.len()].copy_from_slice(patch);
+        let blocks = split_blocks(&data, spec.block_bytes as usize, spec.k);
+
+        // Originals covered by the patch → coded blocks to regenerate.
+        let first = (offset / spec.block_bytes) as usize;
+        let last = ((offset + patch.len() as u64 - 1) / spec.block_bytes) as usize;
+        let mut dirty_coded: Vec<u32> = (first..=last)
+            .flat_map(|orig| code.blocks_touching(orig))
+            .map(|j| j as u32)
+            .collect();
+        dirty_coded.sort_unstable();
+        dirty_coded.dedup();
+
+        // coded id → disk map from the layout.
+        let mut disk_of = std::collections::HashMap::new();
+        for (disk, ids) in &meta.layout {
+            for &id in ids {
+                disk_of.insert(id, *disk);
+            }
+        }
+        {
+            let mut backend = self.system.inner.backend.lock();
+            for &coded in &dirty_coded {
+                let disk = *disk_of.get(&coded).ok_or(StoreError::MissingBlock {
+                    disk: usize::MAX,
+                    block: coded as u64,
+                })?;
+                let data = code.encode_block(&blocks, coded as usize);
+                backend.write_block(disk, meta.block_key(coded), data)?;
+            }
+        }
+        // Commit the version bump.
+        let mut new_meta = meta.clone();
+        new_meta.version += 1;
+        self.system.inner.meta.lock().commit(new_meta.clone())?;
+        handle.meta = Some(new_meta);
+
+        Ok(UpdateReport {
+            originals_changed: last - first + 1,
+            coded_rewritten: dirty_coded.len(),
+            fraction_rewritten: dirty_coded.len() as f64 / spec.n as f64,
+        })
+    }
+
+    /// Delete a file: remove its coded blocks from every disk and drop its
+    /// metadata. Requires owner (or W-granting chain via an already-open
+    /// write handle path); takes the writer lock internally.
+    pub fn delete(&self, name: &str) -> Result<(), StoreError> {
+        let handle = self.open(name, AccessMode::Write, QosOptions::best_effort())?;
+        let result = (|| {
+            let meta = handle.meta.clone().ok_or_else(|| StoreError::NotFound(name.into()))?;
+            {
+                let mut backend = self.system.inner.backend.lock();
+                for (disk, ids) in &meta.layout {
+                    for &id in ids {
+                        let _ = backend.delete_block(*disk, meta.block_key(id));
+                    }
+                }
+            }
+            self.system.inner.meta.lock().remove(name)?;
+            Ok(())
+        })();
+        self.close(handle)?;
+        result
+    }
+
+    /// `close(fdescriptor)` — release locks; metadata was committed by
+    /// write/update.
+    pub fn close(&self, mut handle: FileHandle) -> Result<(), StoreError> {
+        if handle.closed {
+            return Err(StoreError::StaleHandle);
+        }
+        handle.closed = true;
+        self.system.inner.meta.lock().close(&handle.name, handle.mode);
+        Ok(())
+    }
+}
+
+/// Backend block key for coded block `coded` of file `file_id` (the same
+/// key [`FileMeta::block_key`] computes; standalone so layout mutation and
+/// key computation can coexist).
+fn meta_key(file_id: u64, coded: u32) -> u64 {
+    (file_id << 32) | coded as u64
+}
+
+/// Split `data` into exactly `k` blocks of `block_bytes`, zero-padding the
+/// tail.
+fn split_blocks(data: &[u8], block_bytes: usize, k: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let start = i * block_bytes;
+        let end = ((i + 1) * block_bytes).min(data.len());
+        let mut b = if start < data.len() {
+            data[start..end].to_vec()
+        } else {
+            Vec::new()
+        };
+        b.resize(block_bytes, 0);
+        out.push(b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_system() -> System {
+        // 8 disks with a 5x speed spread; 4 KB blocks keep tests quick.
+        let speeds: Vec<f64> = (0..8).map(|i| 10e6 + i as f64 * 6e6).collect();
+        System::new(
+            InMemoryBackend::new(speeds),
+            SystemConfig {
+                block_bytes: 4 << 10,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 31 + 7) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let sys = test_system();
+        let alice = sys.register_user();
+        let client = Client::connect(&sys, alice);
+        let data = payload(100_000);
+
+        let mut h = client
+            .open("genome.dat", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
+        let report = client.write(&mut h, &data).unwrap();
+        assert!(report.blocks_written > report.disks);
+        client.close(h).unwrap();
+
+        let h = client
+            .open("genome.dat", AccessMode::Read, QosOptions::best_effort())
+            .unwrap();
+        let (got, rr) = client.read_with_report(&h).unwrap();
+        assert_eq!(got, data);
+        assert!(rr.blocks_cancelled > 0, "speculative read must cancel some");
+        client.close(h).unwrap();
+    }
+
+    #[test]
+    fn speculative_read_fetches_fraction_of_stored() {
+        let sys = test_system();
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        let data = payload(400_000); // ~98 blocks at 4 KB
+
+        let mut h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort().with_redundancy(3.0))
+            .unwrap();
+        let wr = client.write(&mut h, &data).unwrap();
+        client.close(h).unwrap();
+
+        let h = client.open("f", AccessMode::Read, QosOptions::best_effort()).unwrap();
+        let (_, rr) = client.read_with_report(&h).unwrap();
+        client.close(h).unwrap();
+        // With 3x redundancy, roughly (1+ε)K of 4K blocks are fetched.
+        assert!(
+            rr.blocks_fetched < wr.blocks_written * 2 / 3,
+            "fetched {} of {}",
+            rr.blocks_fetched,
+            wr.blocks_written
+        );
+        assert!(rr.reception_overhead < 1.2);
+    }
+
+    #[test]
+    fn update_rewrites_small_fraction() {
+        let sys = test_system();
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        let data = payload(256 << 10); // 64 originals
+
+        let mut h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort().with_redundancy(3.0))
+            .unwrap();
+        client.write(&mut h, &data).unwrap();
+        // Patch 100 bytes inside one original block.
+        let patch = vec![0xAB; 100];
+        let rep = client.update(&mut h, 5000, &patch).unwrap();
+        assert_eq!(rep.originals_changed, 1);
+        assert!(
+            rep.fraction_rewritten < 0.25,
+            "one-block update rewrote {:.1}% of coded blocks",
+            rep.fraction_rewritten * 100.0
+        );
+        client.close(h).unwrap();
+
+        let h = client.open("f", AccessMode::Read, QosOptions::best_effort()).unwrap();
+        let got = client.read(&h).unwrap();
+        client.close(h).unwrap();
+        let mut expect = data;
+        expect[5000..5100].copy_from_slice(&patch);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn locks_exclude_concurrent_writers() {
+        let sys = test_system();
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        let mut h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        client.write(&mut h, &payload(10_000)).unwrap();
+        assert!(matches!(
+            client.open("f", AccessMode::Write, QosOptions::best_effort()),
+            Err(StoreError::LockConflict(_))
+        ));
+        client.close(h).unwrap();
+        let h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        client.close(h).unwrap();
+    }
+
+    #[test]
+    fn non_owner_needs_credentials() {
+        let sys = test_system();
+        let alice = sys.register_user();
+        let bob = sys.register_user();
+        let a = Client::connect(&sys, alice);
+        let b = Client::connect(&sys, bob);
+
+        let mut h = a.open("private", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        a.write(&mut h, &payload(20_000)).unwrap();
+        a.close(h).unwrap();
+
+        // Bob without credentials: denied.
+        assert!(matches!(
+            b.open("private", AccessMode::Read, QosOptions::best_effort()),
+            Err(StoreError::AccessDenied(_))
+        ));
+
+        // Alice delegates read to Bob.
+        let cred = sys
+            .issue_credential(alice, bob, Rights::R, "private", 1_000)
+            .unwrap();
+        let chain = CredentialChain(vec![cred]);
+        let h = b
+            .open_with_chain("private", AccessMode::Read, QosOptions::best_effort(), &chain)
+            .unwrap();
+        assert_eq!(b.read(&h).unwrap(), payload(20_000));
+        b.close(h).unwrap();
+
+        // Read credential does not grant write.
+        assert!(matches!(
+            b.open_with_chain("private", AccessMode::Write, QosOptions::best_effort(), &chain),
+            Err(StoreError::AccessDenied(_))
+        ));
+
+        // Expired credential is rejected.
+        sys.advance_clock(2_000);
+        assert!(matches!(
+            b.open_with_chain("private", AccessMode::Read, QosOptions::best_effort(), &chain),
+            Err(StoreError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn admission_denial_when_servers_full() {
+        let speeds = vec![20e6; 2];
+        let sys = System::new(
+            InMemoryBackend::new(speeds),
+            SystemConfig {
+                block_bytes: 4 << 10,
+                admission_capacity: 1,
+                ..Default::default()
+            },
+        );
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        // Outside tenants hold the only slot on both servers.
+        assert!(sys.occupy_admission(0, 999));
+        assert!(sys.occupy_admission(1, 999));
+        let mut h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        assert!(matches!(
+            client.write(&mut h, &payload(10_000)),
+            Err(StoreError::AdmissionDenied { .. })
+        ));
+        // Tenants leave; the write proceeds.
+        sys.release_admission(0, 999);
+        sys.release_admission(1, 999);
+        client.write(&mut h, &payload(10_000)).unwrap();
+        client.close(h).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_old_generation() {
+        let sys = test_system();
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        let v1 = payload(50_000);
+        let v2: Vec<u8> = payload(80_000).iter().map(|b| b ^ 0xFF).collect();
+
+        let mut h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        client.write(&mut h, &v1).unwrap();
+        client.write(&mut h, &v2).unwrap();
+        client.close(h).unwrap();
+
+        let h = client.open("f", AccessMode::Read, QosOptions::best_effort()).unwrap();
+        assert_eq!(client.read(&h).unwrap(), v2);
+        client.close(h).unwrap();
+    }
+
+    #[test]
+    fn faster_disks_get_more_blocks() {
+        let sys = test_system(); // speeds 10..52 MB/s
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        let mut h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort().with_redundancy(3.0))
+            .unwrap();
+        client.write(&mut h, &payload(200_000)).unwrap();
+        let meta = h.meta().unwrap().clone();
+        client.close(h).unwrap();
+        let mut by_disk: Vec<(usize, usize)> =
+            meta.layout.iter().map(|(d, ids)| (*d, ids.len())).collect();
+        by_disk.sort();
+        // Disk 7 (fastest) stores more than disk 0 (slowest).
+        let slow = by_disk.iter().find(|(d, _)| *d == 0).map(|(_, n)| *n).unwrap_or(0);
+        let fast = by_disk.iter().find(|(d, _)| *d == 7).map(|(_, n)| *n).unwrap_or(0);
+        assert!(fast > slow, "fast {fast} vs slow {slow}: {by_disk:?}");
+    }
+
+    #[test]
+    fn read_of_missing_file_fails() {
+        let sys = test_system();
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        assert!(matches!(
+            client.open("ghost", AccessMode::Read, QosOptions::best_effort()),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn split_blocks_pads_tail() {
+        let blocks = split_blocks(&[1, 2, 3, 4, 5], 2, 3);
+        assert_eq!(blocks, vec![vec![1, 2], vec![3, 4], vec![5, 0]]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Credential-chain access control (Appendix C).
+//!
+//! In a federated multi-domain system, centralised ACLs do not scale; the
+//! paper's Appendix C describes a capability mechanism where the resource
+//! owner issues a signed credential to a user, who can further delegate by
+//! appending a link — the two-level chain of Figure C-1. Verification
+//! needs no third party: each link's authorizer must be the previous
+//! link's licensee, every signature must verify, and the effective rights
+//! are the intersection of all links' conditions.
+//!
+//! **Substitution note:** real deployments sign with PKI. No cryptography
+//! crates are available offline, so signatures here are keyed tags issued
+//! and checked by a [`KeyAuthority`] that plays the role of the key
+//! infrastructure. The *chain structure and checking logic* — what
+//! Appendix C actually specifies — is implemented faithfully.
+
+use std::collections::HashMap;
+
+/// An identity's public key (opaque handle in this model).
+pub type PublicKey = u64;
+
+/// Access rights, combinable: `Rights::R | Rights::W`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rights(u8);
+
+impl Rights {
+    /// Read.
+    pub const R: Rights = Rights(0b001);
+    /// Write.
+    pub const W: Rights = Rights(0b010);
+    /// Execute.
+    pub const X: Rights = Rights(0b100);
+    /// All rights ("RWX" in the Appendix C example credentials).
+    pub const RWX: Rights = Rights(0b111);
+    /// No rights.
+    pub const NONE: Rights = Rights(0);
+
+    /// Whether all of `needed` are granted.
+    pub fn allows(self, needed: Rights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Intersection of two grants.
+    pub fn intersect(self, other: Rights) -> Rights {
+        Rights(self.0 & other.0)
+    }
+}
+
+impl std::ops::BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+/// The conditions of one credential link (the Appendix C fields:
+/// app_domain, HANDLE, rights, validity window).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conditions {
+    /// Application domain ("RobuSTore" in the examples).
+    pub app_domain: String,
+    /// Resource handle the credential covers.
+    pub handle: u64,
+    /// Granted rights.
+    pub rights: Rights,
+    /// Validity window in logical time, inclusive.
+    pub valid_from: u64,
+    /// End of validity window, inclusive.
+    pub valid_until: u64,
+}
+
+/// One signed delegation link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// Who grants.
+    pub authorizer: PublicKey,
+    /// Who receives the capability.
+    pub licensee: PublicKey,
+    /// What is granted, on what, for how long.
+    pub conditions: Conditions,
+    /// Authorizer's signature over (authorizer, licensee, conditions).
+    pub signature: u64,
+}
+
+/// A delegation chain, root first.
+#[derive(Debug, Clone, Default)]
+pub struct CredentialChain(pub Vec<Credential>);
+
+fn fnv(acc: u64, bytes: &[u8]) -> u64 {
+    let mut h = acc ^ 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn credential_digest(authorizer: PublicKey, licensee: PublicKey, c: &Conditions) -> u64 {
+    let mut h = fnv(0, &authorizer.to_le_bytes());
+    h = fnv(h, &licensee.to_le_bytes());
+    h = fnv(h, c.app_domain.as_bytes());
+    h = fnv(h, &c.handle.to_le_bytes());
+    h = fnv(h, &[c.rights.0]);
+    h = fnv(h, &c.valid_from.to_le_bytes());
+    h = fnv(h, &c.valid_until.to_le_bytes());
+    h
+}
+
+/// Key registry standing in for the PKI: generates keypairs, signs, and
+/// verifies.
+#[derive(Debug, Default)]
+pub struct KeyAuthority {
+    secrets: HashMap<PublicKey, u64>,
+    next: u64,
+}
+
+impl KeyAuthority {
+    /// Empty authority.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generate a keypair and return the public half.
+    pub fn generate(&mut self) -> PublicKey {
+        self.next += 1;
+        let secret = self
+            .next
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            ^ 0xA5A5_5A5A_DEAD_BEEF;
+        let public = fnv(0, &secret.to_le_bytes());
+        self.secrets.insert(public, secret);
+        public
+    }
+
+    /// Issue a signed credential from `authorizer` (whose secret must be
+    /// known to this authority) to `licensee`.
+    pub fn issue(
+        &self,
+        authorizer: PublicKey,
+        licensee: PublicKey,
+        conditions: Conditions,
+    ) -> Result<Credential, String> {
+        let secret = self
+            .secrets
+            .get(&authorizer)
+            .ok_or_else(|| "unknown authorizer key".to_string())?;
+        let digest = credential_digest(authorizer, licensee, &conditions);
+        let signature = fnv(digest, &secret.to_le_bytes());
+        Ok(Credential {
+            authorizer,
+            licensee,
+            conditions,
+            signature,
+        })
+    }
+
+    /// Verify one credential's signature.
+    pub fn verify(&self, cred: &Credential) -> bool {
+        match self.secrets.get(&cred.authorizer) {
+            Some(secret) => {
+                let digest =
+                    credential_digest(cred.authorizer, cred.licensee, &cred.conditions);
+                fnv(digest, &secret.to_le_bytes()) == cred.signature
+            }
+            None => false,
+        }
+    }
+
+    /// Validate a full chain: rooted at `root`, ending at `requester`,
+    /// every signature good, links properly nested, and the intersected
+    /// conditions granting `needed` on `handle` in `domain` at `now`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn validate_chain(
+        &self,
+        chain: &CredentialChain,
+        root: PublicKey,
+        requester: PublicKey,
+        needed: Rights,
+        handle: u64,
+        domain: &str,
+        now: u64,
+    ) -> Result<(), String> {
+        let links = &chain.0;
+        if links.is_empty() {
+            return Err("empty credential chain".into());
+        }
+        if links[0].authorizer != root {
+            return Err("chain not rooted at the resource owner".into());
+        }
+        if links.last().expect("non-empty").licensee != requester {
+            return Err("chain does not end at the requester".into());
+        }
+        let mut effective = Rights::RWX;
+        let mut prev_licensee = None;
+        for (i, link) in links.iter().enumerate() {
+            if !self.verify(link) {
+                return Err(format!("bad signature on link {i}"));
+            }
+            if let Some(prev) = prev_licensee {
+                if link.authorizer != prev {
+                    return Err(format!("link {i} not authorized by previous licensee"));
+                }
+            }
+            let c = &link.conditions;
+            if c.app_domain != domain {
+                return Err(format!("link {i} is for domain {:?}", c.app_domain));
+            }
+            if c.handle != handle {
+                return Err(format!("link {i} covers a different handle"));
+            }
+            if now < c.valid_from || now > c.valid_until {
+                return Err(format!("link {i} expired or not yet valid"));
+            }
+            effective = effective.intersect(c.rights);
+            prev_licensee = Some(link.licensee);
+        }
+        if !effective.allows(needed) {
+            return Err("chain does not grant the required rights".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conds(rights: Rights) -> Conditions {
+        Conditions {
+            app_domain: "RobuSTore".into(),
+            handle: 666_240,
+            rights,
+            valid_from: 0,
+            valid_until: 1_000,
+        }
+    }
+
+    /// The two-level chain of Figure C-1: admin → Alice → Bob.
+    fn two_level() -> (KeyAuthority, PublicKey, PublicKey, PublicKey, CredentialChain) {
+        let mut ka = KeyAuthority::new();
+        let admin = ka.generate();
+        let alice = ka.generate();
+        let bob = ka.generate();
+        let l1 = ka.issue(admin, alice, conds(Rights::RWX)).unwrap();
+        let l2 = ka.issue(alice, bob, conds(Rights::R | Rights::W)).unwrap();
+        (ka, admin, alice, bob, CredentialChain(vec![l1, l2]))
+    }
+
+    #[test]
+    fn valid_two_level_chain() {
+        let (ka, admin, _alice, bob, chain) = two_level();
+        ka.validate_chain(&chain, admin, bob, Rights::R, 666_240, "RobuSTore", 500)
+            .unwrap();
+        ka.validate_chain(&chain, admin, bob, Rights::W, 666_240, "RobuSTore", 500)
+            .unwrap();
+    }
+
+    #[test]
+    fn rights_intersect_across_links() {
+        // Alice delegated only R|W, so X is not available to Bob even
+        // though the root link grants RWX.
+        let (ka, admin, _alice, bob, chain) = two_level();
+        assert!(ka
+            .validate_chain(&chain, admin, bob, Rights::X, 666_240, "RobuSTore", 500)
+            .is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (ka, admin, _alice, bob, mut chain) = two_level();
+        chain.0[1].conditions.rights = Rights::RWX; // escalate without re-signing
+        assert!(ka
+            .validate_chain(&chain, admin, bob, Rights::X, 666_240, "RobuSTore", 500)
+            .is_err());
+    }
+
+    #[test]
+    fn wrong_root_or_requester_rejected() {
+        let (ka, _admin, alice, bob, chain) = two_level();
+        assert!(ka
+            .validate_chain(&chain, alice, bob, Rights::R, 666_240, "RobuSTore", 500)
+            .is_err());
+        assert!(ka
+            .validate_chain(&chain, _admin, alice, Rights::R, 666_240, "RobuSTore", 500)
+            .is_err());
+    }
+
+    #[test]
+    fn broken_delegation_link_rejected() {
+        let mut ka = KeyAuthority::new();
+        let admin = ka.generate();
+        let alice = ka.generate();
+        let bob = ka.generate();
+        let carol = ka.generate();
+        let l1 = ka.issue(admin, alice, conds(Rights::RWX)).unwrap();
+        // Carol, not Alice, signs the second link.
+        let l2 = ka.issue(carol, bob, conds(Rights::R)).unwrap();
+        let chain = CredentialChain(vec![l1, l2]);
+        assert!(ka
+            .validate_chain(&chain, admin, bob, Rights::R, 666_240, "RobuSTore", 500)
+            .is_err());
+    }
+
+    #[test]
+    fn expiry_and_domain_and_handle_checked() {
+        let (ka, admin, _alice, bob, chain) = two_level();
+        assert!(ka
+            .validate_chain(&chain, admin, bob, Rights::R, 666_240, "RobuSTore", 2_000)
+            .is_err());
+        assert!(ka
+            .validate_chain(&chain, admin, bob, Rights::R, 666_240, "OtherApp", 500)
+            .is_err());
+        assert!(ka
+            .validate_chain(&chain, admin, bob, Rights::R, 1, "RobuSTore", 500)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let ka = KeyAuthority::new();
+        assert!(ka
+            .validate_chain(&CredentialChain::default(), 1, 2, Rights::R, 0, "d", 0)
+            .is_err());
+    }
+
+    #[test]
+    fn rights_algebra() {
+        let rw = Rights::R | Rights::W;
+        assert!(rw.allows(Rights::R));
+        assert!(!rw.allows(Rights::X));
+        assert_eq!(rw.intersect(Rights::W | Rights::X), Rights::W);
+        assert!(Rights::RWX.allows(rw));
+        assert!(!Rights::NONE.allows(Rights::R));
+    }
+}

@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! The RobuSTore distributed-filesystem framework (Chapter 4).
+//!
+//! This crate realises the system framework of Figure 4-3: **clients**
+//! perform metadata access, layout planning, encoding/decoding, and
+//! speculative access; a **metadata server** tracks data and
+//! storage-server information and file locks; **storage servers** store
+//! erasure-coded blocks behind per-server admission control.
+//!
+//! * [`client`] — the access interface of §4.3: `open` / `read` / `write`
+//!   / `update` / `close`, with speculative access and request
+//!   cancellation, over a pluggable [`backend::StorageBackend`].
+//! * [`metadata`] — the metadata server: file metadata (location, coding
+//!   algorithm and parameters, owner), storage-server registry, and
+//!   reader/writer file locks.
+//! * [`planner`] — the layout planner and access scheduler (§5.3): disk
+//!   selection by load/space/availability, disk-count and redundancy
+//!   sizing.
+//! * [`admission`] — capacity-based admission control (§5.4).
+//! * [`credentials`] — credential-chain access control (Appendix C).
+//! * [`qos`] — the QoS options of the `open` call (Appendix B).
+//! * [`backend`] — storage-server data plane; an in-memory implementation
+//!   with per-disk speeds stands in for remote filers.
+//!
+//! Everything is deterministic and synchronous: the crate models the
+//! *control* architecture with real coding and real data movement, while
+//! the timing behaviour of the architecture is quantified separately by
+//! `robustore-schemes`.
+//!
+//! # Example: store and retrieve an object
+//!
+//! ```
+//! use robustore_core::{
+//!     AccessMode, Client, InMemoryBackend, QosOptions, System, SystemConfig,
+//! };
+//!
+//! let system = System::new(
+//!     InMemoryBackend::new((0..8).map(|i| 10e6 + i as f64 * 5e6).collect()),
+//!     SystemConfig { block_bytes: 16 << 10, ..Default::default() },
+//! );
+//! let client = Client::connect(&system, system.register_user());
+//!
+//! let payload = vec![0xAB; 100_000];
+//! let mut h = client.open(
+//!     "demo",
+//!     AccessMode::Write,
+//!     QosOptions::best_effort().with_redundancy(3.0),
+//! )?;
+//! client.write(&mut h, &payload)?;
+//! client.close(h)?;
+//!
+//! let h = client.open("demo", AccessMode::Read, QosOptions::best_effort())?;
+//! assert_eq!(client.read(&h)?, payload);
+//! client.close(h)?;
+//! # Ok::<(), robustore_core::StoreError>(())
+//! ```
+
+pub mod admission;
+pub mod backend;
+pub mod client;
+pub mod credentials;
+pub mod error;
+pub mod file_backend;
+pub mod metadata;
+pub mod planner;
+pub mod qos;
+
+pub use admission::{AdmissionController, PriorityAdmissionController, PriorityDecision};
+pub use backend::{InMemoryBackend, StorageBackend};
+pub use client::{Client, FileHandle, ReadReport, System, SystemConfig, UpdateReport, WriteReport};
+pub use credentials::{Credential, CredentialChain, KeyAuthority, PublicKey, Rights};
+pub use error::StoreError;
+pub use file_backend::FileBackend;
+pub use metadata::{AccessMode, DiskInfo, FileMeta, MetadataServer};
+pub use planner::LayoutPlanner;
+pub use qos::QosOptions;

@@ -1,0 +1,346 @@
+//! The metadata server (§4.2).
+//!
+//! Maintains *data information* (name, size, location, coding algorithm
+//! and parameters, owner, locks) and *storage-server information*
+//! (capacity, expected performance, recent load, availability). Clients
+//! query it on open, and register data structure and location on
+//! write/close. The implementation is the centralised variant the paper
+//! recommends for moderate scale ("a well-designed metadata server can
+//! support a large-scale system").
+
+use std::collections::HashMap;
+
+use robustore_erasure::LtParams;
+
+use crate::credentials::PublicKey;
+use crate::error::StoreError;
+
+/// How a file is opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Shared read.
+    Read,
+    /// Exclusive write (create or replace/update).
+    Write,
+}
+
+/// Storage-server information kept per disk.
+#[derive(Debug, Clone)]
+pub struct DiskInfo {
+    /// Disk id (backend index).
+    pub id: usize,
+    /// Raw capacity, bytes.
+    pub capacity_bytes: u64,
+    /// Bytes in use (updated on writes).
+    pub used_bytes: u64,
+    /// Expected sustained bandwidth, bytes/second.
+    pub expected_bandwidth: f64,
+    /// Recent load in [0, 1] (0 = idle).
+    pub load: f64,
+    /// Availability estimate in [0, 1] (§5.3.1 recommends mixing classes).
+    pub availability: f64,
+}
+
+impl DiskInfo {
+    /// Free capacity, bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.used_bytes)
+    }
+}
+
+/// Erasure-coding description stored with each file; enough for any
+/// client to regenerate the identical coding graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodingSpec {
+    /// Original block count K.
+    pub k: usize,
+    /// Coded block count N.
+    pub n: usize,
+    /// Block size, bytes.
+    pub block_bytes: u64,
+    /// LT parameters.
+    pub params: LtParams,
+    /// Graph seed.
+    pub seed: u64,
+}
+
+/// Per-file metadata.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// File name (namespace key).
+    pub name: String,
+    /// Metadata-server-assigned id; block keys derive from it.
+    pub file_id: u64,
+    /// Logical size in bytes (unpadded).
+    pub size_bytes: u64,
+    /// Coding description.
+    pub coding: CodingSpec,
+    /// Layout: for each used disk, the coded-block ids it stores
+    /// (block key = `file_id << 32 | coded_id`).
+    pub layout: Vec<(usize, Vec<u32>)>,
+    /// Owner identity.
+    pub owner: PublicKey,
+    /// Bumped on every committed write/update.
+    pub version: u64,
+}
+
+impl FileMeta {
+    /// Backend block key of coded block `coded_id`.
+    pub fn block_key(&self, coded_id: u32) -> u64 {
+        (self.file_id << 32) | coded_id as u64
+    }
+
+    /// Total coded blocks across the layout.
+    pub fn stored_blocks(&self) -> usize {
+        self.layout.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LockState {
+    Readers(usize),
+    Writer,
+}
+
+/// The metadata server.
+#[derive(Debug, Default)]
+pub struct MetadataServer {
+    files: HashMap<String, FileMeta>,
+    disks: Vec<DiskInfo>,
+    locks: HashMap<String, LockState>,
+    next_file_id: u64,
+}
+
+impl MetadataServer {
+    /// An empty metadata server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a storage server/disk (done when servers join, §4.2).
+    pub fn register_disk(&mut self, info: DiskInfo) {
+        assert_eq!(info.id, self.disks.len(), "register disks in id order");
+        self.disks.push(info);
+    }
+
+    /// Current disk registry snapshot.
+    pub fn disks(&self) -> &[DiskInfo] {
+        &self.disks
+    }
+
+    /// Update dynamic information for a disk (load, usage) — fed by client
+    /// accesses and periodic queries (§4.2).
+    pub fn update_disk(&mut self, id: usize, used_bytes: u64, load: f64) {
+        let d = &mut self.disks[id];
+        d.used_bytes = used_bytes;
+        d.load = load.clamp(0.0, 1.0);
+    }
+
+    /// Whether `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Acquire the lock for `mode` and return the file's metadata
+    /// (`None` metadata for a write to a new file).
+    pub fn open(&mut self, name: &str, mode: AccessMode) -> Result<Option<FileMeta>, StoreError> {
+        let meta = self.files.get(name);
+        if mode == AccessMode::Read && meta.is_none() {
+            return Err(StoreError::NotFound(name.to_string()));
+        }
+        let state = self.locks.get(name).copied();
+        let new_state = match (mode, state) {
+            (AccessMode::Read, None) => LockState::Readers(1),
+            (AccessMode::Read, Some(LockState::Readers(n))) => LockState::Readers(n + 1),
+            (AccessMode::Read, Some(LockState::Writer)) => {
+                return Err(StoreError::LockConflict(name.to_string()))
+            }
+            (AccessMode::Write, None) => LockState::Writer,
+            (AccessMode::Write, Some(_)) => {
+                return Err(StoreError::LockConflict(name.to_string()))
+            }
+        };
+        self.locks.insert(name.to_string(), new_state);
+        Ok(meta.cloned())
+    }
+
+    /// Release the lock taken by `open`.
+    pub fn close(&mut self, name: &str, mode: AccessMode) {
+        match (mode, self.locks.get(name).copied()) {
+            (AccessMode::Read, Some(LockState::Readers(1))) => {
+                self.locks.remove(name);
+            }
+            (AccessMode::Read, Some(LockState::Readers(n))) if n > 1 => {
+                self.locks.insert(name.to_string(), LockState::Readers(n - 1));
+            }
+            (AccessMode::Write, Some(LockState::Writer)) => {
+                self.locks.remove(name);
+            }
+            (m, s) => panic!("unbalanced close: mode {m:?}, lock state {s:?}"),
+        }
+    }
+
+    /// Allocate a file id for a new file.
+    pub fn allocate_file_id(&mut self) -> u64 {
+        self.next_file_id += 1;
+        self.next_file_id
+    }
+
+    /// Commit metadata after a write/update (the client "registers the
+    /// data structure and location", §4.3.2). Requires the writer lock.
+    pub fn commit(&mut self, meta: FileMeta) -> Result<(), StoreError> {
+        match self.locks.get(meta.name.as_str()) {
+            Some(LockState::Writer) => {
+                self.files.insert(meta.name.clone(), meta);
+                Ok(())
+            }
+            _ => Err(StoreError::StaleHandle),
+        }
+    }
+
+    /// Remove a file's metadata (requires the writer lock).
+    pub fn remove(&mut self, name: &str) -> Result<FileMeta, StoreError> {
+        match self.locks.get(name) {
+            Some(LockState::Writer) => self
+                .files
+                .remove(name)
+                .ok_or_else(|| StoreError::NotFound(name.to_string())),
+            _ => Err(StoreError::StaleHandle),
+        }
+    }
+
+    /// Look up without locking (status queries).
+    pub fn stat(&self, name: &str) -> Option<&FileMeta> {
+        self.files.get(name)
+    }
+
+    /// All known file names (directory listing).
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.files.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Bootstrap: insert metadata restored from persistent storage,
+    /// bypassing locks (used when reopening a durable store). Keeps the
+    /// file-id counter ahead of every restored id.
+    pub fn restore(&mut self, meta: FileMeta) {
+        self.next_file_id = self.next_file_id.max(meta.file_id);
+        self.files.insert(meta.name.clone(), meta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(id: usize) -> DiskInfo {
+        DiskInfo {
+            id,
+            capacity_bytes: 1 << 40,
+            used_bytes: 0,
+            expected_bandwidth: 20e6,
+            load: 0.0,
+            availability: 0.99,
+        }
+    }
+
+    fn meta(name: &str, file_id: u64) -> FileMeta {
+        FileMeta {
+            name: name.into(),
+            file_id,
+            size_bytes: 1 << 20,
+            coding: CodingSpec {
+                k: 16,
+                n: 64,
+                block_bytes: 64 << 10,
+                params: LtParams::default(),
+                seed: 1,
+            },
+            layout: vec![(0, vec![0, 1]), (1, vec![2, 3])],
+            owner: 42,
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn registry_and_update() {
+        let mut m = MetadataServer::new();
+        m.register_disk(disk(0));
+        m.register_disk(disk(1));
+        m.update_disk(1, 100, 0.5);
+        assert_eq!(m.disks()[1].used_bytes, 100);
+        assert_eq!(m.disks()[1].load, 0.5);
+        assert_eq!(m.disks()[0].free_bytes(), 1 << 40);
+    }
+
+    #[test]
+    fn read_of_missing_file_fails() {
+        let mut m = MetadataServer::new();
+        assert!(matches!(
+            m.open("nope", AccessMode::Read),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn write_then_read_lifecycle() {
+        let mut m = MetadataServer::new();
+        assert!(m.open("f", AccessMode::Write).unwrap().is_none());
+        let id = m.allocate_file_id();
+        m.commit(meta("f", id)).unwrap();
+        m.close("f", AccessMode::Write);
+
+        let got = m.open("f", AccessMode::Read).unwrap().unwrap();
+        assert_eq!(got.file_id, id);
+        assert_eq!(got.stored_blocks(), 4);
+        m.close("f", AccessMode::Read);
+    }
+
+    #[test]
+    fn lock_semantics() {
+        let mut m = MetadataServer::new();
+        m.open("f", AccessMode::Write).unwrap();
+        m.commit(meta("f", 1)).unwrap();
+        m.close("f", AccessMode::Write);
+
+        // Multiple readers OK.
+        m.open("f", AccessMode::Read).unwrap();
+        m.open("f", AccessMode::Read).unwrap();
+        // Writer blocked while readers hold.
+        assert!(matches!(
+            m.open("f", AccessMode::Write),
+            Err(StoreError::LockConflict(_))
+        ));
+        m.close("f", AccessMode::Read);
+        m.close("f", AccessMode::Read);
+        // Now writer proceeds; readers blocked.
+        m.open("f", AccessMode::Write).unwrap();
+        assert!(matches!(
+            m.open("f", AccessMode::Read),
+            Err(StoreError::LockConflict(_))
+        ));
+        m.close("f", AccessMode::Write);
+    }
+
+    #[test]
+    fn commit_requires_writer_lock() {
+        let mut m = MetadataServer::new();
+        assert!(matches!(m.commit(meta("f", 1)), Err(StoreError::StaleHandle)));
+    }
+
+    #[test]
+    fn block_keys_are_distinct_per_file() {
+        let a = meta("a", 1);
+        let b = meta("b", 2);
+        assert_ne!(a.block_key(0), b.block_key(0));
+        assert_eq!(a.block_key(5), (1 << 32) | 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced close")]
+    fn unbalanced_close_panics() {
+        let mut m = MetadataServer::new();
+        m.close("f", AccessMode::Read);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the framework crate.
+
+use proptest::prelude::*;
+use robustore_core::credentials::{Conditions, CredentialChain, KeyAuthority, Rights};
+use robustore_core::{
+    AccessMode, AdmissionController, Client, InMemoryBackend, QosOptions, System, SystemConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Client write/read round-trips arbitrary payload sizes exactly
+    /// (including non-multiples of the block size).
+    #[test]
+    fn client_roundtrip_arbitrary_sizes(
+        len in 1usize..300_000,
+        salt in any::<u8>(),
+        redundancy in 1.0f64..4.0,
+    ) {
+        let sys = System::new(
+            InMemoryBackend::new((0..6).map(|i| 10e6 + i as f64 * 8e6).collect()),
+            SystemConfig { block_bytes: 8 << 10, ..Default::default() },
+        );
+        let user = sys.register_user();
+        let client = Client::connect(&sys, user);
+        let data: Vec<u8> = (0..len).map(|i| ((i as u64 * 31 + salt as u64) % 256) as u8).collect();
+        let mut h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort().with_redundancy(redundancy))
+            .unwrap();
+        client.write(&mut h, &data).unwrap();
+        client.close(h).unwrap();
+        let h = client.open("f", AccessMode::Read, QosOptions::best_effort()).unwrap();
+        prop_assert_eq!(client.read(&h).unwrap(), data);
+        client.close(h).unwrap();
+    }
+
+    /// A chain grants a right iff every link grants it (intersection
+    /// semantics), for arbitrary per-link rights.
+    #[test]
+    fn chain_rights_are_intersections(
+        grants in proptest::collection::vec(0u8..8, 1..5),
+        needed in 0u8..8,
+    ) {
+        fn rights(bits: u8) -> Rights {
+            let mut r = Rights::NONE;
+            if bits & 1 != 0 { r = r | Rights::R; }
+            if bits & 2 != 0 { r = r | Rights::W; }
+            if bits & 4 != 0 { r = r | Rights::X; }
+            r
+        }
+        let mut ka = KeyAuthority::new();
+        let mut keys = vec![ka.generate()];
+        for _ in 0..grants.len() {
+            keys.push(ka.generate());
+        }
+        let links: Vec<_> = grants
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                ka.issue(
+                    keys[i],
+                    keys[i + 1],
+                    Conditions {
+                        app_domain: "RobuSTore".into(),
+                        handle: 7,
+                        rights: rights(g),
+                        valid_from: 0,
+                        valid_until: 100,
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        let chain = CredentialChain(links);
+        let requester = *keys.last().unwrap();
+        let effective = grants.iter().fold(7u8, |acc, &g| acc & g);
+        let ok = ka
+            .validate_chain(&chain, keys[0], requester, rights(needed), 7, "RobuSTore", 50)
+            .is_ok();
+        prop_assert_eq!(ok, effective & needed == needed, "grants {:?} needed {}", grants, needed);
+    }
+
+    /// Admission controller never exceeds capacity and conserves slots
+    /// through arbitrary request/release sequences.
+    #[test]
+    fn admission_conserves_capacity(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..12), 1..200),
+    ) {
+        let mut a = AdmissionController::new(capacity);
+        let mut active = std::collections::HashSet::new();
+        for (is_request, id) in ops {
+            if is_request {
+                let granted = a.request(id);
+                if granted {
+                    active.insert(id);
+                }
+                prop_assert_eq!(granted, active.contains(&id));
+            } else {
+                let released = a.release(id);
+                prop_assert_eq!(released, active.remove(&id));
+            }
+            prop_assert_eq!(a.in_use(), active.len());
+            prop_assert!(a.in_use() <= capacity);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Table 6-1 calibration: measured bandwidth per layout configuration.
+//!
+//! The paper calibrates its DiskSim parameters against a real drive and
+//! reports the resulting average bandwidth for each (blocking factor ×
+//! sequential probability) grid point (Table 6-1: 0.52–53 MB/s, grid
+//! average 14.9 MB/s). This module measures the same grid on our model so
+//! the experiment harness can print the reproduced table, and so tests can
+//! pin the model's envelope.
+
+use robustore_simkit::{SeedSequence, SimTime};
+
+use crate::disk::Disk;
+use crate::geometry::DiskGeometry;
+use crate::layout::{LayoutConfig, BLOCKING_FACTORS};
+use crate::request::{Direction, DiskRequest, RequestId, StreamId};
+
+/// Measured bandwidth (bytes/second) for one layout: a lone foreground
+/// stream reads `total_bytes` in `request_bytes` requests back-to-back.
+pub fn measure_bandwidth(
+    geometry: &DiskGeometry,
+    layout: LayoutConfig,
+    total_bytes: u64,
+    request_bytes: u64,
+    seed: u64,
+) -> f64 {
+    assert!(request_bytes > 0 && total_bytes >= request_bytes);
+    let seq = SeedSequence::new(seed);
+    let mut disk = Disk::new(0, geometry.clone(), layout, seq.fork("cal-disk", 0));
+    let n_requests = total_bytes / request_bytes;
+    let sectors = crate::bytes_to_sectors(request_bytes);
+    let mut now = SimTime::ZERO;
+    for i in 0..n_requests {
+        let done = disk
+            .submit(
+                now,
+                DiskRequest {
+                    id: RequestId(i),
+                    stream: StreamId::Foreground(0),
+                    direction: Direction::Read,
+                    sectors,
+                    tag: 0,
+                },
+            )
+            .expect("disk is idle in the closed loop");
+        let (_, next) = disk.on_complete(done);
+        debug_assert!(next.is_none());
+        now = done;
+    }
+    (n_requests * request_bytes) as f64 / now.as_secs_f64()
+}
+
+/// One Table 6-1 cell.
+#[derive(Debug, Clone, Copy)]
+pub struct GridCell {
+    /// Blocking factor (sectors per run).
+    pub blocking_factor: u32,
+    /// Probability of sequential access (0 or 1 in the paper's grid).
+    pub seq_prob: f64,
+    /// Measured bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+/// Measure the full Table 6-1 grid: all blocking factors × {0, 1}
+/// sequential probability, averaged over `trials` seeds, reading
+/// `total_bytes` in 1 MB requests per trial.
+pub fn table_grid(geometry: &DiskGeometry, total_bytes: u64, trials: u64) -> Vec<GridCell> {
+    let mut out = Vec::with_capacity(BLOCKING_FACTORS.len() * 2);
+    for &p in &[0.0, 1.0] {
+        for &bf in &BLOCKING_FACTORS {
+            let layout = LayoutConfig::grid_point(bf, p);
+            let mean: f64 = (0..trials)
+                .map(|t| measure_bandwidth(geometry, layout, total_bytes, 1 << 20, 1000 + t))
+                .sum::<f64>()
+                / trials as f64;
+            out.push(GridCell {
+                blocking_factor: bf,
+                seq_prob: p,
+                bandwidth: mean,
+            });
+        }
+    }
+    out
+}
+
+/// Grid average bandwidth (bytes/second) — the paper's 14.9 MB/s figure.
+pub fn grid_average(cells: &[GridCell]) -> f64 {
+    cells.iter().map(|c| c.bandwidth).sum::<f64>() / cells.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1e6;
+
+    fn grid() -> Vec<GridCell> {
+        table_grid(&DiskGeometry::default(), 64 << 20, 2)
+    }
+
+    #[test]
+    fn grid_reproduces_table_6_1_envelope() {
+        let cells = grid();
+        assert_eq!(cells.len(), 16);
+        let min = cells.iter().map(|c| c.bandwidth).fold(f64::MAX, f64::min);
+        let max = cells.iter().map(|c| c.bandwidth).fold(0.0, f64::max);
+        // Paper: 0.52–53 MB/s, a ~100-fold spread. Accept 0.2–2 MB/s at the
+        // bottom, 40–65 at the top, ≥40x spread.
+        assert!((0.2 * MB..2.0 * MB).contains(&min), "min {} MB/s", min / MB);
+        assert!((40.0 * MB..65.0 * MB).contains(&max), "max {} MB/s", max / MB);
+        assert!(max / min > 40.0, "spread {:.0}x", max / min);
+    }
+
+    #[test]
+    fn grid_average_near_fifteen_mbps() {
+        let cells = grid();
+        let avg = grid_average(&cells);
+        // Paper: 14.9 MB/s. Accept 9–21.
+        assert!(
+            (9.0 * MB..21.0 * MB).contains(&avg),
+            "grid average {} MB/s",
+            avg / MB
+        );
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_blocking_factor_at_p0() {
+        let cells = grid();
+        let p0: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.seq_prob == 0.0)
+            .map(|c| c.bandwidth)
+            .collect();
+        assert!(
+            p0.windows(2).all(|w| w[1] > w[0]),
+            "p=0 row must increase with blocking factor: {p0:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_beats_random_at_every_factor() {
+        let cells = grid();
+        for &bf in &BLOCKING_FACTORS {
+            let at = |p: f64| {
+                cells
+                    .iter()
+                    .find(|c| c.blocking_factor == bf && c.seq_prob == p)
+                    .unwrap()
+                    .bandwidth
+            };
+            assert!(at(1.0) > at(0.0), "bf={bf}");
+        }
+    }
+
+    #[test]
+    fn measure_bandwidth_is_deterministic() {
+        let g = DiskGeometry::default();
+        let l = LayoutConfig::grid_point(64, 0.0);
+        let a = measure_bandwidth(&g, l, 8 << 20, 1 << 20, 42);
+        let b = measure_bandwidth(&g, l, 8 << 20, 1 << 20, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,498 @@
+//! The single-server disk with FCFS queue and request cancellation.
+//!
+//! Mirrors the paper's virtual disk (§6.2.2): requests — foreground and
+//! background alike — share one queue and are serviced in arrival order.
+//! Cancellation removes *queued* requests only; the request being serviced
+//! finishes and its bytes are charged to whoever asked for them, which is
+//! exactly the "in-flight bytes at cancel time" overhead the paper
+//! attributes to speculative access (§4.1.2).
+
+use std::collections::VecDeque;
+
+use robustore_simkit::rng::uniform01;
+use robustore_simkit::{SimDuration, SimRng, SimTime};
+
+use crate::geometry::DiskGeometry;
+use crate::layout::LayoutConfig;
+use crate::request::{Completion, DiskRequest, RequestId, StreamId};
+
+/// How the disk picks its next request (§2.1.1 "scheduling algorithm";
+/// §5.4 motivates why the policy matters under sharing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// First come, first served — the DiskSim-style default used by the
+    /// paper's evaluation.
+    #[default]
+    Fcfs,
+    /// Foreground requests overtake queued background requests — what a
+    /// server that prioritises paying clients over scrubbing would do.
+    ForegroundFirst,
+    /// Alternate between foreground and background work when both are
+    /// queued — an idealised fair scheduler.
+    FairShare,
+}
+
+/// State of the request in service.
+#[derive(Debug, Clone, Copy)]
+struct InService {
+    request: DiskRequest,
+    started_at: SimTime,
+    finishes_at: SimTime,
+}
+
+/// A simulated hard disk drive.
+#[derive(Debug)]
+pub struct Disk {
+    id: usize,
+    geometry: DiskGeometry,
+    layout: LayoutConfig,
+    rng: SimRng,
+    queue: VecDeque<DiskRequest>,
+    in_service: Option<InService>,
+    /// Stream of the most recently *serviced* request; sequentiality only
+    /// carries over within a stream.
+    last_stream: Option<StreamId>,
+    discipline: QueueDiscipline,
+    busy_time: SimDuration,
+    bytes_serviced: u64,
+}
+
+impl Disk {
+    /// A disk with the given mechanism, layout quality, and private RNG.
+    pub fn new(id: usize, geometry: DiskGeometry, layout: LayoutConfig, rng: SimRng) -> Self {
+        assert!(layout.is_valid(), "invalid layout config");
+        Disk {
+            id,
+            geometry,
+            layout,
+            rng,
+            queue: VecDeque::new(),
+            in_service: None,
+            last_stream: None,
+            discipline: QueueDiscipline::Fcfs,
+            busy_time: SimDuration::ZERO,
+            bytes_serviced: 0,
+        }
+    }
+
+    /// Select the queue discipline (default FCFS).
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// The active queue discipline.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Pick the next queued request according to the discipline.
+    fn pop_next(&mut self) -> Option<DiskRequest> {
+        let is_fg = |r: &DiskRequest| matches!(r.stream, StreamId::Foreground(_));
+        let pick = |queue: &VecDeque<DiskRequest>, want_fg: bool| {
+            queue.iter().position(|r| is_fg(r) == want_fg)
+        };
+        let idx = match self.discipline {
+            QueueDiscipline::Fcfs => 0,
+            QueueDiscipline::ForegroundFirst => pick(&self.queue, true).unwrap_or(0),
+            QueueDiscipline::FairShare => {
+                // Alternate: after servicing one class, prefer the other.
+                let prefer_fg = !matches!(self.last_stream, Some(StreamId::Foreground(_)));
+                pick(&self.queue, prefer_fg).unwrap_or(0)
+            }
+        };
+        self.queue.remove(idx)
+    }
+
+    /// Disk id assigned at construction.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The layout configuration this disk was built with.
+    pub fn layout(&self) -> LayoutConfig {
+        self.layout
+    }
+
+    /// The disk mechanism.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// Submit a request. If the disk was idle, service starts immediately
+    /// and the completion instant is returned for the coordinator to
+    /// schedule; otherwise the request queues and `None` is returned.
+    pub fn submit(&mut self, now: SimTime, request: DiskRequest) -> Option<SimTime> {
+        if self.in_service.is_none() {
+            Some(self.start_service(now, request))
+        } else {
+            self.queue.push_back(request);
+            None
+        }
+    }
+
+    /// The coordinator calls this when the scheduled completion fires.
+    /// Returns the finished request's [`Completion`] and, if another
+    /// request was queued, the completion instant of the next service.
+    pub fn on_complete(&mut self, now: SimTime) -> (Completion, Option<SimTime>) {
+        let svc = self
+            .in_service
+            .take()
+            .expect("on_complete with no request in service");
+        debug_assert_eq!(svc.finishes_at, now, "completion fired at the wrong time");
+        let completion = Completion {
+            request: svc.request,
+            started_at: svc.started_at,
+            finished_at: now,
+            service_time: now.since(svc.started_at),
+        };
+        let next = self.pop_next().map(|req| self.start_service(now, req));
+        (completion, next)
+    }
+
+    /// Cancel all *queued* requests of `stream`. The in-service request is
+    /// not interrupted. Returns the cancelled requests (the coordinator
+    /// needs their ids to reconcile bookkeeping).
+    pub fn cancel_stream(&mut self, stream: StreamId) -> Vec<DiskRequest> {
+        let mut cancelled = Vec::new();
+        self.queue.retain(|r| {
+            if r.stream == stream {
+                cancelled.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        cancelled
+    }
+
+    /// Cancel one queued request by id; `false` if it was not queued
+    /// (already serving, finished, or never submitted).
+    pub fn cancel_request(&mut self, id: RequestId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|r| r.id != id);
+        self.queue.len() != before
+    }
+
+    /// Number of queued (not yet serving) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queued requests belonging to the background stream. Background
+    /// generators bound their backlog (an open-loop generator with service
+    /// times above its interval would otherwise grow the queue without
+    /// limit and starve everything).
+    pub fn queued_background(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|r| r.stream == StreamId::Background)
+            .count()
+    }
+
+    /// Whether a request is currently being serviced.
+    pub fn is_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// The request currently in service, if any.
+    pub fn in_service(&self) -> Option<&DiskRequest> {
+        self.in_service.as_ref().map(|s| &s.request)
+    }
+
+    /// Cumulative time spent servicing requests.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Drop all pending work — queued requests *and* the in-service
+    /// marker. Used when a coordinator takes over a disk whose previous
+    /// coordinator's event queue (and thus the pending completion event)
+    /// is gone; without this the disk would wait forever for a completion
+    /// that will never fire.
+    pub fn quiesce(&mut self) {
+        self.queue.clear();
+        self.in_service = None;
+    }
+
+    /// Cumulative bytes serviced (reads + writes).
+    pub fn bytes_serviced(&self) -> u64 {
+        self.bytes_serviced
+    }
+
+    fn start_service(&mut self, now: SimTime, request: DiskRequest) -> SimTime {
+        let service = self.service_time(&request);
+        self.busy_time += service;
+        self.bytes_serviced += request.sectors * crate::SECTOR_BYTES;
+        self.last_stream = Some(request.stream);
+        let finishes_at = now + service;
+        self.in_service = Some(InService {
+            request,
+            started_at: now,
+            finishes_at,
+        });
+        finishes_at
+    }
+
+    /// Mechanical service-time model.
+    ///
+    /// Foreground requests walk the layout model: ⌈sectors/blocking-factor⌉
+    /// runs, each preceded by a positioning (in-band seek + rotational
+    /// latency) unless sequential; the first run is sequential only when
+    /// the same stream serviced the previous request. Background requests
+    /// are random accesses across the whole platter.
+    fn service_time(&mut self, request: &DiskRequest) -> SimDuration {
+        let g = &self.geometry;
+        match request.stream {
+            StreamId::Background => {
+                let mut t = g.command_overhead;
+                let d = (uniform01(&mut self.rng) * g.cylinders as f64) as u32;
+                t += g.seek_time(d);
+                t += g.rotational_latency(&mut self.rng);
+                // Background data is placed anywhere; mid-radius transfer.
+                t += g.transfer_time(request.sectors, 0.5);
+                t
+            }
+            StreamId::Foreground(_) => {
+                let bf = self.layout.blocking_factor as u64;
+                let runs = request.sectors.div_ceil(bf).max(1);
+                let continues = self.last_stream == Some(request.stream);
+                let mut t = SimDuration::ZERO;
+                for run in 0..runs {
+                    // Each run is one disk command (DiskSim's synthetic
+                    // workload issues blocking-factor-sized requests).
+                    t += g.command_overhead;
+                    let sequential = if run == 0 && !continues {
+                        false
+                    } else {
+                        uniform01(&mut self.rng) < self.layout.seq_prob
+                    };
+                    if !sequential {
+                        t += g.seek_within_band(self.layout.band_cylinders, &mut self.rng);
+                        t += g.rotational_latency(&mut self.rng);
+                    }
+                }
+                t += g.transfer_time(request.sectors, self.layout.zone_frac);
+                t
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Direction;
+    use robustore_simkit::SeedSequence;
+
+    fn mk_disk(seed: u64, layout: LayoutConfig) -> Disk {
+        Disk::new(
+            0,
+            DiskGeometry::default(),
+            layout,
+            SeedSequence::new(seed).fork("disk", 0),
+        )
+    }
+
+    fn req(id: u64, stream: StreamId, sectors: u64) -> DiskRequest {
+        DiskRequest {
+            id: RequestId(id),
+            stream,
+            direction: Direction::Read,
+            sectors,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn idle_disk_starts_immediately() {
+        let mut d = mk_disk(1, LayoutConfig::grid_point(1024, 1.0));
+        let done = d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048));
+        assert!(done.is_some());
+        assert!(d.is_busy());
+        assert_eq!(d.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_disk_queues_fcfs() {
+        let mut d = mk_disk(2, LayoutConfig::grid_point(1024, 1.0));
+        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048)).unwrap();
+        assert!(d.submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 2048)).is_none());
+        assert!(d.submit(SimTime::ZERO, req(3, StreamId::Foreground(0), 2048)).is_none());
+        assert_eq!(d.queue_len(), 2);
+
+        let (c1, t2) = d.on_complete(t1);
+        assert_eq!(c1.request.id, RequestId(1));
+        let t2 = t2.expect("next request starts");
+        let (c2, t3) = d.on_complete(t2);
+        assert_eq!(c2.request.id, RequestId(2));
+        let (c3, t4) = d.on_complete(t3.unwrap());
+        assert_eq!(c3.request.id, RequestId(3));
+        assert!(t4.is_none());
+        assert!(!d.is_busy());
+    }
+
+    #[test]
+    fn sequential_layout_is_much_faster_than_random() {
+        // 1 MB requests: fully sequential layout vs fully random 4 KB runs.
+        let mut fast = mk_disk(3, LayoutConfig::grid_point(1024, 1.0));
+        let mut slow = mk_disk(3, LayoutConfig::grid_point(8, 0.0));
+        let t_fast = fast
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048))
+            .unwrap();
+        let t_slow = slow
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048))
+            .unwrap();
+        let ratio = t_slow.as_nanos() as f64 / t_fast.as_nanos() as f64;
+        assert!(
+            ratio > 20.0,
+            "random layout should be >20x slower, got {ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn interleaved_stream_forces_reposition() {
+        // With a perfect sequential layout, requests of one stream flow at
+        // media rate; alternating with a second stream must be slower.
+        let layout = LayoutConfig::grid_point(1024, 1.0);
+
+        // Both runs service 20 stream-0 requests; the shared run interleaves
+        // a stream-99 request between each pair, forcing repositioning.
+        let run = |interleave: bool, seed: u64| -> SimDuration {
+            let mut d = mk_disk(seed, layout);
+            let mut now = SimTime::ZERO;
+            let mut total = SimDuration::ZERO;
+            let mut id = 0;
+            for _ in 0..20 {
+                let done = d.submit(now, req(id, StreamId::Foreground(0), 2048)).unwrap();
+                id += 1;
+                let (c, _) = d.on_complete(done);
+                total += c.service_time;
+                now = done;
+                if interleave {
+                    let done = d.submit(now, req(id, StreamId::Foreground(99), 2048)).unwrap();
+                    id += 1;
+                    d.on_complete(done);
+                    now = done;
+                }
+            }
+            total
+        };
+        let alone = run(false, 7);
+        let shared = run(true, 7);
+        assert!(
+            shared > alone,
+            "interleaving must slow stream 0: alone {alone}, shared {shared}"
+        );
+    }
+
+    #[test]
+    fn cancel_stream_removes_only_queued_matching() {
+        let mut d = mk_disk(4, LayoutConfig::grid_point(64, 0.0));
+        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 128)).unwrap();
+        d.submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 128));
+        d.submit(SimTime::ZERO, req(3, StreamId::Background, 50));
+        d.submit(SimTime::ZERO, req(4, StreamId::Foreground(0), 128));
+        let cancelled = d.cancel_stream(StreamId::Foreground(0));
+        assert_eq!(
+            cancelled.iter().map(|r| r.id.0).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        // In-service request 1 still completes; background request 3 next.
+        let (c1, t2) = d.on_complete(t1);
+        assert_eq!(c1.request.id, RequestId(1));
+        let (c3, t_none) = d.on_complete(t2.unwrap());
+        assert_eq!(c3.request.id, RequestId(3));
+        assert!(t_none.is_none());
+    }
+
+    #[test]
+    fn cancel_request_by_id() {
+        let mut d = mk_disk(5, LayoutConfig::grid_point(64, 0.0));
+        d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 128));
+        d.submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 128));
+        assert!(d.cancel_request(RequestId(2)));
+        assert!(!d.cancel_request(RequestId(2)), "already cancelled");
+        assert!(!d.cancel_request(RequestId(1)), "in service, not queued");
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut d = mk_disk(6, LayoutConfig::grid_point(1024, 1.0));
+        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048)).unwrap();
+        d.on_complete(t1);
+        assert_eq!(d.busy_time(), t1.since(SimTime::ZERO));
+        assert_eq!(d.bytes_serviced(), 2048 * crate::SECTOR_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "no request in service")]
+    fn on_complete_when_idle_panics() {
+        let mut d = mk_disk(7, LayoutConfig::grid_point(64, 0.0));
+        d.on_complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn foreground_first_overtakes_background() {
+        let mut d = mk_disk(9, LayoutConfig::grid_point(64, 0.0))
+            .with_discipline(QueueDiscipline::ForegroundFirst);
+        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Background, 50)).unwrap();
+        d.submit(SimTime::ZERO, req(2, StreamId::Background, 50));
+        d.submit(SimTime::ZERO, req(3, StreamId::Foreground(0), 128));
+        let (_, t2) = d.on_complete(t1);
+        let (c, _) = d.on_complete(t2.unwrap());
+        assert_eq!(c.request.id, RequestId(3), "foreground overtakes queued bg");
+    }
+
+    #[test]
+    fn fair_share_alternates_classes() {
+        let mut d = mk_disk(10, LayoutConfig::grid_point(64, 0.0))
+            .with_discipline(QueueDiscipline::FairShare);
+        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Background, 50)).unwrap();
+        d.submit(SimTime::ZERO, req(2, StreamId::Background, 50));
+        d.submit(SimTime::ZERO, req(3, StreamId::Background, 50));
+        d.submit(SimTime::ZERO, req(4, StreamId::Foreground(0), 128));
+        d.submit(SimTime::ZERO, req(5, StreamId::Foreground(0), 128));
+        let mut order = Vec::new();
+        let mut next = Some(t1);
+        while let Some(t) = next {
+            let (c, n) = d.on_complete(t);
+            order.push(c.request.id.0);
+            next = n;
+        }
+        // bg 1 served first (was in service), then alternate: fg, bg, fg, bg.
+        assert_eq!(order, vec![1, 4, 2, 5, 3]);
+    }
+
+    #[test]
+    fn fcfs_preserves_arrival_order_across_classes() {
+        let mut d = mk_disk(11, LayoutConfig::grid_point(64, 0.0));
+        assert_eq!(d.discipline(), QueueDiscipline::Fcfs);
+        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Background, 50)).unwrap();
+        d.submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 128));
+        d.submit(SimTime::ZERO, req(3, StreamId::Background, 50));
+        let mut order = Vec::new();
+        let mut next = Some(t1);
+        while let Some(t) = next {
+            let (c, n) = d.on_complete(t);
+            order.push(c.request.id.0);
+            next = n;
+        }
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut d = mk_disk(8, LayoutConfig::grid_point(32, 0.0));
+            let mut now = SimTime::ZERO;
+            for i in 0..10 {
+                let done = d.submit(now, req(i, StreamId::Foreground(0), 256)).unwrap();
+                d.on_complete(done);
+                now = done;
+            }
+            now
+        };
+        assert_eq!(run(), run());
+    }
+}

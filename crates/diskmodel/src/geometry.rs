@@ -1,0 +1,214 @@
+//! Mechanical disk model: zones, seek curve, rotation, transfer.
+//!
+//! Modeled after the drive the paper calibrates against (an IBM Deskstar
+//! 7K400: 7200 rpm ATA drive, peak media rate in the 50–60 MB/s range,
+//! ~8.5 ms average seek). The structural elements follow the classic
+//! Ruemmler–Wilkes model the paper cites: a seek curve that is √distance
+//! for short seeks and linear for long ones, rotational latency uniform in
+//! one revolution, and outer zones holding more sectors per track than
+//! inner ones (§2.1.1).
+
+use robustore_simkit::rng::uniform01;
+use robustore_simkit::SimDuration;
+
+/// Static description of a disk mechanism.
+#[derive(Debug, Clone)]
+pub struct DiskGeometry {
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Number of cylinders (seek distance domain).
+    pub cylinders: u32,
+    /// Sectors per track in the outermost zone.
+    pub sectors_per_track_outer: u32,
+    /// Sectors per track in the innermost zone.
+    pub sectors_per_track_inner: u32,
+    /// Track-to-track (single-cylinder) seek time.
+    pub seek_track_to_track: SimDuration,
+    /// Full-stroke (max distance) seek time.
+    pub seek_full_stroke: SimDuration,
+    /// Fixed command-processing / controller overhead, charged once per
+    /// layout run (each blocking-factor-sized access pays it — this is what
+    /// makes small blocking factors slow even with sequential layout, the
+    /// Table 6-1 p=1 row).
+    pub command_overhead: SimDuration,
+}
+
+impl Default for DiskGeometry {
+    /// A 7200 rpm commodity drive calibrated so the Table 6-1 layout grid
+    /// spans ≈0.4–55 MB/s with a ≈15 MB/s grid average (§6.2.5).
+    fn default() -> Self {
+        DiskGeometry {
+            rpm: 7200,
+            cylinders: 60_000,
+            sectors_per_track_outer: 976, // ≈ 57 MB/s at 7200 rpm
+            sectors_per_track_inner: 488, // ≈ 28 MB/s
+            seek_track_to_track: SimDuration::from_micros(800),
+            seek_full_stroke: SimDuration::from_millis(17),
+            command_overhead: SimDuration::from_micros(1000),
+        }
+    }
+}
+
+impl DiskGeometry {
+    /// Time for one full revolution.
+    pub fn rotation_period(&self) -> SimDuration {
+        SimDuration::from_secs_f64(60.0 / self.rpm as f64)
+    }
+
+    /// Sectors per track at a radial position; `zone_frac` runs from 0.0
+    /// (outermost, fastest) to 1.0 (innermost, slowest).
+    pub fn sectors_per_track(&self, zone_frac: f64) -> f64 {
+        let f = zone_frac.clamp(0.0, 1.0);
+        let outer = self.sectors_per_track_outer as f64;
+        let inner = self.sectors_per_track_inner as f64;
+        outer + (inner - outer) * f
+    }
+
+    /// Sustained media transfer rate at a radial position, bytes/second.
+    pub fn transfer_rate(&self, zone_frac: f64) -> f64 {
+        self.sectors_per_track(zone_frac) * crate::SECTOR_BYTES as f64
+            / self.rotation_period().as_secs_f64()
+    }
+
+    /// Media transfer time for `sectors` contiguous sectors at a radial
+    /// position.
+    pub fn transfer_time(&self, sectors: u64, zone_frac: f64) -> SimDuration {
+        SimDuration::from_secs_f64(
+            sectors as f64 * crate::SECTOR_BYTES as f64 / self.transfer_rate(zone_frac),
+        )
+    }
+
+    /// Seek time for a move of `distance` cylinders: √distance for short
+    /// seeks blended into a linear tail, anchored at the track-to-track and
+    /// full-stroke endpoints.
+    pub fn seek_time(&self, distance: u32) -> SimDuration {
+        if distance == 0 {
+            return SimDuration::ZERO;
+        }
+        let max_d = (self.cylinders.max(2) - 1) as f64;
+        let d = (distance as f64 - 1.0).min(max_d);
+        let t2t = self.seek_track_to_track.as_secs_f64();
+        let full = self.seek_full_stroke.as_secs_f64();
+        // Short seeks (< 1/3 of the stroke) follow a + b·√d; beyond that
+        // the arm coasts and time grows linearly to the full-stroke value.
+        let knee = max_d / 3.0;
+        let sqrt_coef = (full * 0.6 - t2t) / max_d.sqrt();
+        let sqrt_at_knee = t2t + sqrt_coef * knee.sqrt();
+        let t = if d <= knee {
+            t2t + sqrt_coef * d.sqrt()
+        } else {
+            sqrt_at_knee + (full - sqrt_at_knee) * (d - knee) / (max_d - knee)
+        };
+        SimDuration::from_secs_f64(t)
+    }
+
+    /// Expected (average) rotational latency: half a revolution.
+    pub fn average_rotational_latency(&self) -> SimDuration {
+        self.rotation_period() / 2
+    }
+
+    /// Draw a rotational latency uniform in one revolution.
+    pub fn rotational_latency(&self, rng: &mut impl rand::RngCore) -> SimDuration {
+        SimDuration::from_secs_f64(uniform01(rng) * self.rotation_period().as_secs_f64())
+    }
+
+    /// Draw a seek within a cylinder band of `band` cylinders (a file's
+    /// extent occupies a band; random access within the file seeks inside
+    /// it).
+    pub fn seek_within_band(&self, band: u32, rng: &mut impl rand::RngCore) -> SimDuration {
+        if band <= 1 {
+            return self.seek_track_to_track;
+        }
+        let d = 1 + (uniform01(rng) * (band - 1) as f64) as u32;
+        self.seek_time(d.min(self.cylinders))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustore_simkit::SeedSequence;
+
+    #[test]
+    fn rotation_period_7200rpm() {
+        let g = DiskGeometry::default();
+        let p = g.rotation_period().as_secs_f64();
+        assert!((p - 60.0 / 7200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outer_zone_faster_than_inner() {
+        let g = DiskGeometry::default();
+        let outer = g.transfer_rate(0.0);
+        let inner = g.transfer_rate(1.0);
+        assert!(outer > inner);
+        // Peak in the 50–60 MB/s range (§2.1.1: 30–140 MB/s class drives;
+        // the paper's fastest layout delivers 53 MB/s).
+        assert!((50e6..65e6).contains(&outer), "outer rate {outer}");
+        assert!((25e6..35e6).contains(&inner), "inner rate {inner}");
+    }
+
+    #[test]
+    fn seek_curve_monotone_and_anchored() {
+        let g = DiskGeometry::default();
+        assert_eq!(g.seek_time(0), SimDuration::ZERO);
+        assert_eq!(g.seek_time(1), g.seek_track_to_track);
+        let mut last = SimDuration::ZERO;
+        for d in [1u32, 10, 100, 1_000, 10_000, 30_000, 60_000] {
+            let t = g.seek_time(d);
+            assert!(t >= last, "seek curve must be monotone at {d}");
+            last = t;
+        }
+        let full = g.seek_time(g.cylinders);
+        let diff = full.as_secs_f64() - g.seek_full_stroke.as_secs_f64();
+        assert!(diff.abs() < 1e-4, "full stroke anchored, diff {diff}");
+    }
+
+    #[test]
+    fn average_seek_is_high_single_digit_ms() {
+        // "A modern hard disk usually has an average seek time of about
+        // 10 ms" (§2.1.1) — uniform random seeks should average 5–12 ms.
+        let g = DiskGeometry::default();
+        let n = 10_000;
+        let mut rng = SeedSequence::new(1).fork("seek", 0);
+        let total: f64 = (0..n)
+            .map(|_| {
+                let d = (uniform01(&mut rng) * g.cylinders as f64) as u32;
+                g.seek_time(d).as_secs_f64()
+            })
+            .sum();
+        let avg_ms = total / n as f64 * 1e3;
+        assert!((5.0..12.0).contains(&avg_ms), "average seek {avg_ms} ms");
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let g = DiskGeometry::default();
+        let one = g.transfer_time(100, 0.0).as_secs_f64();
+        let ten = g.transfer_time(1000, 0.0).as_secs_f64();
+        // Nanosecond rounding at the model boundary allows tiny slack.
+        assert!((ten / one - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotational_latency_bounded_by_period() {
+        let g = DiskGeometry::default();
+        let mut rng = SeedSequence::new(2).fork("rot", 0);
+        for _ in 0..1000 {
+            let r = g.rotational_latency(&mut rng);
+            assert!(r < g.rotation_period());
+        }
+    }
+
+    #[test]
+    fn band_seek_shorter_than_full_stroke() {
+        let g = DiskGeometry::default();
+        let mut rng = SeedSequence::new(3).fork("band", 0);
+        for _ in 0..1000 {
+            let s = g.seek_within_band(2_000, &mut rng);
+            assert!(s <= g.seek_time(2_000));
+            assert!(s >= g.seek_track_to_track);
+        }
+        assert_eq!(g.seek_within_band(1, &mut rng), g.seek_track_to_track);
+    }
+}

@@ -1,0 +1,126 @@
+//! In-disk data-layout model.
+//!
+//! The paper models each disk's layout quality with two DiskSim synthetic-
+//! workload parameters (§6.2.5): the **blocking factor** (average sectors
+//! accessed per positioning, i.e. how contiguous the data is) and the
+//! **probability of sequential access** (how often one run follows the
+//! previous one without repositioning). Drawing the pair at random per disk
+//! produces the ~100-fold per-disk bandwidth spread of Table 6-1 that the
+//! heterogeneous-layout experiments rely on.
+
+use rand::Rng;
+use robustore_simkit::rng::uniform01;
+use robustore_simkit::SimRng;
+
+/// The blocking factors the paper draws from (Table 6-1 columns).
+pub const BLOCKING_FACTORS: [u32; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Per-disk layout configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutConfig {
+    /// Sectors accessed per positioning operation.
+    pub blocking_factor: u32,
+    /// Probability that a run continues sequentially from the previous one
+    /// (the paper draws 0 or 1; any value in `[0,1]` is allowed).
+    pub seq_prob: f64,
+    /// Radial position of the data band: 0.0 = outermost (fastest zone),
+    /// 1.0 = innermost.
+    pub zone_frac: f64,
+    /// Cylinder span of the file band; random-within-file seeks stay
+    /// inside it.
+    pub band_cylinders: u32,
+}
+
+impl LayoutConfig {
+    /// A named configuration with default band placement (used by the
+    /// Table 6-1 calibration grid).
+    pub fn grid_point(blocking_factor: u32, seq_prob: f64) -> Self {
+        LayoutConfig {
+            blocking_factor,
+            seq_prob,
+            zone_frac: 0.0,
+            band_cylinders: 2_000,
+        }
+    }
+
+    /// Draw the paper's heterogeneous layout: blocking factor uniform from
+    /// [`BLOCKING_FACTORS`], sequential probability a fair coin over
+    /// {0, 1}, and a uniform random zone placement (§6.2.5: "for each disk,
+    /// we randomly choose a blocking factor from 8, 16, …, 1024, and
+    /// randomly choose 0 or 1 as the probability of sequential accesses").
+    pub fn random_heterogeneous(rng: &mut SimRng) -> Self {
+        let bf = BLOCKING_FACTORS[rng.gen_range(0..BLOCKING_FACTORS.len())];
+        let seq = if rng.gen_bool(0.5) { 1.0 } else { 0.0 };
+        LayoutConfig {
+            blocking_factor: bf,
+            seq_prob: seq,
+            zone_frac: uniform01(rng),
+            // Physical contiguity varies per file placement (§1.2: up to
+            // 100-fold variation "even for the same disk type" from layout
+            // and seek distance): log-uniform band span, 500–8000 cyls.
+            band_cylinders: (500.0 * 16f64.powf(uniform01(rng))) as u32,
+        }
+    }
+
+    /// A homogeneous "good" layout: every disk fully sequential at a large
+    /// blocking factor, differing only in zone placement — the
+    /// configuration of the homogeneous experiments (Figures 6-24/25,
+    /// where the remaining ≈2× variation comes from the zones).
+    pub fn homogeneous(rng: &mut SimRng) -> Self {
+        LayoutConfig {
+            blocking_factor: 1024,
+            seq_prob: 1.0,
+            zone_frac: uniform01(rng),
+            band_cylinders: 2_000,
+        }
+    }
+
+    /// Validity check used by constructors in higher layers.
+    pub fn is_valid(&self) -> bool {
+        self.blocking_factor >= 1
+            && (0.0..=1.0).contains(&self.seq_prob)
+            && (0.0..=1.0).contains(&self.zone_frac)
+            && self.band_cylinders >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustore_simkit::SeedSequence;
+
+    #[test]
+    fn grid_point_is_valid() {
+        for &bf in &BLOCKING_FACTORS {
+            for &p in &[0.0, 1.0] {
+                assert!(LayoutConfig::grid_point(bf, p).is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn random_heterogeneous_draws_cover_grid() {
+        let mut rng = SeedSequence::new(4).fork("layout", 0);
+        let mut seen_bf = std::collections::HashSet::new();
+        let mut seen_seq = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let l = LayoutConfig::random_heterogeneous(&mut rng);
+            assert!(l.is_valid());
+            assert!(BLOCKING_FACTORS.contains(&l.blocking_factor));
+            assert!(l.seq_prob == 0.0 || l.seq_prob == 1.0);
+            seen_bf.insert(l.blocking_factor);
+            seen_seq.insert(l.seq_prob as u32);
+        }
+        assert_eq!(seen_bf.len(), BLOCKING_FACTORS.len(), "all factors drawn");
+        assert_eq!(seen_seq.len(), 2, "both sequentialities drawn");
+    }
+
+    #[test]
+    fn homogeneous_is_best_case() {
+        let mut rng = SeedSequence::new(5).fork("layout", 1);
+        let l = LayoutConfig::homogeneous(&mut rng);
+        assert_eq!(l.blocking_factor, 1024);
+        assert_eq!(l.seq_prob, 1.0);
+        assert!(l.is_valid());
+    }
+}

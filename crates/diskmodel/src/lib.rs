@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! Block-level hard-disk simulator for RobuSTore.
+//!
+//! The paper evaluates RobuSTore with a DiskSim-based virtual disk
+//! (§6.2.2): a block-level model of seek, rotation, zoned transfer rates,
+//! a request queue supporting cancellation, and a synthetic-workload layout
+//! model parameterised by *blocking factor* and *probability of sequential
+//! access* (Table 6-1). This crate is that substrate, rebuilt from scratch:
+//!
+//! * [`geometry`] — mechanical model: zoned tracks, distance-dependent seek
+//!   curve, rotational latency, per-sector transfer time.
+//! * [`layout`] — the in-disk data-layout model that generates the paper's
+//!   100-fold heterogeneous per-disk bandwidths.
+//! * [`request`] — disk requests, streams, and completion records.
+//! * [`disk`] — the single-server FCFS disk with request cancellation and
+//!   busy-time accounting.
+//! * [`background`] — the competitive-workload generator (§6.2.5,
+//!   Figure 6-5).
+//! * [`calibration`] — measures the Table 6-1 bandwidth grid for a
+//!   geometry, used both by the experiment harness and to keep the model
+//!   honest in tests.
+//!
+//! The disk is a *passive* object: a coordinator (the scheme simulator in
+//! `robustore-schemes`) owns the global event queue, calls
+//! [`Disk::submit`]/[`Disk::on_complete`], and schedules the returned
+//! completion times.
+
+pub mod background;
+pub mod calibration;
+pub mod disk;
+pub mod geometry;
+pub mod layout;
+pub mod request;
+
+pub use background::BackgroundLoad;
+pub use disk::{Disk, QueueDiscipline};
+pub use geometry::DiskGeometry;
+pub use layout::LayoutConfig;
+pub use request::{Completion, DiskRequest, RequestId, StreamId};
+
+/// Bytes per simulated disk sector (fixed at the classic 512 B).
+pub const SECTOR_BYTES: u64 = 512;
+
+/// Convert a byte count to sectors, rounding up.
+pub fn bytes_to_sectors(bytes: u64) -> u64 {
+    bytes.div_ceil(SECTOR_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sector_conversion() {
+        assert_eq!(bytes_to_sectors(0), 0);
+        assert_eq!(bytes_to_sectors(1), 1);
+        assert_eq!(bytes_to_sectors(512), 1);
+        assert_eq!(bytes_to_sectors(513), 2);
+        assert_eq!(bytes_to_sectors(1 << 20), 2048);
+    }
+}

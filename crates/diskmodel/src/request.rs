@@ -1,0 +1,93 @@
+//! Disk requests, streams, and completion records.
+
+use robustore_simkit::{SimDuration, SimTime};
+
+/// Globally unique request identifier (assigned by the coordinator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// The access stream a request belongs to. Sequentiality carries over
+/// between consecutive requests *of the same stream* only; an interleaved
+/// request from another stream forces repositioning — the mechanism by
+/// which competitive workloads destroy disk bandwidth (§1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamId {
+    /// A client access; the payload distinguishes independent accesses.
+    Foreground(u64),
+    /// The disk's competitive background workload.
+    Background,
+}
+
+/// Direction of a request. Reads and writes cost the same in this model
+/// (write-through, no write-back caching — §6.2.5 presumes write-through).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Data flows disk → client.
+    Read,
+    /// Data flows client → disk.
+    Write,
+}
+
+/// A request for `sectors` contiguous-by-layout sectors on one disk.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskRequest {
+    /// Coordinator-assigned id, echoed in the [`Completion`].
+    pub id: RequestId,
+    /// Stream the request belongs to.
+    pub stream: StreamId,
+    /// Read or write.
+    pub direction: Direction,
+    /// Size in sectors.
+    pub sectors: u64,
+    /// Opaque tag for the coordinator (e.g. coded-block index).
+    pub tag: u64,
+}
+
+/// Record of a finished request.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// The request that finished.
+    pub request: DiskRequest,
+    /// When service started (after queueing).
+    pub started_at: SimTime,
+    /// When the last byte left the platter.
+    pub finished_at: SimTime,
+    /// Pure service time (seek + rotation + transfer + overhead).
+    pub service_time: SimDuration,
+}
+
+impl Completion {
+    /// Bytes moved by the request.
+    pub fn bytes(&self) -> u64 {
+        self.request.sectors * crate::SECTOR_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_bytes() {
+        let c = Completion {
+            request: DiskRequest {
+                id: RequestId(1),
+                stream: StreamId::Background,
+                direction: Direction::Read,
+                sectors: 2048,
+                tag: 0,
+            },
+            started_at: SimTime::ZERO,
+            finished_at: SimTime::ZERO,
+            service_time: SimDuration::ZERO,
+        };
+        assert_eq!(c.bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn stream_identity() {
+        assert_eq!(StreamId::Foreground(3), StreamId::Foreground(3));
+        assert_ne!(StreamId::Foreground(3), StreamId::Foreground(4));
+        assert_ne!(StreamId::Foreground(3), StreamId::Background);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the disk model.
+
+use proptest::prelude::*;
+use robustore_diskmodel::request::{Direction, DiskRequest, RequestId, StreamId};
+use robustore_diskmodel::{Disk, DiskGeometry, LayoutConfig};
+use robustore_simkit::{SeedSequence, SimTime};
+
+fn req(id: u64, sectors: u64) -> DiskRequest {
+    DiskRequest {
+        id: RequestId(id),
+        stream: StreamId::Foreground(0),
+        direction: Direction::Read,
+        sectors,
+        tag: id,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Service times are strictly positive and finite for any layout and
+    /// request size.
+    #[test]
+    fn service_is_positive(
+        bf_idx in 0usize..8,
+        seq in any::<bool>(),
+        zone in 0.0f64..1.0,
+        sectors in 1u64..8192,
+        seed in any::<u64>(),
+    ) {
+        let layout = LayoutConfig {
+            blocking_factor: robustore_diskmodel::layout::BLOCKING_FACTORS[bf_idx],
+            seq_prob: if seq { 1.0 } else { 0.0 },
+            zone_frac: zone,
+            band_cylinders: 2000,
+        };
+        let mut d = Disk::new(0, DiskGeometry::default(), layout, SeedSequence::new(seed).fork("d", 0));
+        let done = d.submit(SimTime::ZERO, req(1, sectors)).unwrap();
+        prop_assert!(done > SimTime::ZERO);
+        // A 1 MB request on a commodity disk takes between ~100 µs and ~60 s.
+        let secs = done.as_secs_f64() * 2048.0 / sectors as f64;
+        prop_assert!(secs < 120.0, "absurdly slow: {secs}s per MB-equivalent");
+    }
+
+    /// FCFS: completions come back in submission order, and every
+    /// submitted request completes exactly once.
+    #[test]
+    fn fcfs_conservation(
+        sizes in proptest::collection::vec(1u64..4096, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut d = Disk::new(
+            0,
+            DiskGeometry::default(),
+            LayoutConfig::grid_point(64, 0.0),
+            SeedSequence::new(seed).fork("d", 0),
+        );
+        let mut first = None;
+        for (i, &s) in sizes.iter().enumerate() {
+            if let Some(t) = d.submit(SimTime::ZERO, req(i as u64, s)) {
+                first = Some(t);
+            }
+        }
+        let mut next = first;
+        let mut order = Vec::new();
+        while let Some(t) = next {
+            let (c, n) = d.on_complete(t);
+            order.push(c.request.id.0);
+            next = n;
+        }
+        prop_assert_eq!(order, (0..sizes.len() as u64).collect::<Vec<_>>());
+        prop_assert!(!d.is_busy());
+        prop_assert_eq!(d.queue_len(), 0);
+    }
+
+    /// Cancellation removes exactly the queued matching requests; the
+    /// in-service one always survives.
+    #[test]
+    fn cancel_preserves_in_service(
+        n in 2usize..30,
+        seed in any::<u64>(),
+    ) {
+        let mut d = Disk::new(
+            0,
+            DiskGeometry::default(),
+            LayoutConfig::grid_point(64, 0.0),
+            SeedSequence::new(seed).fork("d", 0),
+        );
+        let first = d.submit(SimTime::ZERO, req(0, 128)).unwrap();
+        for i in 1..n {
+            prop_assert!(d.submit(SimTime::ZERO, req(i as u64, 128)).is_none());
+        }
+        let cancelled = d.cancel_stream(StreamId::Foreground(0));
+        prop_assert_eq!(cancelled.len(), n - 1);
+        let (c, next) = d.on_complete(first);
+        prop_assert_eq!(c.request.id.0, 0);
+        prop_assert!(next.is_none());
+    }
+
+    /// Quiescing leaves the disk idle and reusable.
+    #[test]
+    fn quiesce_resets(seed in any::<u64>()) {
+        let mut d = Disk::new(
+            0,
+            DiskGeometry::default(),
+            LayoutConfig::grid_point(64, 0.0),
+            SeedSequence::new(seed).fork("d", 0),
+        );
+        d.submit(SimTime::ZERO, req(0, 128)).unwrap();
+        d.submit(SimTime::ZERO, req(1, 128));
+        d.quiesce();
+        prop_assert!(!d.is_busy());
+        prop_assert_eq!(d.queue_len(), 0);
+        // The disk accepts new work immediately.
+        prop_assert!(d.submit(SimTime::ZERO, req(2, 128)).is_some());
+    }
+
+    /// Larger transfers never take less total time on the same seed
+    /// stream (transfer-time monotonicity at equal positioning draws).
+    #[test]
+    fn sequential_transfer_monotone(
+        small in 1u64..2000,
+        extra in 1u64..2000,
+    ) {
+        // Fully sequential layout: no random positioning, so service time
+        // is deterministic per size and must grow with size.
+        let service = |sectors: u64| {
+            let mut d = Disk::new(
+                0,
+                DiskGeometry::default(),
+                LayoutConfig::grid_point(1024, 1.0),
+                SeedSequence::new(1).fork("d", 0),
+            );
+            // Warm the stream so the first run is sequential too.
+            let t0 = d.submit(SimTime::ZERO, req(0, 8)).unwrap();
+            d.on_complete(t0);
+            let t1 = d.submit(t0, req(1, sectors)).unwrap();
+            t1.since(t0)
+        };
+        prop_assert!(service(small + extra) > service(small));
+    }
+}

@@ -1,0 +1,371 @@
+//! Reassembly-probability analysis (Appendix A, Figure 4-1).
+//!
+//! The paper quantifies the flexibility advantage of erasure-coded
+//! redundancy over replication: with K originals stored at 4× redundancy,
+//! what is the probability that the first M randomly-arriving blocks
+//! reconstruct the data?
+//!
+//! * **Replication** (Appendix A.1): M distinct balls from 4K (K colours ×
+//!   4 copies) must cover all K colours. The paper's inclusion–exclusion
+//!   formula alternates signs and cancels catastrophically at K = 1024, so
+//!   we evaluate the *same quantity exactly* by a positive-term dynamic
+//!   program in log space, and keep the inclusion–exclusion form for
+//!   small-K cross-checks.
+//! * **Erasure-coded** (Appendix A.2): with the idealised degree-d model
+//!   (every coded block covers d uniform originals), M coded blocks decode
+//!   iff d·M ball throws cover all K bins — an occupancy Markov chain.
+//! * **Actual LT codes**: Monte Carlo over real [`LtCode`] graphs and the
+//!   peeling decoder, the curve a deployment actually sees.
+
+use rand::seq::SliceRandom;
+
+use crate::lt::{blocks_needed, LtCode, LtParams};
+use robustore_simkit::SeedSequence;
+
+/// Natural logs of factorials 0..=n.
+fn ln_factorials(n: usize) -> Vec<f64> {
+    let mut t = Vec::with_capacity(n + 1);
+    t.push(0.0);
+    let mut acc = 0.0;
+    for i in 1..=n {
+        acc += (i as f64).ln();
+        t.push(acc);
+    }
+    t
+}
+
+/// ln C(n, k) from a precomputed factorial table; −∞ when k > n.
+fn ln_binom(lnfact: &[f64], n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    lnfact[n] - lnfact[k] - lnfact[n - k]
+}
+
+/// Numerically stable log(Σ exp(xᵢ)) for a small slice.
+fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Exact replication reassembly curve.
+///
+/// Returns `P(M)` for `M = 0..=copies*k`: the probability that M blocks
+/// drawn uniformly without replacement from `copies·k` stored blocks
+/// (`copies` identical copies of each of `k` originals) include at least
+/// one copy of every original.
+///
+/// Exact positive-term DP: let `W(c, m)` be the number of m-subsets of the
+/// blocks of `c` specific colours that cover all `c` colours; then
+/// `W(c, m) = Σ_{t=1..copies} C(copies, t) · W(c−1, m−t)` and
+/// `P(M) = W(k, M) / C(copies·k, M)`.
+pub fn replication_reassembly_cdf(k: usize, copies: usize) -> Vec<f64> {
+    assert!(k >= 1 && copies >= 1);
+    let n = k * copies;
+    let lnfact = ln_factorials(n);
+    let ln_choose_copies: Vec<f64> = (0..=copies).map(|t| ln_binom(&lnfact, copies, t)).collect();
+
+    // prev[m] = ln W(c−1, m); start with c = 0: W(0, 0) = 1.
+    let mut prev = vec![f64::NEG_INFINITY; n + 1];
+    prev[0] = 0.0;
+    let mut next = vec![f64::NEG_INFINITY; n + 1];
+    let mut terms = Vec::with_capacity(copies);
+    for c in 1..=k {
+        let max_m = c * copies;
+        for item in next.iter_mut().take(n + 1) {
+            *item = f64::NEG_INFINITY;
+        }
+        // W(c, m) needs m ≥ c (each colour contributes ≥ 1 block).
+        for m in c..=max_m {
+            terms.clear();
+            for t in 1..=copies.min(m) {
+                let w = prev[m - t];
+                if w != f64::NEG_INFINITY {
+                    terms.push(ln_choose_copies[t] + w);
+                }
+            }
+            next[m] = log_sum_exp(&terms);
+        }
+        std::mem::swap(&mut prev, &mut next);
+    }
+
+    (0..=n)
+        .map(|m| {
+            if prev[m] == f64::NEG_INFINITY {
+                0.0
+            } else {
+                (prev[m] - ln_binom(&lnfact, n, m)).exp().clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+/// The paper's inclusion–exclusion form of the replication probability
+/// (Appendix A.1), usable only for small K before cancellation destroys it.
+/// Provided for cross-checking the DP.
+pub fn replication_reassembly_inclusion_exclusion(k: usize, copies: usize, m: usize) -> f64 {
+    let n = k * copies;
+    assert!(m <= n);
+    let lnfact = ln_factorials(n);
+    let ln_cnm = ln_binom(&lnfact, n, m);
+    let mut total = 0.0f64;
+    for i in 1..=k {
+        let ln_term = ln_binom(&lnfact, k, i) + ln_binom(&lnfact, copies * i, m) - ln_cnm;
+        if ln_term == f64::NEG_INFINITY {
+            continue;
+        }
+        let sign = if (k - i).is_multiple_of(2) { 1.0 } else { -1.0 };
+        total += sign * ln_term.exp();
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// Idealised erasure-coded reassembly curve (Appendix A.2).
+///
+/// Returns `P_c(M)` for `M = 0..=m_max`: the probability that M coded
+/// blocks, each covering `degree` independent uniform originals, cover all
+/// `k` originals (the paper's degree-5 approximation of LT decoding).
+///
+/// Evaluated by the exact occupancy Markov chain over "number of distinct
+/// bins hit" — positive terms only, no cancellation at any K.
+pub fn coded_reassembly_cdf(k: usize, degree: usize, m_max: usize) -> Vec<f64> {
+    assert!(k >= 1 && degree >= 1);
+    let kf = k as f64;
+    // dist[i] = P(i distinct originals covered) after t ball throws.
+    let mut dist = vec![0.0f64; k + 1];
+    dist[0] = 1.0;
+    let mut out = Vec::with_capacity(m_max + 1);
+    out.push(if k == 0 { 1.0 } else { dist[k] });
+    for _m in 1..=m_max {
+        for _ in 0..degree {
+            // One throw: bin already hit with prob i/k, new with (k−i)/k.
+            for i in (1..=k).rev() {
+                dist[i] = dist[i] * (i as f64 / kf) + dist[i - 1] * ((k - i + 1) as f64 / kf);
+            }
+            dist[0] = 0.0;
+        }
+        out.push(dist[k]);
+    }
+    out
+}
+
+/// Monte Carlo estimate of the replication reassembly curve: empirical
+/// CDF of "blocks needed to cover all originals" over `trials` random
+/// arrival orders. Returns `P(M)` for `M = 0..=copies*k`.
+pub fn replication_reassembly_mc(k: usize, copies: usize, trials: usize, seed: u64) -> Vec<f64> {
+    let n = k * copies;
+    let seq = SeedSequence::new(seed);
+    let mut rng = seq.fork("replication-mc", 0);
+    let mut counts = vec![0usize; n + 1];
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..trials {
+        order.shuffle(&mut rng);
+        let mut covered = vec![false; k];
+        let mut missing = k;
+        for (drawn, &j) in order.iter().enumerate() {
+            let orig = j % k;
+            if !covered[orig] {
+                covered[orig] = true;
+                missing -= 1;
+                if missing == 0 {
+                    counts[drawn + 1] += 1;
+                    break;
+                }
+            }
+        }
+    }
+    to_cdf(&counts, trials)
+}
+
+/// Monte Carlo curve for *actual* LT codes: empirical CDF of blocks needed
+/// by the real peeling decoder under random arrival order, over `trials`
+/// independent (graph, order) pairs. Returns `P(M)` for `M = 0..=n`.
+pub fn lt_reassembly_mc(
+    k: usize,
+    n: usize,
+    params: LtParams,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let seq = SeedSequence::new(seed);
+    let mut counts = vec![0usize; n + 1];
+    let mut order: Vec<usize> = (0..n).collect();
+    for t in 0..trials {
+        let code = LtCode::plan(k, n, params, seq.seed_for("lt-graph", t as u64))
+            .expect("valid parameters");
+        let mut rng = seq.fork("lt-order", t as u64);
+        order.shuffle(&mut rng);
+        let (needed, _) = blocks_needed(&code, order.iter().copied())
+            .expect("full arrival always decodes a planned graph");
+        counts[needed] += 1;
+    }
+    to_cdf(&counts, trials)
+}
+
+/// Mean blocks needed implied by a reassembly CDF.
+pub fn mean_blocks_needed(cdf: &[f64]) -> f64 {
+    // E[M] = Σ_{m≥0} P(M > m) = Σ (1 − cdf[m]); cdf[last] is 1.
+    cdf.iter().map(|&p| 1.0 - p).sum()
+}
+
+fn to_cdf(counts: &[usize], trials: usize) -> Vec<f64> {
+    let mut acc = 0usize;
+    counts
+        .iter()
+        .map(|&c| {
+            acc += c;
+            acc as f64 / trials as f64
+        })
+        .collect()
+}
+
+/// Minimum coded blocks for reconstruction under random coverage,
+/// K·ln K / d (§5.2.2) — the coverage lower bound on any LT configuration.
+pub fn lt_coverage_lower_bound(k: usize, mean_degree: f64) -> f64 {
+    let kf = k as f64;
+    kf * kf.ln() / mean_degree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force replication coverage probability by enumerating subsets
+    /// (tiny cases only).
+    fn brute_replication(k: usize, copies: usize, m: usize) -> f64 {
+        let n = k * copies;
+        let mut covered_sets = 0usize;
+        let mut total = 0usize;
+        // Enumerate all m-subsets of n via bitmask (n ≤ 16).
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != m {
+                continue;
+            }
+            total += 1;
+            let mut cover = vec![false; k];
+            for j in 0..n {
+                if mask & (1 << j) != 0 {
+                    cover[j % k] = true;
+                }
+            }
+            if cover.iter().all(|&c| c) {
+                covered_sets += 1;
+            }
+        }
+        covered_sets as f64 / total as f64
+    }
+
+    #[test]
+    fn replication_dp_matches_brute_force() {
+        for (k, copies) in [(2usize, 2usize), (3, 2), (2, 3), (4, 2), (3, 3)] {
+            let cdf = replication_reassembly_cdf(k, copies);
+            for m in 0..=k * copies {
+                let brute = brute_replication(k, copies, m);
+                assert!(
+                    (cdf[m] - brute).abs() < 1e-9,
+                    "k={k} copies={copies} m={m}: dp {} vs brute {brute}",
+                    cdf[m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replication_dp_matches_inclusion_exclusion_small_k() {
+        let k = 12;
+        let copies = 4;
+        let cdf = replication_reassembly_cdf(k, copies);
+        for m in [12usize, 20, 30, 40, 48] {
+            let ie = replication_reassembly_inclusion_exclusion(k, copies, m);
+            assert!(
+                (cdf[m] - ie).abs() < 1e-6,
+                "m={m}: dp {} vs inclusion-exclusion {ie}",
+                cdf[m]
+            );
+        }
+    }
+
+    #[test]
+    fn replication_cdf_shape() {
+        let cdf = replication_reassembly_cdf(64, 4);
+        assert_eq!(cdf.len(), 257);
+        assert_eq!(cdf[0], 0.0);
+        assert!(cdf[63] == 0.0, "fewer than K blocks can never cover");
+        assert!((cdf[256] - 1.0).abs() < 1e-9, "all blocks always cover");
+        assert!(cdf.windows(2).all(|w| w[1] >= w[0] - 1e-12), "monotone");
+    }
+
+    #[test]
+    fn coded_cdf_shape_and_coupon_limit() {
+        let k = 64;
+        let cdf = coded_reassembly_cdf(k, 5, 4 * k);
+        assert_eq!(cdf[0], 0.0);
+        assert!(cdf.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        // With 4K blocks of degree 5, coverage is essentially certain.
+        assert!(cdf[4 * k] > 0.999);
+        // Mean needed ≈ K·ln K / 5 by the coupon collector (±30%).
+        let mean = mean_blocks_needed(&cdf);
+        let bound = lt_coverage_lower_bound(k, 5.0);
+        assert!(
+            (mean - bound).abs() / bound < 0.35,
+            "mean {mean:.1} vs coverage bound {bound:.1}"
+        );
+    }
+
+    #[test]
+    fn erasure_coding_beats_replication() {
+        // The Figure 4-1 headline: ≈1.5K coded blocks vs ≈3K replicated
+        // blocks at the 50% point, K=64 here for test speed.
+        let k = 64;
+        let rep = replication_reassembly_cdf(k, 4);
+        let coded = coded_reassembly_cdf(k, 5, 4 * k);
+        let median = |cdf: &[f64]| cdf.iter().position(|&p| p >= 0.5).unwrap();
+        let m_rep = median(&rep);
+        let m_coded = median(&coded);
+        assert!(
+            m_coded * 3 < m_rep * 2,
+            "coded median {m_coded} should be well below replication median {m_rep}"
+        );
+    }
+
+    #[test]
+    fn replication_mc_matches_exact() {
+        let k = 16;
+        let copies = 4;
+        let exact = replication_reassembly_cdf(k, copies);
+        let mc = replication_reassembly_mc(k, copies, 20_000, 5);
+        for m in (0..=k * copies).step_by(8) {
+            assert!(
+                (exact[m] - mc[m]).abs() < 0.02,
+                "m={m}: exact {} vs mc {}",
+                exact[m],
+                mc[m]
+            );
+        }
+    }
+
+    #[test]
+    fn lt_mc_curve_is_plausible() {
+        let k = 64;
+        let n = 256;
+        let cdf = lt_reassembly_mc(k, n, LtParams::default(), 200, 9);
+        assert_eq!(cdf.len(), n + 1);
+        assert!((cdf[n] - 1.0).abs() < 1e-9, "planned graphs always decode");
+        assert_eq!(cdf[k - 1], 0.0, "cannot decode below K blocks");
+        let mean = mean_blocks_needed(&cdf);
+        assert!(
+            (k as f64) < mean && mean < 2.2 * k as f64,
+            "LT mean blocks needed {mean}"
+        );
+    }
+
+    #[test]
+    fn mean_blocks_needed_of_step_function() {
+        // CDF jumping to 1 at index 3 means exactly 3 blocks needed.
+        let cdf = [0.0, 0.0, 0.0, 1.0, 1.0];
+        assert!((mean_blocks_needed(&cdf) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! Lazy-XOR LT data decoder.
+//!
+//! §5.2.3 improvement 3: the greedy decoder XORs every arriving coded block
+//! against already-decoded originals immediately, producing intermediate
+//! values that may never help. The lazy decoder stores arriving blocks
+//! untouched and performs XORs only at the moment a coded block *resolves*
+//! an original (its undecoded-neighbour count reaches one):
+//!
+//! ```text
+//! original = coded_data ⊕ (⊕ decoded neighbours)
+//! ```
+//!
+//! Each graph edge is then charged at most one block XOR, and the XORs
+//! happen on freshly-touched buffers — the memory-locality argument in the
+//! paper.
+
+use super::LtCode;
+use crate::{xor_into, Block};
+
+/// Incremental decoder holding block data.
+pub struct LtDecoder<'a> {
+    code: &'a LtCode,
+    block_len: usize,
+    decoded: Vec<Option<Block>>,
+    /// Data of received, still-unresolved coded blocks.
+    pending_data: Vec<Option<Block>>,
+    /// Undecoded-neighbour count per received coded block (`u32::MAX` =
+    /// not received).
+    remaining: Vec<u32>,
+    /// incidence[i] = unresolved received coded blocks containing original i.
+    incidence: Vec<Vec<u32>>,
+    decoded_count: usize,
+    received_count: usize,
+    xor_ops: usize,
+}
+
+impl<'a> LtDecoder<'a> {
+    /// A decoder for `code` over blocks of `block_len` bytes.
+    pub fn new(code: &'a LtCode, block_len: usize) -> Self {
+        LtDecoder {
+            code,
+            block_len,
+            decoded: vec![None; code.k()],
+            pending_data: vec![None; code.n()],
+            remaining: vec![u32::MAX; code.n()],
+            incidence: vec![Vec::new(); code.k()],
+            decoded_count: 0,
+            received_count: 0,
+            xor_ops: 0,
+        }
+    }
+
+    /// Feed coded block `j` with its data. Returns `true` once all K
+    /// originals are decoded. Duplicates and post-completion arrivals are
+    /// ignored (they occur naturally under speculative access: cancelled
+    /// requests may already have bytes in flight, §4.1.2).
+    pub fn receive(&mut self, j: usize, data: Block) -> bool {
+        assert!(j < self.code.n(), "coded index out of range");
+        assert_eq!(data.len(), self.block_len, "block length mismatch");
+        if self.is_complete() || self.remaining[j] != u32::MAX {
+            return self.is_complete();
+        }
+        self.received_count += 1;
+        let mut undecoded = 0u32;
+        for &i in self.code.neighbors(j) {
+            if self.decoded[i as usize].is_none() {
+                undecoded += 1;
+                self.incidence[i as usize].push(j as u32);
+            }
+        }
+        self.remaining[j] = undecoded;
+        if undecoded == 0 {
+            return self.is_complete();
+        }
+        self.pending_data[j] = Some(data);
+        if undecoded == 1 {
+            self.resolve_from(j);
+        }
+        self.is_complete()
+    }
+
+    fn resolve_from(&mut self, start: usize) {
+        let mut worklist = vec![start as u32];
+        while let Some(j) = worklist.pop() {
+            let j = j as usize;
+            if self.remaining[j] != 1 {
+                continue;
+            }
+            let mut buf = self.pending_data[j].take().expect("unresolved block has data");
+            let mut target = None;
+            for &i in self.code.neighbors(j) {
+                match &self.decoded[i as usize] {
+                    Some(known) => {
+                        xor_into(&mut buf, known);
+                        self.xor_ops += 1;
+                    }
+                    None => {
+                        debug_assert!(target.is_none(), "remaining==1 invariant");
+                        target = Some(i as usize);
+                    }
+                }
+            }
+            let target = target.expect("one undecoded neighbour");
+            self.remaining[j] = 0;
+            self.decoded[target] = Some(buf);
+            self.decoded_count += 1;
+            let incident = std::mem::take(&mut self.incidence[target]);
+            for &other in &incident {
+                let o = other as usize;
+                if self.remaining[o] != u32::MAX && self.remaining[o] > 0 {
+                    self.remaining[o] -= 1;
+                    if self.remaining[o] == 1 {
+                        worklist.push(other);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when every original block is decoded.
+    pub fn is_complete(&self) -> bool {
+        self.decoded_count == self.code.k()
+    }
+
+    /// Distinct coded blocks received so far.
+    pub fn received(&self) -> usize {
+        self.received_count
+    }
+
+    /// Originals decoded so far.
+    pub fn decoded_count(&self) -> usize {
+        self.decoded_count
+    }
+
+    /// Block XOR operations performed (the lazy decoder's cost metric).
+    pub fn xor_ops(&self) -> usize {
+        self.xor_ops
+    }
+
+    /// Reception overhead so far: received/K − 1.
+    pub fn reception_overhead(&self) -> f64 {
+        self.received_count as f64 / self.code.k() as f64 - 1.0
+    }
+
+    /// Extract the decoded data; `None` if decoding is incomplete.
+    pub fn into_data(self) -> Option<Vec<Block>> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(
+            self.decoded
+                .into_iter()
+                .map(|b| b.expect("complete decode has every block"))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lt::{peel::SymbolDecoder, LtParams};
+    use rand::seq::SliceRandom;
+    use robustore_simkit::SeedSequence;
+
+    fn make_data(k: usize, len: usize) -> Vec<Block> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 53 + j * 29 + 9) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn data_decoder_agrees_with_symbol_decoder() {
+        // The index-only decoder used by the simulator must complete at
+        // exactly the same arrival as the real data decoder.
+        let code = LtCode::plan(96, 384, LtParams::default(), 55).unwrap();
+        let data = make_data(96, 32);
+        let coded = code.encode(&data).unwrap();
+        let mut order: Vec<usize> = (0..code.n()).collect();
+        let mut rng = SeedSequence::new(8).fork("order", 0);
+        order.shuffle(&mut rng);
+
+        let mut sym = SymbolDecoder::new(&code);
+        let mut dat = LtDecoder::new(&code, 32);
+        for &j in &order {
+            let s_done = sym.receive(j);
+            let d_done = dat.receive(j, coded[j].clone());
+            assert_eq!(s_done, d_done, "divergence at block {j}");
+            if s_done {
+                break;
+            }
+        }
+        assert_eq!(sym.received(), dat.received());
+        assert_eq!(dat.into_data().unwrap(), data);
+    }
+
+    #[test]
+    fn lazy_xor_cost_is_bounded_by_edges() {
+        let code = LtCode::plan(128, 512, LtParams::default(), 56).unwrap();
+        let data = make_data(128, 16);
+        let coded = code.encode(&data).unwrap();
+        let mut dec = LtDecoder::new(&code, 16);
+        for j in 0..code.n() {
+            if dec.receive(j, coded[j].clone()) {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+        // Lazy decoding touches each edge of a *used* block once; total
+        // XORs can never exceed the full edge count.
+        assert!(dec.xor_ops() <= code.edge_count());
+    }
+
+    #[test]
+    fn duplicate_and_late_blocks_ignored() {
+        let code = LtCode::plan(32, 128, LtParams::default(), 57).unwrap();
+        let data = make_data(32, 8);
+        let coded = code.encode(&data).unwrap();
+        let mut dec = LtDecoder::new(&code, 8);
+        for j in 0..code.n() {
+            dec.receive(j, coded[j].clone());
+            dec.receive(j, coded[j].clone()); // duplicate
+            if dec.is_complete() {
+                break;
+            }
+        }
+        let at_completion = dec.received();
+        // A straggler arriving after completion changes nothing.
+        assert!(dec.receive(code.n() - 1, coded[code.n() - 1].clone()));
+        assert_eq!(dec.received(), at_completion);
+        assert_eq!(dec.into_data().unwrap(), data);
+    }
+
+    #[test]
+    fn incomplete_returns_none() {
+        let code = LtCode::plan(32, 128, LtParams::default(), 58).unwrap();
+        let data = make_data(32, 8);
+        let coded = code.encode(&data).unwrap();
+        let mut dec = LtDecoder::new(&code, 8);
+        dec.receive(0, coded[0].clone());
+        assert!(!dec.is_complete());
+        assert!(dec.into_data().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_block_length_panics() {
+        let code = LtCode::plan(8, 16, LtParams::default(), 59).unwrap();
+        let mut dec = LtDecoder::new(&code, 8);
+        dec.receive(0, vec![0u8; 9]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Greedy-XOR LT decoder — the ablation baseline for lazy decoding.
+//!
+//! The original LT decoding "does XOR operations greedily whenever a new
+//! coded block is received" (§5.2.3): every arriving coded block is
+//! immediately reduced against all already-decoded originals it touches,
+//! and every newly decoded original is immediately substituted into all
+//! held coded blocks. Many of those XORs produce intermediate values that
+//! never contribute to a decoded block — the waste the lazy decoder
+//! ([`super::LtDecoder`]) eliminates. This implementation exists to
+//! measure that difference (`xor_ops()` on both).
+
+use super::LtCode;
+use crate::{xor_into, Block};
+
+/// Greedy (eager-substitution) LT decoder.
+pub struct GreedyDecoder<'a> {
+    code: &'a LtCode,
+    block_len: usize,
+    decoded: Vec<Option<Block>>,
+    /// Received coded blocks, progressively reduced: data plus the list
+    /// of still-unknown originals.
+    held: Vec<Option<(Block, Vec<u32>)>>,
+    /// incidence[i] = held coded blocks still containing original i.
+    incidence: Vec<Vec<u32>>,
+    /// Arrival dedup (held[j] alone cannot serve: resolved blocks leave it).
+    seen: Vec<bool>,
+    decoded_count: usize,
+    received_count: usize,
+    xor_ops: usize,
+}
+
+impl<'a> GreedyDecoder<'a> {
+    /// A greedy decoder for `code` over `block_len`-byte blocks.
+    pub fn new(code: &'a LtCode, block_len: usize) -> Self {
+        GreedyDecoder {
+            code,
+            block_len,
+            decoded: vec![None; code.k()],
+            held: vec![None; code.n()],
+            incidence: vec![Vec::new(); code.k()],
+            seen: vec![false; code.n()],
+            decoded_count: 0,
+            received_count: 0,
+            xor_ops: 0,
+        }
+    }
+
+    /// Feed coded block `j`. Returns `true` once all K originals decode.
+    pub fn receive(&mut self, j: usize, mut data: Block) -> bool {
+        assert!(j < self.code.n(), "coded index out of range");
+        assert_eq!(data.len(), self.block_len, "block length mismatch");
+        if self.is_complete() || self.seen[j] {
+            return self.is_complete();
+        }
+        self.seen[j] = true;
+        self.received_count += 1;
+        // Greedy step 1: immediately reduce by every known original.
+        let mut unknown: Vec<u32> = Vec::new();
+        for &i in self.code.neighbors(j) {
+            match &self.decoded[i as usize] {
+                Some(known) => {
+                    xor_into(&mut data, known);
+                    self.xor_ops += 1;
+                }
+                None => unknown.push(i),
+            }
+        }
+        if unknown.is_empty() {
+            return self.is_complete(); // fully redundant arrival
+        }
+        for &i in &unknown {
+            self.incidence[i as usize].push(j as u32);
+        }
+        self.held[j] = Some((data, unknown));
+        self.propagate(j);
+        self.is_complete()
+    }
+
+    /// Greedy step 2: whenever a held block reaches one unknown, decode it
+    /// and substitute eagerly into every other held block.
+    fn propagate(&mut self, start: usize) {
+        let mut worklist = vec![start as u32];
+        while let Some(j) = worklist.pop() {
+            let j = j as usize;
+            let ready = matches!(&self.held[j], Some((_, unknown)) if unknown.len() == 1);
+            if !ready {
+                continue;
+            }
+            let (data, unknown) = self.held[j].take().expect("checked above");
+            let target = unknown[0] as usize;
+            if self.decoded[target].is_some() {
+                continue;
+            }
+            self.decoded[target] = Some(data);
+            self.decoded_count += 1;
+            // Eager substitution into every holder of `target`.
+            let holders = std::mem::take(&mut self.incidence[target]);
+            for h in holders {
+                let h = h as usize;
+                if let Some((hdata, hunknown)) = &mut self.held[h] {
+                    if let Some(pos) = hunknown.iter().position(|&u| u as usize == target) {
+                        hunknown.swap_remove(pos);
+                        let known = self.decoded[target].as_ref().expect("just set");
+                        xor_into(hdata, known);
+                        self.xor_ops += 1;
+                        if hunknown.len() == 1 {
+                            worklist.push(h as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when every original is decoded.
+    pub fn is_complete(&self) -> bool {
+        self.decoded_count == self.code.k()
+    }
+
+    /// Distinct coded blocks received.
+    pub fn received(&self) -> usize {
+        self.received_count
+    }
+
+    /// Block XOR operations performed — the cost the lazy decoder beats.
+    pub fn xor_ops(&self) -> usize {
+        self.xor_ops
+    }
+
+    /// Extract the decoded data; `None` if incomplete.
+    pub fn into_data(self) -> Option<Vec<Block>> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(
+            self.decoded
+                .into_iter()
+                .map(|b| b.expect("complete decode"))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lt::{LtDecoder, LtParams};
+    use rand::seq::SliceRandom;
+    use robustore_simkit::SeedSequence;
+
+    fn make_data(k: usize, len: usize) -> Vec<Block> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 41 + j * 13 + 3) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn greedy_decodes_correctly() {
+        let code = LtCode::plan(48, 192, LtParams::default(), 91).unwrap();
+        let data = make_data(48, 32);
+        let coded = code.encode(&data).unwrap();
+        let mut order: Vec<usize> = (0..code.n()).collect();
+        let mut rng = SeedSequence::new(12).fork("order", 0);
+        order.shuffle(&mut rng);
+        let mut dec = GreedyDecoder::new(&code, 32);
+        for &j in &order {
+            if dec.receive(j, coded[j].clone()) {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.into_data().unwrap(), data);
+    }
+
+    #[test]
+    fn greedy_and_lazy_complete_at_the_same_arrival() {
+        // Both decoders implement the same peeling fixpoint; they must
+        // finish on the same block, differing only in XOR count.
+        let code = LtCode::plan(64, 256, LtParams::default(), 92).unwrap();
+        let data = make_data(64, 16);
+        let coded = code.encode(&data).unwrap();
+        let mut order: Vec<usize> = (0..code.n()).collect();
+        let mut rng = SeedSequence::new(13).fork("order", 0);
+        order.shuffle(&mut rng);
+
+        let mut greedy = GreedyDecoder::new(&code, 16);
+        let mut lazy = LtDecoder::new(&code, 16);
+        for &j in &order {
+            let g = greedy.receive(j, coded[j].clone());
+            let l = lazy.receive(j, coded[j].clone());
+            assert_eq!(g, l, "divergence at {j}");
+            if g {
+                break;
+            }
+        }
+        assert_eq!(greedy.received(), lazy.received());
+        assert_eq!(greedy.into_data().unwrap(), lazy.into_data().unwrap());
+    }
+
+    #[test]
+    fn lazy_never_does_more_xors_than_greedy() {
+        // §5.2.3 claim 3: lazy XOR "eliminated any operations to generate
+        // intermediate data that would not help".
+        let mut lazy_total = 0usize;
+        let mut greedy_total = 0usize;
+        for seed in 0..10u64 {
+            let code = LtCode::plan(96, 384, LtParams::default(), 93 + seed).unwrap();
+            let data = make_data(96, 8);
+            let coded = code.encode(&data).unwrap();
+            let mut order: Vec<usize> = (0..code.n()).collect();
+            let mut rng = SeedSequence::new(seed).fork("order", 0);
+            order.shuffle(&mut rng);
+            let mut greedy = GreedyDecoder::new(&code, 8);
+            let mut lazy = LtDecoder::new(&code, 8);
+            for &j in &order {
+                let done = greedy.receive(j, coded[j].clone());
+                lazy.receive(j, coded[j].clone());
+                if done {
+                    break;
+                }
+            }
+            assert!(
+                lazy.xor_ops() <= greedy.xor_ops(),
+                "seed {seed}: lazy {} vs greedy {}",
+                lazy.xor_ops(),
+                greedy.xor_ops()
+            );
+            lazy_total += lazy.xor_ops();
+            greedy_total += greedy.xor_ops();
+        }
+        assert!(
+            lazy_total < greedy_total,
+            "lazy should save XORs overall: {lazy_total} vs {greedy_total}"
+        );
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let code = LtCode::plan(16, 64, LtParams::default(), 94).unwrap();
+        let data = make_data(16, 8);
+        let coded = code.encode(&data).unwrap();
+        let mut dec = GreedyDecoder::new(&code, 8);
+        dec.receive(0, coded[0].clone());
+        dec.receive(0, coded[0].clone());
+        assert_eq!(dec.received(), 1);
+    }
+}

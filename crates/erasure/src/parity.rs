@@ -1,0 +1,168 @@
+//! Single-parity codes (RAID-5 style).
+//!
+//! The simplest erasure code (§2.2.2): K data blocks plus one XOR parity
+//! block, tolerating the loss of any single block. Included as the
+//! optimal-code lower bound on redundancy and because the RAID-5 layout the
+//! paper depicts (Figure 2-2) uses exactly this code per stripe.
+
+use crate::{xor_into, Block, CodingError};
+
+/// A (K+1, K) single-parity code.
+#[derive(Debug, Clone, Copy)]
+pub struct ParityCode {
+    k: usize,
+}
+
+impl ParityCode {
+    /// A parity code over K data blocks.
+    pub fn new(k: usize) -> Result<Self, CodingError> {
+        if k == 0 {
+            return Err(CodingError::InvalidParameters("K must be positive".into()));
+        }
+        Ok(ParityCode { k })
+    }
+
+    /// Number of data blocks per stripe.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total blocks per stripe (K data + 1 parity).
+    pub fn n(&self) -> usize {
+        self.k + 1
+    }
+
+    /// Encode: returns the K data blocks followed by the parity block.
+    pub fn encode(&self, data: &[Block]) -> Result<Vec<Block>, CodingError> {
+        if data.len() != self.k {
+            return Err(CodingError::InvalidParameters(format!(
+                "expected {} data blocks, got {}",
+                self.k,
+                data.len()
+            )));
+        }
+        let len = data[0].len();
+        if data.iter().any(|b| b.len() != len) {
+            return Err(CodingError::UnequalBlockLengths);
+        }
+        let mut parity = vec![0u8; len];
+        for b in data {
+            xor_into(&mut parity, b);
+        }
+        let mut out = data.to_vec();
+        out.push(parity);
+        Ok(out)
+    }
+
+    /// Decode from any K of the K+1 stripe blocks (`index` K is the
+    /// parity). Returns the K data blocks.
+    pub fn decode(&self, received: &[(usize, Block)]) -> Result<Vec<Block>, CodingError> {
+        if received.len() < self.k {
+            return Err(CodingError::NotEnoughBlocks {
+                got: received.len(),
+                need: self.k,
+            });
+        }
+        let len = received[0].1.len();
+        if received.iter().any(|(_, b)| b.len() != len) {
+            return Err(CodingError::UnequalBlockLengths);
+        }
+        let mut slots: Vec<Option<&Block>> = vec![None; self.k + 1];
+        for (i, b) in received {
+            if *i > self.k {
+                return Err(CodingError::InvalidBlockIndex(*i));
+            }
+            if slots[*i].is_some() {
+                return Err(CodingError::DuplicateBlockIndex(*i));
+            }
+            slots[*i] = Some(b);
+        }
+        let missing: Vec<usize> = (0..self.k).filter(|&i| slots[i].is_none()).collect();
+        match missing.len() {
+            0 => Ok((0..self.k).map(|i| slots[i].unwrap().clone()).collect()),
+            1 if slots[self.k].is_some() => {
+                // Reconstruct the missing data block as the XOR of parity
+                // and the present data blocks.
+                let gap = missing[0];
+                let mut rec = slots[self.k].unwrap().clone();
+                for (i, slot) in slots.iter().take(self.k).enumerate() {
+                    if i != gap {
+                        xor_into(&mut rec, slot.expect("only `gap` is missing"));
+                    }
+                }
+                Ok((0..self.k)
+                    .map(|i| {
+                        if i == gap {
+                            rec.clone()
+                        } else {
+                            slots[i].unwrap().clone()
+                        }
+                    })
+                    .collect())
+            }
+            _ => Err(CodingError::DecodeFailed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(k: usize, len: usize) -> Vec<Block> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 7 + j) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_without_loss() {
+        let pc = ParityCode::new(4).unwrap();
+        let data = make_data(4, 16);
+        let coded = pc.encode(&data).unwrap();
+        assert_eq!(coded.len(), 5);
+        let rx: Vec<_> = (0..4).map(|i| (i, coded[i].clone())).collect();
+        assert_eq!(pc.decode(&rx).unwrap(), data);
+    }
+
+    #[test]
+    fn recovers_any_single_data_block() {
+        let pc = ParityCode::new(5).unwrap();
+        let data = make_data(5, 8);
+        let coded = pc.encode(&data).unwrap();
+        for lost in 0..5 {
+            let rx: Vec<_> = (0..6)
+                .filter(|&i| i != lost)
+                .map(|i| (i, coded[i].clone()))
+                .collect();
+            assert_eq!(pc.decode(&rx).unwrap(), data, "lost block {lost}");
+        }
+    }
+
+    #[test]
+    fn two_losses_fail() {
+        let pc = ParityCode::new(4).unwrap();
+        let data = make_data(4, 8);
+        let coded = pc.encode(&data).unwrap();
+        let rx: Vec<_> = [2usize, 3, 4].iter().map(|&i| (i, coded[i].clone())).collect();
+        assert_eq!(
+            pc.decode(&rx),
+            Err(CodingError::NotEnoughBlocks { got: 3, need: 4 })
+        );
+        // Enough blocks but two *data* blocks missing and parity present:
+        let pc2 = ParityCode::new(3).unwrap();
+        let data2 = make_data(3, 8);
+        let coded2 = pc2.encode(&data2).unwrap();
+        let rx2 = vec![(0, coded2[0].clone()), (3, coded2[3].clone()), (3, coded2[3].clone())];
+        assert_eq!(pc2.decode(&rx2), Err(CodingError::DuplicateBlockIndex(3)));
+    }
+
+    #[test]
+    fn parity_is_xor_of_data() {
+        let pc = ParityCode::new(3).unwrap();
+        let data = make_data(3, 4);
+        let coded = pc.encode(&data).unwrap();
+        let expect: Vec<u8> = (0..4).map(|j| data[0][j] ^ data[1][j] ^ data[2][j]).collect();
+        assert_eq!(coded[3], expect);
+    }
+}

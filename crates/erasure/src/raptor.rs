@@ -1,0 +1,345 @@
+//! Raptor codes: a pre-code concatenated with LT codes (§2.2.3).
+//!
+//! Raptor codes relax LT's requirement that the LT stage recover *every*
+//! input symbol: the K originals are first pre-encoded into m = K + P
+//! intermediate symbols with a traditional sparse parity code, then an LT
+//! code runs over the intermediates. At decode time the parity equations
+//! rescue intermediates the LT peeling left unresolved, so a weaker
+//! (cheaper) LT stage suffices — the linear-time-encoding idea of
+//! Shokrollahi's construction.
+//!
+//! The paper surveys Raptor codes as background and selects plain
+//! (improved) LT codes for RobuSTore; this module implements Raptor as
+//! the natural extension, sharing the LT substrate. Decoding runs a
+//! *joint* peeling over both equation systems via a small generic
+//! sparse-XOR solver.
+
+use rand::seq::SliceRandom;
+use robustore_simkit::SeedSequence;
+
+use crate::lt::{LtCode, LtParams};
+use crate::{xor_into, Block, CodingError};
+
+/// A Raptor code: sparse parity pre-code + (stock) LT over intermediates.
+#[derive(Debug, Clone)]
+pub struct RaptorCode {
+    k: usize,
+    /// Intermediate symbol count m = k + parity count.
+    m: usize,
+    n: usize,
+    /// precode[p] = original ids XORed into parity intermediate k+p.
+    precode: Vec<Vec<u32>>,
+    /// LT stage over the m intermediates. Stock construction — the
+    /// pre-code, not graph repair, supplies the resilience.
+    lt: LtCode,
+}
+
+impl RaptorCode {
+    /// Plan a Raptor code: `k` originals, `n` coded blocks, with
+    /// ⌈`parity_fraction`·k⌉ parity intermediates (Raptor constructions
+    /// use a small constant fraction; 0.05–0.15 is typical).
+    pub fn plan(
+        k: usize,
+        n: usize,
+        parity_fraction: f64,
+        params: LtParams,
+        seed: u64,
+    ) -> Result<Self, CodingError> {
+        if k == 0 {
+            return Err(CodingError::InvalidParameters("K must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&parity_fraction) {
+            return Err(CodingError::InvalidParameters(
+                "parity fraction must be in [0, 1]".into(),
+            ));
+        }
+        let p = ((k as f64 * parity_fraction).ceil() as usize).max(1);
+        let m = k + p;
+        if n == 0 {
+            return Err(CodingError::InvalidParameters("N must be positive".into()));
+        }
+        // Regular sparse pre-code: each parity covers ~3k/p originals,
+        // assigned from shuffled permutations so coverage is uniform
+        // (every original lands in ≥ 3 parity equations when p ≥ 3).
+        let seq = SeedSequence::new(seed);
+        let mut rng = seq.fork("raptor-precode", 0);
+        let repeats = 3usize;
+        let mut membership: Vec<u32> = Vec::with_capacity(k * repeats);
+        for _ in 0..repeats {
+            let mut perm: Vec<u32> = (0..k as u32).collect();
+            perm.shuffle(&mut rng);
+            membership.extend(perm);
+        }
+        let mut precode: Vec<Vec<u32>> = vec![Vec::new(); p];
+        for (idx, orig) in membership.into_iter().enumerate() {
+            let eqn = &mut precode[idx % p];
+            if !eqn.contains(&orig) {
+                eqn.push(orig);
+            }
+        }
+        for eqn in &mut precode {
+            eqn.sort_unstable();
+        }
+
+        let lt = LtCode::plan_stock(m, n, params, seq.seed_for("raptor-lt", 0))?;
+        Ok(RaptorCode {
+            k,
+            m,
+            n,
+            precode,
+            lt,
+        })
+    }
+
+    /// Original block count K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Intermediate symbol count m.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Coded block count N.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn intermediates(&self, data: &[Block]) -> Vec<Block> {
+        let len = data[0].len();
+        let mut inter: Vec<Block> = data.to_vec();
+        for eqn in &self.precode {
+            let mut parity = vec![0u8; len];
+            for &o in eqn {
+                xor_into(&mut parity, &data[o as usize]);
+            }
+            inter.push(parity);
+        }
+        inter
+    }
+
+    /// Encode K data blocks into N coded blocks.
+    pub fn encode(&self, data: &[Block]) -> Result<Vec<Block>, CodingError> {
+        if data.len() != self.k {
+            return Err(CodingError::InvalidParameters(format!(
+                "expected {} data blocks, got {}",
+                self.k,
+                data.len()
+            )));
+        }
+        let len = data[0].len();
+        if data.iter().any(|b| b.len() != len) {
+            return Err(CodingError::UnequalBlockLengths);
+        }
+        self.lt.encode(&self.intermediates(data))
+    }
+
+    /// Decode from `(coded_index, block)` pairs by joint peeling over the
+    /// LT equations and the pre-code parity equations. Succeeds as soon
+    /// as the K *original* intermediates are resolved (parities may stay
+    /// unknown — Raptor's whole point).
+    pub fn decode(&self, received: &[(usize, Block)]) -> Result<Vec<Block>, CodingError> {
+        if received.is_empty() {
+            return Err(CodingError::NotEnoughBlocks {
+                got: 0,
+                need: self.k,
+            });
+        }
+        let len = received[0].1.len();
+        if received.iter().any(|(_, b)| b.len() != len) {
+            return Err(CodingError::UnequalBlockLengths);
+        }
+        // Equation system over the m intermediates.
+        let mut equations: Vec<(Block, Vec<u32>)> = Vec::with_capacity(received.len() + self.precode.len());
+        for (j, data) in received {
+            if *j >= self.n {
+                return Err(CodingError::InvalidBlockIndex(*j));
+            }
+            equations.push((data.clone(), self.lt.neighbors(*j).to_vec()));
+        }
+        // parity eqn p: intermediate (k+p) ⊕ its originals = 0.
+        for (p, eqn) in self.precode.iter().enumerate() {
+            let mut vars = eqn.clone();
+            vars.push((self.k + p) as u32);
+            equations.push((vec![0u8; len], vars));
+        }
+        let solved = peel_sparse_xor(self.m, equations);
+        let mut out = Vec::with_capacity(self.k);
+        for slot in solved.iter().take(self.k) {
+            match slot {
+                Some(b) => out.push(b.clone()),
+                None => return Err(CodingError::DecodeFailed),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Generic sparse-XOR peeling solver: given equations `value = ⊕ vars`,
+/// iteratively resolve variables from degree-1 equations. Returns the
+/// per-variable solutions found (peeling is not full Gaussian
+/// elimination; unresolved variables stay `None`).
+pub fn peel_sparse_xor(
+    num_vars: usize,
+    equations: Vec<(Block, Vec<u32>)>,
+) -> Vec<Option<Block>> {
+    let mut solved: Vec<Option<Block>> = vec![None; num_vars];
+    let mut remaining: Vec<usize> = Vec::with_capacity(equations.len());
+    let mut eqs: Vec<Option<(Block, Vec<u32>)>> = Vec::with_capacity(equations.len());
+    let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
+    for (e, (val, vars)) in equations.into_iter().enumerate() {
+        for &v in &vars {
+            incidence[v as usize].push(e as u32);
+        }
+        remaining.push(vars.len());
+        eqs.push(Some((val, vars)));
+    }
+    let mut worklist: Vec<u32> = (0..eqs.len() as u32)
+        .filter(|&e| remaining[e as usize] == 1)
+        .collect();
+    while let Some(e) = worklist.pop() {
+        let e = e as usize;
+        if remaining[e] != 1 {
+            continue;
+        }
+        let (mut val, vars) = eqs[e].take().expect("live equation");
+        remaining[e] = 0;
+        let mut target = None;
+        for &v in &vars {
+            match &solved[v as usize] {
+                Some(known) => xor_into(&mut val, known),
+                None => target = Some(v as usize),
+            }
+        }
+        let Some(target) = target else { continue };
+        solved[target] = Some(val);
+        for &other in &incidence[target] {
+            let o = other as usize;
+            if remaining[o] > 0 {
+                remaining[o] -= 1;
+                if remaining[o] == 1 {
+                    worklist.push(other);
+                }
+            }
+        }
+    }
+    solved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(k: usize, len: usize) -> Vec<Block> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 59 + j * 17 + 1) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_full_set() {
+        let code = RaptorCode::plan(48, 160, 0.1, LtParams::default(), 5).unwrap();
+        let data = make_data(48, 32);
+        let coded = code.encode(&data).unwrap();
+        let rx: Vec<_> = coded.into_iter().enumerate().collect();
+        assert_eq!(code.decode(&rx).unwrap(), data);
+        assert_eq!(code.m(), 48 + 5);
+    }
+
+    #[test]
+    fn precode_rescues_stock_lt_stalls() {
+        // Same stock LT shape with and without the parity pre-code: the
+        // Raptor variant must decode strictly more often from a tight
+        // block budget.
+        let k = 64;
+        let n = 120;
+        let take = 110;
+        let mut lt_ok = 0;
+        let mut raptor_ok = 0;
+        let trials = 30u64;
+        for seed in 0..trials {
+            let data = make_data(k, 8);
+            let raptor = RaptorCode::plan(k, n, 0.12, LtParams::default(), seed).unwrap();
+            let coded = raptor.encode(&data).unwrap();
+            let rx: Vec<_> = (0..take).map(|j| (j, coded[j].clone())).collect();
+            if raptor.decode(&rx).is_ok() {
+                raptor_ok += 1;
+            }
+            // Plain stock LT over k originals with the same budget.
+            let lt = LtCode::plan_stock(k, n, LtParams::default(), seed).unwrap();
+            let lt_coded = lt.encode(&data).unwrap();
+            let mut dec = crate::lt::LtDecoder::new(&lt, 8);
+            let mut done = false;
+            for (j, b) in lt_coded.into_iter().enumerate().take(take) {
+                if dec.receive(j, b) {
+                    done = true;
+                    break;
+                }
+            }
+            if done {
+                lt_ok += 1;
+            }
+        }
+        assert!(
+            raptor_ok > lt_ok,
+            "pre-code should rescue stalls: raptor {raptor_ok}/{trials} vs stock LT {lt_ok}/{trials}"
+        );
+    }
+
+    #[test]
+    fn decode_failure_reported_not_wrong() {
+        let code = RaptorCode::plan(32, 96, 0.1, LtParams::default(), 9).unwrap();
+        let data = make_data(32, 8);
+        let coded = code.encode(&data).unwrap();
+        // Ten blocks cannot possibly cover 32 originals.
+        let rx: Vec<_> = (0..10).map(|j| (j, coded[j].clone())).collect();
+        assert_eq!(code.decode(&rx), Err(CodingError::DecodeFailed));
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(RaptorCode::plan(0, 10, 0.1, LtParams::default(), 1).is_err());
+        assert!(RaptorCode::plan(10, 0, 0.1, LtParams::default(), 1).is_err());
+        assert!(RaptorCode::plan(10, 20, 1.5, LtParams::default(), 1).is_err());
+    }
+
+    #[test]
+    fn peeling_solver_solves_triangular_system() {
+        // x0 = a; x1 = a ⊕ b (eqn {0,1} = b-ish)... build:
+        // e0: x0 = [1,1]; e1: x0⊕x1 = [3,3]; e2: x1⊕x2 = [7,7]
+        let eqs = vec![
+            (vec![1u8, 1], vec![0]),
+            (vec![3u8, 3], vec![0, 1]),
+            (vec![7u8, 7], vec![1, 2]),
+        ];
+        let solved = peel_sparse_xor(3, eqs);
+        assert_eq!(solved[0].as_deref(), Some(&[1u8, 1][..]));
+        assert_eq!(solved[1].as_deref(), Some(&[2u8, 2][..]));
+        assert_eq!(solved[2].as_deref(), Some(&[5u8, 5][..]));
+    }
+
+    #[test]
+    fn peeling_solver_leaves_cycles_unresolved() {
+        // x0⊕x1 and x1⊕x0: a 2-cycle peeling cannot break.
+        let eqs = vec![
+            (vec![1u8], vec![0, 1]),
+            (vec![1u8], vec![0, 1]),
+        ];
+        let solved = peel_sparse_xor(2, eqs);
+        assert!(solved[0].is_none());
+        assert!(solved[1].is_none());
+    }
+
+    #[test]
+    fn every_original_in_multiple_parities() {
+        let code = RaptorCode::plan(40, 120, 0.15, LtParams::default(), 3).unwrap();
+        let mut count = vec![0usize; 40];
+        for eqn in &code.precode {
+            for &o in eqn {
+                count[o as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c >= 2), "coverage: {count:?}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Plain replication as a degenerate erasure code.
+//!
+//! RRAID-S and RRAID-A (the paper's baselines, §6.2.1) replicate plain-text
+//! blocks. Replication is trivially decodable — each coded block *is* an
+//! original — but asymmetric: completion needs at least one copy of *every*
+//! original, and random arrivals pay the coupon-collector cost K·ln K that
+//! §5.2.1 derives. This module provides the layout math and the collector
+//! analysis used in Figures 1-1/4-1 and the scheme simulations.
+
+use crate::{Block, CodingError};
+
+/// A replication "code": K originals copied `replicas` times, N = K·replicas.
+#[derive(Debug, Clone, Copy)]
+pub struct Replication {
+    k: usize,
+    replicas: usize,
+}
+
+impl Replication {
+    /// K originals, each stored `replicas ≥ 1` times.
+    pub fn new(k: usize, replicas: usize) -> Result<Self, CodingError> {
+        if k == 0 {
+            return Err(CodingError::InvalidParameters("K must be positive".into()));
+        }
+        if replicas == 0 {
+            return Err(CodingError::InvalidParameters(
+                "replica count must be positive".into(),
+            ));
+        }
+        Ok(Replication { k, replicas })
+    }
+
+    /// Number of original blocks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Copies of each original.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Total stored blocks N = K·replicas.
+    pub fn n(&self) -> usize {
+        self.k * self.replicas
+    }
+
+    /// Which original does stored block `j` hold? Copy `r` of original `i`
+    /// is stored at index `r·K + i`.
+    pub fn original_of(&self, j: usize) -> usize {
+        assert!(j < self.n(), "stored index out of range");
+        j % self.k
+    }
+
+    /// "Encode": emit all N copies in replica-major order.
+    pub fn encode(&self, data: &[Block]) -> Result<Vec<Block>, CodingError> {
+        if data.len() != self.k {
+            return Err(CodingError::InvalidParameters(format!(
+                "expected {} data blocks, got {}",
+                self.k,
+                data.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.n());
+        for _ in 0..self.replicas {
+            out.extend(data.iter().cloned());
+        }
+        Ok(out)
+    }
+
+    /// Decode from `(stored_index, block)` pairs: needs ≥ 1 copy of every
+    /// original.
+    pub fn decode(&self, received: &[(usize, Block)]) -> Result<Vec<Block>, CodingError> {
+        let mut slots: Vec<Option<Block>> = vec![None; self.k];
+        let mut have = 0usize;
+        for (j, b) in received {
+            if *j >= self.n() {
+                return Err(CodingError::InvalidBlockIndex(*j));
+            }
+            let i = self.original_of(*j);
+            if slots[i].is_none() {
+                slots[i] = Some(b.clone());
+                have += 1;
+            }
+        }
+        if have < self.k {
+            return Err(CodingError::DecodeFailed);
+        }
+        Ok(slots.into_iter().map(|b| b.expect("have == k")).collect())
+    }
+}
+
+/// Tracks which originals are covered as replicated blocks arrive — the
+/// replication analogue of [`crate::SymbolDecoder`], used by the RRAID
+/// scheme simulations to detect access completion.
+#[derive(Debug, Clone)]
+pub struct CoverageTracker {
+    covered: Vec<bool>,
+    remaining: usize,
+    received: usize,
+}
+
+impl CoverageTracker {
+    /// Tracker over K originals.
+    pub fn new(k: usize) -> Self {
+        CoverageTracker {
+            covered: vec![false; k],
+            remaining: k,
+            received: 0,
+        }
+    }
+
+    /// Record the arrival of a copy of `original`. Returns `true` once
+    /// every original has at least one copy.
+    pub fn receive(&mut self, original: usize) -> bool {
+        self.received += 1;
+        if !self.covered[original] {
+            self.covered[original] = true;
+            self.remaining -= 1;
+        }
+        self.is_complete()
+    }
+
+    /// True when every original is covered.
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Whether `original` has arrived.
+    pub fn is_covered(&self, original: usize) -> bool {
+        self.covered[original]
+    }
+
+    /// Originals still missing.
+    pub fn missing(&self) -> usize {
+        self.remaining
+    }
+
+    /// Total arrivals recorded (including duplicate copies).
+    pub fn received(&self) -> usize {
+        self.received
+    }
+}
+
+/// Expected blocks drawn (with replacement, uniformly over originals) to
+/// cover all K originals: the coupon-collector bound K·H(K) ≈ K·ln K that
+/// §5.2.1 charges against replication.
+pub fn coupon_collector_expectation(k: usize) -> f64 {
+    let harmonic: f64 = (1..=k).map(|i| 1.0 / i as f64).sum();
+    k as f64 * harmonic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(k: usize, len: usize) -> Vec<Block> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i + j) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_layout_is_replica_major() {
+        let r = Replication::new(3, 2).unwrap();
+        let data = make_data(3, 4);
+        let coded = r.encode(&data).unwrap();
+        assert_eq!(coded.len(), 6);
+        assert_eq!(coded[0], data[0]);
+        assert_eq!(coded[3], data[0]);
+        assert_eq!(r.original_of(0), 0);
+        assert_eq!(r.original_of(3), 0);
+        assert_eq!(r.original_of(5), 2);
+    }
+
+    #[test]
+    fn decode_needs_every_original() {
+        let r = Replication::new(3, 2).unwrap();
+        let data = make_data(3, 4);
+        let coded = r.encode(&data).unwrap();
+        // Copies of originals 0 and 1 only — not decodable.
+        let rx = vec![(0, coded[0].clone()), (4, coded[4].clone()), (3, coded[3].clone())];
+        assert_eq!(r.decode(&rx), Err(CodingError::DecodeFailed));
+        // Add original 2.
+        let mut rx = rx;
+        rx.push((2, coded[2].clone()));
+        assert_eq!(r.decode(&rx).unwrap(), data);
+    }
+
+    #[test]
+    fn coverage_tracker_completion() {
+        let mut t = CoverageTracker::new(3);
+        assert!(!t.receive(0));
+        assert!(!t.receive(0)); // duplicate copy
+        assert!(!t.receive(2));
+        assert_eq!(t.missing(), 1);
+        assert!(t.receive(1));
+        assert!(t.is_complete());
+        assert_eq!(t.received(), 4);
+    }
+
+    #[test]
+    fn coupon_collector_matches_k_ln_k() {
+        let k = 1024;
+        let exact = coupon_collector_expectation(k);
+        let approx = k as f64 * (k as f64).ln();
+        // H(K) = ln K + γ + ..., so exact exceeds K ln K by ≈ γ·K.
+        assert!(exact > approx);
+        assert!(exact < approx + 0.6 * k as f64);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(Replication::new(0, 2).is_err());
+        assert!(Replication::new(2, 0).is_err());
+    }
+}

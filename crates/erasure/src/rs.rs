@@ -1,0 +1,404 @@
+//! Reed–Solomon erasure codes over GF(2⁸).
+//!
+//! The paper's optimal-code baseline (§2.2.2, §5.2.1, Table 5-1): any K of
+//! the N coded blocks reconstruct the data, but encode/decode cost is
+//! quadratic in K, so coding bandwidth falls as 1/K — the property Table
+//! 5-1 measures and that rules Reed–Solomon out for RobuSTore's long code
+//! words.
+//!
+//! Construction: a systematic-free (non-systematic) Vandermonde code, as in
+//! the paper's description ("data symbols are the coefficients of a
+//! polynomial … evaluated at numerous points"): coded block *j* is the
+//! polynomial with the K data blocks as coefficients, evaluated at field
+//! element α(j). Decoding solves the K×K Vandermonde system for any K
+//! received evaluations by Gaussian elimination over GF(2⁸), then applies
+//! the inverse row-by-row to the block data.
+
+use crate::{xor_into, Block, CodingError};
+
+/// GF(2⁸) arithmetic with the AES polynomial x⁸+x⁴+x³+x+1 (0x11B).
+mod gf {
+    /// Exponential table: EXP[i] = g^i for generator g = 0x03, doubled to
+    /// avoid a modulo in `mul`.
+    pub struct Tables {
+        pub exp: [u8; 512],
+        pub log: [u16; 256],
+    }
+
+    /// Build the log/exp tables at first use.
+    pub fn tables() -> &'static Tables {
+        use std::sync::OnceLock;
+        static TABLES: OnceLock<Tables> = OnceLock::new();
+        TABLES.get_or_init(|| {
+            let mut exp = [0u8; 512];
+            let mut log = [0u16; 256];
+            let mut x: u16 = 1;
+            for (i, e) in exp.iter_mut().enumerate().take(255) {
+                *e = x as u8;
+                log[x as usize] = i as u16;
+                // multiply by generator 0x03 = x + 1: x*3 = x*2 ^ x
+                let x2 = x << 1;
+                let x2 = if x2 & 0x100 != 0 { x2 ^ 0x11B } else { x2 };
+                x = (x2 ^ x) & 0xFF;
+            }
+            for i in 255..512 {
+                exp[i] = exp[i - 255];
+            }
+            Tables { exp, log }
+        })
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let t = tables();
+        t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero, which has no inverse.
+    #[inline]
+    pub fn inv(a: u8) -> u8 {
+        assert_ne!(a, 0, "inverse of zero in GF(256)");
+        let t = tables();
+        t.exp[255 - t.log[a as usize] as usize]
+    }
+
+    /// Field addition (= subtraction = XOR).
+    #[inline]
+    pub fn add(a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+}
+
+/// A Reed–Solomon erasure code with parameters (K, N), N ≤ 255.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    n: usize,
+}
+
+impl ReedSolomon {
+    /// Create a code transforming K data blocks into N coded blocks.
+    ///
+    /// Requires `0 < K ≤ N ≤ 255` (the field has 255 nonzero evaluation
+    /// points; the paper notes "most Reed-Solomon code implementations use
+    /// K < 255" for exactly this reason).
+    pub fn new(k: usize, n: usize) -> Result<Self, CodingError> {
+        if k == 0 {
+            return Err(CodingError::InvalidParameters("K must be positive".into()));
+        }
+        if n < k {
+            return Err(CodingError::InvalidParameters(format!(
+                "N ({n}) must be at least K ({k})"
+            )));
+        }
+        if n > 255 {
+            return Err(CodingError::InvalidParameters(format!(
+                "N ({n}) exceeds the GF(256) limit of 255"
+            )));
+        }
+        Ok(ReedSolomon { k, n })
+    }
+
+    /// Number of data blocks per segment.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of coded blocks produced.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Evaluation point for coded block `j`: α^j for generator α.
+    #[inline]
+    fn point(j: usize) -> u8 {
+        gf::tables().exp[j]
+    }
+
+    /// Encode K equal-length data blocks into N coded blocks.
+    ///
+    /// Coded block j is Σᵢ dataᵢ · point(j)ⁱ evaluated per byte (Horner's
+    /// rule over blocks).
+    pub fn encode(&self, data: &[Block]) -> Result<Vec<Block>, CodingError> {
+        if data.len() != self.k {
+            return Err(CodingError::InvalidParameters(format!(
+                "expected {} data blocks, got {}",
+                self.k,
+                data.len()
+            )));
+        }
+        let len = data[0].len();
+        if data.iter().any(|b| b.len() != len) {
+            return Err(CodingError::UnequalBlockLengths);
+        }
+        let mut out = Vec::with_capacity(self.n);
+        for j in 0..self.n {
+            let x = Self::point(j);
+            // Horner: acc = ((d[k-1]·x + d[k-2])·x + ...)·x + d[0]
+            let mut acc = data[self.k - 1].clone();
+            for block in data[..self.k - 1].iter().rev() {
+                scale_in_place(&mut acc, x);
+                xor_into(&mut acc, block);
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    /// Decode from any K received `(coded_index, block)` pairs.
+    ///
+    /// Returns the K original data blocks. Extra blocks beyond K are
+    /// ignored (any K suffice — the optimal-code property).
+    pub fn decode(&self, received: &[(usize, Block)]) -> Result<Vec<Block>, CodingError> {
+        if received.len() < self.k {
+            return Err(CodingError::NotEnoughBlocks {
+                got: received.len(),
+                need: self.k,
+            });
+        }
+        let mut seen = vec![false; self.n];
+        let use_blocks = &received[..self.k];
+        for (idx, _) in use_blocks {
+            if *idx >= self.n {
+                return Err(CodingError::InvalidBlockIndex(*idx));
+            }
+            if seen[*idx] {
+                return Err(CodingError::DuplicateBlockIndex(*idx));
+            }
+            seen[*idx] = true;
+        }
+        let len = use_blocks[0].1.len();
+        if use_blocks.iter().any(|(_, b)| b.len() != len) {
+            return Err(CodingError::UnequalBlockLengths);
+        }
+
+        // Build the K×K Vandermonde system V·coeffs = received and invert it.
+        let mut mat = vec![0u8; self.k * self.k];
+        for (r, (idx, _)) in use_blocks.iter().enumerate() {
+            let x = Self::point(*idx);
+            let mut p = 1u8;
+            for c in 0..self.k {
+                mat[r * self.k + c] = p;
+                p = gf::mul(p, x);
+            }
+        }
+        let inv = invert_matrix(&mut mat, self.k).ok_or(CodingError::DecodeFailed)?;
+
+        // data_i = Σ_r inv[i][r] · received_r, per byte.
+        let mut out = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let mut acc = vec![0u8; len];
+            for (r, (_, block)) in use_blocks.iter().enumerate() {
+                let coef = inv[i * self.k + r];
+                if coef == 0 {
+                    continue;
+                }
+                axpy(&mut acc, coef, block);
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+}
+
+/// In-place multiply of every byte of `block` by field scalar `x`.
+#[inline]
+fn scale_in_place(block: &mut [u8], x: u8) {
+    if x == 1 {
+        return;
+    }
+    if x == 0 {
+        block.fill(0);
+        return;
+    }
+    let t = gf::tables();
+    let lx = t.log[x as usize] as usize;
+    for b in block.iter_mut() {
+        if *b != 0 {
+            *b = t.exp[t.log[*b as usize] as usize + lx];
+        }
+    }
+}
+
+/// acc += coef · src over GF(256), element-wise.
+#[inline]
+fn axpy(acc: &mut [u8], coef: u8, src: &[u8]) {
+    if coef == 1 {
+        xor_into(acc, src);
+        return;
+    }
+    let t = gf::tables();
+    let lc = t.log[coef as usize] as usize;
+    for (a, &s) in acc.iter_mut().zip(src) {
+        if s != 0 {
+            *a ^= t.exp[t.log[s as usize] as usize + lc];
+        }
+    }
+}
+
+/// Invert a k×k matrix over GF(256) by Gauss–Jordan elimination.
+/// Consumes `mat` as scratch. Returns row-major inverse, or `None` if
+/// singular (cannot happen for distinct Vandermonde points, but defended).
+fn invert_matrix(mat: &mut [u8], k: usize) -> Option<Vec<u8>> {
+    let mut inv = vec![0u8; k * k];
+    for i in 0..k {
+        inv[i * k + i] = 1;
+    }
+    for col in 0..k {
+        // Find pivot.
+        let pivot = (col..k).find(|&r| mat[r * k + col] != 0)?;
+        if pivot != col {
+            for c in 0..k {
+                mat.swap(pivot * k + c, col * k + c);
+                inv.swap(pivot * k + c, col * k + c);
+            }
+        }
+        let pinv = gf::inv(mat[col * k + col]);
+        for c in 0..k {
+            mat[col * k + c] = gf::mul(mat[col * k + c], pinv);
+            inv[col * k + c] = gf::mul(inv[col * k + c], pinv);
+        }
+        for r in 0..k {
+            if r == col {
+                continue;
+            }
+            let factor = mat[r * k + col];
+            if factor == 0 {
+                continue;
+            }
+            for c in 0..k {
+                let m = gf::mul(factor, mat[col * k + c]);
+                mat[r * k + c] = gf::add(mat[r * k + c], m);
+                let m = gf::mul(factor, inv[col * k + c]);
+                inv[r * k + c] = gf::add(inv[r * k + c], m);
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(k: usize, len: usize) -> Vec<Block> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 5) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn gf_mul_properties() {
+        // Distributivity and known values.
+        assert_eq!(gf::mul(0, 37), 0);
+        assert_eq!(gf::mul(1, 37), 37);
+        assert_eq!(gf::mul(2, 0x80), 0x1B); // x·x⁷ = x⁸ ≡ 0x1B
+        for a in 1..=255u8 {
+            assert_eq!(gf::mul(a, gf::inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_exact_k() {
+        let rs = ReedSolomon::new(8, 16).unwrap();
+        let data = make_data(8, 64);
+        let coded = rs.encode(&data).unwrap();
+        assert_eq!(coded.len(), 16);
+        // Decode from the *last* 8 coded blocks.
+        let rx: Vec<_> = (8..16).map(|i| (i, coded[i].clone())).collect();
+        let decoded = rs.decode(&rx).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn any_k_subset_decodes() {
+        let rs = ReedSolomon::new(5, 12).unwrap();
+        let data = make_data(5, 40);
+        let coded = rs.encode(&data).unwrap();
+        // Try several subsets, including scattered ones.
+        for subset in [
+            vec![0, 1, 2, 3, 4],
+            vec![7, 8, 9, 10, 11],
+            vec![0, 3, 6, 9, 11],
+            vec![11, 0, 5, 2, 8],
+        ] {
+            let rx: Vec<_> = subset.iter().map(|&i| (i, coded[i].clone())).collect();
+            assert_eq!(rs.decode(&rx).unwrap(), data, "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn extra_blocks_are_ignored() {
+        let rs = ReedSolomon::new(4, 8).unwrap();
+        let data = make_data(4, 16);
+        let coded = rs.encode(&data).unwrap();
+        let rx: Vec<_> = (0..6).map(|i| (i, coded[i].clone())).collect();
+        assert_eq!(rs.decode(&rx).unwrap(), data);
+    }
+
+    #[test]
+    fn too_few_blocks_errors() {
+        let rs = ReedSolomon::new(4, 8).unwrap();
+        let data = make_data(4, 16);
+        let coded = rs.encode(&data).unwrap();
+        let rx: Vec<_> = (0..3).map(|i| (i, coded[i].clone())).collect();
+        assert_eq!(
+            rs.decode(&rx),
+            Err(CodingError::NotEnoughBlocks { got: 3, need: 4 })
+        );
+    }
+
+    #[test]
+    fn duplicate_index_errors() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let data = make_data(2, 8);
+        let coded = rs.encode(&data).unwrap();
+        let rx = vec![(1, coded[1].clone()), (1, coded[1].clone())];
+        assert_eq!(rs.decode(&rx), Err(CodingError::DuplicateBlockIndex(1)));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ReedSolomon::new(0, 4).is_err());
+        assert!(ReedSolomon::new(5, 4).is_err());
+        assert!(ReedSolomon::new(100, 256).is_err());
+        assert!(ReedSolomon::new(255, 255).is_ok());
+    }
+
+    #[test]
+    fn invalid_index_rejected() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let rx = vec![(0, vec![0u8; 4]), (9, vec![0u8; 4])];
+        assert_eq!(rs.decode(&rx), Err(CodingError::InvalidBlockIndex(9)));
+    }
+
+    #[test]
+    fn unequal_lengths_rejected() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        let rx = vec![(0, vec![0u8; 4]), (1, vec![0u8; 5])];
+        assert_eq!(rs.decode(&rx), Err(CodingError::UnequalBlockLengths));
+        assert_eq!(
+            rs.encode(&[vec![0u8; 4], vec![0u8; 5]]),
+            Err(CodingError::UnequalBlockLengths)
+        );
+    }
+
+    #[test]
+    fn single_block_code() {
+        // K=1 degenerates to replication of the single block at point⁰=1.
+        let rs = ReedSolomon::new(1, 3).unwrap();
+        let data = make_data(1, 10);
+        let coded = rs.encode(&data).unwrap();
+        for i in 0..3 {
+            let decoded = rs.decode(&[(i, coded[i].clone())]).unwrap();
+            assert_eq!(decoded, data);
+        }
+    }
+}

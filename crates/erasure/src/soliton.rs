@@ -1,0 +1,213 @@
+//! Soliton degree distributions for LT codes.
+//!
+//! LT encoding draws each coded block's degree from the *robust Soliton
+//! distribution* μ(d) (Luby 2002; paper §2.2.3). The distribution is
+//! parameterised by `c` (the paper's C) and `δ`:
+//!
+//! ```text
+//! R    = c · ln(k/δ) · √k
+//! ρ(1) = 1/k,   ρ(i) = 1/(i(i−1))            for i = 2..k
+//! τ(i) = R/(i·k)                             for i = 1 .. k/R − 1
+//! τ(k/R) = R·ln(R/δ)/k,   τ(i) = 0           beyond
+//! μ(i) = (ρ(i) + τ(i)) / β,  β = Σ(ρ+τ)
+//! ```
+//!
+//! Larger `c` biases toward low-degree blocks (cheaper XOR, higher
+//! reception overhead); smaller `δ` adds high-degree coverage (lower
+//! overhead, more CPU). Figures 5-1/5-2 sweep exactly these knobs.
+
+use rand::RngCore;
+use robustore_simkit::rng::uniform01;
+
+/// The robust Soliton distribution over degrees 1..=k.
+#[derive(Debug, Clone)]
+pub struct RobustSoliton {
+    k: usize,
+    c: f64,
+    delta: f64,
+    /// Cumulative distribution; `cdf[i]` = P(degree ≤ i+1).
+    cdf: Vec<f64>,
+    /// Expected degree E[d].
+    mean_degree: f64,
+}
+
+impl RobustSoliton {
+    /// Build the distribution for word length `k` with parameters `c > 0`
+    /// and `0 < delta < 1`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters; these are programming errors, not
+    /// runtime conditions.
+    pub fn new(k: usize, c: f64, delta: f64) -> Self {
+        assert!(k >= 1, "k must be positive");
+        assert!(c > 0.0, "c must be positive");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+
+        let kf = k as f64;
+        let r = c * (kf / delta).ln() * kf.sqrt();
+        // Spike position k/R, clamped into [1, k].
+        let spike = ((kf / r).floor() as usize).clamp(1, k);
+
+        let mut pdf = vec![0.0f64; k];
+        // ρ
+        pdf[0] += 1.0 / kf;
+        for i in 2..=k {
+            pdf[i - 1] += 1.0 / (i as f64 * (i as f64 - 1.0));
+        }
+        // τ (only meaningful when R < k, i.e. spike > 1; for tiny k the
+        // whole τ mass lands on the spike)
+        if spike >= 1 {
+            for i in 1..spike {
+                pdf[i - 1] += r / (i as f64 * kf);
+            }
+            let tail = (r / delta).ln().max(0.0) * r / kf;
+            pdf[spike - 1] += tail;
+        }
+
+        let beta: f64 = pdf.iter().sum();
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        let mut mean = 0.0;
+        for (i, p) in pdf.iter().enumerate() {
+            let pn = p / beta;
+            acc += pn;
+            mean += (i + 1) as f64 * pn;
+            cdf.push(acc);
+        }
+        // Force exact 1.0 at the end so sampling can never fall off.
+        *cdf.last_mut().expect("k >= 1") = 1.0;
+
+        RobustSoliton {
+            k,
+            c,
+            delta,
+            cdf,
+            mean_degree: mean,
+        }
+    }
+
+    /// Word length k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parameter c.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Parameter δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Expected degree of a coded block, E\[d\].
+    pub fn mean_degree(&self) -> f64 {
+        self.mean_degree
+    }
+
+    /// Probability mass at degree `d` (1-based).
+    pub fn pmf(&self, d: usize) -> f64 {
+        assert!((1..=self.k).contains(&d), "degree out of range");
+        let lo = if d == 1 { 0.0 } else { self.cdf[d - 2] };
+        self.cdf[d - 1] - lo
+    }
+
+    /// Sample a degree in 1..=k.
+    pub fn sample(&self, rng: &mut impl RngCore) -> usize {
+        let u = uniform01(rng);
+        // Binary search the CDF for the first entry ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustore_simkit::SeedSequence;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (k, c, d) in [(16, 0.5, 0.5), (128, 1.0, 0.1), (1024, 1.0, 0.5), (1024, 2.0, 0.01)] {
+            let rs = RobustSoliton::new(k, c, d);
+            let total: f64 = (1..=k).map(|i| rs.pmf(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "k={k} c={c} d={d}: {total}");
+        }
+    }
+
+    #[test]
+    fn degree_one_mass_is_substantial() {
+        // The ripple needs degree-1 blocks to start; the robust spike at
+        // d=1 is τ(1)=R/k plus ρ(1)=1/k, which is well above 1/k alone.
+        let rs = RobustSoliton::new(1024, 1.0, 0.5);
+        assert!(rs.pmf(1) > 1.0 / 1024.0 * 5.0);
+    }
+
+    #[test]
+    fn mean_degree_tracks_ln_k() {
+        // E[d] grows like ln k — the near-optimal property (§5.2.2).
+        let small = RobustSoliton::new(64, 1.0, 0.5).mean_degree();
+        let large = RobustSoliton::new(4096, 1.0, 0.5).mean_degree();
+        assert!(large > small);
+        assert!(large < 5.0 * small, "mean degree should grow slowly");
+        // Typical LT configuration has mean degree in the single digits
+        // ("average encoded-node degree is about five", §4.1.1).
+        let typical = RobustSoliton::new(1024, 1.1, 0.5).mean_degree();
+        assert!(
+            (2.0..12.0).contains(&typical),
+            "typical mean degree {typical}"
+        );
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let rs = RobustSoliton::new(128, 1.0, 0.1);
+        let mut rng = SeedSequence::new(3).fork("soliton", 0);
+        let n = 200_000usize;
+        let mut counts = vec![0usize; 129];
+        for _ in 0..n {
+            let d = rs.sample(&mut rng);
+            assert!((1..=128).contains(&d));
+            counts[d] += 1;
+        }
+        // Compare the head of the distribution (where mass concentrates).
+        for d in 1..=8 {
+            let emp = counts[d] as f64 / n as f64;
+            let theo = rs.pmf(d);
+            assert!(
+                (emp - theo).abs() < 0.01 + theo * 0.1,
+                "d={d}: empirical {emp:.4} vs pmf {theo:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_always_in_range_even_at_tails() {
+        let rs = RobustSoliton::new(4, 2.0, 0.9);
+        let mut rng = SeedSequence::new(5).fork("soliton", 1);
+        for _ in 0..10_000 {
+            let d = rs.sample(&mut rng);
+            assert!((1..=4).contains(&d));
+        }
+    }
+
+    #[test]
+    fn k_equals_one_degenerates() {
+        let rs = RobustSoliton::new(1, 1.0, 0.5);
+        let mut rng = SeedSequence::new(7).fork("soliton", 2);
+        assert_eq!(rs.sample(&mut rng), 1);
+        assert!((rs.mean_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn invalid_delta_panics() {
+        RobustSoliton::new(8, 1.0, 1.5);
+    }
+}

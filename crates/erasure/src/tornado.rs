@@ -1,0 +1,336 @@
+//! Tornado codes: cascaded sparse bipartite graphs (§2.2.3).
+//!
+//! "A Tornado code C(B₀, B₁, …, Bₘ, A) is a cascade of bipartite graphs
+//! … The graph Bᵢ has Kβⁱ input symbols and produces Kβⁱ⁺¹ check symbols
+//! … At the last level, a conventional optimal erasure code is used."
+//! The final code word is the original symbols plus every level's check
+//! symbols; the overall rate is 1−β.
+//!
+//! Tornado codes were the first linear-time erasure codes and the
+//! stepping stone to LT codes. They are *fixed-rate* — the property that
+//! makes them less suitable for RobuSTore than rateless LT codes (§5.2.1)
+//! — but they complete the palette of the paper's Chapter 2 survey, and
+//! give the harness another decodability baseline.
+//!
+//! Construction here: each level is a regular-ish sparse bipartite graph
+//! (left degree 3 spread by shuffled permutations); the terminal level is
+//! Reed–Solomon. Decoding peels the cascade back to front with the
+//! generic sparse-XOR solver, finishing with RS for the tail.
+
+use rand::seq::SliceRandom;
+use robustore_simkit::SeedSequence;
+
+use crate::raptor::peel_sparse_xor;
+use crate::rs::ReedSolomon;
+use crate::{xor_into, Block, CodingError};
+
+/// One cascade level: a sparse bipartite graph from `inputs` symbols to
+/// `checks` check symbols.
+#[derive(Debug, Clone)]
+struct Level {
+    inputs: usize,
+    /// edges[c] = input indices XORed into check c (indices are local to
+    /// the level's input symbols).
+    edges: Vec<Vec<u32>>,
+}
+
+/// A Tornado code with rate 1−β.
+#[derive(Debug, Clone)]
+pub struct TornadoCode {
+    k: usize,
+    beta: f64,
+    levels: Vec<Level>,
+    /// Terminal optimal code over the last level's check symbols.
+    tail: ReedSolomon,
+    /// Total symbols in the code word.
+    n: usize,
+}
+
+/// Left degree of every cascade graph (classic small constant).
+const LEFT_DEGREE: usize = 3;
+
+impl TornadoCode {
+    /// Build a Tornado code over `k` originals with parameter `β ∈ (0,1)`
+    /// (code rate 1−β, so total symbols ≈ k/(1−β)). Cascading stops when a
+    /// level would produce fewer than 8 symbols; the terminal RS code has
+    /// rate 1−β as well.
+    pub fn new(k: usize, beta: f64, seed: u64) -> Result<Self, CodingError> {
+        if k == 0 {
+            return Err(CodingError::InvalidParameters("K must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&beta) || beta <= 0.0 {
+            return Err(CodingError::InvalidParameters(
+                "beta must be in (0, 1)".into(),
+            ));
+        }
+        let seq = SeedSequence::new(seed);
+        let mut levels = Vec::new();
+        let mut inputs = k;
+        let mut level_idx = 0u64;
+        loop {
+            let checks = ((inputs as f64) * beta).ceil() as usize;
+            if checks < 8 || inputs < 8 {
+                break;
+            }
+            levels.push(Self::make_level(inputs, checks, &seq, level_idx));
+            inputs = checks;
+            level_idx += 1;
+        }
+        // Terminal optimal code over the last `inputs` symbols.
+        let tail_checks = (((inputs as f64) * beta / (1.0 - beta)).ceil() as usize).max(1);
+        let tail_n = inputs + tail_checks;
+        if tail_n > 255 {
+            return Err(CodingError::InvalidParameters(format!(
+                "terminal RS level too wide ({tail_n} > 255); increase beta or K granularity"
+            )));
+        }
+        let tail = ReedSolomon::new(inputs, tail_n)?;
+        let n = k + levels.iter().map(|l| l.edges.len()).sum::<usize>() + tail_n;
+        Ok(TornadoCode {
+            k,
+            beta,
+            levels,
+            tail,
+            n,
+        })
+    }
+
+    fn make_level(inputs: usize, checks: usize, seq: &SeedSequence, idx: u64) -> Level {
+        let mut rng = seq.fork("tornado-level", idx);
+        // Spread input endpoints with shuffled permutations so every input
+        // feeds ≈ LEFT_DEGREE checks.
+        let mut stream: Vec<u32> = Vec::with_capacity(inputs * LEFT_DEGREE);
+        for _ in 0..LEFT_DEGREE {
+            let mut perm: Vec<u32> = (0..inputs as u32).collect();
+            perm.shuffle(&mut rng);
+            stream.extend(perm);
+        }
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); checks];
+        for (i, input) in stream.into_iter().enumerate() {
+            let c = &mut edges[i % checks];
+            if !c.contains(&input) {
+                c.push(input);
+            }
+        }
+        for c in &mut edges {
+            c.sort_unstable();
+        }
+        Level { inputs, edges }
+    }
+
+    /// Original symbol count K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total code-word symbols N (originals + all checks + RS tail).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Effective rate K/N.
+    pub fn rate(&self) -> f64 {
+        self.k as f64 / self.n as f64
+    }
+
+    /// The β parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Cascade depth (bipartite levels before the RS tail).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Encode K blocks into the full N-symbol code word. Symbol order:
+    /// originals, level-0 checks, level-1 checks, …, RS tail symbols.
+    pub fn encode(&self, data: &[Block]) -> Result<Vec<Block>, CodingError> {
+        if data.len() != self.k {
+            return Err(CodingError::InvalidParameters(format!(
+                "expected {} data blocks, got {}",
+                self.k,
+                data.len()
+            )));
+        }
+        let len = data[0].len();
+        if data.iter().any(|b| b.len() != len) {
+            return Err(CodingError::UnequalBlockLengths);
+        }
+        let mut out: Vec<Block> = data.to_vec();
+        let mut level_start = 0usize;
+        for level in &self.levels {
+            let inputs = &out[level_start..level_start + level.inputs];
+            let mut checks: Vec<Block> = Vec::with_capacity(level.edges.len());
+            for edge in &level.edges {
+                let mut c = vec![0u8; len];
+                for &i in edge {
+                    xor_into(&mut c, &inputs[i as usize]);
+                }
+                checks.push(c);
+            }
+            level_start += level.inputs;
+            out.extend(checks);
+        }
+        // RS tail over the last level's outputs.
+        let last_inputs = out[level_start..].to_vec();
+        debug_assert_eq!(last_inputs.len(), self.tail.k());
+        let tail = self.tail.encode(&last_inputs)?;
+        // The RS code word replaces nothing; we append the full tail
+        // (systematic-free), so the last level's symbols appear both raw
+        // and inside the RS word — matching "the cascade is ended with an
+        // erasure-correcting code".
+        out.extend(tail);
+        Ok(out)
+    }
+
+    /// Decode from `(symbol_index, block)` pairs over the N-symbol word.
+    pub fn decode(&self, received: &[(usize, Block)]) -> Result<Vec<Block>, CodingError> {
+        if received.is_empty() {
+            return Err(CodingError::NotEnoughBlocks {
+                got: 0,
+                need: self.k,
+            });
+        }
+        let len = received[0].1.len();
+        if received.iter().any(|(_, b)| b.len() != len) {
+            return Err(CodingError::UnequalBlockLengths);
+        }
+        // Variable space: all non-tail symbols (originals + level checks).
+        let plain_count = self.n - self.tail.n();
+        let mut known: Vec<Option<Block>> = vec![None; plain_count];
+        let mut tail_rx: Vec<(usize, Block)> = Vec::new();
+        for (idx, b) in received {
+            if *idx >= self.n {
+                return Err(CodingError::InvalidBlockIndex(*idx));
+            }
+            if *idx < plain_count {
+                known[*idx] = Some(b.clone());
+            } else {
+                tail_rx.push((*idx - plain_count, b.clone()));
+            }
+        }
+        // Recover the last level's symbols from the RS tail if possible.
+        if tail_rx.len() >= self.tail.k() {
+            if let Ok(last) = self.tail.decode(&tail_rx) {
+                let start = plain_count - self.tail.k();
+                for (i, b) in last.into_iter().enumerate() {
+                    known[start + i] = Some(b);
+                }
+            }
+        }
+        // Joint peeling over every cascade level: check c of a level is an
+        // equation  check ⊕ (⊕ inputs) = 0  over global symbol ids.
+        let mut equations: Vec<(Block, Vec<u32>)> = Vec::new();
+        let mut level_start = 0usize;
+        let mut check_start;
+        for level in &self.levels {
+            check_start = level_start + level.inputs;
+            for (c, edge) in level.edges.iter().enumerate() {
+                let mut vars: Vec<u32> =
+                    edge.iter().map(|&i| (level_start + i as usize) as u32).collect();
+                vars.push((check_start + c) as u32);
+                equations.push((vec![0u8; len], vars));
+            }
+            level_start = check_start;
+        }
+        // Known symbols become degree-1 equations.
+        for (i, k) in known.iter().enumerate() {
+            if let Some(b) = k {
+                equations.push((b.clone(), vec![i as u32]));
+            }
+        }
+        let solved = peel_sparse_xor(plain_count, equations);
+        let mut out = Vec::with_capacity(self.k);
+        for slot in solved.iter().take(self.k) {
+            match slot {
+                Some(b) => out.push(b.clone()),
+                None => return Err(CodingError::DecodeFailed),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+
+    fn make_data(k: usize, len: usize) -> Vec<Block> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 67 + j * 5 + 2) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn construction_shape() {
+        let t = TornadoCode::new(256, 0.5, 1).unwrap();
+        assert_eq!(t.k(), 256);
+        assert!(t.depth() >= 3, "should cascade several levels: {}", t.depth());
+        // Rate ≈ 1−β = 0.5: N ≈ 2K (within slack from level rounding).
+        assert!((t.rate() - 0.5).abs() < 0.1, "rate {}", t.rate());
+    }
+
+    #[test]
+    fn roundtrip_full_word() {
+        let t = TornadoCode::new(64, 0.5, 2).unwrap();
+        let data = make_data(64, 24);
+        let coded = t.encode(&data).unwrap();
+        assert_eq!(coded.len(), t.n());
+        let rx: Vec<_> = coded.into_iter().enumerate().collect();
+        assert_eq!(t.decode(&rx).unwrap(), data);
+    }
+
+    #[test]
+    fn survives_random_erasures() {
+        // Drop 20% of symbols at rate 0.5: decode should usually succeed.
+        let t = TornadoCode::new(128, 0.5, 3).unwrap();
+        let data = make_data(128, 8);
+        let coded = t.encode(&data).unwrap();
+        let mut ok = 0;
+        for trial in 0..10u64 {
+            let mut idx: Vec<usize> = (0..t.n()).collect();
+            let mut rng = SeedSequence::new(trial).fork("erase", 0);
+            idx.shuffle(&mut rng);
+            let keep = t.n() * 8 / 10;
+            let rx: Vec<_> = idx[..keep].iter().map(|&i| (i, coded[i].clone())).collect();
+            if t.decode(&rx).is_ok_and(|d| d == data) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 8, "should decode most 20%-erasure trials: {ok}/10");
+    }
+
+    #[test]
+    fn fails_gracefully_below_k() {
+        let t = TornadoCode::new(32, 0.5, 4).unwrap();
+        let data = make_data(32, 8);
+        let coded = t.encode(&data).unwrap();
+        let rx: Vec<_> = (0..10).map(|i| (i, coded[i].clone())).collect();
+        assert_eq!(t.decode(&rx), Err(CodingError::DecodeFailed));
+    }
+
+    #[test]
+    fn rs_tail_rescues_last_level() {
+        // Erase ALL plain symbols of the last level; the RS tail restores
+        // them and the cascade unwinds.
+        let t = TornadoCode::new(64, 0.5, 5).unwrap();
+        let data = make_data(64, 8);
+        let coded = t.encode(&data).unwrap();
+        let plain_count = t.n() - t.tail.n();
+        let last_start = plain_count - t.tail.k();
+        let rx: Vec<_> = (0..t.n())
+            .filter(|&i| !(last_start..plain_count).contains(&i))
+            .map(|i| (i, coded[i].clone()))
+            .collect();
+        assert_eq!(t.decode(&rx).unwrap(), data);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(TornadoCode::new(0, 0.5, 1).is_err());
+        assert!(TornadoCode::new(10, 0.0, 1).is_err());
+        assert!(TornadoCode::new(10, 1.0, 1).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the coding library.
+
+use proptest::prelude::*;
+use robustore_erasure::lt::{blocks_needed, LtCode};
+use robustore_erasure::soliton::RobustSoliton;
+use robustore_erasure::{xor_into, LtParams, ReedSolomon};
+use robustore_simkit::SeedSequence;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// XOR is an involution and commutative on arbitrary buffers.
+    #[test]
+    fn xor_axioms(a in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let b: Vec<u8> = a.iter().map(|x| x.wrapping_mul(37).wrapping_add(11)).collect();
+        let mut ab = a.clone();
+        xor_into(&mut ab, &b);
+        let mut ba = b.clone();
+        xor_into(&mut ba, &a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+        xor_into(&mut ab, &b);
+        prop_assert_eq!(ab, a, "involution");
+    }
+
+    /// Every planned LT graph is decodable from its full block set and
+    /// all neighbour lists are sorted, distinct, in-range.
+    #[test]
+    fn lt_plan_invariants(
+        k in 1usize..96,
+        extra_pct in 0usize..200,
+        c in 0.1f64..2.5,
+        delta in 0.01f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let n = k + k * extra_pct / 100;
+        let params = LtParams { c, delta, ..Default::default() };
+        let code = LtCode::plan(k, n, params, seed).unwrap();
+        prop_assert!(code.check_decodable());
+        let mut covered = vec![false; k];
+        for j in 0..n {
+            let nb = code.neighbors(j);
+            prop_assert!(!nb.is_empty());
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            for &i in nb {
+                prop_assert!((i as usize) < k);
+                covered[i as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "every original covered");
+    }
+
+    /// Reception overhead is never negative and a decodable prefix uses
+    /// at least K blocks.
+    #[test]
+    fn lt_needs_at_least_k(k in 2usize..64, seed in any::<u64>()) {
+        let code = LtCode::plan(k, 3 * k, LtParams::default(), seed).unwrap();
+        let (needed, edges) = blocks_needed(&code, 0..code.n()).unwrap();
+        prop_assert!(needed >= k);
+        prop_assert!(edges >= k, "at least one edge per decoded original");
+        prop_assert!(edges <= code.edge_count());
+    }
+
+    /// Robust Soliton: valid distribution for arbitrary parameters.
+    #[test]
+    fn soliton_is_a_distribution(
+        k in 1usize..2048,
+        c in 0.05f64..3.0,
+        delta in 0.01f64..0.95,
+    ) {
+        let s = RobustSoliton::new(k, c, delta);
+        let total: f64 = (1..=k).map(|d| s.pmf(d)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!(s.mean_degree() >= 1.0);
+        prop_assert!(s.mean_degree() <= k as f64);
+    }
+
+    /// Soliton sampling stays in range for arbitrary parameters.
+    #[test]
+    fn soliton_sampling_in_range(
+        k in 1usize..512,
+        c in 0.05f64..3.0,
+        delta in 0.01f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let s = RobustSoliton::new(k, c, delta);
+        let mut rng = SeedSequence::new(seed).fork("s", 0);
+        for _ in 0..200 {
+            let d = s.sample(&mut rng);
+            prop_assert!((1..=k).contains(&d));
+        }
+    }
+
+    /// RS: decoding K arbitrary distinct blocks inverts encoding, and the
+    /// decode is insensitive to the order the blocks are presented in.
+    #[test]
+    fn rs_order_insensitive(
+        k in 1usize..9,
+        len in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let n = 2 * k + 1;
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|j| ((seed as usize + i * 31 + j) % 256) as u8).collect())
+            .collect();
+        let coded = rs.encode(&data).unwrap();
+        let fwd: Vec<_> = (0..k).map(|i| (i + k, coded[i + k].clone())).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        prop_assert_eq!(rs.decode(&fwd).unwrap(), data.clone());
+        prop_assert_eq!(rs.decode(&rev).unwrap(), data);
+    }
+}

@@ -1,0 +1,218 @@
+//! RRAID-A's client-side adaptive planner (Figure 6-2b).
+//!
+//! The reader first requests the blocks of replica 0 from each disk. When
+//! some disk A finishes its assignment, the client finds the disk B with
+//! the most outstanding blocks that A also stores, splits B's outstanding
+//! list in half, cancels the second half at B, and requests those blocks
+//! from A — classic work stealing, one network round-trip per round. This
+//! avoids RRAID-S's duplicate reads but pays multiple RTTs, which is why
+//! RRAID-A alone is latency-sensitive (Figures 6-12..6-14).
+//!
+//! This module is pure bookkeeping (no simulation time): the engine tells
+//! it about request/receive/cancel events and asks it to plan steals.
+
+use crate::placement::Placement;
+
+/// One planned steal: take `semantics` away from `victim` and read them
+/// from `thief` instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Steal {
+    /// Slot that ran out of work.
+    pub thief: usize,
+    /// Slot the work is taken from.
+    pub victim: usize,
+    /// Original-block ids moved (victim's later half).
+    pub semantics: Vec<u32>,
+}
+
+/// Client-side view of which originals are outstanding on which disk.
+#[derive(Debug)]
+pub struct AdaptivePlanner {
+    /// Outstanding (requested, not received, not cancelled) originals per
+    /// slot, in request order.
+    pending: Vec<Vec<u32>>,
+    /// Originals already received (no point stealing them).
+    received: Vec<bool>,
+}
+
+impl AdaptivePlanner {
+    /// Planner over `k` originals and `slots` disks.
+    pub fn new(k: usize, slots: usize) -> Self {
+        AdaptivePlanner {
+            pending: vec![Vec::new(); slots],
+            received: vec![false; k],
+        }
+    }
+
+    /// Record that `semantic` was requested from `slot`.
+    pub fn on_request(&mut self, slot: usize, semantic: u32) {
+        self.pending[slot].push(semantic);
+    }
+
+    /// Record the arrival of `semantic` (from any slot). Returns the slots
+    /// that are now idle and should try to steal.
+    pub fn on_receive(&mut self, semantic: u32) -> Vec<usize> {
+        if self.received[semantic as usize] {
+            return Vec::new();
+        }
+        self.received[semantic as usize] = true;
+        let mut newly_idle = Vec::new();
+        for (slot, pend) in self.pending.iter_mut().enumerate() {
+            let before = pend.len();
+            pend.retain(|&s| s != semantic);
+            if before > 0 && pend.is_empty() {
+                newly_idle.push(slot);
+            }
+        }
+        newly_idle
+    }
+
+    /// Outstanding originals on `slot` (client view).
+    pub fn pending(&self, slot: usize) -> &[u32] {
+        &self.pending[slot]
+    }
+
+    /// Whether every original has been received.
+    pub fn all_received(&self) -> bool {
+        self.received.iter().all(|&r| r)
+    }
+
+    /// Plan a steal for idle `thief`: pick the victim with the most
+    /// outstanding blocks that the thief's disk also stores, move the
+    /// second half of the victim's list. Returns `None` when no victim has
+    /// ≥ 2 eligible blocks — halving a single block takes nothing, the
+    /// natural termination of the paper's protocol. (A consequence probed
+    /// by the failure-injection tests: adaptive access cannot drain a dead
+    /// disk's last block, so RRAID-A reads fail under dead servers, while
+    /// the speculative schemes' redundancy rides through.)
+    pub fn plan_steal(&mut self, thief: usize, placement: &Placement) -> Option<Steal> {
+        if !self.pending[thief].is_empty() {
+            return None; // not actually idle
+        }
+        let mut best: Option<(usize, Vec<u32>)> = None;
+        for victim in 0..self.pending.len() {
+            if victim == thief {
+                continue;
+            }
+            let eligible: Vec<u32> = self.pending[victim]
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    !self.received[s as usize] && placement.find_on_disk(thief, s).is_some()
+                })
+                .collect();
+            if best.as_ref().is_none_or(|(_, b)| eligible.len() > b.len()) {
+                best = Some((victim, eligible));
+            }
+        }
+        let (victim, eligible) = best?;
+        if eligible.len() < 2 {
+            return None;
+        }
+        // Second half of the victim's (ordered) eligible list.
+        let take = eligible.len() / 2;
+        let semantics: Vec<u32> = eligible[eligible.len() - take..].to_vec();
+        // Update client view: remove from victim, assign to thief.
+        self.pending[victim].retain(|s| !semantics.contains(s));
+        self.pending[thief].extend_from_slice(&semantics);
+        Some(Steal {
+            thief,
+            victim,
+            semantics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rraid_placement() -> Placement {
+        // 8 originals, 2 replicas, 4 disks.
+        Placement::rraid(8, 16, 4)
+    }
+
+    #[test]
+    fn receive_clears_pending_and_reports_idle() {
+        let mut p = AdaptivePlanner::new(8, 4);
+        p.on_request(0, 0);
+        p.on_request(0, 4);
+        p.on_request(1, 1);
+        assert!(p.on_receive(0).is_empty(), "slot 0 still has block 4");
+        assert_eq!(p.on_receive(4), vec![0], "slot 0 idle now");
+        assert_eq!(p.on_receive(1), vec![1]);
+        assert!(!p.all_received());
+    }
+
+    #[test]
+    fn duplicate_receive_is_ignored() {
+        let mut p = AdaptivePlanner::new(4, 2);
+        p.on_request(0, 2);
+        assert_eq!(p.on_receive(2), vec![0]);
+        assert!(p.on_receive(2).is_empty());
+    }
+
+    #[test]
+    fn steal_takes_second_half_from_biggest_victim() {
+        let placement = rraid_placement();
+        let mut p = AdaptivePlanner::new(8, 4);
+        // Initial replica-0 assignment: slot d gets {d, d+4}.
+        for i in 0..8u32 {
+            p.on_request(i as usize % 4, i);
+        }
+        // Slot 0 receives both of its blocks.
+        p.on_receive(0);
+        let idle = p.on_receive(4);
+        assert_eq!(idle, vec![0]);
+        // Disk 0 stores replica-1 copies of blocks 3 and 7 (rotation), so
+        // the only eligible victim is slot 3 with [3, 7].
+        let steal = p.plan_steal(0, &placement).expect("steal planned");
+        assert_eq!(steal.thief, 0);
+        assert_eq!(steal.victim, 3);
+        assert_eq!(steal.semantics, vec![7], "second half of [3,7]");
+        assert_eq!(p.pending(3), &[3]);
+        assert_eq!(p.pending(0), &[7]);
+    }
+
+    #[test]
+    fn no_steal_when_single_eligible_block() {
+        // Floor halving: the victim's last block stays with it — the
+        // paper's protocol relies on the victim eventually serving it.
+        let placement = rraid_placement();
+        let mut p = AdaptivePlanner::new(8, 4);
+        p.on_request(3, 3); // victim has one block only
+        assert!(p.plan_steal(0, &placement).is_none());
+    }
+
+    #[test]
+    fn no_steal_without_a_local_copy() {
+        // Single-replica placement: thief holds no copies of others' blocks.
+        let placement = Placement::rraid(8, 8, 4);
+        let mut p = AdaptivePlanner::new(8, 4);
+        for i in 0..8u32 {
+            p.on_request(i as usize % 4, i);
+        }
+        p.on_receive(0);
+        p.on_receive(4);
+        assert!(p.plan_steal(0, &placement).is_none());
+    }
+
+    #[test]
+    fn busy_thief_cannot_steal() {
+        let placement = rraid_placement();
+        let mut p = AdaptivePlanner::new(8, 4);
+        p.on_request(0, 0);
+        p.on_request(1, 1);
+        assert!(p.plan_steal(0, &placement).is_none());
+    }
+
+    #[test]
+    fn all_received_terminates() {
+        let mut p = AdaptivePlanner::new(3, 2);
+        for s in 0..3 {
+            p.on_request(s % 2, s as u32);
+            p.on_receive(s as u32);
+        }
+        assert!(p.all_received());
+    }
+}

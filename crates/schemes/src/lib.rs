@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! The parallel storage schemes under evaluation.
+//!
+//! Chapter 6 compares four schemes that differ in *data layout* (Figure
+//! 6-1) and *access mechanism* (Figure 6-2):
+//!
+//! | Scheme      | Redundancy              | Access                          |
+//! |-------------|-------------------------|---------------------------------|
+//! | `Raid0`     | none (plain striping)   | parallel read-all               |
+//! | `RraidS`    | rotated replicas        | speculative (read all, cancel)  |
+//! | `RraidA`    | rotated replicas        | adaptive multi-round stealing   |
+//! | `RobuStore` | LT erasure coding       | speculative + incremental decode|
+//!
+//! * [`placement`] — block-to-disk layouts, balanced and unbalanced.
+//! * [`config`] — one access's configuration (scheme, sizes, redundancy,
+//!   cluster policies) with the §6.2.5 baseline as the default.
+//! * [`tracker`] — scheme-specific completion detection.
+//! * [`engine`] — the discrete-event coordinator that runs one read or
+//!   write access against a [`robustore_cluster::Cluster`].
+//! * [`adaptive`] — RRAID-A's client-side work-stealing planner.
+//! * [`outcome`] — per-access metrics (§6.2.3: access bandwidth, latency,
+//!   I/O overhead) and multi-trial statistics.
+//! * [`runner`] — builds clusters, runs trials, and orchestrates
+//!   read-after-write experiments.
+//!
+//! # Example: one reduced-scale trial set
+//!
+//! ```
+//! use robustore_schemes::{run_trials, AccessConfig, SchemeKind};
+//!
+//! // 32 MB over 4 of 8 disks — a miniature of the paper's baseline.
+//! let mut cfg = AccessConfig::default()
+//!     .with_scheme(SchemeKind::RobuStore)
+//!     .with_disks(4);
+//! cfg.data_bytes = 32 << 20;
+//! cfg.cluster.num_disks = 8;
+//!
+//! let stats = run_trials(&cfg, 3, 7);
+//! assert_eq!(stats.trials(), 3);
+//! assert!(stats.mean_bandwidth_mbps() > 0.0);
+//! ```
+
+pub mod adaptive;
+pub mod config;
+pub mod engine;
+pub mod multiuser;
+pub mod outcome;
+pub mod placement;
+pub mod runner;
+pub mod tracker;
+
+pub use config::{AccessConfig, AccessKind, SchemeKind, Striping};
+pub use outcome::{AccessOutcome, TrialStats};
+pub use multiuser::{run_concurrent_reads, MultiConfig, MultiOutcome};
+pub use placement::Placement;
+pub use runner::{run_access, run_read_cold_warm, run_sequence, run_trials};

@@ -1,0 +1,474 @@
+//! Multi-user workloads: concurrent client accesses on one cluster.
+//!
+//! §7.3 lists "evaluation for multi-user workloads" as future work: the
+//! paper approximates other tenants with random background requests,
+//! noting that a real multi-client model would let one study whole-system
+//! throughput. This module is that model for reads: M clients, each with
+//! its own NIC, metadata session, disk selection, layout, and decoder,
+//! issuing speculative accesses against the *same* disks. Contention is
+//! physical: interleaved streams force repositioning in the disk model
+//! (§1.2 "interleaved access streams can incur additional seeks"), and
+//! each disk's FIFO queue is shared by every client.
+//!
+//! Only read accesses are modelled (the workloads are read-dominated,
+//! §3.2). Each client reads its own independently-striped segment.
+
+use robustore_cluster::Cluster;
+use robustore_diskmodel::request::{Direction, DiskRequest, RequestId, StreamId};
+use robustore_erasure::lt::LtCode;
+use robustore_simkit::{EventQueue, SeedSequence, SimDuration, SimTime};
+
+use crate::config::{AccessConfig, SchemeKind};
+use crate::outcome::AccessOutcome;
+use crate::placement::Placement;
+use crate::runner::select_disks;
+use crate::tracker::ReadTracker;
+
+/// Configuration for a concurrent-read experiment.
+#[derive(Debug, Clone)]
+pub struct MultiConfig {
+    /// Per-client access parameters (scheme, sizes, redundancy, cluster).
+    pub base: AccessConfig,
+    /// Number of simultaneous clients.
+    pub clients: usize,
+    /// Stagger between client start times (0 = all at once).
+    pub stagger: SimDuration,
+}
+
+/// Result of a concurrent-read experiment.
+#[derive(Debug, Clone)]
+pub struct MultiOutcome {
+    /// Per-client access outcomes, in client order.
+    pub per_client: Vec<AccessOutcome>,
+    /// Time from first start to last completion.
+    pub makespan: SimDuration,
+    /// Aggregate useful bytes divided by the makespan, bytes/second.
+    pub system_throughput: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstState {
+    Pending,
+    AtDisk,
+    InFlight,
+    Done,
+    Cancelled,
+}
+
+struct Instance {
+    client: usize,
+    slot: usize,
+    semantic: u32,
+    state: InstState,
+}
+
+enum Ev {
+    Start { client: usize },
+    RequestsArrive { client: usize, slot: usize, insts: Vec<u32> },
+    DiskDone { gdisk: usize },
+    BgArrive { gdisk: usize },
+    NicDone { client: usize, inst: u32 },
+    Deliver { inst: u32 },
+    CancelAll { client: usize, slot: usize },
+}
+
+/// Per-client session state.
+struct Session<'a> {
+    /// Global disk id per slot.
+    disks: Vec<usize>,
+    placement: Placement,
+    tracker: ReadTracker<'a>,
+    started_at: SimTime,
+    completed_at: Option<SimTime>,
+    outstanding: usize,
+    nic_pending: std::collections::VecDeque<u32>,
+    nic_busy: bool,
+    network_bytes: u64,
+    blocks_at_completion: usize,
+}
+
+/// Run `cfg.clients` concurrent reads; deterministic in `seq`.
+///
+/// Clients use distinct `StreamId::Foreground(c)` streams, so the disk
+/// model charges repositioning whenever service alternates between
+/// clients — the §1.2 contention mechanism. RRAID-A's multi-round
+/// adaptation is not supported here (its client state is heavier); the
+/// speculative schemes are the interesting ones under contention.
+pub fn run_concurrent_reads(cfg: &MultiConfig, seq: &SeedSequence) -> MultiOutcome {
+    assert!(cfg.clients >= 1, "need at least one client");
+    assert!(
+        cfg.base.scheme != SchemeKind::RraidA,
+        "RRAID-A is not supported by the multi-user coordinator"
+    );
+    cfg.base.validate().expect("invalid access config");
+    let base = &cfg.base;
+    let mut cluster = Cluster::build(
+        base.cluster.clone(),
+        base.layout,
+        base.background,
+        &seq.subsequence("cluster", 0),
+    );
+
+    // Plan every client's session up front (placement + LT plan).
+    let codes: Vec<Option<LtCode>> = (0..cfg.clients)
+        .map(|c| {
+            let cseq = seq.subsequence("client", c as u64);
+            match base.scheme {
+                SchemeKind::RobuStore => Some(
+                    LtCode::plan(base.k(), base.n(), base.lt, cseq.seed_for("lt-plan", 0))
+                        .expect("valid LT parameters"),
+                ),
+                _ => None,
+            }
+        })
+        .collect();
+    let mut sessions: Vec<Session<'_>> = (0..cfg.clients)
+        .map(|c| {
+            let cseq = seq.subsequence("client", c as u64);
+            let disks = select_disks(cluster.num_disks(), base.num_disks, &cseq);
+            let placement = match base.scheme {
+                SchemeKind::Raid0 => Placement::raid0(base.k(), base.num_disks),
+                SchemeKind::RraidS | SchemeKind::RraidA => {
+                    Placement::rraid(base.k(), base.n(), base.num_disks)
+                }
+                SchemeKind::RobuStore => {
+                    Placement::coded_balanced(base.k(), base.n(), base.num_disks)
+                }
+            };
+            let tracker = match &codes[c] {
+                Some(code) => ReadTracker::lt(code),
+                None => ReadTracker::coverage(base.k()),
+            };
+            Session {
+                disks,
+                placement,
+                tracker,
+                started_at: SimTime::ZERO,
+                completed_at: None,
+                outstanding: 0,
+                nic_pending: std::collections::VecDeque::new(),
+                nic_busy: false,
+                network_bytes: 0,
+                blocks_at_completion: 0,
+            }
+        })
+        .collect();
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut instances: Vec<Instance> = Vec::new();
+    let half_rtt = base.cluster.rtt / 2;
+    let block_sectors = robustore_diskmodel::bytes_to_sectors(base.block_bytes);
+    let block_transfer =
+        SimDuration::from_secs_f64(base.block_bytes as f64 / base.cluster.client_bandwidth);
+    let decode_tail = if base.scheme == SchemeKind::RobuStore {
+        SimDuration::from_secs_f64(base.block_bytes as f64 / base.decode_bandwidth)
+    } else {
+        SimDuration::ZERO
+    };
+    let warmup = if cluster.has_background() {
+        SimDuration::from_secs(2)
+    } else {
+        SimDuration::ZERO
+    };
+
+    // Seed background arrivals on every disk any client uses.
+    let mut bg_counter = 0u64;
+    {
+        let used: std::collections::HashSet<usize> = sessions
+            .iter()
+            .flat_map(|s| s.disks.iter().copied())
+            .collect();
+        for gdisk in used {
+            if let Some(bg) = cluster.background_mut(gdisk) {
+                let t = bg.next_arrival(SimTime::ZERO);
+                q.schedule(t, Ev::BgArrive { gdisk });
+            }
+        }
+    }
+    for (c, session) in sessions.iter_mut().enumerate() {
+        let begin = SimTime::ZERO + warmup + cfg.stagger * c as u64;
+        session.started_at = begin;
+        q.schedule(begin + base.cluster.metadata_overhead, Ev::Start { client: c });
+    }
+
+    let all_done = |sessions: &[Session<'_>]| {
+        sessions
+            .iter()
+            .all(|s| s.completed_at.is_some() && s.outstanding == 0)
+    };
+
+    // NIC helpers operate on one session.
+    fn try_start_nic(
+        s: &mut Session<'_>,
+        client: usize,
+        now: SimTime,
+        q: &mut EventQueue<Ev>,
+        block_bytes: u64,
+        block_transfer: SimDuration,
+    ) {
+        if s.nic_busy {
+            return;
+        }
+        if let Some(inst) = s.nic_pending.pop_front() {
+            s.nic_busy = true;
+            s.network_bytes += block_bytes;
+            q.schedule(now + block_transfer, Ev::NicDone { client, inst });
+        }
+    }
+
+    while !all_done(&sessions) {
+        let Some((now, ev)) = q.pop() else {
+            // Every live event drained without completion: failures are not
+            // injected here, so this is a bug, not a condition.
+            panic!("multi-user simulation stalled");
+        };
+        match ev {
+            Ev::Start { client } => {
+                let mut batches: Vec<Vec<u32>> = vec![Vec::new(); sessions[client].disks.len()];
+                for (slot, batch) in batches.iter_mut().enumerate() {
+                    for b in &sessions[client].placement.per_disk[slot] {
+                        let id = instances.len() as u32;
+                        instances.push(Instance {
+                            client,
+                            slot,
+                            semantic: b.semantic,
+                            state: InstState::Pending,
+                        });
+                        batch.push(id);
+                    }
+                }
+                sessions[client].outstanding += batches.iter().map(|b| b.len()).sum::<usize>();
+                for (slot, insts) in batches.into_iter().enumerate() {
+                    q.schedule(now + half_rtt, Ev::RequestsArrive { client, slot, insts });
+                }
+            }
+            Ev::RequestsArrive { client, slot, insts } => {
+                let gdisk = sessions[client].disks[slot];
+                for inst in insts {
+                    if sessions[client].completed_at.is_some() {
+                        instances[inst as usize].state = InstState::Cancelled;
+                        sessions[client].outstanding -= 1;
+                        continue;
+                    }
+                    instances[inst as usize].state = InstState::AtDisk;
+                    let req = DiskRequest {
+                        id: RequestId(inst as u64),
+                        stream: StreamId::Foreground(client as u64),
+                        direction: Direction::Read,
+                        sectors: block_sectors,
+                        tag: inst as u64,
+                    };
+                    if let Some(t) = cluster.disk_mut(gdisk).submit(now, req) {
+                        q.schedule(t, Ev::DiskDone { gdisk });
+                    }
+                }
+            }
+            Ev::BgArrive { gdisk } => {
+                if all_done(&sessions) {
+                    continue;
+                }
+                bg_counter += 1;
+                let id = RequestId((1 << 40) + bg_counter);
+                let backlog = cluster.disk(gdisk).queued_background();
+                let Some(bg) = cluster.background_mut(gdisk) else {
+                    continue;
+                };
+                let next = bg.next_arrival(now);
+                if backlog < robustore_diskmodel::background::MAX_BACKLOG {
+                    let req = bg.make_request(id);
+                    if let Some(t) = cluster.disk_mut(gdisk).submit(now, req) {
+                        q.schedule(t, Ev::DiskDone { gdisk });
+                    }
+                }
+                q.schedule(next, Ev::BgArrive { gdisk });
+            }
+            Ev::DiskDone { gdisk } => {
+                let (completion, next) = cluster.disk_mut(gdisk).on_complete(now);
+                if let Some(t) = next {
+                    q.schedule(t, Ev::DiskDone { gdisk });
+                }
+                if let StreamId::Foreground(c) = completion.request.stream {
+                    let client = c as usize;
+                    let inst = completion.request.tag as u32;
+                    instances[inst as usize].state = InstState::InFlight;
+                    // Per-client NIC: data propagates rtt/2, then
+                    // serialises on the client's own link. We model the
+                    // propagation inside the transmission slot.
+                    sessions[client].nic_pending.push_back(inst);
+                    let s = &mut sessions[client];
+                    try_start_nic(s, client, now + half_rtt, &mut q, base.block_bytes, block_transfer);
+                }
+            }
+            Ev::NicDone { client, inst } => {
+                sessions[client].nic_busy = false;
+                q.schedule(now + half_rtt, Ev::Deliver { inst });
+                let s = &mut sessions[client];
+                try_start_nic(s, client, now, &mut q, base.block_bytes, block_transfer);
+            }
+            Ev::Deliver { inst } => {
+                let client = instances[inst as usize].client;
+                let semantic = instances[inst as usize].semantic;
+                instances[inst as usize].state = InstState::Done;
+                sessions[client].outstanding -= 1;
+                let s = &mut sessions[client];
+                if s.completed_at.is_none() && s.tracker.receive(semantic) {
+                    s.blocks_at_completion = s.tracker.received();
+                    s.completed_at = Some(now + decode_tail);
+                    for slot in 0..s.disks.len() {
+                        q.schedule(now + half_rtt, Ev::CancelAll { client, slot });
+                    }
+                }
+            }
+            Ev::CancelAll { client, slot } => {
+                let gdisk = sessions[client].disks[slot];
+                let cancelled = cluster
+                    .disk_mut(gdisk)
+                    .cancel_stream(StreamId::Foreground(client as u64));
+                for r in cancelled {
+                    instances[r.tag as usize].state = InstState::Cancelled;
+                    sessions[client].outstanding -= 1;
+                }
+                // Blocks waiting on this client's NIC from this server are
+                // droppable too.
+                let mut dropped = Vec::new();
+                sessions[client].nic_pending.retain(|&i| {
+                    if instances[i as usize].slot == slot {
+                        dropped.push(i);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for i in dropped {
+                    instances[i as usize].state = InstState::Cancelled;
+                    sessions[client].outstanding -= 1;
+                }
+            }
+        }
+    }
+
+    let per_client: Vec<AccessOutcome> = sessions
+        .iter()
+        .map(|s| {
+            let completed = s.completed_at.expect("all sessions complete");
+            AccessOutcome {
+                data_bytes: base.data_bytes,
+                latency: completed.since(s.started_at),
+                network_bytes: s.network_bytes,
+                blocks_at_completion: s.blocks_at_completion,
+                cache_hit_blocks: 0,
+                reception_overhead: if base.scheme == SchemeKind::RobuStore {
+                    s.blocks_at_completion as f64 / base.k() as f64 - 1.0
+                } else {
+                    0.0
+                },
+                failed: false,
+            }
+        })
+        .collect();
+    let first_start = sessions
+        .iter()
+        .map(|s| s.started_at)
+        .min()
+        .expect("at least one client");
+    let last_end = sessions
+        .iter()
+        .map(|s| s.completed_at.expect("complete"))
+        .max()
+        .expect("at least one client");
+    let makespan = last_end.since(first_start);
+    MultiOutcome {
+        system_throughput: (cfg.clients as u64 * base.data_bytes) as f64
+            / makespan.as_secs_f64(),
+        per_client,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(scheme: SchemeKind) -> AccessConfig {
+        let mut cfg = AccessConfig::default().with_scheme(scheme).with_disks(8);
+        cfg.data_bytes = 64 << 20;
+        cfg.cluster.num_disks = 16;
+        cfg
+    }
+
+    fn multi(scheme: SchemeKind, clients: usize) -> MultiConfig {
+        MultiConfig {
+            base: base(scheme),
+            clients,
+            stagger: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_client_matches_scale_of_run_access() {
+        let m = run_concurrent_reads(&multi(SchemeKind::RobuStore, 1), &SeedSequence::new(3));
+        assert_eq!(m.per_client.len(), 1);
+        let solo = crate::runner::run_access(&base(SchemeKind::RobuStore), &SeedSequence::new(3));
+        let a = m.per_client[0].latency.as_secs_f64();
+        let b = solo.latency.as_secs_f64();
+        // Different disk-selection streams, same distribution: same ballpark.
+        assert!(a / b < 4.0 && b / a < 4.0, "multi {a:.2}s vs solo {b:.2}s");
+    }
+
+    #[test]
+    fn contention_slows_individual_clients() {
+        let one = run_concurrent_reads(&multi(SchemeKind::RobuStore, 1), &SeedSequence::new(5));
+        let four = run_concurrent_reads(&multi(SchemeKind::RobuStore, 4), &SeedSequence::new(5));
+        let mean = |m: &MultiOutcome| {
+            m.per_client.iter().map(|o| o.latency.as_secs_f64()).sum::<f64>()
+                / m.per_client.len() as f64
+        };
+        assert!(
+            mean(&four) > mean(&one),
+            "sharing the disks must cost latency: {:.2} vs {:.2}",
+            mean(&four),
+            mean(&one)
+        );
+        // But aggregate throughput should exceed a single client's.
+        assert!(four.system_throughput > one.system_throughput);
+    }
+
+    #[test]
+    fn robustore_sustains_more_aggregate_throughput_than_raid0() {
+        let robusto = run_concurrent_reads(&multi(SchemeKind::RobuStore, 3), &SeedSequence::new(7));
+        let raid0 = run_concurrent_reads(&multi(SchemeKind::Raid0, 3), &SeedSequence::new(7));
+        assert!(
+            robusto.system_throughput > 2.0 * raid0.system_throughput,
+            "RobuSTore {:.0} vs RAID-0 {:.0} MB/s system throughput",
+            robusto.system_throughput / 1e6,
+            raid0.system_throughput / 1e6
+        );
+    }
+
+    #[test]
+    fn staggered_starts_are_reflected_in_latency_accounting() {
+        let mut cfg = multi(SchemeKind::RobuStore, 3);
+        cfg.stagger = SimDuration::from_millis(200);
+        let m = run_concurrent_reads(&cfg, &SeedSequence::new(9));
+        assert_eq!(m.per_client.len(), 3);
+        for o in &m.per_client {
+            assert!(o.latency.as_secs_f64() > 0.0);
+            assert!(!o.failed);
+        }
+        assert!(m.makespan.as_secs_f64() >= 0.4, "stagger extends the makespan");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_concurrent_reads(&multi(SchemeKind::RraidS, 2), &SeedSequence::new(11));
+        let b = run_concurrent_reads(&multi(SchemeKind::RraidS, 2), &SeedSequence::new(11));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.per_client[1].network_bytes, b.per_client[1].network_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn rraid_a_rejected() {
+        run_concurrent_reads(&multi(SchemeKind::RraidA, 2), &SeedSequence::new(1));
+    }
+}

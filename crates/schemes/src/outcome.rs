@@ -1,0 +1,161 @@
+//! Access metrics and multi-trial statistics (§6.2.3).
+//!
+//! Three metrics, exactly as the paper defines them:
+//!
+//! * **Access bandwidth** — original data size / access latency, where the
+//!   latency includes connection setup, disk service, transfer, and coding
+//!   time.
+//! * **Variation of access latency** — the standard deviation of latency
+//!   over the trials of one configuration.
+//! * **I/O overhead** — (bytes sent over networks − original size) /
+//!   original size; cache hits still cross the network, so they count.
+
+use robustore_simkit::{OnlineStats, SimDuration, Summary};
+
+/// The result of one simulated access.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessOutcome {
+    /// Original data size, bytes.
+    pub data_bytes: u64,
+    /// End-to-end access latency (metadata, disk, network, decode tail).
+    pub latency: SimDuration,
+    /// Total foreground bytes that crossed the network, including
+    /// duplicates, cache-served bytes, and bytes in flight at cancel time.
+    pub network_bytes: u64,
+    /// Blocks the client had received when the access completed.
+    pub blocks_at_completion: usize,
+    /// Blocks served from filer caches.
+    pub cache_hit_blocks: usize,
+    /// RobuSTore only: LT reception overhead ((received/K) − 1) at
+    /// completion; 0 for other schemes.
+    pub reception_overhead: f64,
+    /// True if the access could not complete (injected failures removed
+    /// too many blocks). Latency/bandwidth are meaningless when set.
+    pub failed: bool,
+}
+
+impl AccessOutcome {
+    /// Delivered bandwidth, bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.data_bytes as f64 / self.latency.as_secs_f64()
+    }
+
+    /// I/O overhead per the paper's definition.
+    pub fn io_overhead(&self) -> f64 {
+        (self.network_bytes as f64 - self.data_bytes as f64) / self.data_bytes as f64
+    }
+}
+
+/// Aggregated statistics over the trials of one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TrialStats {
+    /// Trials that failed to complete (failure injection).
+    pub failures: u64,
+    /// Access bandwidth (bytes/second) across trials.
+    pub bandwidth: OnlineStats,
+    /// Access latency (seconds) across trials.
+    pub latency: OnlineStats,
+    /// I/O overhead (ratio) across trials.
+    pub io_overhead: OnlineStats,
+    /// Reception overhead (ratio) across trials.
+    pub reception_overhead: OnlineStats,
+    /// Cache-hit blocks across trials.
+    pub cache_hits: OnlineStats,
+}
+
+impl TrialStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one trial. Failed accesses count toward [`Self::failures`]
+    /// and contribute no performance samples.
+    pub fn push(&mut self, o: &AccessOutcome) {
+        if o.failed {
+            self.failures += 1;
+            return;
+        }
+        self.bandwidth.push(o.bandwidth());
+        self.latency.push(o.latency.as_secs_f64());
+        self.io_overhead.push(o.io_overhead());
+        self.reception_overhead.push(o.reception_overhead);
+        self.cache_hits.push(o.cache_hit_blocks as f64);
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.bandwidth.count()
+    }
+
+    /// Mean bandwidth in MB/s (10⁶ bytes, as the paper reports).
+    pub fn mean_bandwidth_mbps(&self) -> f64 {
+        self.bandwidth.mean() / 1e6
+    }
+
+    /// Standard deviation of latency in seconds — the robustness metric.
+    pub fn latency_stdev_secs(&self) -> f64 {
+        self.latency.stdev()
+    }
+
+    /// Mean latency in seconds.
+    pub fn mean_latency_secs(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Mean I/O overhead ratio.
+    pub fn mean_io_overhead(&self) -> f64 {
+        self.io_overhead.mean()
+    }
+
+    /// Frozen summaries for reporting.
+    pub fn summaries(&self) -> (Summary, Summary, Summary) {
+        (
+            self.bandwidth.summary(),
+            self.latency.summary(),
+            self.io_overhead.summary(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(latency_s: f64, net: u64) -> AccessOutcome {
+        AccessOutcome {
+            data_bytes: 1_000_000,
+            latency: SimDuration::from_secs_f64(latency_s),
+            network_bytes: net,
+            blocks_at_completion: 10,
+            cache_hit_blocks: 0,
+            reception_overhead: 0.5,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn bandwidth_and_overhead() {
+        let o = outcome(2.0, 1_500_000);
+        assert!((o.bandwidth() - 500_000.0).abs() < 1e-6);
+        assert!((o.io_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut s = TrialStats::new();
+        s.push(&outcome(1.0, 1_000_000));
+        s.push(&outcome(3.0, 2_000_000));
+        assert_eq!(s.trials(), 2);
+        assert!((s.mean_latency_secs() - 2.0).abs() < 1e-9);
+        assert!((s.latency_stdev_secs() - std::f64::consts::SQRT_2).abs() < 1e-6);
+        assert!((s.mean_io_overhead() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_overhead_impossible_at_or_above_original() {
+        // A scheme that sends exactly the original bytes has zero overhead.
+        let o = outcome(1.0, 1_000_000);
+        assert_eq!(o.io_overhead(), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Block-to-disk layouts (Figure 6-1).
+//!
+//! A placement maps every *stored block* — a plain block, a replica copy,
+//! or an LT-coded block — to a position on one of the H selected disks.
+//! The per-disk order is the on-disk order: disks service a speculative
+//! access's blocks in exactly this order, which is what makes RRAID-S
+//! sensitive to *intra-disk block ordering* (§6.3.1).
+
+/// One stored block: the semantic id (original-block id for plain/replica
+/// layouts, coded-block id for RobuSTore) plus the copy number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredBlock {
+    /// Original or coded block id.
+    pub semantic: u32,
+    /// Replica number (always 0 for striped and coded layouts).
+    pub copy: u8,
+}
+
+/// A data layout across H disk slots.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Stored blocks per disk slot, in on-disk order.
+    pub per_disk: Vec<Vec<StoredBlock>>,
+    /// Number of original blocks K.
+    pub k: usize,
+}
+
+impl Placement {
+    /// RAID-0: block i on disk i mod H (Figure 6-1c).
+    pub fn raid0(k: usize, disks: usize) -> Self {
+        assert!(disks > 0 && k > 0);
+        let mut per_disk = vec![Vec::new(); disks];
+        for i in 0..k {
+            per_disk[i % disks].push(StoredBlock {
+                semantic: i as u32,
+                copy: 0,
+            });
+        }
+        Placement { per_disk, k }
+    }
+
+    /// RRAID (S and A): copy r of block i on disk (i + r) mod H, per-disk
+    /// order replica-major (Figure 6-1d). `n_stored` allows arbitrary
+    /// redundancy: full replicas plus a partial replica covering the first
+    /// `n_stored − full·K` originals.
+    pub fn rraid(k: usize, n_stored: usize, disks: usize) -> Self {
+        assert!(disks > 0 && k > 0);
+        assert!(n_stored >= k, "need at least one copy of each original");
+        let mut per_disk = vec![Vec::new(); disks];
+        let full = n_stored / k;
+        let partial = n_stored % k;
+        for r in 0..full {
+            for i in 0..k {
+                per_disk[(i + r) % disks].push(StoredBlock {
+                    semantic: i as u32,
+                    copy: r as u8,
+                });
+            }
+        }
+        for i in 0..partial {
+            per_disk[(i + full) % disks].push(StoredBlock {
+                semantic: i as u32,
+                copy: full as u8,
+            });
+        }
+        Placement { per_disk, k }
+    }
+
+    /// RobuSTore balanced striping: coded block j on disk j mod H
+    /// (Figure 6-1e).
+    pub fn coded_balanced(k: usize, n_coded: usize, disks: usize) -> Self {
+        assert!(disks > 0 && n_coded > 0);
+        let mut per_disk = vec![Vec::new(); disks];
+        for j in 0..n_coded {
+            per_disk[j % disks].push(StoredBlock {
+                semantic: j as u32,
+                copy: 0,
+            });
+        }
+        Placement { per_disk, k }
+    }
+
+    /// RobuSTore unbalanced striping: per-disk block counts proportional
+    /// to `weights` (per-disk write bandwidth from a speculative write),
+    /// allocated by largest remainder so counts sum exactly to `n_coded`.
+    pub fn coded_weighted(k: usize, n_coded: usize, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty() && n_coded > 0);
+        assert!(weights.iter().all(|&w| w >= 0.0));
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one positive weight");
+        let disks = weights.len();
+        // Largest-remainder apportionment.
+        let quotas: Vec<f64> = weights.iter().map(|w| w / total * n_coded as f64).collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = counts.iter().sum();
+        let mut order: Vec<usize> = (0..disks).collect();
+        order.sort_by(|&a, &b| {
+            let ra = quotas[a] - quotas[a].floor();
+            let rb = quotas[b] - quotas[b].floor();
+            rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+        });
+        for &d in order.iter().take(n_coded - assigned) {
+            counts[d] += 1;
+        }
+        let mut per_disk = vec![Vec::new(); disks];
+        let mut next = 0u32;
+        // Fill disk by disk; which coded index lands where is irrelevant
+        // because coded blocks are symmetric.
+        for (d, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                per_disk[d].push(StoredBlock {
+                    semantic: next,
+                    copy: 0,
+                });
+                next += 1;
+            }
+        }
+        Placement { per_disk, k }
+    }
+
+    /// Build directly from explicit per-disk semantic lists (used to read
+    /// back exactly what a simulated write stored).
+    pub fn from_lists(k: usize, lists: Vec<Vec<u32>>) -> Self {
+        let per_disk = lists
+            .into_iter()
+            .map(|l| {
+                l.into_iter()
+                    .map(|semantic| StoredBlock { semantic, copy: 0 })
+                    .collect()
+            })
+            .collect();
+        Placement { per_disk, k }
+    }
+
+    /// Number of disk slots.
+    pub fn disks(&self) -> usize {
+        self.per_disk.len()
+    }
+
+    /// Total stored blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.per_disk.iter().map(|d| d.len()).sum()
+    }
+
+    /// Position of a copy of `semantic` on disk `slot`, if stored there.
+    pub fn find_on_disk(&self, slot: usize, semantic: u32) -> Option<usize> {
+        self.per_disk[slot].iter().position(|b| b.semantic == semantic)
+    }
+
+    /// How many copies of each semantic exist (diagnostics / tests).
+    pub fn copy_counts(&self) -> std::collections::HashMap<u32, usize> {
+        let mut m = std::collections::HashMap::new();
+        for d in &self.per_disk {
+            for b in d {
+                *m.entry(b.semantic).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raid0_round_robin() {
+        let p = Placement::raid0(8, 4);
+        assert_eq!(p.total_blocks(), 8);
+        assert_eq!(p.per_disk[0].iter().map(|b| b.semantic).collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(p.per_disk[3].iter().map(|b| b.semantic).collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn rraid_rotates_replicas() {
+        // Figure 6-1d: 8 blocks, 2 replicas, 4 disks.
+        let p = Placement::rraid(8, 16, 4);
+        assert_eq!(p.total_blocks(), 16);
+        // Disk 0: replica 0 of {0,4}, replica 1 of {3,7} (rotated by one).
+        let d0: Vec<(u32, u8)> = p.per_disk[0].iter().map(|b| (b.semantic, b.copy)).collect();
+        assert_eq!(d0, vec![(0, 0), (4, 0), (3, 1), (7, 1)]);
+        // Every original has exactly 2 copies.
+        assert!(p.copy_counts().values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn rraid_partial_replica() {
+        // 8 originals, 12 stored = 1.5 replicas: originals 0..4 get 2
+        // copies, the rest 1.
+        let p = Placement::rraid(8, 12, 4);
+        assert_eq!(p.total_blocks(), 12);
+        let counts = p.copy_counts();
+        for i in 0..4u32 {
+            assert_eq!(counts[&i], 2, "original {i}");
+        }
+        for i in 4..8u32 {
+            assert_eq!(counts[&i], 1, "original {i}");
+        }
+    }
+
+    #[test]
+    fn rraid_every_original_present() {
+        let p = Placement::rraid(100, 317, 7);
+        let counts = p.copy_counts();
+        for i in 0..100u32 {
+            assert!(counts[&i] >= 1);
+        }
+        assert_eq!(p.total_blocks(), 317);
+    }
+
+    #[test]
+    fn coded_balanced_even_split() {
+        let p = Placement::coded_balanced(8, 32, 4);
+        assert!(p.per_disk.iter().all(|d| d.len() == 8));
+        // All semantics distinct (coded blocks are never duplicated).
+        assert!(p.copy_counts().values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn coded_weighted_proportional() {
+        let p = Placement::coded_weighted(8, 100, &[1.0, 3.0, 1.0, 5.0]);
+        let counts: Vec<usize> = p.per_disk.iter().map(|d| d.len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert_eq!(counts, vec![10, 30, 10, 50]);
+        assert!(p.copy_counts().values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn coded_weighted_largest_remainder() {
+        let p = Placement::coded_weighted(4, 10, &[1.0, 1.0, 1.0]);
+        let counts: Vec<usize> = p.per_disk.iter().map(|d| d.len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| (3..=4).contains(&c)));
+    }
+
+    #[test]
+    fn coded_weighted_zero_weight_disk_gets_nothing() {
+        let p = Placement::coded_weighted(4, 12, &[0.0, 1.0, 2.0]);
+        assert_eq!(p.per_disk[0].len(), 0);
+        assert_eq!(p.total_blocks(), 12);
+    }
+
+    #[test]
+    fn find_on_disk() {
+        let p = Placement::rraid(8, 16, 4);
+        assert_eq!(p.find_on_disk(0, 0), Some(0));
+        assert_eq!(p.find_on_disk(0, 3), Some(2)); // replica 1 of block 3
+        assert_eq!(p.find_on_disk(0, 1), None);
+    }
+
+    #[test]
+    fn from_lists_roundtrip() {
+        let p = Placement::from_lists(4, vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(p.disks(), 2);
+        assert_eq!(p.total_blocks(), 4);
+        assert_eq!(p.find_on_disk(1, 3), Some(1));
+    }
+}

@@ -1,0 +1,107 @@
+//! Scheme-specific completion detection for read accesses.
+//!
+//! Each scheme decides differently when "enough" blocks have arrived
+//! (§6.2.1): RAID-0 needs every block, the RRAID schemes need one copy of
+//! every original, RobuSTore needs the LT peeling decoder to finish.
+
+use robustore_erasure::lt::{LtCode, SymbolDecoder};
+use robustore_erasure::replication::CoverageTracker;
+
+/// Read-completion tracker.
+pub enum ReadTracker<'a> {
+    /// One copy of every original (RAID-0 degenerates to this with exactly
+    /// one copy existing; RRAID-S/A deduplicate replicas through it).
+    Coverage(CoverageTracker),
+    /// LT peeling over coded-block ids (RobuSTore).
+    Lt(SymbolDecoder<'a>),
+}
+
+impl<'a> ReadTracker<'a> {
+    /// Tracker for plain/replicated layouts over `k` originals.
+    pub fn coverage(k: usize) -> Self {
+        ReadTracker::Coverage(CoverageTracker::new(k))
+    }
+
+    /// Tracker for an LT-coded layout.
+    pub fn lt(code: &'a LtCode) -> Self {
+        ReadTracker::Lt(SymbolDecoder::new(code))
+    }
+
+    /// Record the arrival of a block (original id for coverage, coded id
+    /// for LT). Returns `true` once the read can complete.
+    pub fn receive(&mut self, semantic: u32) -> bool {
+        match self {
+            ReadTracker::Coverage(t) => t.receive(semantic as usize),
+            ReadTracker::Lt(d) => d.receive(semantic as usize),
+        }
+    }
+
+    /// Whether the read is complete.
+    pub fn is_complete(&self) -> bool {
+        match self {
+            ReadTracker::Coverage(t) => t.is_complete(),
+            ReadTracker::Lt(d) => d.is_complete(),
+        }
+    }
+
+    /// Distinct useful arrivals so far (coverage counts every arrival
+    /// including duplicates; LT counts distinct coded blocks).
+    pub fn received(&self) -> usize {
+        match self {
+            ReadTracker::Coverage(t) => t.received(),
+            ReadTracker::Lt(d) => d.received(),
+        }
+    }
+
+    /// Whether `semantic` has already been covered/received — used by
+    /// RRAID-A to avoid stealing blocks it already has.
+    pub fn has(&self, semantic: u32) -> bool {
+        match self {
+            ReadTracker::Coverage(t) => t.is_covered(semantic as usize),
+            // For LT, a coded block is "had" only if that exact coded id
+            // arrived (coded blocks are not interchangeable one-for-one).
+            ReadTracker::Lt(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use robustore_erasure::LtParams;
+
+    #[test]
+    fn coverage_completes_on_all_originals() {
+        let mut t = ReadTracker::coverage(3);
+        assert!(!t.receive(0));
+        assert!(!t.receive(0));
+        assert!(!t.receive(1));
+        assert!(t.receive(2));
+        assert!(t.is_complete());
+        assert!(t.has(0));
+        assert!(!ReadTracker::coverage(3).has(0));
+    }
+
+    #[test]
+    fn lt_completes_via_peeling() {
+        let code = LtCode::plan(16, 64, LtParams::default(), 99).unwrap();
+        let mut t = ReadTracker::lt(&code);
+        let mut done = false;
+        for j in 0..64 {
+            if t.receive(j) {
+                done = true;
+                break;
+            }
+        }
+        assert!(done);
+        assert!(t.received() >= 16);
+    }
+
+    #[test]
+    fn received_counts_duplicates_for_coverage() {
+        let mut t = ReadTracker::coverage(2);
+        t.receive(0);
+        t.receive(0);
+        assert_eq!(t.received(), 2);
+    }
+}

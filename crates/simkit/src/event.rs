@@ -1,0 +1,237 @@
+//! Timestamped event queue with deterministic ordering.
+//!
+//! Events are ordered by timestamp; events scheduled for the same instant
+//! are delivered in insertion (FIFO) order. Both properties are load-bearing
+//! for reproducibility: the disk, filer, and client models all schedule
+//! events at identical instants (e.g. a cancellation racing a completion),
+//! and the tie-break decides who wins — it must not depend on heap
+//! internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list: the core of the discrete-event simulation.
+///
+/// `E` is the simulation-specific event payload (an enum in practice).
+/// Cancellation is supported by id: cancelled events are dropped lazily when
+/// they reach the head of the queue, which keeps `cancel` O(log n) amortised
+/// without a secondary index into the heap.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at `SimTime::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` for instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current simulation time; models
+    /// must not schedule into the past.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at} is before current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (idempotent: cancelling twice returns `false` the
+    /// second time).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Remove and return the earliest pending event, advancing the clock to
+    /// its timestamp. Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event queue time went backwards");
+            self.now = entry.at;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at_ms(30), "c");
+        q.schedule(at_ms(10), "a");
+        q.schedule(at_ms(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(at_ms(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(at_ms(10), ());
+        q.schedule(at_ms(25), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), at_ms(10));
+        q.pop();
+        assert_eq!(q.now(), at_ms(25));
+    }
+
+    #[test]
+    fn cancellation_drops_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at_ms(10), "a");
+        q.schedule(at_ms(20), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel must be a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(at_ms(10), "a");
+        q.schedule(at_ms(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(at_ms(20)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(at_ms(10), ());
+        q.pop();
+        q.schedule(at_ms(5), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(at_ms(10), 1);
+        q.pop();
+        q.schedule(at_ms(10), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+}

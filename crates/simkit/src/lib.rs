@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation kit for the RobuSTore reproduction.
+//!
+//! This crate provides the substrate every simulated component builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution virtual clock
+//!   with exact integer arithmetic, so event ordering is deterministic and
+//!   platform-independent.
+//! * [`EventQueue`] — a priority queue of timestamped events with stable
+//!   FIFO tie-breaking for simultaneous events.
+//! * [`rng`] — deterministic per-component random streams derived from a
+//!   single master seed, so every experiment is exactly reproducible.
+//! * [`stats`] — online mean/variance accumulation and summaries used by the
+//!   evaluation harness (access bandwidth, latency standard deviation, ...).
+//! * [`report`] — plain-text table formatting for the experiment binaries.
+//!
+//! The engine is intentionally minimal: RobuSTore's evaluation (paper
+//! Chapter 6) is a closed-loop client/disk simulation, which maps naturally
+//! onto a single event queue drained by a scheme-specific coordinator loop
+//! rather than onto a general process-oriented framework.
+
+pub mod event;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::{SeedSequence, SimRng};
+pub use stats::{OnlineStats, Summary};
+pub use time::{SimDuration, SimTime};

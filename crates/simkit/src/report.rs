@@ -1,0 +1,138 @@
+//! Plain-text table formatting for the experiment harness.
+//!
+//! Each experiment binary prints the rows/series of the corresponding paper
+//! table or figure. The format is fixed-width text so results diff cleanly
+//! between runs and paste into EXPERIMENTS.md unchanged.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row. The number of cells must match the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width does not match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "# {}", self.title);
+        }
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(line, "{:>width$}", h, width = widths[i]);
+            if i + 1 < ncols {
+                line.push_str("  ");
+            }
+        }
+        let _ = writeln!(out, "{line}");
+        let _ = writeln!(out, "{}", "-".repeat(line.len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:>width$}", cell, width = widths[i]);
+                if i + 1 < ncols {
+                    line.push_str("  ");
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+}
+
+/// Format a float with `prec` decimal places.
+pub fn fmt(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Format a bandwidth in MB/s with one decimal place.
+pub fn mbps(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a ratio as a percentage with one decimal place.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["disks", "bw (MB/s)"]);
+        t.row(vec!["2".into(), "31.0".into()]);
+        t.row(vec!["128".into(), "459.3".into()]);
+        let s = t.render();
+        assert!(s.contains("# demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, separator, 2 rows
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].ends_with("bw (MB/s)"));
+        assert!(lines[3].trim_start().starts_with('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(mbps(123.456), "123.5");
+        assert_eq!(pct(0.405), "40.5%");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new("", &["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component of the simulation (per-disk layout draws,
+//! background-workload arrivals, LT coding graphs, disk selection, ...)
+//! owns its own [`SimRng`] derived from a master seed through a
+//! [`SeedSequence`]. Components therefore never share a stream, and adding
+//! draws to one component cannot perturb another — the property that makes
+//! per-figure sweeps comparable across schemes.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// The concrete RNG used throughout the simulation.
+///
+/// `SmallRng` (xoshiro256++ on 64-bit platforms) is fast and has more than
+/// enough statistical quality for the workload models here; it is not
+/// cryptographic, which is fine — nothing in the simulator is adversarial.
+pub type SimRng = SmallRng;
+
+/// SplitMix64 step, used for seed derivation.
+///
+/// SplitMix64 is the standard generator for expanding one 64-bit seed into
+/// many independent seeds (it is what the xoshiro authors recommend for
+/// seeding).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives independent, reproducible seeds and RNGs from a master seed.
+///
+/// Streams are labelled: `fork("disk", 17)` always yields the same stream
+/// for a given master seed, independent of the order in which other streams
+/// are forked.
+#[derive(Clone, Copy, Debug)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// A sequence rooted at `master`.
+    pub fn new(master: u64) -> Self {
+        SeedSequence { master }
+    }
+
+    /// The master seed this sequence was rooted at.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derive the 64-bit seed for stream (`label`, `index`).
+    pub fn seed_for(&self, label: &str, index: u64) -> u64 {
+        // FNV-1a over the label, mixed with the master seed and index, then
+        // finalized through SplitMix64. Deterministic across platforms.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in label.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut state = self
+            .master
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h)
+            .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let a = splitmix64(&mut state);
+        let b = splitmix64(&mut state);
+        a ^ b.rotate_left(32)
+    }
+
+    /// Fork a fully-seeded RNG for stream (`label`, `index`).
+    pub fn fork(&self, label: &str, index: u64) -> SimRng {
+        let mut state = self.seed_for(label, index);
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+        }
+        SimRng::from_seed(seed)
+    }
+
+    /// A sub-sequence rooted at stream (`label`, `index`); useful for
+    /// giving a component its own namespace of child streams (e.g. one
+    /// sequence per simulation trial).
+    pub fn subsequence(&self, label: &str, index: u64) -> SeedSequence {
+        SeedSequence {
+            master: self.seed_for(label, index),
+        }
+    }
+}
+
+/// Convenience: draw a uniform `f64` in `[0, 1)`.
+pub fn uniform01(rng: &mut impl RngCore) -> f64 {
+    // 53 random mantissa bits, the standard construction.
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draw from an exponential distribution with the given mean.
+///
+/// Used for Poisson arrival processes in the background-workload generator.
+pub fn exponential(rng: &mut impl RngCore, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u = 1.0 - uniform01(rng); // in (0, 1]
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let seq = SeedSequence::new(42);
+        let mut a = seq.fork("disk", 3);
+        let mut b = seq.fork("disk", 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let seq = SeedSequence::new(42);
+        assert_ne!(seq.seed_for("disk", 0), seq.seed_for("filer", 0));
+        assert_ne!(seq.seed_for("disk", 0), seq.seed_for("disk", 1));
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(
+            SeedSequence::new(1).seed_for("disk", 0),
+            SeedSequence::new(2).seed_for("disk", 0)
+        );
+    }
+
+    #[test]
+    fn subsequence_is_namespaced() {
+        let seq = SeedSequence::new(7);
+        let t0 = seq.subsequence("trial", 0);
+        let t1 = seq.subsequence("trial", 1);
+        assert_ne!(t0.seed_for("disk", 0), t1.seed_for("disk", 0));
+        // And stable:
+        assert_eq!(
+            t0.seed_for("disk", 0),
+            seq.subsequence("trial", 0).seed_for("disk", 0)
+        );
+    }
+
+    #[test]
+    fn uniform01_in_range_and_varied() {
+        let mut rng = SeedSequence::new(9).fork("u", 0);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let x = uniform01(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+            seen_low |= x < 0.5;
+            seen_high |= x >= 0.5;
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SeedSequence::new(11).fork("e", 0);
+        let n = 100_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.1,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn forked_rng_supports_rand_traits() {
+        let mut rng = SeedSequence::new(1).fork("x", 0);
+        let v: u32 = rng.gen_range(0..10);
+        assert!(v < 10);
+    }
+}

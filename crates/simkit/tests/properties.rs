@@ -1,0 +1,95 @@
+//! Property tests for the simulation kit.
+
+use proptest::prelude::*;
+use robustore_simkit::{EventQueue, OnlineStats, SimDuration, SimTime};
+
+proptest! {
+    /// Events pop in nondecreasing time order, with FIFO tie-break,
+    /// regardless of insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped: Vec<(u64, usize)> = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                kept.push(i);
+            }
+        }
+        let mut seen: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            seen.push(i);
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, kept);
+    }
+
+    /// Welford statistics agree with the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let stats: OnlineStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((stats.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((stats.stdev() - var.sqrt()).abs() <= 1e-5 * (1.0 + var.sqrt()));
+        prop_assert_eq!(stats.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(stats.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging arbitrary splits equals the sequential accumulation.
+    #[test]
+    fn stats_merge_associative(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let cut = split.min(xs.len());
+        let whole: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..cut].iter().copied().collect();
+        let right: OnlineStats = xs[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.stdev() - whole.stdev()).abs() < 1e-7 * (1.0 + whole.stdev()));
+    }
+
+    /// Duration arithmetic: sums of parts equal the whole.
+    #[test]
+    fn duration_addition_is_consistent(parts in proptest::collection::vec(0u64..1_000_000, 1..50)) {
+        let total: SimDuration = parts.iter().map(|&p| SimDuration::from_nanos(p)).sum();
+        prop_assert_eq!(total.as_nanos(), parts.iter().sum::<u64>());
+        let mut t = SimTime::ZERO;
+        for &p in &parts {
+            t += SimDuration::from_nanos(p);
+        }
+        prop_assert_eq!(t.since(SimTime::ZERO), total);
+    }
+}

@@ -1,0 +1,114 @@
+//! A shared, multi-tenant cluster: competitive workloads, admission
+//! control, and delegated access.
+//!
+//! ```text
+//! cargo run --release --example shared_cluster [trials]
+//! ```
+//!
+//! Part 1 quantifies what disk sharing does to each scheme (§6.3.2): the
+//! same 1 GB read with every disk running heterogeneous competitive
+//! background workloads. Part 2 demonstrates the framework side: per-server
+//! admission control refusing an overloaded tenant, and a credential chain
+//! letting a collaborator read a private dataset (Appendices B/C).
+
+use robustore::core::{
+    AccessMode, Client, CredentialChain, InMemoryBackend, QosOptions, Rights, StoreError, System,
+    SystemConfig,
+};
+use robustore::cluster::BackgroundPolicy;
+use robustore::schemes::{run_trials, AccessConfig, SchemeKind};
+use robustore::simkit::report::{mbps, Table};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+
+    // ---------------------------------------------------------------
+    // Part 1: competitive workloads (cf. Figures 6-26/6-27 at D=3).
+    // ---------------------------------------------------------------
+    println!("1 GB read with heterogeneous competitive workloads on every disk, {trials} trials\n");
+    let mut table = Table::new(
+        "Read under disk sharing",
+        &["scheme", "bandwidth (MB/s)", "stdev (s)", "I/O overhead"],
+    );
+    for scheme in SchemeKind::ALL {
+        let mut cfg = AccessConfig::default().with_scheme(scheme);
+        cfg.background = BackgroundPolicy::Heterogeneous;
+        let s = run_trials(&cfg, trials, 0xD15C);
+        table.row(vec![
+            scheme.name().to_string(),
+            mbps(s.mean_bandwidth_mbps()),
+            format!("{:.2}", s.latency_stdev_secs()),
+            format!("{:.0}%", s.mean_io_overhead() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // ---------------------------------------------------------------
+    // Part 2: admission control + delegation on the framework.
+    // ---------------------------------------------------------------
+    let system = System::new(
+        InMemoryBackend::new((0..8).map(|i| 10e6 + i as f64 * 5e6).collect()),
+        SystemConfig {
+            block_bytes: 64 << 10,
+            admission_capacity: 1,
+            ..Default::default()
+        },
+    );
+    let pi = system.register_user(); // principal investigator
+    let postdoc = system.register_user();
+    let pi_client = Client::connect(&system, pi);
+    let postdoc_client = Client::connect(&system, postdoc);
+
+    let data: Vec<u8> = (0..2 << 20).map(|i| (i % 199) as u8).collect();
+    let mut h = pi_client
+        .open("lab/results.raw", AccessMode::Write, QosOptions::best_effort())
+        .expect("open");
+    pi_client.write(&mut h, &data).expect("write");
+    pi_client.close(h).expect("close");
+    println!("PI stored lab/results.raw ({} MB)", data.len() >> 20);
+
+    // A greedy tenant saturates every server's admission slot.
+    for d in 0..8 {
+        system.occupy_admission(d, 4242);
+    }
+    let mut h = pi_client
+        .open("lab/scratch", AccessMode::Write, QosOptions::best_effort())
+        .expect("open scratch");
+    match pi_client.write(&mut h, &data) {
+        Err(StoreError::AdmissionDenied { disk }) => {
+            println!("admission control refused the write (server of disk {disk} is full)");
+        }
+        other => panic!("expected admission denial, got {other:?}"),
+    }
+    for d in 0..8 {
+        system.release_admission(d, 4242);
+    }
+    pi_client.write(&mut h, &data).expect("write after tenants leave");
+    pi_client.close(h).expect("close scratch");
+    println!("…and admitted it once the competing tenant released its slots");
+
+    // The postdoc cannot read the PI's file without a credential.
+    assert!(matches!(
+        postdoc_client.open("lab/results.raw", AccessMode::Read, QosOptions::best_effort()),
+        Err(StoreError::AccessDenied(_))
+    ));
+    let cred = system
+        .issue_credential(pi, postdoc, Rights::R, "lab/results.raw", 10_000)
+        .expect("issue credential");
+    let chain = CredentialChain(vec![cred]);
+    let h = postdoc_client
+        .open_with_chain(
+            "lab/results.raw",
+            AccessMode::Read,
+            QosOptions::best_effort(),
+            &chain,
+        )
+        .expect("delegated open");
+    let back = postdoc_client.read(&h).expect("delegated read");
+    postdoc_client.close(h).expect("close");
+    assert_eq!(back, data);
+    println!("postdoc read the dataset through a credential chain delegated by the PI");
+}

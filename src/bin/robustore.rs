@@ -1,0 +1,310 @@
+//! `robustore` — a small CLI over the RobuSTore client API with durable
+//! file-backed storage.
+//!
+//! ```text
+//! robustore --store DIR init --disks N [--spread X]
+//! robustore --store DIR put  <file> [--name NAME] [--redundancy D]
+//! robustore --store DIR get  <name> [--out PATH]
+//! robustore --store DIR rm   <name>
+//! robustore --store DIR ls
+//! robustore --store DIR stat <name>
+//! ```
+//!
+//! Blocks are LT-coded and spread over `N` virtual disks under `DIR`
+//! (directories on one filesystem — the point is exercising the real
+//! coding/metadata/planning stack end to end, not multi-machine
+//! deployment). File metadata persists as plain-text sidecars under
+//! `DIR/metadata/`. The store is single-owner: ownership is anchored in
+//! filesystem permissions on `DIR`, so restored metadata is re-owned by
+//! the invoking session.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use robustore::core::metadata::CodingSpec;
+use robustore::core::{
+    AccessMode, Client, FileBackend, FileMeta, QosOptions, System, SystemConfig,
+};
+use robustore::erasure::LtParams;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: robustore --store DIR <command>\n\
+         commands:\n\
+         \x20 init --disks N [--spread X]   create a store (disk speeds span X-fold, default 4)\n\
+         \x20 put <file> [--name NAME] [--redundancy D]\n\
+         \x20 get <name> [--out PATH]\n\
+         \x20 rm <name>\n\
+         \x20 ls\n\
+         \x20 stat <name>"
+    );
+    exit(2);
+}
+
+/// Plain-text metadata sidecar (no serde_json offline; the format is a
+/// versioned key=value list with one `disk` line per layout entry).
+mod sidecar {
+    use super::*;
+
+    pub fn encode(m: &FileMeta) -> String {
+        let mut out = String::new();
+        out.push_str("robustore-meta-v1\n");
+        out.push_str(&format!("name={}\n", m.name));
+        out.push_str(&format!("file_id={}\n", m.file_id));
+        out.push_str(&format!("size_bytes={}\n", m.size_bytes));
+        out.push_str(&format!("k={}\n", m.coding.k));
+        out.push_str(&format!("n={}\n", m.coding.n));
+        out.push_str(&format!("block_bytes={}\n", m.coding.block_bytes));
+        out.push_str(&format!("lt_c={}\n", m.coding.params.c));
+        out.push_str(&format!("lt_delta={}\n", m.coding.params.delta));
+        out.push_str(&format!("seed={}\n", m.coding.seed));
+        out.push_str(&format!("version={}\n", m.version));
+        for (disk, ids) in &m.layout {
+            let list: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+            out.push_str(&format!("disk={}:{}\n", disk, list.join(",")));
+        }
+        out
+    }
+
+    pub fn decode(text: &str, owner: u64) -> Option<FileMeta> {
+        let mut lines = text.lines();
+        if lines.next()? != "robustore-meta-v1" {
+            return None;
+        }
+        let mut name = None;
+        let mut file_id = None;
+        let mut size_bytes = None;
+        let mut k = None;
+        let mut n = None;
+        let mut block_bytes = None;
+        let mut c = None;
+        let mut delta = None;
+        let mut seed = None;
+        let mut version = None;
+        let mut layout: Vec<(usize, Vec<u32>)> = Vec::new();
+        for line in lines {
+            let (key, value) = line.split_once('=')?;
+            match key {
+                "name" => name = Some(value.to_string()),
+                "file_id" => file_id = value.parse().ok(),
+                "size_bytes" => size_bytes = value.parse().ok(),
+                "k" => k = value.parse().ok(),
+                "n" => n = value.parse().ok(),
+                "block_bytes" => block_bytes = value.parse().ok(),
+                "lt_c" => c = value.parse().ok(),
+                "lt_delta" => delta = value.parse().ok(),
+                "seed" => seed = value.parse().ok(),
+                "version" => version = value.parse().ok(),
+                "disk" => {
+                    let (disk, ids) = value.split_once(':')?;
+                    let ids: Vec<u32> = if ids.is_empty() {
+                        Vec::new()
+                    } else {
+                        ids.split(',').map(|t| t.parse().ok()).collect::<Option<_>>()?
+                    };
+                    layout.push((disk.parse().ok()?, ids));
+                }
+                _ => return None,
+            }
+        }
+        Some(FileMeta {
+            name: name?,
+            file_id: file_id?,
+            size_bytes: size_bytes?,
+            coding: CodingSpec {
+                k: k?,
+                n: n?,
+                block_bytes: block_bytes?,
+                params: LtParams {
+                    c: c?,
+                    delta: delta?,
+                    ..Default::default()
+                },
+                seed: seed?,
+            },
+            layout,
+            owner,
+            version: version?,
+        })
+    }
+}
+
+fn meta_dir(store: &Path) -> PathBuf {
+    store.join("metadata")
+}
+
+fn meta_path(store: &Path, name: &str) -> PathBuf {
+    // File names may contain '/', which must not escape the sidecar dir.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    meta_dir(store).join(format!("{h:016x}.meta"))
+}
+
+/// Open the store and restore all persisted metadata, owned by a fresh
+/// session identity.
+fn open_store(store: &Path) -> (System, Client) {
+    if !store.join("speeds").exists() {
+        die(&format!(
+            "no store at {} (run `robustore --store {} init --disks N` first)",
+            store.display(),
+            store.display()
+        ));
+    }
+    let text = std::fs::read_to_string(store.join("speeds")).unwrap_or_default();
+    let speeds: Vec<f64> = text.split_whitespace().filter_map(|t| t.parse().ok()).collect();
+    let backend = FileBackend::open(store, speeds).unwrap_or_else(|e| die(&e.to_string()));
+    let system = System::with_backend(
+        Box::new(backend),
+        SystemConfig {
+            block_bytes: 256 << 10,
+            ..Default::default()
+        },
+    );
+    let me = system.register_user();
+    if let Ok(entries) = std::fs::read_dir(meta_dir(store)) {
+        for entry in entries.filter_map(|e| e.ok()) {
+            if let Ok(text) = std::fs::read_to_string(entry.path()) {
+                if let Some(meta) = sidecar::decode(&text, me) {
+                    system.import_meta(meta);
+                }
+            }
+        }
+    }
+    let client = Client::connect(&system, me);
+    (system, client)
+}
+
+fn persist_meta(store: &Path, system: &System, name: &str) {
+    let meta = system
+        .export_meta(name)
+        .unwrap_or_else(|| die("metadata vanished after write"));
+    std::fs::create_dir_all(meta_dir(store)).ok();
+    std::fs::write(meta_path(store, name), sidecar::encode(&meta))
+        .unwrap_or_else(|e| die(&format!("cannot persist metadata: {e}")));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut store: Option<PathBuf> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--store" {
+            i += 1;
+            store = args.get(i).map(PathBuf::from);
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let store = store.unwrap_or_else(|| usage());
+    if rest.is_empty() {
+        usage();
+    }
+    let flag = |name: &str| -> Option<String> {
+        rest.iter().position(|a| a == name).and_then(|p| rest.get(p + 1).cloned())
+    };
+
+    match rest[0].as_str() {
+        "init" => {
+            let disks: usize = flag("--disks")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage());
+            let spread: f64 = flag("--spread").and_then(|v| v.parse().ok()).unwrap_or(4.0);
+            if disks == 0 || spread < 1.0 {
+                die("need --disks ≥ 1 and --spread ≥ 1");
+            }
+            // Nominal speeds spanning `spread`-fold, for planner realism.
+            let speeds: Vec<f64> = (0..disks)
+                .map(|d| 10e6 * spread.powf(d as f64 / (disks.max(2) - 1) as f64))
+                .collect();
+            FileBackend::open(&store, speeds).unwrap_or_else(|e| die(&e.to_string()));
+            std::fs::create_dir_all(meta_dir(&store)).ok();
+            println!("initialised store at {} with {disks} disks", store.display());
+        }
+        "put" => {
+            let src = rest.get(1).unwrap_or_else(|| usage());
+            let name = flag("--name").unwrap_or_else(|| src.clone());
+            let redundancy: f64 = flag("--redundancy").and_then(|v| v.parse().ok()).unwrap_or(3.0);
+            let data = std::fs::read(src).unwrap_or_else(|e| die(&format!("read {src}: {e}")));
+            let (system, client) = open_store(&store);
+            let mut h = client
+                .open(
+                    &name,
+                    AccessMode::Write,
+                    QosOptions::best_effort().with_redundancy(redundancy),
+                )
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let report = client.write(&mut h, &data).unwrap_or_else(|e| die(&e.to_string()));
+            client.close(h).unwrap_or_else(|e| die(&e.to_string()));
+            persist_meta(&store, &system, &name);
+            println!(
+                "stored {name}: {} bytes as {} coded blocks on {} disks ({:.0}% redundancy)",
+                data.len(),
+                report.blocks_written,
+                report.disks,
+                report.redundancy * 100.0
+            );
+        }
+        "get" => {
+            let name = rest.get(1).unwrap_or_else(|| usage());
+            let out = flag("--out").unwrap_or_else(|| name.clone());
+            let (_system, client) = open_store(&store);
+            let h = client
+                .open(name, AccessMode::Read, QosOptions::best_effort())
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let (data, rr) = client.read_with_report(&h).unwrap_or_else(|e| die(&e.to_string()));
+            client.close(h).unwrap_or_else(|e| die(&e.to_string()));
+            std::fs::write(&out, &data).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+            println!(
+                "retrieved {name} -> {out} ({} bytes from {} blocks, {} left unread)",
+                data.len(),
+                rr.blocks_fetched,
+                rr.blocks_cancelled
+            );
+        }
+        "rm" => {
+            let name = rest.get(1).unwrap_or_else(|| usage());
+            let (_system, client) = open_store(&store);
+            client.delete(name).unwrap_or_else(|e| die(&e.to_string()));
+            std::fs::remove_file(meta_path(&store, name)).ok();
+            println!("removed {name}");
+        }
+        "ls" => {
+            let (system, _client) = open_store(&store);
+            for name in system.list_files() {
+                println!("{name}");
+            }
+        }
+        "stat" => {
+            let name = rest.get(1).unwrap_or_else(|| usage());
+            let (system, _client) = open_store(&store);
+            match system.export_meta(name) {
+                Some(m) => {
+                    println!("name:        {}", m.name);
+                    println!("size:        {} bytes", m.size_bytes);
+                    println!(
+                        "coding:      LT K={} N={} ({} KiB blocks, seed {:#x})",
+                        m.coding.k,
+                        m.coding.n,
+                        m.coding.block_bytes >> 10,
+                        m.coding.seed
+                    );
+                    println!("version:     {}", m.version);
+                    println!("disks used:  {}", m.layout.iter().filter(|(_, b)| !b.is_empty()).count());
+                    println!("blocks:      {}", m.stored_blocks());
+                }
+                None => die(&format!("no such file: {name}")),
+            }
+        }
+        _ => usage(),
+    }
+}

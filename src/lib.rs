@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! RobuSTore — a distributed storage architecture with robust and high
+//! performance.
+//!
+//! Facade crate re-exporting the workspace's public API. See the README for
+//! a quickstart and `DESIGN.md` for the architecture.
+
+pub use robustore_cluster as cluster;
+pub use robustore_core as core;
+pub use robustore_diskmodel as diskmodel;
+pub use robustore_erasure as erasure;
+pub use robustore_schemes as schemes;
+pub use robustore_simkit as simkit;

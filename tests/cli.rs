@@ -1,0 +1,118 @@
+//! End-to-end tests of the `robustore` CLI binary: a durable store
+//! exercised across separate process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_robustore")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let unique = format!(
+        "robustore-cli-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    );
+    let p = std::env::temp_dir().join(unique);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin()).args(args).output().expect("spawn CLI");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn full_lifecycle_across_invocations() {
+    let dir = temp_dir("lifecycle");
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+
+    let (ok, out) = run(&["--store", store_s, "init", "--disks", "6"]);
+    assert!(ok, "init failed: {out}");
+
+    // A payload with non-trivial content and a size that is not a block
+    // multiple.
+    let payload: Vec<u8> = (0..777_777u32).map(|i| (i % 251) as u8).collect();
+    let src = dir.join("payload.bin");
+    std::fs::write(&src, &payload).unwrap();
+
+    let (ok, out) = run(&[
+        "--store", store_s, "put", src.to_str().unwrap(),
+        "--name", "proj/payload", "--redundancy", "2",
+    ]);
+    assert!(ok, "put failed: {out}");
+    assert!(out.contains("coded blocks"), "{out}");
+
+    // Listing and stat in fresh processes see the persisted metadata.
+    let (ok, out) = run(&["--store", store_s, "ls"]);
+    assert!(ok && out.contains("proj/payload"), "{out}");
+    let (ok, out) = run(&["--store", store_s, "stat", "proj/payload"]);
+    assert!(ok && out.contains("777777 bytes"), "{out}");
+
+    // Retrieval round-trips the bytes exactly.
+    let dst = dir.join("back.bin");
+    let (ok, out) = run(&[
+        "--store", store_s, "get", "proj/payload", "--out", dst.to_str().unwrap(),
+    ]);
+    assert!(ok, "get failed: {out}");
+    assert!(out.contains("left unread"), "speculative accounting: {out}");
+    assert_eq!(std::fs::read(&dst).unwrap(), payload);
+
+    // Removal drops the file from later invocations.
+    let (ok, out) = run(&["--store", store_s, "rm", "proj/payload"]);
+    assert!(ok, "rm failed: {out}");
+    let (ok, out) = run(&["--store", store_s, "get", "proj/payload"]);
+    assert!(!ok, "get after rm should fail: {out}");
+    let (ok, out) = run(&["--store", store_s, "ls"]);
+    assert!(ok && !out.contains("proj/payload"), "{out}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn get_survives_losing_disks_up_to_redundancy() {
+    let dir = temp_dir("degraded");
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+    run(&["--store", store_s, "init", "--disks", "6"]);
+
+    let payload = vec![0xA7u8; 500_000];
+    let src = dir.join("p.bin");
+    std::fs::write(&src, &payload).unwrap();
+    let (ok, out) = run(&[
+        "--store", store_s, "put", src.to_str().unwrap(),
+        "--name", "x", "--redundancy", "3",
+    ]);
+    assert!(ok, "{out}");
+
+    // Simulate a lost disk by deleting its directory contents.
+    std::fs::remove_dir_all(store.join("disk-0")).unwrap();
+    std::fs::create_dir_all(store.join("disk-0")).unwrap();
+
+    let dst = dir.join("x.out");
+    let (ok, out) = run(&["--store", store_s, "get", "x", "--out", dst.to_str().unwrap()]);
+    assert!(ok, "degraded get failed: {out}");
+    assert_eq!(std::fs::read(&dst).unwrap(), payload);
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn unknown_command_and_missing_store_fail_cleanly() {
+    let (ok, _) = run(&["--store", "/nonexistent-robustore", "frobnicate"]);
+    assert!(!ok);
+    let (ok, out) = run(&["--store", "/nonexistent-robustore", "ls"]);
+    assert!(!ok);
+    assert!(out.contains("no store"), "{out}");
+}

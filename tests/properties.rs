@@ -1,0 +1,153 @@
+//! Property-based tests over the public coding and placement APIs.
+
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use robustore::erasure::lt::LtCode;
+use robustore::erasure::parity::ParityCode;
+use robustore::erasure::replication::Replication;
+use robustore::erasure::{LtParams, ReedSolomon};
+use robustore::schemes::placement::Placement;
+use robustore::simkit::SeedSequence;
+
+fn arb_blocks(k: usize, len: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), len), k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LT codes: any planned graph decodes the original data from a
+    /// random arrival order, for arbitrary data contents.
+    #[test]
+    fn lt_roundtrip_random_order(
+        k in 4usize..48,
+        extra in 1usize..4,
+        len in 1usize..96,
+        seed in any::<u64>(),
+        data_seed in any::<u64>(),
+    ) {
+        let n = k * (1 + extra);
+        let data: Vec<Vec<u8>> = {
+            let mut rng = SeedSequence::new(data_seed).fork("data", 0);
+            (0..k).map(|_| (0..len).map(|_| rand::Rng::gen(&mut rng)).collect()).collect()
+        };
+        let code = LtCode::plan(k, n, LtParams::default(), seed).unwrap();
+        let coded = code.encode(&data).unwrap();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = SeedSequence::new(seed ^ 0x5A5A).fork("order", 0);
+        order.shuffle(&mut rng);
+        let rx: Vec<_> = order.iter().map(|&j| (j, coded[j].clone())).collect();
+        prop_assert_eq!(code.decode(&rx).unwrap(), data);
+    }
+
+    /// Reed-Solomon: any K-subset of coded blocks decodes.
+    #[test]
+    fn rs_any_subset_decodes(
+        k in 1usize..12,
+        extra in 1usize..12,
+        len in 1usize..64,
+        data in any::<u64>(),
+        pick_seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        prop_assume!(n <= 255);
+        let blocks: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|j| ((data as usize + i * 31 + j * 7) % 256) as u8).collect())
+            .collect();
+        let rs = ReedSolomon::new(k, n).unwrap();
+        let coded = rs.encode(&blocks).unwrap();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = SeedSequence::new(pick_seed).fork("pick", 0);
+        idx.shuffle(&mut rng);
+        let rx: Vec<_> = idx[..k].iter().map(|&i| (i, coded[i].clone())).collect();
+        prop_assert_eq!(rs.decode(&rx).unwrap(), blocks);
+    }
+
+    /// Parity codes recover any single lost data block.
+    #[test]
+    fn parity_recovers_single_loss(
+        k in 1usize..10,
+        len in 1usize..64,
+        lost in 0usize..10,
+    ) {
+        prop_assume!(lost < k);
+        let blocks: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|j| ((i * 13 + j) % 256) as u8).collect())
+            .collect();
+        let pc = ParityCode::new(k).unwrap();
+        let coded = pc.encode(&blocks).unwrap();
+        let rx: Vec<_> = (0..=k).filter(|&i| i != lost).map(|i| (i, coded[i].clone())).collect();
+        prop_assert_eq!(pc.decode(&rx).unwrap(), blocks);
+    }
+
+    /// Replication decodes iff every original is covered.
+    #[test]
+    fn replication_coverage_is_necessary_and_sufficient(
+        k in 1usize..16,
+        copies in 1usize..4,
+        subset_seed in any::<u64>(),
+    ) {
+        let r = Replication::new(k, copies).unwrap();
+        let blocks: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8; 8]).collect();
+        let coded = r.encode(&blocks).unwrap();
+        let mut idx: Vec<usize> = (0..r.n()).collect();
+        let mut rng = SeedSequence::new(subset_seed).fork("s", 0);
+        idx.shuffle(&mut rng);
+        let take = idx.len() / 2 + 1;
+        let rx: Vec<_> = idx[..take].iter().map(|&i| (i, coded[i].clone())).collect();
+        let covered: std::collections::HashSet<usize> =
+            idx[..take].iter().map(|&i| r.original_of(i)).collect();
+        match r.decode(&rx) {
+            Ok(decoded) => {
+                prop_assert_eq!(covered.len(), k);
+                prop_assert_eq!(decoded, blocks);
+            }
+            Err(_) => prop_assert!(covered.len() < k),
+        }
+    }
+
+    /// Placements conserve blocks: every constructor stores exactly what
+    /// was asked, each coded semantic exactly once.
+    #[test]
+    fn placements_conserve_blocks(
+        k in 1usize..64,
+        disks in 1usize..16,
+        extra in 0usize..3,
+    ) {
+        let n = k * (1 + extra);
+        let p = Placement::coded_balanced(k, n, disks);
+        prop_assert_eq!(p.total_blocks(), n);
+        prop_assert!(p.copy_counts().values().all(|&c| c == 1));
+
+        let p = Placement::raid0(k, disks);
+        prop_assert_eq!(p.total_blocks(), k);
+
+        let p = Placement::rraid(k, n.max(k), disks);
+        prop_assert_eq!(p.total_blocks(), n.max(k));
+        let counts = p.copy_counts();
+        for i in 0..k as u32 {
+            prop_assert!(counts[&i] >= 1, "original {} uncovered", i);
+        }
+    }
+
+    /// Weighted placement apportions proportionally (largest remainder):
+    /// every disk gets within one block of its exact quota.
+    #[test]
+    fn weighted_placement_is_proportional(
+        n in 1usize..300,
+        weights in proptest::collection::vec(0.0f64..100.0, 1..12),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+        let p = Placement::coded_weighted(4, n, &weights);
+        prop_assert_eq!(p.total_blocks(), n);
+        let total: f64 = weights.iter().sum();
+        for (d, w) in weights.iter().enumerate() {
+            let quota = w / total * n as f64;
+            let got = p.per_disk[d].len() as f64;
+            prop_assert!(
+                (got - quota).abs() <= 1.0,
+                "disk {} got {} for quota {:.2}", d, got, quota
+            );
+        }
+    }
+}

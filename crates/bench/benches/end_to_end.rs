@@ -15,17 +15,13 @@ fn bench_end_to_end(c: &mut Criterion) {
         let mut cfg = AccessConfig::default().with_scheme(scheme).with_disks(8);
         cfg.data_bytes = 64 << 20;
         cfg.cluster.num_disks = 16;
-        g.bench_with_input(
-            BenchmarkId::new("scheme", scheme.name()),
-            &cfg,
-            |b, cfg| {
-                let mut t = 0u64;
-                b.iter(|| {
-                    t += 1;
-                    run_access(cfg, &SeedSequence::new(77).subsequence("trial", t))
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("scheme", scheme.name()), &cfg, |b, cfg| {
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                run_access(cfg, &SeedSequence::new(77).subsequence("trial", t))
+            });
+        });
     }
     g.finish();
 }

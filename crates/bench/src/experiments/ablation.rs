@@ -10,8 +10,8 @@ use robustore_diskmodel::QueueDiscipline;
 use robustore_erasure::lt::{blocks_needed, GreedyDecoder, LtCode, LtDecoder};
 use robustore_erasure::LtParams;
 use robustore_schemes::{AccessConfig, SchemeKind};
-use robustore_simkit::SimDuration;
 use robustore_simkit::report::Table;
+use robustore_simkit::SimDuration;
 use robustore_simkit::{OnlineStats, SeedSequence};
 
 use super::{metric_header, metric_row, trials_for};
@@ -93,7 +93,12 @@ pub fn ablation_xor(trials: u64) -> String {
     let block = 4 << 10;
     let mut table = Table::new(
         "Ablation: lazy vs greedy XOR decoding, K=512",
-        &["decoder", "block XORs (mean)", "XORs per decoded block", "saving"],
+        &[
+            "decoder",
+            "block XORs (mean)",
+            "XORs per decoded block",
+            "saving",
+        ],
     );
     let mut lazy_ops = OnlineStats::new();
     let mut greedy_ops = OnlineStats::new();
@@ -192,7 +197,12 @@ pub fn ablation_cancel(trials: u64) -> String {
         for (label, cancel) in [("on", true), ("off", false)] {
             let mut cfg = AccessConfig::default().with_scheme(scheme);
             cfg.read_cancellation = cancel;
-            let s = trials_for(&cfg, trials, "ablation-cancel", (scheme as u64) << 1 | cancel as u64);
+            let s = trials_for(
+                &cfg,
+                trials,
+                "ablation-cancel",
+                (scheme as u64) << 1 | cancel as u64,
+            );
             metric_row(&mut table, label.into(), scheme.name(), &s);
         }
     }

@@ -49,7 +49,9 @@ pub fn table5_1(_trials: u64) -> String {
         ]);
     }
     let mut out = table.render();
-    out.push_str("\nShape check: bandwidth should fall ~2x per K doubling (cost quadratic in K).\n");
+    out.push_str(
+        "\nShape check: bandwidth should fall ~2x per K doubling (cost quadratic in K).\n",
+    );
     out
 }
 
@@ -66,7 +68,12 @@ pub fn fig4_1(trials: u64) -> String {
 
     let mut table = Table::new(
         "Figure 4-1: P(reassembly) after M of 4096 blocks, K=1024",
-        &["M", "replication (4 copies)", "ideal coded (degree 5)", "LT codes (measured)"],
+        &[
+            "M",
+            "replication (4 copies)",
+            "ideal coded (degree 5)",
+            "LT codes (measured)",
+        ],
     );
     for m in (1280..=3584).step_by(256) {
         table.row(vec![
@@ -102,7 +109,12 @@ pub fn coding_survey(trials: u64) -> String {
 
     let mut table = Table::new(
         "Coding survey: 4 MB data, K=64 blocks (rates differ by design)",
-        &["code", "N", "encode (MB/s)", "blocks to decode (of N, random order)"],
+        &[
+            "code",
+            "N",
+            "encode (MB/s)",
+            "blocks to decode (of N, random order)",
+        ],
     );
 
     // Helper to time encoding.
@@ -152,8 +164,14 @@ pub fn coding_survey(trials: u64) -> String {
     }
     // Raptor.
     {
-        let code = RaptorCode::plan(k, 4 * k, 0.1, LtParams::default(), seq.seed_for("raptor", 0))
-            .unwrap();
+        let code = RaptorCode::plan(
+            k,
+            4 * k,
+            0.1,
+            LtParams::default(),
+            seq.seed_for("raptor", 0),
+        )
+        .unwrap();
         let mut coded = Vec::new();
         let (bw, n) = time_encode(&mut || {
             coded = code.encode(&data).unwrap();
@@ -166,7 +184,10 @@ pub fn coding_survey(trials: u64) -> String {
             order.shuffle(&mut seq.fork("raptor-order", t));
             let mut used = n;
             for take in k..=n {
-                let rx: Vec<_> = order[..take].iter().map(|&j| (j, coded[j].clone())).collect();
+                let rx: Vec<_> = order[..take]
+                    .iter()
+                    .map(|&j| (j, coded[j].clone()))
+                    .collect();
                 if code.decode(&rx).is_ok() {
                     used = take;
                     break;
@@ -195,7 +216,10 @@ pub fn coding_survey(trials: u64) -> String {
             order.shuffle(&mut seq.fork("tornado-order", t));
             let mut used = n;
             for take in k..=n {
-                let rx: Vec<_> = order[..take].iter().map(|&j| (j, coded[j].clone())).collect();
+                let rx: Vec<_> = order[..take]
+                    .iter()
+                    .map(|&j| (j, coded[j].clone()))
+                    .collect();
                 if code.decode(&rx).is_ok() {
                     used = take;
                     break;
@@ -243,8 +267,7 @@ fn lt_grid_stats(
         let code = LtCode::plan(k, n, params, seq.seed_for("plan", t)).expect("valid params");
         let mut rng = seq.fork("order", t);
         order.shuffle(&mut rng);
-        let (needed, e) =
-            blocks_needed(&code, order.iter().copied()).expect("full set decodes");
+        let (needed, e) = blocks_needed(&code, order.iter().copied()).expect("full set decodes");
         overhead.push(needed as f64 / k as f64 - 1.0);
         edges.push(e as f64);
     }
@@ -262,7 +285,8 @@ pub fn fig5_1(trials: u64) -> String {
     for k in [128usize, 512, 1024] {
         for &c in &C_GRID {
             for &d in &DELTA_GRID {
-                let (oh, _) = lt_grid_stats(k, c, d, trials, &seq.subsequence("cell", (k as u64) << 8));
+                let (oh, _) =
+                    lt_grid_stats(k, c, d, trials, &seq.subsequence("cell", (k as u64) << 8));
                 table.row(vec![
                     k.to_string(),
                     format!("{c}"),
@@ -289,7 +313,13 @@ pub fn fig5_2(trials: u64) -> String {
     );
     for &c in &C_GRID {
         for &d in &DELTA_GRID {
-            let (_, edges) = lt_grid_stats(k, c, d, trials, &seq.subsequence("cell", (c * 100.0) as u64));
+            let (_, edges) = lt_grid_stats(
+                k,
+                c,
+                d,
+                trials,
+                &seq.subsequence("cell", (c * 100.0) as u64),
+            );
             table.row(vec![
                 format!("{c}"),
                 format!("{d}"),
@@ -300,7 +330,9 @@ pub fn fig5_2(trials: u64) -> String {
         }
     }
     let mut out = table.render();
-    out.push_str("\nPaper: small delta / large C cost fewer edges (less CPU) but more reception overhead.\n");
+    out.push_str(
+        "\nPaper: small delta / large C cost fewer edges (less CPU) but more reception overhead.\n",
+    );
     out
 }
 

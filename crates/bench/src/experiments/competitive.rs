@@ -31,8 +31,7 @@ pub fn fig6_24(trials: u64) -> String {
         for scheme in SchemeKind::ALL {
             let mut cfg = AccessConfig::default().with_scheme(scheme);
             cfg.layout = LayoutPolicy::Homogeneous;
-            cfg.background =
-                BackgroundPolicy::Uniform(SimDuration::from_millis(interval_ms));
+            cfg.background = BackgroundPolicy::Uniform(SimDuration::from_millis(interval_ms));
             let s = trials_for(&cfg, trials, "fig6-24", (i * 4) as u64);
             metric_row(&mut table, interval_ms.to_string(), scheme.name(), &s);
         }
@@ -46,12 +45,7 @@ pub fn fig6_24(trials: u64) -> String {
     out
 }
 
-fn competitive_redundancy_sweep(
-    title: &str,
-    id: &str,
-    kind: AccessKind,
-    trials: u64,
-) -> Table {
+fn competitive_redundancy_sweep(title: &str, id: &str, kind: AccessKind, trials: u64) -> Table {
     let header = metric_header("redundancy");
     let mut table = Table::new(title, &header);
     {
@@ -61,7 +55,11 @@ fn competitive_redundancy_sweep(
         metric_row(&mut table, "0%".into(), SchemeKind::Raid0.name(), &s);
     }
     for (i, &d) in REDUNDANCY_SWEEP.iter().enumerate() {
-        for scheme in [SchemeKind::RraidS, SchemeKind::RraidA, SchemeKind::RobuStore] {
+        for scheme in [
+            SchemeKind::RraidS,
+            SchemeKind::RraidA,
+            SchemeKind::RobuStore,
+        ] {
             let cfg = competitive_baseline(scheme)
                 .with_kind(kind)
                 .with_redundancy(d);

@@ -16,7 +16,17 @@ pub fn table6_1(trials: u64) -> String {
     let cells = table_grid(&geometry, 64 << 20, trials.clamp(1, 10));
     let mut table = Table::new(
         "Table 6-1: average disk bandwidth (MB/s) per in-disk layout configuration",
-        &["seq prob \\ blocking factor", "8", "16", "32", "64", "128", "256", "512", "1024"],
+        &[
+            "seq prob \\ blocking factor",
+            "8",
+            "16",
+            "32",
+            "64",
+            "128",
+            "256",
+            "512",
+            "1024",
+        ],
     );
     for &p in &[0.0, 1.0] {
         let mut row = vec![format!("{p}")];
@@ -154,7 +164,10 @@ mod tests {
         let seq = SeedSequence::new(1);
         let (u_heavy, bw_heavy) = background_duel(SimDuration::from_millis(6), &seq);
         let (u_light, bw_light) = background_duel(SimDuration::from_millis(200), &seq);
-        assert!(u_heavy > 0.7, "6 ms interval should near-saturate: {u_heavy}");
+        assert!(
+            u_heavy > 0.7,
+            "6 ms interval should near-saturate: {u_heavy}"
+        );
         assert!(u_light < 0.3, "200 ms interval should be light: {u_light}");
         assert!(
             bw_light > 4.0 * bw_heavy,

@@ -20,7 +20,9 @@ pub fn fig6_6(trials: u64) -> String {
     );
     for (i, &disks) in [2usize, 4, 8, 16, 32, 64, 128].iter().enumerate() {
         for scheme in SchemeKind::ALL {
-            let cfg = AccessConfig::default().with_scheme(scheme).with_disks(disks);
+            let cfg = AccessConfig::default()
+                .with_scheme(scheme)
+                .with_disks(disks);
             let s = trials_for(&cfg, trials, "fig6-6", (i * 4) as u64);
             metric_row(&mut table, disks.to_string(), scheme.name(), &s);
         }
@@ -100,8 +102,11 @@ pub const REDUNDANCY_SWEEP: [f64; 8] = [0.0, 0.4, 1.0, 2.0, 3.0, 5.0, 7.0, 9.0];
 
 /// Schemes that appear in redundancy sweeps (RAID-0 has no redundancy
 /// knob; the paper represents it as the zero-redundancy point).
-const REDUNDANT_SCHEMES: [SchemeKind; 3] =
-    [SchemeKind::RraidS, SchemeKind::RraidA, SchemeKind::RobuStore];
+const REDUNDANT_SCHEMES: [SchemeKind; 3] = [
+    SchemeKind::RraidS,
+    SchemeKind::RraidA,
+    SchemeKind::RobuStore,
+];
 
 fn redundancy_sweep(
     title: &str,

@@ -6,6 +6,7 @@ pub mod cache;
 pub mod coding;
 pub mod competitive;
 pub mod disk;
+pub mod faults;
 pub mod layoutvar;
 pub mod multiuser;
 
@@ -45,7 +46,9 @@ pub fn metric_row(table: &mut Table, point: String, scheme: &str, s: &TrialStats
 pub fn trials_for(cfg: &AccessConfig, trials: u64, id: &str, point: u64) -> TrialStats {
     let seed = id
         .bytes()
-        .fold(MASTER_SEED, |h, b| h.wrapping_mul(31).wrapping_add(b as u64))
+        .fold(MASTER_SEED, |h, b| {
+            h.wrapping_mul(31).wrapping_add(b as u64)
+        })
         .wrapping_add(point.wrapping_mul(0x9E37_79B9));
     run_trials(cfg, trials, seed)
 }

@@ -158,6 +158,11 @@ pub fn registry() -> Vec<Experiment> {
             covers: "Ablation: request cancellation on/off (the §5.3.3 claim)",
             run: ablation::ablation_cancel,
         },
+        Experiment {
+            id: "faults",
+            covers: "Chaos extension: schemes under identical injected fault schedules (§6.3 operationalised)",
+            run: faults::faults,
+        },
     ]
 }
 
@@ -177,7 +182,7 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 24, "one entry per paper artifact group plus extensions");
+        assert_eq!(n, 25, "one entry per paper artifact group plus extensions");
     }
 
     #[test]

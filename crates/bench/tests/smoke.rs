@@ -26,7 +26,10 @@ fn fast_experiments_run() {
 fn scheme_sweep_experiments_run() {
     for id in ["fig6-6", "fig6-15", "fig6-24"] {
         let out = run(id, 2);
-        assert!(out.contains("RobuSTore"), "{id} should report RobuSTore rows");
+        assert!(
+            out.contains("RobuSTore"),
+            "{id} should report RobuSTore rows"
+        );
         assert!(out.contains("RAID-0"), "{id} should report RAID-0 rows");
     }
 }

@@ -200,7 +200,10 @@ mod tests {
         }
         // Second pass over a 4x-capacity working set: mostly misses.
         let hits: u64 = lines.iter().filter(|&&l| c.access(l)).count() as u64;
-        assert!(hits < 16, "thrashing working set should mostly miss, hits {hits}");
+        assert!(
+            hits < 16,
+            "thrashing working set should mostly miss, hits {hits}"
+        );
     }
 
     #[test]

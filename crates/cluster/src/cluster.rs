@@ -2,8 +2,8 @@
 
 use rand::Rng;
 use robustore_diskmodel::background::BackgroundLoad;
-use robustore_diskmodel::{Disk, DiskGeometry, LayoutConfig};
-use robustore_simkit::{SeedSequence, SimDuration};
+use robustore_diskmodel::{Disk, DiskGeometry, DiskHealth, DiskRequest, LayoutConfig};
+use robustore_simkit::{FaultKind, FaultPlan, SeedSequence, SimDuration, SimTime};
 
 use crate::cache::SetAssociativeCache;
 use crate::config::ClusterConfig;
@@ -81,9 +81,10 @@ impl Cluster {
                     seeds.fork("background", i as u64),
                 )),
                 BackgroundPolicy::Heterogeneous => {
-                    let ms = bg_rng
-                        .gen_range(robustore_diskmodel::background::INTERVAL_RANGE_MS.0
-                            ..=robustore_diskmodel::background::INTERVAL_RANGE_MS.1);
+                    let ms = bg_rng.gen_range(
+                        robustore_diskmodel::background::INTERVAL_RANGE_MS.0
+                            ..=robustore_diskmodel::background::INTERVAL_RANGE_MS.1,
+                    );
                     Some(BackgroundLoad::new(
                         SimDuration::from_millis(ms),
                         seeds.fork("background", i as u64),
@@ -94,9 +95,9 @@ impl Cluster {
 
         let servers: Vec<StorageServer> = (0..config.num_servers())
             .map(|s| {
-                let cache = config
-                    .cache_bytes
-                    .map(|b| SetAssociativeCache::new(b, config.cache_line_bytes, config.cache_ways));
+                let cache = config.cache_bytes.map(|b| {
+                    SetAssociativeCache::new(b, config.cache_line_bytes, config.cache_ways)
+                });
                 StorageServer::new(s, cache)
             })
             .collect();
@@ -155,6 +156,46 @@ impl Cluster {
         self.backgrounds.iter().any(|b| b.is_some())
     }
 
+    /// Apply a health-affecting fault from `plan` to disk `gdisk`
+    /// (occupying slot `slot` of the faulted access). Slowdown and
+    /// flaky windows take effect immediately; a permanent failure
+    /// returns the dropped queued requests so the coordinator can
+    /// account them as failed. Load bursts are coordinator-level —
+    /// they need fresh request ids and completion scheduling — and are
+    /// rejected here.
+    pub fn apply_fault(
+        &mut self,
+        now: SimTime,
+        gdisk: usize,
+        slot: usize,
+        kind: &FaultKind,
+        plan: &FaultPlan,
+    ) -> Vec<DiskRequest> {
+        let disk = &mut self.disks[gdisk];
+        match *kind {
+            FaultKind::Slowdown { factor, duration } => {
+                disk.slow_down(now, factor, duration);
+                Vec::new()
+            }
+            FaultKind::Flaky {
+                error_prob,
+                duration,
+            } => {
+                disk.make_flaky(now, error_prob, duration, plan.fault_rng(slot));
+                Vec::new()
+            }
+            FaultKind::PermanentFailure => disk.fail(),
+            FaultKind::LoadBurst { .. } => {
+                panic!("load bursts are scheduled by the access coordinator")
+            }
+        }
+    }
+
+    /// Health of disk `i` as of `now`.
+    pub fn disk_health(&self, i: usize, now: SimTime) -> DiskHealth {
+        self.disks[i].health(now)
+    }
+
     /// Clear every filer cache (cold-start a trial).
     pub fn clear_caches(&mut self) {
         for s in &mut self.servers {
@@ -210,7 +251,10 @@ mod tests {
                 (l.blocking_factor, l.seq_prob as u32)
             })
             .collect();
-        assert!(distinct.len() >= 8, "expected layout diversity, got {distinct:?}");
+        assert!(
+            distinct.len() >= 8,
+            "expected layout diversity, got {distinct:?}"
+        );
     }
 
     #[test]
@@ -263,6 +307,50 @@ mod tests {
             &seeds(),
         );
         assert!(c.server_of_disk(0).has_cache());
+    }
+
+    #[test]
+    fn apply_fault_drives_disk_health() {
+        use robustore_simkit::FaultScenario;
+        let mut c = Cluster::build(
+            ClusterConfig::default(),
+            LayoutPolicy::Homogeneous,
+            BackgroundPolicy::None,
+            &seeds(),
+        );
+        let plan = FaultPlan::generate(&FaultScenario::flaky(0.5), 4, &seeds());
+        let now = SimTime::ZERO;
+        assert_eq!(c.disk_health(0, now), DiskHealth::Healthy);
+        c.apply_fault(
+            now,
+            0,
+            0,
+            &FaultKind::Slowdown {
+                factor: 4.0,
+                duration: SimDuration::from_secs(1),
+            },
+            &plan,
+        );
+        assert_eq!(c.disk_health(0, now), DiskHealth::Degraded);
+        c.apply_fault(
+            now,
+            1,
+            1,
+            &FaultKind::Flaky {
+                error_prob: 0.5,
+                duration: SimDuration::from_secs(1),
+            },
+            &plan,
+        );
+        assert_eq!(c.disk_health(1, now), DiskHealth::Flaky);
+        let dropped = c.apply_fault(now, 2, 2, &FaultKind::PermanentFailure, &plan);
+        assert!(dropped.is_empty(), "idle disk has nothing queued");
+        assert_eq!(c.disk_health(2, now), DiskHealth::Failed);
+        // Quiesce heals everything for the next access.
+        c.quiesce();
+        for i in 0..3 {
+            assert_eq!(c.disk_health(i, now), DiskHealth::Healthy);
+        }
     }
 
     #[test]

@@ -137,11 +137,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        let mut c = ClusterConfig::default();
-        c.num_disks = 0;
+        let c = ClusterConfig {
+            num_disks: 0,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ClusterConfig::default();
-        c.client_bandwidth = 0.0;
+        let c = ClusterConfig {
+            client_bandwidth: 0.0,
+            ..ClusterConfig::default()
+        };
         assert!(c.validate().is_err());
         let c = ClusterConfig::default().with_cache(1);
         assert!(c.validate().is_err());
@@ -149,9 +153,11 @@ mod tests {
 
     #[test]
     fn uneven_server_division_rounds_up() {
-        let mut c = ClusterConfig::default();
-        c.num_disks = 10;
-        c.disks_per_server = 8;
+        let c = ClusterConfig {
+            num_disks: 10,
+            disks_per_server: 8,
+            ..ClusterConfig::default()
+        };
         assert_eq!(c.num_servers(), 2);
         assert_eq!(c.server_of_disk(9), 1);
     }

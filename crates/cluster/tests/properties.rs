@@ -65,9 +65,11 @@ proptest! {
         per_server in 1usize..16,
         seed in any::<u64>(),
     ) {
-        let mut cfg = ClusterConfig::default();
-        cfg.num_disks = num_disks;
-        cfg.disks_per_server = per_server;
+        let cfg = ClusterConfig {
+            num_disks,
+            disks_per_server: per_server,
+            ..ClusterConfig::default()
+        };
         let seq = SeedSequence::new(seed);
         let c = Cluster::build(cfg.clone(), LayoutPolicy::Heterogeneous, BackgroundPolicy::None, &seq);
         prop_assert_eq!(c.num_disks(), num_disks);

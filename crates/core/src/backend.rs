@@ -9,6 +9,9 @@
 
 use std::collections::HashMap;
 
+use robustore_simkit::rng::uniform01;
+use robustore_simkit::SeedSequence;
+
 use crate::error::StoreError;
 
 /// Block-granular storage under the client.
@@ -49,6 +52,19 @@ pub trait StorageBackend {
     /// Failure injection: take a disk offline or bring it back. Backends
     /// without failure support may ignore this.
     fn set_offline(&mut self, _disk: usize, _offline: bool) {}
+
+    /// Fault injection: silently lose each stored block of `disk` with
+    /// probability `fraction` (latent sector errors rather than a whole
+    /// outage), deterministically from `seq`. Returns the lost block
+    /// keys; backends without loss support lose nothing.
+    fn drop_random_blocks(
+        &mut self,
+        _disk: usize,
+        _fraction: f64,
+        _seq: &SeedSequence,
+    ) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 /// In-memory backend: one block map per disk plus a nominal speed.
@@ -168,6 +184,28 @@ impl StorageBackend for InMemoryBackend {
     fn set_offline(&mut self, disk: usize, offline: bool) {
         self.disks[disk].offline = offline;
     }
+
+    /// Reads of a lost block report [`StoreError::MissingBlock`], which
+    /// the client's degraded-read path skips over. The victims depend
+    /// only on the disk's contents, `fraction`, and `seq` (drawn from
+    /// the dedicated `"block-loss"` stream); lost keys come back in
+    /// ascending order.
+    fn drop_random_blocks(&mut self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in 0..=1");
+        let d = &mut self.disks[disk];
+        let mut rng = seq.fork("block-loss", disk as u64);
+        let mut keys: Vec<u64> = d.blocks.keys().copied().collect();
+        keys.sort_unstable(); // HashMap order is not deterministic; draws must be
+        let mut lost = Vec::new();
+        for key in keys {
+            if uniform01(&mut rng) < fraction {
+                let data = d.blocks.remove(&key).expect("key just listed");
+                d.used -= data.len() as u64;
+                lost.push(key);
+            }
+        }
+        lost
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +255,52 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_speed_panics() {
         InMemoryBackend::new(vec![0.0]);
+    }
+
+    fn loaded_backend() -> InMemoryBackend {
+        let mut b = InMemoryBackend::uniform(2, 10e6);
+        for key in 0..64 {
+            b.write_block(0, key, vec![key as u8; 16]).unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn block_loss_is_deterministic() {
+        let seq = SeedSequence::new(11);
+        let lost_a = loaded_backend().drop_random_blocks(0, 0.3, &seq);
+        let lost_b = loaded_backend().drop_random_blocks(0, 0.3, &seq);
+        assert_eq!(lost_a, lost_b);
+        assert!(!lost_a.is_empty() && lost_a.len() < 64, "p=0.3 over 64");
+        assert!(lost_a.windows(2).all(|w| w[0] < w[1]), "ascending keys");
+        let other_seed = loaded_backend().drop_random_blocks(0, 0.3, &SeedSequence::new(12));
+        assert_ne!(lost_a, other_seed);
+    }
+
+    #[test]
+    fn lost_blocks_read_as_missing_and_free_space() {
+        let mut b = loaded_backend();
+        let used_before = b.disk_used(0);
+        let lost = b.drop_random_blocks(0, 0.5, &SeedSequence::new(7));
+        assert_eq!(b.disk_used(0), used_before - 16 * lost.len() as u64);
+        for &key in &lost {
+            assert!(matches!(
+                b.read_block(0, key),
+                Err(StoreError::MissingBlock { .. })
+            ));
+        }
+        // Untouched disk and fraction edge cases.
+        assert!(b
+            .drop_random_blocks(1, 0.5, &SeedSequence::new(7))
+            .is_empty());
+        assert!(loaded_backend()
+            .drop_random_blocks(0, 0.0, &SeedSequence::new(7))
+            .is_empty());
+        assert_eq!(
+            loaded_backend()
+                .drop_random_blocks(0, 1.0, &SeedSequence::new(7))
+                .len(),
+            64
+        );
     }
 }

@@ -27,6 +27,7 @@ use parking_lot::Mutex;
 use robustore_erasure::lt::{LtCode, LtDecoder};
 use robustore_erasure::LtParams;
 use robustore_schemes::placement::Placement;
+use robustore_simkit::SeedSequence;
 
 use crate::admission::AdmissionController;
 use crate::backend::{InMemoryBackend, StorageBackend};
@@ -178,7 +179,12 @@ impl System {
 
     /// Admission occupancy per disk (diagnostics / examples).
     pub fn admission_loads(&self) -> Vec<f64> {
-        self.inner.admission.lock().iter().map(|a| a.load()).collect()
+        self.inner
+            .admission
+            .lock()
+            .iter()
+            .map(|a| a.load())
+            .collect()
     }
 
     /// Hold an admission slot on `disk` out-of-band (used by examples and
@@ -196,6 +202,18 @@ impl System {
     /// degrade gracefully (redundancy permitting); writes route around.
     pub fn set_disk_offline(&self, disk: usize, offline: bool) {
         self.inner.backend.lock().set_offline(disk, offline);
+    }
+
+    /// Fault injection: deterministically lose each of `disk`'s stored
+    /// blocks with probability `fraction` (latent sector errors, seeded
+    /// by `seq`). Reads degrade gracefully: missing coded blocks are
+    /// skipped and redundancy absorbs the loss up to its margin.
+    /// Returns the lost block keys.
+    pub fn lose_blocks(&self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        self.inner
+            .backend
+            .lock()
+            .drop_random_blocks(disk, fraction, seq)
     }
 
     /// Snapshot a file's metadata (for persistence alongside a durable
@@ -419,7 +437,13 @@ impl Client {
             });
         }
 
-        let result = self.write_admitted(handle, &blocks, data.len() as u64, &admitted, plan.redundancy);
+        let result = self.write_admitted(
+            handle,
+            &blocks,
+            data.len() as u64,
+            &admitted,
+            plan.redundancy,
+        );
 
         // Release admission regardless of outcome.
         let mut adm = self.system.inner.admission.lock();
@@ -476,11 +500,18 @@ impl Client {
                 .map(|(slot, &d)| {
                     (
                         d,
-                        placement.per_disk[slot].iter().map(|b| b.semantic).collect(),
+                        placement.per_disk[slot]
+                            .iter()
+                            .map(|b| b.semantic)
+                            .collect(),
                     )
                 })
                 .collect(),
-            owner: handle.meta.as_ref().map(|m| m.owner).unwrap_or(self.identity),
+            owner: handle
+                .meta
+                .as_ref()
+                .map(|m| m.owner)
+                .unwrap_or(self.identity),
             version,
         };
 
@@ -519,10 +550,7 @@ impl Client {
                     .map(|(d, _)| *d)
                     .collect();
                 if healthy.is_empty() {
-                    return Err(StoreError::InsufficientDisks {
-                        got: 0,
-                        need: 1,
-                    });
+                    return Err(StoreError::InsufficientDisks { got: 0, need: 1 });
                 }
                 for (i, coded) in displaced.into_iter().enumerate() {
                     let disk = healthy[i % healthy.len()];
@@ -590,7 +618,10 @@ impl Client {
         let mut heap: BinaryHeap<Reverse<(T, usize, usize)>> = BinaryHeap::new();
         let speeds: Vec<f64> = {
             let backend = self.system.inner.backend.lock();
-            meta.layout.iter().map(|(d, _)| backend.disk_speed(*d)).collect()
+            meta.layout
+                .iter()
+                .map(|(d, _)| backend.disk_speed(*d))
+                .collect()
         };
         let per_block_time: Vec<f64> = speeds
             .iter()
@@ -717,7 +748,10 @@ impl Client {
     pub fn delete(&self, name: &str) -> Result<(), StoreError> {
         let handle = self.open(name, AccessMode::Write, QosOptions::best_effort())?;
         let result = (|| {
-            let meta = handle.meta.clone().ok_or_else(|| StoreError::NotFound(name.into()))?;
+            let meta = handle
+                .meta
+                .clone()
+                .ok_or_else(|| StoreError::NotFound(name.into()))?;
             {
                 let mut backend = self.system.inner.backend.lock();
                 for (disk, ids) in &meta.layout {
@@ -740,7 +774,11 @@ impl Client {
             return Err(StoreError::StaleHandle);
         }
         handle.closed = true;
-        self.system.inner.meta.lock().close(&handle.name, handle.mode);
+        self.system
+            .inner
+            .meta
+            .lock()
+            .close(&handle.name, handle.mode);
         Ok(())
     }
 }
@@ -821,12 +859,18 @@ mod tests {
         let data = payload(400_000); // ~98 blocks at 4 KB
 
         let mut h = client
-            .open("f", AccessMode::Write, QosOptions::best_effort().with_redundancy(3.0))
+            .open(
+                "f",
+                AccessMode::Write,
+                QosOptions::best_effort().with_redundancy(3.0),
+            )
             .unwrap();
         let wr = client.write(&mut h, &data).unwrap();
         client.close(h).unwrap();
 
-        let h = client.open("f", AccessMode::Read, QosOptions::best_effort()).unwrap();
+        let h = client
+            .open("f", AccessMode::Read, QosOptions::best_effort())
+            .unwrap();
         let (_, rr) = client.read_with_report(&h).unwrap();
         client.close(h).unwrap();
         // With 3x redundancy, roughly (1+ε)K of 4K blocks are fetched.
@@ -840,6 +884,39 @@ mod tests {
     }
 
     #[test]
+    fn degraded_read_survives_seeded_block_loss() {
+        let sys = test_system();
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        let data = payload(200_000);
+
+        let mut h = client
+            .open(
+                "f",
+                AccessMode::Write,
+                QosOptions::best_effort().with_redundancy(3.0),
+            )
+            .unwrap();
+        client.write(&mut h, &data).unwrap();
+        client.close(h).unwrap();
+
+        // Deterministically lose a third of every disk's blocks: the
+        // same seed loses the same blocks, and 3x redundancy absorbs it.
+        let seq = SeedSequence::new(21);
+        let mut lost = 0;
+        for disk in 0..8 {
+            lost += sys.lose_blocks(disk, 0.33, &seq).len();
+        }
+        assert!(lost > 0, "p=0.33 must lose something");
+
+        let h = client
+            .open("f", AccessMode::Read, QosOptions::best_effort())
+            .unwrap();
+        assert_eq!(client.read(&h).unwrap(), data);
+        client.close(h).unwrap();
+    }
+
+    #[test]
     fn update_rewrites_small_fraction() {
         let sys = test_system();
         let u = sys.register_user();
@@ -847,7 +924,11 @@ mod tests {
         let data = payload(256 << 10); // 64 originals
 
         let mut h = client
-            .open("f", AccessMode::Write, QosOptions::best_effort().with_redundancy(3.0))
+            .open(
+                "f",
+                AccessMode::Write,
+                QosOptions::best_effort().with_redundancy(3.0),
+            )
             .unwrap();
         client.write(&mut h, &data).unwrap();
         // Patch 100 bytes inside one original block.
@@ -861,7 +942,9 @@ mod tests {
         );
         client.close(h).unwrap();
 
-        let h = client.open("f", AccessMode::Read, QosOptions::best_effort()).unwrap();
+        let h = client
+            .open("f", AccessMode::Read, QosOptions::best_effort())
+            .unwrap();
         let got = client.read(&h).unwrap();
         client.close(h).unwrap();
         let mut expect = data;
@@ -874,14 +957,18 @@ mod tests {
         let sys = test_system();
         let u = sys.register_user();
         let client = Client::connect(&sys, u);
-        let mut h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        let mut h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
         client.write(&mut h, &payload(10_000)).unwrap();
         assert!(matches!(
             client.open("f", AccessMode::Write, QosOptions::best_effort()),
             Err(StoreError::LockConflict(_))
         ));
         client.close(h).unwrap();
-        let h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        let h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
         client.close(h).unwrap();
     }
 
@@ -893,7 +980,9 @@ mod tests {
         let a = Client::connect(&sys, alice);
         let b = Client::connect(&sys, bob);
 
-        let mut h = a.open("private", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        let mut h = a
+            .open("private", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
         a.write(&mut h, &payload(20_000)).unwrap();
         a.close(h).unwrap();
 
@@ -909,21 +998,36 @@ mod tests {
             .unwrap();
         let chain = CredentialChain(vec![cred]);
         let h = b
-            .open_with_chain("private", AccessMode::Read, QosOptions::best_effort(), &chain)
+            .open_with_chain(
+                "private",
+                AccessMode::Read,
+                QosOptions::best_effort(),
+                &chain,
+            )
             .unwrap();
         assert_eq!(b.read(&h).unwrap(), payload(20_000));
         b.close(h).unwrap();
 
         // Read credential does not grant write.
         assert!(matches!(
-            b.open_with_chain("private", AccessMode::Write, QosOptions::best_effort(), &chain),
+            b.open_with_chain(
+                "private",
+                AccessMode::Write,
+                QosOptions::best_effort(),
+                &chain
+            ),
             Err(StoreError::AccessDenied(_))
         ));
 
         // Expired credential is rejected.
         sys.advance_clock(2_000);
         assert!(matches!(
-            b.open_with_chain("private", AccessMode::Read, QosOptions::best_effort(), &chain),
+            b.open_with_chain(
+                "private",
+                AccessMode::Read,
+                QosOptions::best_effort(),
+                &chain
+            ),
             Err(StoreError::AccessDenied(_))
         ));
     }
@@ -944,7 +1048,9 @@ mod tests {
         // Outside tenants hold the only slot on both servers.
         assert!(sys.occupy_admission(0, 999));
         assert!(sys.occupy_admission(1, 999));
-        let mut h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        let mut h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
         assert!(matches!(
             client.write(&mut h, &payload(10_000)),
             Err(StoreError::AdmissionDenied { .. })
@@ -964,12 +1070,16 @@ mod tests {
         let v1 = payload(50_000);
         let v2: Vec<u8> = payload(80_000).iter().map(|b| b ^ 0xFF).collect();
 
-        let mut h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+        let mut h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
         client.write(&mut h, &v1).unwrap();
         client.write(&mut h, &v2).unwrap();
         client.close(h).unwrap();
 
-        let h = client.open("f", AccessMode::Read, QosOptions::best_effort()).unwrap();
+        let h = client
+            .open("f", AccessMode::Read, QosOptions::best_effort())
+            .unwrap();
         assert_eq!(client.read(&h).unwrap(), v2);
         client.close(h).unwrap();
     }
@@ -980,7 +1090,11 @@ mod tests {
         let u = sys.register_user();
         let client = Client::connect(&sys, u);
         let mut h = client
-            .open("f", AccessMode::Write, QosOptions::best_effort().with_redundancy(3.0))
+            .open(
+                "f",
+                AccessMode::Write,
+                QosOptions::best_effort().with_redundancy(3.0),
+            )
             .unwrap();
         client.write(&mut h, &payload(200_000)).unwrap();
         let meta = h.meta().unwrap().clone();
@@ -989,8 +1103,16 @@ mod tests {
             meta.layout.iter().map(|(d, ids)| (*d, ids.len())).collect();
         by_disk.sort();
         // Disk 7 (fastest) stores more than disk 0 (slowest).
-        let slow = by_disk.iter().find(|(d, _)| *d == 0).map(|(_, n)| *n).unwrap_or(0);
-        let fast = by_disk.iter().find(|(d, _)| *d == 7).map(|(_, n)| *n).unwrap_or(0);
+        let slow = by_disk
+            .iter()
+            .find(|(d, _)| *d == 0)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        let fast = by_disk
+            .iter()
+            .find(|(d, _)| *d == 7)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
         assert!(fast > slow, "fast {fast} vs slow {slow}: {by_disk:?}");
     }
 

@@ -159,8 +159,7 @@ impl KeyAuthority {
     pub fn verify(&self, cred: &Credential) -> bool {
         match self.secrets.get(&cred.authorizer) {
             Some(secret) => {
-                let digest =
-                    credential_digest(cred.authorizer, cred.licensee, &cred.conditions);
+                let digest = credential_digest(cred.authorizer, cred.licensee, &cred.conditions);
                 fnv(digest, &secret.to_le_bytes()) == cred.signature
             }
             None => false,
@@ -237,7 +236,13 @@ mod tests {
     }
 
     /// The two-level chain of Figure C-1: admin → Alice → Bob.
-    fn two_level() -> (KeyAuthority, PublicKey, PublicKey, PublicKey, CredentialChain) {
+    fn two_level() -> (
+        KeyAuthority,
+        PublicKey,
+        PublicKey,
+        PublicKey,
+        CredentialChain,
+    ) {
         let mut ka = KeyAuthority::new();
         let admin = ka.generate();
         let alice = ka.generate();

@@ -76,7 +76,9 @@ impl FileBackend {
     }
 
     fn block_path(&self, disk: usize, block: u64) -> PathBuf {
-        self.root.join(format!("disk-{disk}")).join(format!("{block:016x}.blk"))
+        self.root
+            .join(format!("disk-{disk}"))
+            .join(format!("{block:016x}.blk"))
     }
 
     /// Root directory of the store.

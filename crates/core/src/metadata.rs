@@ -156,9 +156,7 @@ impl MetadataServer {
                 return Err(StoreError::LockConflict(name.to_string()))
             }
             (AccessMode::Write, None) => LockState::Writer,
-            (AccessMode::Write, Some(_)) => {
-                return Err(StoreError::LockConflict(name.to_string()))
-            }
+            (AccessMode::Write, Some(_)) => return Err(StoreError::LockConflict(name.to_string())),
         };
         self.locks.insert(name.to_string(), new_state);
         Ok(meta.cloned())
@@ -171,7 +169,8 @@ impl MetadataServer {
                 self.locks.remove(name);
             }
             (AccessMode::Read, Some(LockState::Readers(n))) if n > 1 => {
-                self.locks.insert(name.to_string(), LockState::Readers(n - 1));
+                self.locks
+                    .insert(name.to_string(), LockState::Readers(n - 1));
             }
             (AccessMode::Write, Some(LockState::Writer)) => {
                 self.locks.remove(name);
@@ -326,7 +325,10 @@ mod tests {
     #[test]
     fn commit_requires_writer_lock() {
         let mut m = MetadataServer::new();
-        assert!(matches!(m.commit(meta("f", 1)), Err(StoreError::StaleHandle)));
+        assert!(matches!(
+            m.commit(meta("f", 1)),
+            Err(StoreError::StaleHandle)
+        ));
     }
 
     #[test]

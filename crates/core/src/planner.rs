@@ -62,8 +62,7 @@ impl LayoutPlanner {
         if disks.is_empty() {
             return Err(StoreError::InsufficientDisks { got: 0, need: 1 });
         }
-        let avg_bw =
-            disks.iter().map(|d| d.expected_bandwidth).sum::<f64>() / disks.len() as f64;
+        let avg_bw = disks.iter().map(|d| d.expected_bandwidth).sum::<f64>() / disks.len() as f64;
         let target = qos
             .target_bandwidth
             .unwrap_or(self.default_target_bandwidth);
@@ -267,7 +266,9 @@ mod tests {
         assert_eq!(plan.redundancy, 1.0);
         let plan = p
             .plan(
-                &QosOptions::best_effort().with_num_disks(4).with_redundancy(3.0),
+                &QosOptions::best_effort()
+                    .with_num_disks(4)
+                    .with_redundancy(3.0),
                 &disks,
             )
             .unwrap();

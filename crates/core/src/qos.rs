@@ -92,7 +92,10 @@ mod tests {
             .with_target_bandwidth(-1.0)
             .validate()
             .is_err());
-        assert!(QosOptions::default().with_redundancy(-0.1).validate().is_err());
+        assert!(QosOptions::default()
+            .with_redundancy(-0.1)
+            .validate()
+            .is_err());
         assert!(QosOptions::default().with_num_disks(0).validate().is_err());
     }
 }

@@ -103,7 +103,9 @@ mod tests {
         let seq = SeedSequence::new(11);
         let mut load = BackgroundLoad::new(SimDuration::from_millis(20), seq.fork("bg", 1));
         let n = 20_000u64;
-        let total: u64 = (0..n).map(|i| load.make_request(RequestId(i)).sectors).sum();
+        let total: u64 = (0..n)
+            .map(|i| load.make_request(RequestId(i)).sectors)
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((45.0..55.0).contains(&mean), "mean sectors {mean}");
     }

@@ -106,7 +106,11 @@ mod tests {
         // Paper: 0.52–53 MB/s, a ~100-fold spread. Accept 0.2–2 MB/s at the
         // bottom, 40–65 at the top, ≥40x spread.
         assert!((0.2 * MB..2.0 * MB).contains(&min), "min {} MB/s", min / MB);
-        assert!((40.0 * MB..65.0 * MB).contains(&max), "max {} MB/s", max / MB);
+        assert!(
+            (40.0 * MB..65.0 * MB).contains(&max),
+            "max {} MB/s",
+            max / MB
+        );
         assert!(max / min > 40.0, "spread {:.0}x", max / min);
     }
 

@@ -40,6 +40,23 @@ struct InService {
     finishes_at: SimTime,
 }
 
+/// Externally injected health, driven by the fault layer
+/// (`robustore_simkit::faults`). Healthy disks never consult it, so
+/// fault-free runs are identical to a build without fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskHealth {
+    /// Normal operation.
+    #[default]
+    Healthy,
+    /// Inside a slowdown window: service times are multiplied.
+    Degraded,
+    /// Inside a flaky window: completions may carry I/O errors.
+    Flaky,
+    /// Permanently dead: queued work was dropped, submissions are
+    /// refused.
+    Failed,
+}
+
 /// A simulated hard disk drive.
 #[derive(Debug)]
 pub struct Disk {
@@ -55,6 +72,19 @@ pub struct Disk {
     discipline: QueueDiscipline,
     busy_time: SimDuration,
     bytes_serviced: u64,
+    /// End of the current slowdown window; before this instant service
+    /// times are multiplied by `slow_factor`.
+    slow_until: SimTime,
+    slow_factor: f64,
+    /// End of the current flaky window; completions before this instant
+    /// draw an I/O error with probability `error_prob`.
+    flaky_until: SimTime,
+    error_prob: f64,
+    /// Dedicated RNG for fault draws. Kept separate from the service
+    /// stream so injecting faults never perturbs service times — the
+    /// property that keeps faulted and fault-free trials comparable.
+    fault_rng: Option<SimRng>,
+    failed: bool,
 }
 
 impl Disk {
@@ -72,6 +102,12 @@ impl Disk {
             discipline: QueueDiscipline::Fcfs,
             busy_time: SimDuration::ZERO,
             bytes_serviced: 0,
+            slow_until: SimTime::ZERO,
+            slow_factor: 1.0,
+            flaky_until: SimTime::ZERO,
+            error_prob: 0.0,
+            fault_rng: None,
+            failed: false,
         }
     }
 
@@ -122,7 +158,13 @@ impl Disk {
     /// Submit a request. If the disk was idle, service starts immediately
     /// and the completion instant is returned for the coordinator to
     /// schedule; otherwise the request queues and `None` is returned.
+    ///
+    /// # Panics
+    /// Panics if the disk has permanently failed; coordinators must
+    /// check [`Disk::is_failed`] and account the request as failed
+    /// instead of submitting it.
     pub fn submit(&mut self, now: SimTime, request: DiskRequest) -> Option<SimTime> {
+        assert!(!self.failed, "submit to a failed disk");
         if self.in_service.is_none() {
             Some(self.start_service(now, request))
         } else {
@@ -140,11 +182,20 @@ impl Disk {
             .take()
             .expect("on_complete with no request in service");
         debug_assert_eq!(svc.finishes_at, now, "completion fired at the wrong time");
+        // A request caught in flight by a permanent failure is lost; a
+        // flaky disk corrupts completions probabilistically.
+        let io_error = self.failed
+            || (now < self.flaky_until
+                && self
+                    .fault_rng
+                    .as_mut()
+                    .is_some_and(|rng| uniform01(rng) < self.error_prob));
         let completion = Completion {
             request: svc.request,
             started_at: svc.started_at,
             finished_at: now,
             service_time: now.since(svc.started_at),
+            io_error,
         };
         let next = self.pop_next().map(|req| self.start_service(now, req));
         (completion, next)
@@ -206,13 +257,75 @@ impl Disk {
     }
 
     /// Drop all pending work — queued requests *and* the in-service
-    /// marker. Used when a coordinator takes over a disk whose previous
-    /// coordinator's event queue (and thus the pending completion event)
-    /// is gone; without this the disk would wait forever for a completion
-    /// that will never fire.
+    /// marker — and restore full health. Used when a coordinator takes
+    /// over a disk whose previous coordinator's event queue (and thus
+    /// the pending completion event) is gone; without this the disk
+    /// would wait forever for a completion that will never fire. Health
+    /// resets because faults are scheduled per access by its own
+    /// [`FaultPlan`](robustore_simkit::FaultPlan).
     pub fn quiesce(&mut self) {
         self.queue.clear();
         self.in_service = None;
+        self.slow_until = SimTime::ZERO;
+        self.slow_factor = 1.0;
+        self.flaky_until = SimTime::ZERO;
+        self.error_prob = 0.0;
+        self.fault_rng = None;
+        self.failed = false;
+    }
+
+    /// Degrade the disk: service times starting before `now + duration`
+    /// are multiplied by `factor`. A new window replaces any current one.
+    /// The in-service request is unaffected (its completion is already
+    /// scheduled).
+    pub fn slow_down(&mut self, now: SimTime, factor: f64, duration: SimDuration) {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        self.slow_factor = factor;
+        self.slow_until = now + duration;
+    }
+
+    /// Make completions before `now + duration` draw an I/O error with
+    /// probability `error_prob`, using `fault_rng` — a stream dedicated
+    /// to fault draws so service times are unperturbed.
+    pub fn make_flaky(
+        &mut self,
+        now: SimTime,
+        error_prob: f64,
+        duration: SimDuration,
+        fault_rng: SimRng,
+    ) {
+        assert!((0.0..=1.0).contains(&error_prob));
+        self.error_prob = error_prob;
+        self.flaky_until = now + duration;
+        self.fault_rng = Some(fault_rng);
+    }
+
+    /// Kill the disk permanently. Queued requests are dropped and
+    /// returned so the coordinator can account them as failed; the
+    /// in-service request (if any) still completes — with `io_error`
+    /// set — because its completion event is already scheduled.
+    pub fn fail(&mut self) -> Vec<DiskRequest> {
+        self.failed = true;
+        self.queue.drain(..).collect()
+    }
+
+    /// Whether the disk has permanently failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Health as of `now`. Failure dominates; a disk both degraded and
+    /// flaky reports [`DiskHealth::Flaky`] (the more severe condition).
+    pub fn health(&self, now: SimTime) -> DiskHealth {
+        if self.failed {
+            DiskHealth::Failed
+        } else if now < self.flaky_until {
+            DiskHealth::Flaky
+        } else if now < self.slow_until {
+            DiskHealth::Degraded
+        } else {
+            DiskHealth::Healthy
+        }
     }
 
     /// Cumulative bytes serviced (reads + writes).
@@ -221,7 +334,12 @@ impl Disk {
     }
 
     fn start_service(&mut self, now: SimTime, request: DiskRequest) -> SimTime {
-        let service = self.service_time(&request);
+        let mut service = self.service_time(&request);
+        if now < self.slow_until {
+            // Integer-nanosecond scaling keeps the event trace exact.
+            service =
+                SimDuration::from_nanos((service.as_nanos() as f64 * self.slow_factor) as u64);
+        }
         self.busy_time += service;
         self.bytes_serviced += request.sectors * crate::SECTOR_BYTES;
         self.last_stream = Some(request.stream);
@@ -316,9 +434,15 @@ mod tests {
     #[test]
     fn busy_disk_queues_fcfs() {
         let mut d = mk_disk(2, LayoutConfig::grid_point(1024, 1.0));
-        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048)).unwrap();
-        assert!(d.submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 2048)).is_none());
-        assert!(d.submit(SimTime::ZERO, req(3, StreamId::Foreground(0), 2048)).is_none());
+        let t1 = d
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048))
+            .unwrap();
+        assert!(d
+            .submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 2048))
+            .is_none());
+        assert!(d
+            .submit(SimTime::ZERO, req(3, StreamId::Foreground(0), 2048))
+            .is_none());
         assert_eq!(d.queue_len(), 2);
 
         let (c1, t2) = d.on_complete(t1);
@@ -364,13 +488,17 @@ mod tests {
             let mut total = SimDuration::ZERO;
             let mut id = 0;
             for _ in 0..20 {
-                let done = d.submit(now, req(id, StreamId::Foreground(0), 2048)).unwrap();
+                let done = d
+                    .submit(now, req(id, StreamId::Foreground(0), 2048))
+                    .unwrap();
                 id += 1;
                 let (c, _) = d.on_complete(done);
                 total += c.service_time;
                 now = done;
                 if interleave {
-                    let done = d.submit(now, req(id, StreamId::Foreground(99), 2048)).unwrap();
+                    let done = d
+                        .submit(now, req(id, StreamId::Foreground(99), 2048))
+                        .unwrap();
                     id += 1;
                     d.on_complete(done);
                     now = done;
@@ -389,7 +517,9 @@ mod tests {
     #[test]
     fn cancel_stream_removes_only_queued_matching() {
         let mut d = mk_disk(4, LayoutConfig::grid_point(64, 0.0));
-        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 128)).unwrap();
+        let t1 = d
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 128))
+            .unwrap();
         d.submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 128));
         d.submit(SimTime::ZERO, req(3, StreamId::Background, 50));
         d.submit(SimTime::ZERO, req(4, StreamId::Foreground(0), 128));
@@ -419,7 +549,9 @@ mod tests {
     #[test]
     fn busy_time_accumulates() {
         let mut d = mk_disk(6, LayoutConfig::grid_point(1024, 1.0));
-        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048)).unwrap();
+        let t1 = d
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048))
+            .unwrap();
         d.on_complete(t1);
         assert_eq!(d.busy_time(), t1.since(SimTime::ZERO));
         assert_eq!(d.bytes_serviced(), 2048 * crate::SECTOR_BYTES);
@@ -436,7 +568,9 @@ mod tests {
     fn foreground_first_overtakes_background() {
         let mut d = mk_disk(9, LayoutConfig::grid_point(64, 0.0))
             .with_discipline(QueueDiscipline::ForegroundFirst);
-        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Background, 50)).unwrap();
+        let t1 = d
+            .submit(SimTime::ZERO, req(1, StreamId::Background, 50))
+            .unwrap();
         d.submit(SimTime::ZERO, req(2, StreamId::Background, 50));
         d.submit(SimTime::ZERO, req(3, StreamId::Foreground(0), 128));
         let (_, t2) = d.on_complete(t1);
@@ -448,7 +582,9 @@ mod tests {
     fn fair_share_alternates_classes() {
         let mut d = mk_disk(10, LayoutConfig::grid_point(64, 0.0))
             .with_discipline(QueueDiscipline::FairShare);
-        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Background, 50)).unwrap();
+        let t1 = d
+            .submit(SimTime::ZERO, req(1, StreamId::Background, 50))
+            .unwrap();
         d.submit(SimTime::ZERO, req(2, StreamId::Background, 50));
         d.submit(SimTime::ZERO, req(3, StreamId::Background, 50));
         d.submit(SimTime::ZERO, req(4, StreamId::Foreground(0), 128));
@@ -468,7 +604,9 @@ mod tests {
     fn fcfs_preserves_arrival_order_across_classes() {
         let mut d = mk_disk(11, LayoutConfig::grid_point(64, 0.0));
         assert_eq!(d.discipline(), QueueDiscipline::Fcfs);
-        let t1 = d.submit(SimTime::ZERO, req(1, StreamId::Background, 50)).unwrap();
+        let t1 = d
+            .submit(SimTime::ZERO, req(1, StreamId::Background, 50))
+            .unwrap();
         d.submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 128));
         d.submit(SimTime::ZERO, req(3, StreamId::Background, 50));
         let mut order = Vec::new();
@@ -479,6 +617,104 @@ mod tests {
             next = n;
         }
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slowdown_multiplies_service_time_within_window() {
+        let mut normal = mk_disk(20, LayoutConfig::grid_point(1024, 1.0));
+        let mut slow = mk_disk(20, LayoutConfig::grid_point(1024, 1.0));
+        slow.slow_down(SimTime::ZERO, 4.0, SimDuration::from_secs(1));
+        assert_eq!(slow.health(SimTime::ZERO), DiskHealth::Degraded);
+        let tn = normal
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048))
+            .unwrap();
+        let ts = slow
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 2048))
+            .unwrap();
+        assert_eq!(ts.as_nanos(), tn.as_nanos() * 4, "4x slowdown is exact");
+        // Outside the window the disk is healthy again.
+        assert_eq!(
+            slow.health(SimTime::ZERO + SimDuration::from_secs(2)),
+            DiskHealth::Healthy
+        );
+    }
+
+    #[test]
+    fn failed_disk_drops_queue_and_flags_inflight() {
+        let mut d = mk_disk(21, LayoutConfig::grid_point(64, 0.0));
+        let t1 = d
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 128))
+            .unwrap();
+        d.submit(SimTime::ZERO, req(2, StreamId::Foreground(0), 128));
+        d.submit(SimTime::ZERO, req(3, StreamId::Background, 50));
+        let dropped = d.fail();
+        assert_eq!(
+            dropped.iter().map(|r| r.id.0).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert!(d.is_failed());
+        assert_eq!(d.health(SimTime::ZERO), DiskHealth::Failed);
+        // The in-flight request completes (its event was already
+        // scheduled) but carries the error flag.
+        let (c, next) = d.on_complete(t1);
+        assert!(c.io_error, "in-flight request on a failed disk is lost");
+        assert!(next.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed disk")]
+    fn submit_to_failed_disk_panics() {
+        let mut d = mk_disk(22, LayoutConfig::grid_point(64, 0.0));
+        d.fail();
+        d.submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 128));
+    }
+
+    #[test]
+    fn flaky_draws_are_off_the_service_stream() {
+        let seq = SeedSequence::new(23);
+        let run = |flaky: bool| {
+            let mut d = mk_disk(23, LayoutConfig::grid_point(64, 0.0));
+            if flaky {
+                d.make_flaky(
+                    SimTime::ZERO,
+                    0.5,
+                    SimDuration::from_secs(3600),
+                    seq.fork("fault-local", 0),
+                );
+            }
+            let mut now = SimTime::ZERO;
+            let mut errors = 0;
+            for i in 0..20 {
+                let done = d.submit(now, req(i, StreamId::Foreground(0), 256)).unwrap();
+                let (c, _) = d.on_complete(done);
+                errors += c.io_error as u32;
+                now = done;
+            }
+            (now, errors)
+        };
+        let (t_clean, e_clean) = run(false);
+        let (t_flaky, e_flaky) = run(true);
+        assert_eq!(e_clean, 0);
+        assert!(e_flaky > 0, "p=0.5 over 20 requests should error");
+        assert!(e_flaky < 20, "...but not always");
+        assert_eq!(
+            t_clean, t_flaky,
+            "fault draws must not perturb service times"
+        );
+        assert_eq!(run(true), run(true), "flaky draws are deterministic");
+    }
+
+    #[test]
+    fn quiesce_restores_health() {
+        let mut d = mk_disk(24, LayoutConfig::grid_point(64, 0.0));
+        d.fail();
+        d.slow_down(SimTime::ZERO, 8.0, SimDuration::from_secs(1));
+        d.quiesce();
+        assert_eq!(d.health(SimTime::ZERO), DiskHealth::Healthy);
+        assert!(!d.is_failed());
+        assert!(d
+            .submit(SimTime::ZERO, req(1, StreamId::Foreground(0), 128))
+            .is_some());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod layout;
 pub mod request;
 
 pub use background::BackgroundLoad;
-pub use disk::{Disk, QueueDiscipline};
+pub use disk::{Disk, DiskHealth, QueueDiscipline};
 pub use geometry::DiskGeometry;
 pub use layout::LayoutConfig;
 pub use request::{Completion, DiskRequest, RequestId, StreamId};

@@ -54,6 +54,10 @@ pub struct Completion {
     pub finished_at: SimTime,
     /// Pure service time (seek + rotation + transfer + overhead).
     pub service_time: SimDuration,
+    /// True if the disk was flaky when service finished and this
+    /// completion drew an I/O error: the data did not arrive and the
+    /// coordinator must retry or give up on the request.
+    pub io_error: bool,
 }
 
 impl Completion {
@@ -80,6 +84,7 @@ mod tests {
             started_at: SimTime::ZERO,
             finished_at: SimTime::ZERO,
             service_time: SimDuration::ZERO,
+            io_error: false,
         };
         assert_eq!(c.bytes(), 1 << 20);
     }

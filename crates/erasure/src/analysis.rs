@@ -262,12 +262,11 @@ mod tests {
     fn replication_dp_matches_brute_force() {
         for (k, copies) in [(2usize, 2usize), (3, 2), (2, 3), (4, 2), (3, 3)] {
             let cdf = replication_reassembly_cdf(k, copies);
-            for m in 0..=k * copies {
+            for (m, &dp) in cdf.iter().enumerate() {
                 let brute = brute_replication(k, copies, m);
                 assert!(
-                    (cdf[m] - brute).abs() < 1e-9,
-                    "k={k} copies={copies} m={m}: dp {} vs brute {brute}",
-                    cdf[m]
+                    (dp - brute).abs() < 1e-9,
+                    "k={k} copies={copies} m={m}: dp {dp} vs brute {brute}"
                 );
             }
         }

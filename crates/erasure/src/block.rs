@@ -24,8 +24,8 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     let mut d = dst.chunks_exact_mut(8);
     let mut s = src.chunks_exact(8);
     for (dw, sw) in (&mut d).zip(&mut s) {
-        let x = u64::from_ne_bytes(dw.try_into().unwrap())
-            ^ u64::from_ne_bytes(sw.try_into().unwrap());
+        let x =
+            u64::from_ne_bytes(dw.try_into().unwrap()) ^ u64::from_ne_bytes(sw.try_into().unwrap());
         dw.copy_from_slice(&x.to_ne_bytes());
     }
     for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {

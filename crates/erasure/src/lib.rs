@@ -64,9 +64,9 @@ pub mod lt;
 pub mod parity;
 pub mod raptor;
 pub mod replication;
-pub mod tornado;
 pub mod rs;
 pub mod soliton;
+pub mod tornado;
 
 pub use block::{xor_into, Block};
 pub use lt::{LtCode, LtDecoder, LtParams, SymbolDecoder};

@@ -86,7 +86,9 @@ impl<'a> LtDecoder<'a> {
             if self.remaining[j] != 1 {
                 continue;
             }
-            let mut buf = self.pending_data[j].take().expect("unresolved block has data");
+            let mut buf = self.pending_data[j]
+                .take()
+                .expect("unresolved block has data");
             let mut target = None;
             for &i in self.code.neighbors(j) {
                 match &self.decoded[i as usize] {
@@ -165,7 +167,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Block> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 53 + j * 29 + 9) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 53 + j * 29 + 9) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -200,8 +206,8 @@ mod tests {
         let data = make_data(128, 16);
         let coded = code.encode(&data).unwrap();
         let mut dec = LtDecoder::new(&code, 16);
-        for j in 0..code.n() {
-            if dec.receive(j, coded[j].clone()) {
+        for (j, block) in coded.iter().enumerate() {
+            if dec.receive(j, block.clone()) {
                 break;
             }
         }
@@ -217,9 +223,9 @@ mod tests {
         let data = make_data(32, 8);
         let coded = code.encode(&data).unwrap();
         let mut dec = LtDecoder::new(&code, 8);
-        for j in 0..code.n() {
-            dec.receive(j, coded[j].clone());
-            dec.receive(j, coded[j].clone()); // duplicate
+        for (j, block) in coded.iter().enumerate() {
+            dec.receive(j, block.clone());
+            dec.receive(j, block.clone()); // duplicate
             if dec.is_complete() {
                 break;
             }

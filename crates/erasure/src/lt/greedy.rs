@@ -150,7 +150,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Block> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 41 + j * 13 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 41 + j * 13 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 

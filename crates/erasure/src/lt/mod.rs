@@ -377,8 +377,11 @@ impl LtCode {
             missing.len()
         );
         // Rebuild CSR with the replacements.
-        let replacements: std::collections::HashMap<usize, u32> =
-            unused.iter().copied().zip(missing.iter().copied()).collect();
+        let replacements: std::collections::HashMap<usize, u32> = unused
+            .iter()
+            .copied()
+            .zip(missing.iter().copied())
+            .collect();
         self.repairs = replacements.len();
         let mut offsets = Vec::with_capacity(self.n + 1);
         let mut adjacency = Vec::with_capacity(self.adjacency.len());
@@ -462,7 +465,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Block> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 1) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 11 + 1) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -554,8 +561,8 @@ mod tests {
         let code = LtCode::plan(16, 48, LtParams::default(), 3).unwrap();
         let data = make_data(16, 24);
         let bulk = code.encode(&data).unwrap();
-        for j in 0..code.n() {
-            assert_eq!(code.encode_block(&data, j), bulk[j], "block {j}");
+        for (j, block) in bulk.iter().enumerate() {
+            assert_eq!(&code.encode_block(&data, j), block, "block {j}");
         }
     }
 
@@ -656,13 +663,16 @@ mod tests {
         // With 3x blocks, stock graphs usually decode — the communication
         // setting they were designed for.
         let mut ok = 0;
-        for seed in 0..10 {
+        for seed in 0..40 {
             let stock = LtCode::plan_stock(64, 192, LtParams::default(), seed).unwrap();
             if stock.check_decodable() {
                 ok += 1;
             }
         }
-        assert!(ok >= 8, "stock LT with 3x blocks should usually decode ({ok}/10)");
+        assert!(
+            ok >= 30,
+            "stock LT with 3x blocks should usually decode ({ok}/40)"
+        );
     }
 
     #[test]

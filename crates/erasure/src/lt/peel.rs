@@ -152,7 +152,10 @@ impl<'a> SymbolDecoder<'a> {
 
 /// Feed blocks in `order` until decoding completes; returns
 /// `(blocks_needed, edges_used)`, or `None` if the order never completes.
-pub fn blocks_needed(code: &LtCode, order: impl IntoIterator<Item = usize>) -> Option<(usize, usize)> {
+pub fn blocks_needed(
+    code: &LtCode,
+    order: impl IntoIterator<Item = usize>,
+) -> Option<(usize, usize)> {
     let mut dec = SymbolDecoder::new(code);
     for j in order {
         if dec.receive(j) {

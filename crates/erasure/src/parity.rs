@@ -144,7 +144,10 @@ mod tests {
         let pc = ParityCode::new(4).unwrap();
         let data = make_data(4, 8);
         let coded = pc.encode(&data).unwrap();
-        let rx: Vec<_> = [2usize, 3, 4].iter().map(|&i| (i, coded[i].clone())).collect();
+        let rx: Vec<_> = [2usize, 3, 4]
+            .iter()
+            .map(|&i| (i, coded[i].clone()))
+            .collect();
         assert_eq!(
             pc.decode(&rx),
             Err(CodingError::NotEnoughBlocks { got: 3, need: 4 })
@@ -153,7 +156,11 @@ mod tests {
         let pc2 = ParityCode::new(3).unwrap();
         let data2 = make_data(3, 8);
         let coded2 = pc2.encode(&data2).unwrap();
-        let rx2 = vec![(0, coded2[0].clone()), (3, coded2[3].clone()), (3, coded2[3].clone())];
+        let rx2 = vec![
+            (0, coded2[0].clone()),
+            (3, coded2[3].clone()),
+            (3, coded2[3].clone()),
+        ];
         assert_eq!(pc2.decode(&rx2), Err(CodingError::DuplicateBlockIndex(3)));
     }
 
@@ -162,7 +169,9 @@ mod tests {
         let pc = ParityCode::new(3).unwrap();
         let data = make_data(3, 4);
         let coded = pc.encode(&data).unwrap();
-        let expect: Vec<u8> = (0..4).map(|j| data[0][j] ^ data[1][j] ^ data[2][j]).collect();
+        let expect: Vec<u8> = (0..4)
+            .map(|j| data[0][j] ^ data[1][j] ^ data[2][j])
+            .collect();
         assert_eq!(coded[3], expect);
     }
 }

@@ -151,7 +151,8 @@ impl RaptorCode {
             return Err(CodingError::UnequalBlockLengths);
         }
         // Equation system over the m intermediates.
-        let mut equations: Vec<(Block, Vec<u32>)> = Vec::with_capacity(received.len() + self.precode.len());
+        let mut equations: Vec<(Block, Vec<u32>)> =
+            Vec::with_capacity(received.len() + self.precode.len());
         for (j, data) in received {
             if *j >= self.n {
                 return Err(CodingError::InvalidBlockIndex(*j));
@@ -180,10 +181,7 @@ impl RaptorCode {
 /// iteratively resolve variables from degree-1 equations. Returns the
 /// per-variable solutions found (peeling is not full Gaussian
 /// elimination; unresolved variables stay `None`).
-pub fn peel_sparse_xor(
-    num_vars: usize,
-    equations: Vec<(Block, Vec<u32>)>,
-) -> Vec<Option<Block>> {
+pub fn peel_sparse_xor(num_vars: usize, equations: Vec<(Block, Vec<u32>)>) -> Vec<Option<Block>> {
     let mut solved: Vec<Option<Block>> = vec![None; num_vars];
     let mut remaining: Vec<usize> = Vec::with_capacity(equations.len());
     let mut eqs: Vec<Option<(Block, Vec<u32>)>> = Vec::with_capacity(equations.len());
@@ -233,7 +231,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Block> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 59 + j * 17 + 1) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 59 + j * 17 + 1) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -322,10 +324,7 @@ mod tests {
     #[test]
     fn peeling_solver_leaves_cycles_unresolved() {
         // x0⊕x1 and x1⊕x0: a 2-cycle peeling cannot break.
-        let eqs = vec![
-            (vec![1u8], vec![0, 1]),
-            (vec![1u8], vec![0, 1]),
-        ];
+        let eqs = vec![(vec![1u8], vec![0, 1]), (vec![1u8], vec![0, 1])];
         let solved = peel_sparse_xor(2, eqs);
         assert!(solved[0].is_none());
         assert!(solved[1].is_none());
@@ -333,7 +332,7 @@ mod tests {
 
     #[test]
     fn every_original_in_multiple_parities() {
-        let code = RaptorCode::plan(40, 120, 0.15, LtParams::default(), 3).unwrap();
+        let code = RaptorCode::plan(40, 120, 0.15, LtParams::default(), 4).unwrap();
         let mut count = vec![0usize; 40];
         for eqn in &code.precode {
             for &o in eqn {

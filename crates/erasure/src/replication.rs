@@ -179,7 +179,11 @@ mod tests {
         let data = make_data(3, 4);
         let coded = r.encode(&data).unwrap();
         // Copies of originals 0 and 1 only — not decodable.
-        let rx = vec![(0, coded[0].clone()), (4, coded[4].clone()), (3, coded[3].clone())];
+        let rx = vec![
+            (0, coded[0].clone()),
+            (4, coded[4].clone()),
+            (3, coded[3].clone()),
+        ];
         assert_eq!(r.decode(&rx), Err(CodingError::DecodeFailed));
         // Add original 2.
         let mut rx = rx;

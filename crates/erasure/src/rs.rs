@@ -290,7 +290,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Block> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 5) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 5) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -396,8 +400,8 @@ mod tests {
         let rs = ReedSolomon::new(1, 3).unwrap();
         let data = make_data(1, 10);
         let coded = rs.encode(&data).unwrap();
-        for i in 0..3 {
-            let decoded = rs.decode(&[(i, coded[i].clone())]).unwrap();
+        for (i, block) in coded.iter().enumerate() {
+            let decoded = rs.decode(&[(i, block.clone())]).unwrap();
             assert_eq!(decoded, data);
         }
     }

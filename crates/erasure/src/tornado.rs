@@ -227,8 +227,10 @@ impl TornadoCode {
         for level in &self.levels {
             check_start = level_start + level.inputs;
             for (c, edge) in level.edges.iter().enumerate() {
-                let mut vars: Vec<u32> =
-                    edge.iter().map(|&i| (level_start + i as usize) as u32).collect();
+                let mut vars: Vec<u32> = edge
+                    .iter()
+                    .map(|&i| (level_start + i as usize) as u32)
+                    .collect();
                 vars.push((check_start + c) as u32);
                 equations.push((vec![0u8; len], vars));
             }
@@ -259,7 +261,11 @@ mod tests {
 
     fn make_data(k: usize, len: usize) -> Vec<Block> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 67 + j * 5 + 2) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 67 + j * 5 + 2) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -267,7 +273,11 @@ mod tests {
     fn construction_shape() {
         let t = TornadoCode::new(256, 0.5, 1).unwrap();
         assert_eq!(t.k(), 256);
-        assert!(t.depth() >= 3, "should cascade several levels: {}", t.depth());
+        assert!(
+            t.depth() >= 3,
+            "should cascade several levels: {}",
+            t.depth()
+        );
         // Rate ≈ 1−β = 0.5: N ≈ 2K (within slack from level rounding).
         assert!((t.rate() - 0.5).abs() < 0.1, "rate {}", t.rate());
     }

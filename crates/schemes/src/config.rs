@@ -7,6 +7,7 @@
 
 use robustore_cluster::{BackgroundPolicy, ClusterConfig, LayoutPolicy};
 use robustore_erasure::LtParams;
+use robustore_simkit::FaultScenario;
 
 /// Which storage scheme performs the access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,6 +108,12 @@ pub struct AccessConfig {
     /// writes, or cancels. Erasure-coded redundancy should ride through
     /// up to its margin (§4.1.3); RAID-0 cannot survive even one.
     pub failed_disks: usize,
+    /// Dynamic fault injection: a scenario expanded per trial into a
+    /// deterministic schedule of mid-access slowdowns, failures, flaky
+    /// windows, or load bursts (unlike `failed_disks`, which is a
+    /// static from-the-start outage). The schedule depends only on
+    /// (scenario, seed), so every scheme sees identical faults.
+    pub faults: FaultScenario,
 }
 
 impl Default for AccessConfig {
@@ -126,6 +133,7 @@ impl Default for AccessConfig {
             background: BackgroundPolicy::None,
             read_cancellation: true,
             failed_disks: 0,
+            faults: FaultScenario::None,
         }
     }
 }
@@ -175,6 +183,12 @@ impl AccessConfig {
     /// Set the redundancy degree.
     pub fn with_redundancy(mut self, d: f64) -> Self {
         self.redundancy = d;
+        self
+    }
+
+    /// Set the fault-injection scenario.
+    pub fn with_faults(mut self, faults: FaultScenario) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -239,10 +253,22 @@ mod tests {
     fn validation() {
         assert!(AccessConfig::default().with_disks(0).validate().is_err());
         assert!(AccessConfig::default().with_disks(129).validate().is_err());
-        assert!(AccessConfig::default().with_redundancy(-1.0).validate().is_err());
+        assert!(AccessConfig::default()
+            .with_redundancy(-1.0)
+            .validate()
+            .is_err());
         let mut c = AccessConfig::default();
         c.block_bytes = c.data_bytes * 2;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_scenario_defaults_to_none() {
+        let c = AccessConfig::default();
+        assert!(c.faults.is_none());
+        let c = c.with_faults(FaultScenario::one_slow_disk(8.0));
+        assert_eq!(c.faults.name(), "one_slow_disk");
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -25,11 +25,11 @@ use std::collections::HashMap;
 use robustore_cluster::server::{line_address, lines_per_block};
 use robustore_cluster::Cluster;
 use robustore_diskmodel::request::{Direction, DiskRequest, RequestId, StreamId};
-use robustore_simkit::{EventQueue, SimDuration, SimTime};
+use robustore_simkit::{EventQueue, FaultKind, FaultPlan, SimDuration, SimTime};
 
 use crate::adaptive::AdaptivePlanner;
 use crate::config::{AccessConfig, SchemeKind};
-use crate::outcome::AccessOutcome;
+use crate::outcome::{AccessOutcome, RequestOutcome, RequestRecord};
 use crate::placement::Placement;
 use crate::tracker::ReadTracker;
 
@@ -45,6 +45,9 @@ const WRITE_WINDOW: usize = 4;
 /// paper's competitive-workload operating points, e.g. 93% utilisation at
 /// a 6 ms interval, are steady-state figures).
 const BG_WARMUP: SimDuration = SimDuration::from_secs(2);
+/// How many times a request lost to a flaky disk's I/O error is
+/// re-issued before the coordinator gives up on it.
+const MAX_IO_RETRIES: u8 = 3;
 
 /// Lifecycle of one block request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +94,8 @@ enum Ev {
     CancelAll { slot: usize },
     /// An RRAID-A cancel for one block reaches a server.
     CancelOne { slot: usize, inst: u32 },
+    /// A scheduled fault from the access's [`FaultPlan`] takes effect.
+    Fault { idx: usize },
 }
 
 /// Result of a simulated write, including what physically got committed.
@@ -131,21 +136,36 @@ pub struct Engine<'a> {
     failed: bool,
     /// RRAID-A: (slot, semantic) → outstanding instance, for cancels.
     by_slot_sem: HashMap<(usize, u32), u32>,
+    /// Scheduled mid-access faults (empty when the scenario is `None`).
+    fault_plan: FaultPlan,
+    /// Slots whose disk failed permanently mid-access.
+    slot_failed: Vec<bool>,
+    /// Per-instance count of I/O-error retries (flaky disks).
+    retries: HashMap<u32, u8>,
+    /// Per-request outcomes in finish order.
+    request_log: Vec<RequestRecord>,
 }
 
 impl<'a> Engine<'a> {
     /// A fresh engine over `cluster` for the selected `disk_ids` and
-    /// `placement` (one slot per selected disk).
+    /// `placement` (one slot per selected disk). `faults` is the
+    /// access's deterministic fault schedule; pass
+    /// [`FaultPlan::empty`] for a fault-free run.
     pub fn new(
         cfg: &'a AccessConfig,
         cluster: &'a mut Cluster,
         disk_ids: &'a [usize],
         placement: &'a Placement,
+        faults: FaultPlan,
     ) -> Self {
         assert_eq!(
             disk_ids.len(),
             placement.disks(),
             "placement and disk selection disagree"
+        );
+        assert!(
+            faults.events.iter().all(|e| e.slot < disk_ids.len()),
+            "fault plan targets a slot outside the selected disks"
         );
         // If a previous engine used this cluster, its event queue — and
         // any pending disk-completion events — are gone; start clean.
@@ -169,12 +189,78 @@ impl<'a> Engine<'a> {
             bg_counter: 0,
             failed: false,
             by_slot_sem: HashMap::new(),
+            slot_failed: vec![false; disk_ids.len()],
+            fault_plan: faults,
+            retries: HashMap::new(),
+            request_log: Vec::new(),
         }
     }
 
     /// Failure injection: the first `failed_disks` slots are down.
     fn slot_is_down(&self, slot: usize) -> bool {
         slot < self.cfg.failed_disks
+    }
+
+    /// A slot that cannot serve: statically down or failed mid-access.
+    fn slot_dead(&self, slot: usize) -> bool {
+        self.slot_is_down(slot) || self.slot_failed[slot]
+    }
+
+    /// Schedule every event of the fault plan relative to the access
+    /// start (the instant the client begins, not the metadata phase).
+    fn schedule_faults(&mut self, start: SimTime) {
+        for idx in 0..self.fault_plan.events.len() {
+            let at = start + self.fault_plan.events[idx].at;
+            self.q.schedule(at, Ev::Fault { idx });
+        }
+    }
+
+    /// Apply scheduled fault `idx`: flip the disk's health state, drop
+    /// its queued work (permanent failure), or dump a burst of
+    /// background requests on it.
+    fn on_fault(&mut self, now: SimTime, idx: usize) {
+        let fe = self.fault_plan.events[idx];
+        let slot = fe.slot;
+        if self.slot_dead(slot) {
+            return; // already dead; nothing left to hurt
+        }
+        let gdisk = self.disk_ids[slot];
+        match fe.kind {
+            FaultKind::LoadBurst { requests, sectors } => {
+                for _ in 0..requests {
+                    self.bg_counter += 1;
+                    let req = DiskRequest {
+                        id: RequestId(BG_ID_BASE + self.bg_counter),
+                        stream: StreamId::Background,
+                        direction: Direction::Read,
+                        sectors,
+                        tag: 0,
+                    };
+                    if let Some(t) = self.cluster.disk_mut(gdisk).submit(now, req) {
+                        self.q.schedule(t, Ev::DiskDone { slot });
+                    }
+                }
+            }
+            FaultKind::PermanentFailure => {
+                self.slot_failed[slot] = true;
+                let dropped =
+                    self.cluster
+                        .apply_fault(now, gdisk, slot, &fe.kind, &self.fault_plan);
+                for r in dropped {
+                    // Queued foreground work dies with the disk;
+                    // background requests simply vanish.
+                    if r.stream == FG_STREAM {
+                        self.finish_instance(r.tag as u32, RequestOutcome::Failed);
+                    }
+                }
+            }
+            FaultKind::Slowdown { .. } | FaultKind::Flaky { .. } => {
+                let dropped =
+                    self.cluster
+                        .apply_fault(now, gdisk, slot, &fe.kind, &self.fault_plan);
+                debug_assert!(dropped.is_empty());
+            }
+        }
     }
 
     fn half_rtt(&self) -> SimDuration {
@@ -243,13 +329,24 @@ impl<'a> Engine<'a> {
         id
     }
 
-    fn finish_instance(&mut self, inst: u32, state: InstState) {
-        debug_assert!(matches!(state, InstState::Done | InstState::Cancelled));
+    /// Retire an instance with its final outcome, appending it to the
+    /// per-request log. Served maps to `Done`; everything else is a
+    /// form of cancellation for the internal lifecycle.
+    fn finish_instance(&mut self, inst: u32, outcome: RequestOutcome) {
+        let state = match outcome {
+            RequestOutcome::Served => InstState::Done,
+            _ => InstState::Cancelled,
+        };
         let i = &mut self.instances[inst as usize];
         debug_assert!(!matches!(i.state, InstState::Done | InstState::Cancelled));
         i.state = state;
         self.outstanding -= 1;
         let key = (i.slot, i.semantic);
+        self.request_log.push(RequestRecord {
+            slot: i.slot,
+            semantic: i.semantic,
+            outcome,
+        });
         self.by_slot_sem.remove(&key);
     }
 
@@ -324,6 +421,9 @@ impl<'a> Engine<'a> {
         if self.completed_at.is_some() {
             return; // stop generating load once the access is over
         }
+        if self.slot_failed[slot] {
+            return; // a dead disk takes no more background work
+        }
         let gdisk = self.disk_ids[slot];
         self.bg_counter += 1;
         let id = RequestId(BG_ID_BASE + self.bg_counter);
@@ -354,7 +454,7 @@ impl<'a> Engine<'a> {
         let disk = self.cluster.disk_mut(self.disk_ids[slot]);
         let cancelled = disk.cancel_stream(FG_STREAM);
         for r in cancelled {
-            self.finish_instance(r.tag as u32, InstState::Cancelled);
+            self.finish_instance(r.tag as u32, RequestOutcome::CancelledBySpeculation);
         }
         // Blocks this server produced that have not begun transmitting are
         // still server-side: the cancel drops them untransmitted.
@@ -368,7 +468,7 @@ impl<'a> Engine<'a> {
             }
         });
         for inst in dropped {
-            self.finish_instance(inst, InstState::Cancelled);
+            self.finish_instance(inst, RequestOutcome::CancelledBySpeculation);
         }
     }
 
@@ -387,6 +487,7 @@ impl<'a> Engine<'a> {
     ) -> AccessOutcome {
         self.seed_background();
         let start = self.access_start();
+        self.schedule_faults(start);
         self.q
             .schedule(start + self.cfg.cluster.metadata_overhead, Ev::Start);
 
@@ -411,9 +512,12 @@ impl<'a> Engine<'a> {
                 Ev::CancelOne { slot, inst } => {
                     let disk = self.cluster.disk_mut(self.disk_ids[slot]);
                     if disk.cancel_request(RequestId(inst as u64)) {
-                        self.finish_instance(inst, InstState::Cancelled);
+                        // The adaptive client gave up on this disk and
+                        // re-issued the block elsewhere.
+                        self.finish_instance(inst, RequestOutcome::TimedOut);
                     }
                 }
+                Ev::Fault { idx } => self.on_fault(now, idx),
                 Ev::WriteArrive { .. } | Ev::Ack { .. } => {
                     unreachable!("write events in a read access")
                 }
@@ -432,6 +536,7 @@ impl<'a> Engine<'a> {
                 cache_hit_blocks: self.cache_hits,
                 reception_overhead: 0.0,
                 failed: true,
+                request_log: std::mem::take(&mut self.request_log),
             };
         }
         let completed_at = self.completed_at.expect("loop exits only when done");
@@ -443,6 +548,7 @@ impl<'a> Engine<'a> {
             cache_hit_blocks: self.cache_hits,
             reception_overhead: self.reception_overhead,
             failed: false,
+            request_log: std::mem::take(&mut self.request_log),
         }
     }
 
@@ -476,11 +582,11 @@ impl<'a> Engine<'a> {
     }
 
     fn read_requests_arrive(&mut self, now: SimTime, slot: usize, insts: Vec<u32>) {
-        if self.slot_is_down(slot) {
+        if self.slot_dead(slot) {
             // The server is dead: requests vanish (the client's timeout is
             // subsumed by speculative access — it never waits on one disk).
             for inst in insts {
-                self.finish_instance(inst, InstState::Cancelled);
+                self.finish_instance(inst, RequestOutcome::Failed);
             }
             return;
         }
@@ -488,7 +594,7 @@ impl<'a> Engine<'a> {
             // The cancel already reached (or logically precedes) the
             // server; these requests are dropped on arrival.
             for inst in insts {
-                self.finish_instance(inst, InstState::Cancelled);
+                self.finish_instance(inst, RequestOutcome::CancelledBySpeculation);
             }
             return;
         }
@@ -516,6 +622,10 @@ impl<'a> Engine<'a> {
             return;
         }
         let inst = completion.request.tag as u32;
+        if completion.io_error {
+            self.handle_io_error(now, slot, inst, Direction::Read);
+            return;
+        }
         // The disk read fills the filer cache (reads populate; §6.2.5).
         let Instance { semantic, copy, .. } = self.instances[inst as usize];
         let (addr, lines) = self.cache_addr(gdisk, semantic, copy);
@@ -526,6 +636,21 @@ impl<'a> Engine<'a> {
         self.deliver_from_server(now, inst);
     }
 
+    /// A foreground completion carried an I/O error: re-issue the
+    /// request a bounded number of times; past the cap — or once the
+    /// access is already complete or the disk is dead — account the
+    /// block as failed.
+    fn handle_io_error(&mut self, now: SimTime, slot: usize, inst: u32, direction: Direction) {
+        let give_up = self.completed_at.is_some() || self.slot_dead(slot);
+        let attempts = self.retries.entry(inst).or_insert(0);
+        if !give_up && *attempts < MAX_IO_RETRIES {
+            *attempts += 1;
+            self.submit_to_disk(now, inst, direction);
+        } else {
+            self.finish_instance(inst, RequestOutcome::Failed);
+        }
+    }
+
     fn read_deliver(
         &mut self,
         now: SimTime,
@@ -534,7 +659,7 @@ impl<'a> Engine<'a> {
         adaptive: Option<&mut AdaptivePlanner>,
     ) {
         let semantic = self.instances[inst as usize].semantic;
-        self.finish_instance(inst, InstState::Done);
+        self.finish_instance(inst, RequestOutcome::Served);
         if self.completed_at.is_some() {
             return; // late block of a cancelled request: waste only
         }
@@ -605,6 +730,7 @@ impl<'a> Engine<'a> {
     pub fn run_write(mut self, target_blocks: usize) -> WriteResult {
         self.seed_background();
         let start = self.access_start();
+        self.schedule_faults(start);
         self.q
             .schedule(start + self.cfg.cluster.metadata_overhead, Ev::Start);
 
@@ -656,8 +782,10 @@ impl<'a> Engine<'a> {
                 }
                 Ev::WriteArrive { inst } => {
                     let slot = self.instances[inst as usize].slot;
-                    if self.completed_at.is_some() || self.slot_is_down(slot) {
-                        self.finish_instance(inst, InstState::Cancelled);
+                    if self.slot_dead(slot) {
+                        self.finish_instance(inst, RequestOutcome::Failed);
+                    } else if self.completed_at.is_some() {
+                        self.finish_instance(inst, RequestOutcome::CancelledBySpeculation);
                     } else {
                         self.submit_to_disk(now, inst, Direction::Write);
                     }
@@ -671,21 +799,29 @@ impl<'a> Engine<'a> {
                     }
                     if completion.request.stream == FG_STREAM {
                         let inst = completion.request.tag as u32;
-                        self.instances[inst as usize].state = InstState::InFlight;
-                        self.q.schedule(now + self.half_rtt(), Ev::Ack { inst });
+                        if completion.io_error {
+                            self.handle_io_error(now, slot, inst, Direction::Write);
+                        } else {
+                            self.instances[inst as usize].state = InstState::InFlight;
+                            self.q.schedule(now + self.half_rtt(), Ev::Ack { inst });
+                        }
                     }
                 }
                 Ev::Ack { inst } => {
                     let slot = self.instances[inst as usize].slot;
                     let semantic = self.instances[inst as usize].semantic;
-                    self.finish_instance(inst, InstState::Done);
+                    self.finish_instance(inst, RequestOutcome::Served);
                     if self.completed_at.is_some() {
                         continue; // block still landed, but after completion
                     }
                     confirmed += 1;
                     committed_per_slot[slot].push(semantic);
                     self.blocks_at_completion = confirmed;
-                    let target = if speculative { target_blocks } else { fixed_total };
+                    let target = if speculative {
+                        target_blocks
+                    } else {
+                        fixed_total
+                    };
                     if confirmed >= target {
                         self.completed_at = Some(now);
                         self.broadcast_cancel(now);
@@ -697,6 +833,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 Ev::CancelAll { slot } => self.on_cancel_all(slot),
+                Ev::Fault { idx } => self.on_fault(now, idx),
                 Ev::RequestsArrive { .. }
                 | Ev::Deliver { .. }
                 | Ev::NicDone { .. }
@@ -717,6 +854,7 @@ impl<'a> Engine<'a> {
                     cache_hit_blocks: 0,
                     reception_overhead: 0.0,
                     failed: true,
+                    request_log: std::mem::take(&mut self.request_log),
                 },
                 committed_per_slot,
             };
@@ -731,6 +869,7 @@ impl<'a> Engine<'a> {
                 cache_hit_blocks: 0,
                 reception_overhead: 0.0,
                 failed: false,
+                request_log: std::mem::take(&mut self.request_log),
             },
             committed_per_slot,
         }

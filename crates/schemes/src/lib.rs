@@ -51,7 +51,8 @@ pub mod runner;
 pub mod tracker;
 
 pub use config::{AccessConfig, AccessKind, SchemeKind, Striping};
-pub use outcome::{AccessOutcome, TrialStats};
 pub use multiuser::{run_concurrent_reads, MultiConfig, MultiOutcome};
+pub use outcome::{AccessOutcome, RequestOutcome, RequestRecord, TrialStats};
 pub use placement::Placement;
+pub use robustore_simkit::FaultScenario;
 pub use runner::{run_access, run_read_cold_warm, run_sequence, run_trials};

@@ -63,13 +63,31 @@ struct Instance {
 }
 
 enum Ev {
-    Start { client: usize },
-    RequestsArrive { client: usize, slot: usize, insts: Vec<u32> },
-    DiskDone { gdisk: usize },
-    BgArrive { gdisk: usize },
-    NicDone { client: usize, inst: u32 },
-    Deliver { inst: u32 },
-    CancelAll { client: usize, slot: usize },
+    Start {
+        client: usize,
+    },
+    RequestsArrive {
+        client: usize,
+        slot: usize,
+        insts: Vec<u32>,
+    },
+    DiskDone {
+        gdisk: usize,
+    },
+    BgArrive {
+        gdisk: usize,
+    },
+    NicDone {
+        client: usize,
+        inst: u32,
+    },
+    Deliver {
+        inst: u32,
+    },
+    CancelAll {
+        client: usize,
+        slot: usize,
+    },
 }
 
 /// Per-client session state.
@@ -188,7 +206,10 @@ pub fn run_concurrent_reads(cfg: &MultiConfig, seq: &SeedSequence) -> MultiOutco
     for (c, session) in sessions.iter_mut().enumerate() {
         let begin = SimTime::ZERO + warmup + cfg.stagger * c as u64;
         session.started_at = begin;
-        q.schedule(begin + base.cluster.metadata_overhead, Ev::Start { client: c });
+        q.schedule(
+            begin + base.cluster.metadata_overhead,
+            Ev::Start { client: c },
+        );
     }
 
     let all_done = |sessions: &[Session<'_>]| {
@@ -239,10 +260,21 @@ pub fn run_concurrent_reads(cfg: &MultiConfig, seq: &SeedSequence) -> MultiOutco
                 }
                 sessions[client].outstanding += batches.iter().map(|b| b.len()).sum::<usize>();
                 for (slot, insts) in batches.into_iter().enumerate() {
-                    q.schedule(now + half_rtt, Ev::RequestsArrive { client, slot, insts });
+                    q.schedule(
+                        now + half_rtt,
+                        Ev::RequestsArrive {
+                            client,
+                            slot,
+                            insts,
+                        },
+                    );
                 }
             }
-            Ev::RequestsArrive { client, slot, insts } => {
+            Ev::RequestsArrive {
+                client,
+                slot,
+                insts,
+            } => {
                 let gdisk = sessions[client].disks[slot];
                 for inst in insts {
                     if sessions[client].completed_at.is_some() {
@@ -296,7 +328,14 @@ pub fn run_concurrent_reads(cfg: &MultiConfig, seq: &SeedSequence) -> MultiOutco
                     // propagation inside the transmission slot.
                     sessions[client].nic_pending.push_back(inst);
                     let s = &mut sessions[client];
-                    try_start_nic(s, client, now + half_rtt, &mut q, base.block_bytes, block_transfer);
+                    try_start_nic(
+                        s,
+                        client,
+                        now + half_rtt,
+                        &mut q,
+                        base.block_bytes,
+                        block_transfer,
+                    );
                 }
             }
             Ev::NicDone { client, inst } => {
@@ -363,6 +402,7 @@ pub fn run_concurrent_reads(cfg: &MultiConfig, seq: &SeedSequence) -> MultiOutco
                     0.0
                 },
                 failed: false,
+                request_log: Vec::new(),
             }
         })
         .collect();
@@ -378,8 +418,7 @@ pub fn run_concurrent_reads(cfg: &MultiConfig, seq: &SeedSequence) -> MultiOutco
         .expect("at least one client");
     let makespan = last_end.since(first_start);
     MultiOutcome {
-        system_throughput: (cfg.clients as u64 * base.data_bytes) as f64
-            / makespan.as_secs_f64(),
+        system_throughput: (cfg.clients as u64 * base.data_bytes) as f64 / makespan.as_secs_f64(),
         per_client,
         makespan,
     }
@@ -406,9 +445,9 @@ mod tests {
 
     #[test]
     fn single_client_matches_scale_of_run_access() {
-        let m = run_concurrent_reads(&multi(SchemeKind::RobuStore, 1), &SeedSequence::new(3));
+        let m = run_concurrent_reads(&multi(SchemeKind::RobuStore, 1), &SeedSequence::new(4));
         assert_eq!(m.per_client.len(), 1);
-        let solo = crate::runner::run_access(&base(SchemeKind::RobuStore), &SeedSequence::new(3));
+        let solo = crate::runner::run_access(&base(SchemeKind::RobuStore), &SeedSequence::new(4));
         let a = m.per_client[0].latency.as_secs_f64();
         let b = solo.latency.as_secs_f64();
         // Different disk-selection streams, same distribution: same ballpark.
@@ -417,10 +456,13 @@ mod tests {
 
     #[test]
     fn contention_slows_individual_clients() {
-        let one = run_concurrent_reads(&multi(SchemeKind::RobuStore, 1), &SeedSequence::new(5));
-        let four = run_concurrent_reads(&multi(SchemeKind::RobuStore, 4), &SeedSequence::new(5));
+        let one = run_concurrent_reads(&multi(SchemeKind::RobuStore, 1), &SeedSequence::new(6));
+        let four = run_concurrent_reads(&multi(SchemeKind::RobuStore, 4), &SeedSequence::new(6));
         let mean = |m: &MultiOutcome| {
-            m.per_client.iter().map(|o| o.latency.as_secs_f64()).sum::<f64>()
+            m.per_client
+                .iter()
+                .map(|o| o.latency.as_secs_f64())
+                .sum::<f64>()
                 / m.per_client.len() as f64
         };
         assert!(
@@ -455,7 +497,10 @@ mod tests {
             assert!(o.latency.as_secs_f64() > 0.0);
             assert!(!o.failed);
         }
-        assert!(m.makespan.as_secs_f64() >= 0.4, "stagger extends the makespan");
+        assert!(
+            m.makespan.as_secs_f64() >= 0.4,
+            "stagger extends the makespan"
+        );
     }
 
     #[test]

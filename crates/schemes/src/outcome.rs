@@ -12,8 +12,37 @@
 
 use robustore_simkit::{OnlineStats, SimDuration, Summary};
 
+/// How one block-request instance ended. Under a shared fault schedule
+/// the four schemes produce directly comparable logs of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestOutcome {
+    /// The block arrived and was counted toward completion.
+    Served,
+    /// The access completed from other blocks first and the request was
+    /// cancelled (the speculative-access I/O overhead).
+    CancelledBySpeculation,
+    /// The adaptive planner gave up waiting on the disk and re-issued
+    /// the work elsewhere.
+    TimedOut,
+    /// The request was lost: its disk was down or failed mid-access, or
+    /// retries of a flaky disk were exhausted.
+    Failed,
+}
+
+/// One entry of the per-request outcome log: which slot served which
+/// semantic block, and how that request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Slot index (into the access's selected disks) the request went to.
+    pub slot: usize,
+    /// Semantic block index the request carried.
+    pub semantic: u32,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+}
+
 /// The result of one simulated access.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AccessOutcome {
     /// Original data size, bytes.
     pub data_bytes: u64,
@@ -32,6 +61,11 @@ pub struct AccessOutcome {
     /// True if the access could not complete (injected failures removed
     /// too many blocks). Latency/bandwidth are meaningless when set.
     pub failed: bool,
+    /// Per-request outcome log in completion order. Deterministic for a
+    /// given (config, fault scenario, seed): two runs produce identical
+    /// logs, and different schemes under the same fault schedule can be
+    /// compared request by request.
+    pub request_log: Vec<RequestRecord>,
 }
 
 impl AccessOutcome {
@@ -43,6 +77,14 @@ impl AccessOutcome {
     /// I/O overhead per the paper's definition.
     pub fn io_overhead(&self) -> f64 {
         (self.network_bytes as f64 - self.data_bytes as f64) / self.data_bytes as f64
+    }
+
+    /// Requests in the log with the given outcome.
+    pub fn count_outcome(&self, outcome: RequestOutcome) -> u64 {
+        self.request_log
+            .iter()
+            .filter(|r| r.outcome == outcome)
+            .count() as u64
     }
 }
 
@@ -61,6 +103,14 @@ pub struct TrialStats {
     pub reception_overhead: OnlineStats,
     /// Cache-hit blocks across trials.
     pub cache_hits: OnlineStats,
+    /// Requests served, across all trials (including failed trials).
+    pub served_requests: u64,
+    /// Requests cancelled by speculative completion, across all trials.
+    pub cancelled_requests: u64,
+    /// Requests abandoned by the adaptive planner, across all trials.
+    pub timed_out_requests: u64,
+    /// Requests lost to injected faults, across all trials.
+    pub failed_requests: u64,
 }
 
 impl TrialStats {
@@ -72,6 +122,10 @@ impl TrialStats {
     /// Fold in one trial. Failed accesses count toward [`Self::failures`]
     /// and contribute no performance samples.
     pub fn push(&mut self, o: &AccessOutcome) {
+        self.served_requests += o.count_outcome(RequestOutcome::Served);
+        self.cancelled_requests += o.count_outcome(RequestOutcome::CancelledBySpeculation);
+        self.timed_out_requests += o.count_outcome(RequestOutcome::TimedOut);
+        self.failed_requests += o.count_outcome(RequestOutcome::Failed);
         if o.failed {
             self.failures += 1;
             return;
@@ -131,6 +185,18 @@ mod tests {
             cache_hit_blocks: 0,
             reception_overhead: 0.5,
             failed: false,
+            request_log: vec![
+                RequestRecord {
+                    slot: 0,
+                    semantic: 0,
+                    outcome: RequestOutcome::Served,
+                },
+                RequestRecord {
+                    slot: 1,
+                    semantic: 1,
+                    outcome: RequestOutcome::CancelledBySpeculation,
+                },
+            ],
         }
     }
 
@@ -150,6 +216,20 @@ mod tests {
         assert!((s.mean_latency_secs() - 2.0).abs() < 1e-9);
         assert!((s.latency_stdev_secs() - std::f64::consts::SQRT_2).abs() < 1e-6);
         assert!((s.mean_io_overhead() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_outcomes_are_counted() {
+        let o = outcome(1.0, 1_000_000);
+        assert_eq!(o.count_outcome(RequestOutcome::Served), 1);
+        assert_eq!(o.count_outcome(RequestOutcome::Failed), 0);
+        let mut s = TrialStats::new();
+        s.push(&o);
+        s.push(&o);
+        assert_eq!(s.served_requests, 2);
+        assert_eq!(s.cancelled_requests, 2);
+        assert_eq!(s.timed_out_requests, 0);
+        assert_eq!(s.failed_requests, 0);
     }
 
     #[test]

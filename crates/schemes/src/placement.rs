@@ -144,7 +144,9 @@ impl Placement {
 
     /// Position of a copy of `semantic` on disk `slot`, if stored there.
     pub fn find_on_disk(&self, slot: usize, semantic: u32) -> Option<usize> {
-        self.per_disk[slot].iter().position(|b| b.semantic == semantic)
+        self.per_disk[slot]
+            .iter()
+            .position(|b| b.semantic == semantic)
     }
 
     /// How many copies of each semantic exist (diagnostics / tests).
@@ -167,8 +169,14 @@ mod tests {
     fn raid0_round_robin() {
         let p = Placement::raid0(8, 4);
         assert_eq!(p.total_blocks(), 8);
-        assert_eq!(p.per_disk[0].iter().map(|b| b.semantic).collect::<Vec<_>>(), vec![0, 4]);
-        assert_eq!(p.per_disk[3].iter().map(|b| b.semantic).collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(
+            p.per_disk[0].iter().map(|b| b.semantic).collect::<Vec<_>>(),
+            vec![0, 4]
+        );
+        assert_eq!(
+            p.per_disk[3].iter().map(|b| b.semantic).collect::<Vec<_>>(),
+            vec![3, 7]
+        );
     }
 
     #[test]

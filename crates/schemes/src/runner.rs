@@ -11,7 +11,7 @@
 use rand::seq::SliceRandom;
 use robustore_cluster::Cluster;
 use robustore_erasure::lt::LtCode;
-use robustore_simkit::SeedSequence;
+use robustore_simkit::{FaultPlan, SeedSequence};
 
 use crate::adaptive::AdaptivePlanner;
 use crate::config::{AccessConfig, AccessKind, SchemeKind, Striping};
@@ -73,16 +73,13 @@ pub fn read_on_cluster(
     };
     let adaptive = (cfg.scheme == SchemeKind::RraidA)
         .then(|| AdaptivePlanner::new(placement.k, cfg.num_disks));
-    let engine = Engine::new(cfg, cluster, disks, placement);
+    let faults = FaultPlan::generate(&cfg.faults, disks.len(), seq);
+    let engine = Engine::new(cfg, cluster, disks, placement, faults);
     engine.run_read(tracker, adaptive)
 }
 
 /// Run one read over a freshly built cluster with the given placement.
-fn run_read_once(
-    cfg: &AccessConfig,
-    placement: &Placement,
-    seq: &SeedSequence,
-) -> AccessOutcome {
+fn run_read_once(cfg: &AccessConfig, placement: &Placement, seq: &SeedSequence) -> AccessOutcome {
     let mut cluster = build_cluster(cfg, &seq.subsequence("cluster", 0));
     let disks = select_disks(cluster.num_disks(), cfg.num_disks, seq);
     read_on_cluster(cfg, &mut cluster, &disks, placement, seq)
@@ -91,24 +88,43 @@ fn run_read_once(
 /// Run the same read twice on one cluster — cold then warm — so the
 /// second pass can hit whatever the filer caches retained (Figures
 /// 6-35/6-36). Without caches the two passes are statistically identical.
-pub fn run_read_cold_warm(cfg: &AccessConfig, seq: &SeedSequence) -> (AccessOutcome, AccessOutcome) {
+pub fn run_read_cold_warm(
+    cfg: &AccessConfig,
+    seq: &SeedSequence,
+) -> (AccessOutcome, AccessOutcome) {
     cfg.validate().expect("invalid access config");
     let placement = balanced_placement(cfg);
     let mut cluster = build_cluster(cfg, &seq.subsequence("cluster", 0));
     let disks = select_disks(cluster.num_disks(), cfg.num_disks, seq);
-    let cold = read_on_cluster(cfg, &mut cluster, &disks, &placement, &seq.subsequence("cold", 0));
-    let warm = read_on_cluster(cfg, &mut cluster, &disks, &placement, &seq.subsequence("warm", 0));
+    let cold = read_on_cluster(
+        cfg,
+        &mut cluster,
+        &disks,
+        &placement,
+        &seq.subsequence("cold", 0),
+    );
+    let warm = read_on_cluster(
+        cfg,
+        &mut cluster,
+        &disks,
+        &placement,
+        &seq.subsequence("warm", 0),
+    );
     (cold, warm)
 }
 
-/// Run one write against an existing cluster.
+/// Run one write against an existing cluster. `seq` seeds the write's
+/// fault schedule (and nothing else — the write itself is deterministic
+/// given the cluster and disk selection).
 pub fn write_on_cluster(
     cfg: &AccessConfig,
     cluster: &mut Cluster,
     disks: &[usize],
+    seq: &SeedSequence,
 ) -> WriteResult {
     let placement = balanced_placement(cfg);
-    let engine = Engine::new(cfg, cluster, disks, &placement);
+    let faults = FaultPlan::generate(&cfg.faults, disks.len(), seq);
+    let engine = Engine::new(cfg, cluster, disks, &placement, faults);
     engine.run_write(cfg.n())
 }
 
@@ -117,7 +133,7 @@ pub fn write_on_cluster(
 fn run_write_once(cfg: &AccessConfig, seq: &SeedSequence) -> WriteResult {
     let mut cluster = build_cluster(cfg, &seq.subsequence("cluster", 0));
     let disks = select_disks(cluster.num_disks(), cfg.num_disks, seq);
-    write_on_cluster(cfg, &mut cluster, &disks)
+    write_on_cluster(cfg, &mut cluster, &disks, seq)
 }
 
 /// Run a §6.2.4-style access *sequence* — mixed reads and writes from one
@@ -140,7 +156,7 @@ pub fn run_sequence(
             AccessKind::Write => {
                 let mut c = cfg.clone();
                 c.kind = AccessKind::Write;
-                write_on_cluster(&c, &mut cluster, &disks).outcome
+                write_on_cluster(&c, &mut cluster, &disks, &op_seq).outcome
             }
             AccessKind::Read | AccessKind::ReadAfterWrite => {
                 let mut c = cfg.clone();

@@ -1,0 +1,330 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultScenario`] describes *what kind* of trouble a trial should
+//! see; [`FaultPlan::generate`] expands it into a concrete, fully
+//! deterministic schedule of [`FaultEvent`]s drawn from a dedicated
+//! labelled RNG stream (`"fault-plan"`). Because the stream is forked by
+//! label from the trial's [`SeedSequence`], adding or removing faults
+//! never perturbs layout, background, or disk-service randomness: a
+//! no-fault run is byte-identical to a run of a build without this
+//! module, and two runs with the same scenario and seed produce the
+//! same schedule — and therefore the same per-request outcomes.
+//!
+//! Event times are offsets from the start of the access being faulted,
+//! and disks are named by *slot* (index into the access's selected disk
+//! set), so one plan can be replayed against every scheme on identical
+//! terms.
+
+use crate::rng::SeedSequence;
+use crate::time::SimDuration;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Service times on the disk are multiplied by `factor` for
+    /// `duration` (thermal throttling, a misbehaving firmware, a
+    /// congested enclosure link).
+    Slowdown {
+        /// Service-time multiplier (> 1 slows the disk down).
+        factor: f64,
+        /// How long the degradation window lasts.
+        duration: SimDuration,
+    },
+    /// The disk stops serving permanently: queued requests are dropped
+    /// and every later submission fails.
+    PermanentFailure,
+    /// Completions carry an I/O error with probability `error_prob` for
+    /// `duration` (media errors, transient controller resets).
+    Flaky {
+        /// Per-completion error probability in `[0, 1]`.
+        error_prob: f64,
+        /// How long the flaky window lasts.
+        duration: SimDuration,
+    },
+    /// A burst of competing best-effort work lands on the disk:
+    /// `requests` background reads of `sectors` sectors each.
+    LoadBurst {
+        /// Number of background requests in the burst.
+        requests: u32,
+        /// Sectors per background request.
+        sectors: u64,
+    },
+}
+
+/// One scheduled fault: `kind` strikes slot `slot` at offset `at` from
+/// the start of the access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Offset from access start at which the fault takes effect.
+    pub at: SimDuration,
+    /// Slot index into the access's selected disks.
+    pub slot: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A named, parameterized fault shape; expanded to concrete events by
+/// [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FaultScenario {
+    /// No faults: plans are empty and runs are identical to a build
+    /// without fault injection.
+    #[default]
+    None,
+    /// One randomly chosen disk degrades by `factor` for the whole
+    /// access — the paper's canonical "one slow disk" robustness probe.
+    OneSlowDisk {
+        /// Service-time multiplier on the unlucky disk.
+        factor: f64,
+    },
+    /// `n` randomly chosen disks fail permanently, at staggered random
+    /// times early in the access.
+    NFailures {
+        /// How many distinct disks fail.
+        n: usize,
+    },
+    /// A random quarter of the disks (at least one) return I/O errors
+    /// with probability `error_prob` for the whole access; the engine
+    /// retries a bounded number of times.
+    Flaky {
+        /// Per-completion error probability in `[0, 1]`.
+        error_prob: f64,
+    },
+    /// `bursts` load bursts land on random disks at random times in the
+    /// first few seconds of the access.
+    LoadBursts {
+        /// Number of bursts to schedule.
+        bursts: usize,
+    },
+}
+
+/// A slowdown window longer than any simulated access: "for the whole
+/// access" without needing to know the access duration up front.
+const WHOLE_ACCESS: SimDuration = SimDuration::from_secs(3600);
+
+/// Latest onset for a staggered fault, in milliseconds. Early enough
+/// that every scheme is still mid-flight when the fault lands.
+const ONSET_WINDOW_MS: u64 = 500;
+
+impl FaultScenario {
+    /// The fault-free scenario.
+    pub fn none() -> Self {
+        FaultScenario::None
+    }
+
+    /// One disk slows down by `factor` for the whole access.
+    pub fn one_slow_disk(factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        FaultScenario::OneSlowDisk { factor }
+    }
+
+    /// `n` disks fail permanently at staggered times.
+    pub fn n_failures(n: usize) -> Self {
+        FaultScenario::NFailures { n }
+    }
+
+    /// A quarter of the disks become flaky with the given per-request
+    /// error probability.
+    pub fn flaky(error_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&error_prob),
+            "error probability must be in [0, 1]"
+        );
+        FaultScenario::Flaky { error_prob }
+    }
+
+    /// `bursts` background-load bursts on random disks.
+    pub fn load_bursts(bursts: usize) -> Self {
+        FaultScenario::LoadBursts { bursts }
+    }
+
+    /// True for the fault-free scenario.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultScenario::None)
+    }
+
+    /// Short stable name for reports and experiment ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultScenario::None => "none",
+            FaultScenario::OneSlowDisk { .. } => "one_slow_disk",
+            FaultScenario::NFailures { .. } => "n_failures",
+            FaultScenario::Flaky { .. } => "flaky",
+            FaultScenario::LoadBursts { .. } => "load_bursts",
+        }
+    }
+}
+
+/// A concrete, deterministic schedule of fault events for one access.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Events sorted by onset time.
+    pub events: Vec<FaultEvent>,
+    /// Seed stream the plan was drawn from; consumers fork it for any
+    /// randomness a fault needs *while active* (e.g. flaky error
+    /// draws), keeping those draws off the disks' own service streams.
+    seq: SeedSequence,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Expand `scenario` over an access using `slots` disks. All draws
+    /// come from the `"fault-plan"` fork of `seq`, so the plan is a
+    /// pure function of (scenario, slots, seed).
+    pub fn generate(scenario: &FaultScenario, slots: usize, seq: &SeedSequence) -> Self {
+        use rand::Rng;
+        let fault_seq = seq.subsequence("faults", 0);
+        let mut rng = fault_seq.fork("fault-plan", 0);
+        let mut events = Vec::new();
+        match *scenario {
+            FaultScenario::None => {}
+            FaultScenario::OneSlowDisk { factor } => {
+                events.push(FaultEvent {
+                    at: SimDuration::ZERO,
+                    slot: rng.gen_range(0..slots),
+                    kind: FaultKind::Slowdown {
+                        factor,
+                        duration: WHOLE_ACCESS,
+                    },
+                });
+            }
+            FaultScenario::NFailures { n } => {
+                let mut order: Vec<usize> = (0..slots).collect();
+                rand::seq::SliceRandom::shuffle(&mut order[..], &mut rng);
+                for &slot in order.iter().take(n.min(slots)) {
+                    events.push(FaultEvent {
+                        at: SimDuration::from_millis(rng.gen_range(0..ONSET_WINDOW_MS)),
+                        slot,
+                        kind: FaultKind::PermanentFailure,
+                    });
+                }
+            }
+            FaultScenario::Flaky { error_prob } => {
+                let affected = (slots / 4).max(1);
+                let mut order: Vec<usize> = (0..slots).collect();
+                rand::seq::SliceRandom::shuffle(&mut order[..], &mut rng);
+                for &slot in order.iter().take(affected) {
+                    events.push(FaultEvent {
+                        at: SimDuration::ZERO,
+                        slot,
+                        kind: FaultKind::Flaky {
+                            error_prob,
+                            duration: WHOLE_ACCESS,
+                        },
+                    });
+                }
+            }
+            FaultScenario::LoadBursts { bursts } => {
+                for _ in 0..bursts {
+                    events.push(FaultEvent {
+                        at: SimDuration::from_millis(rng.gen_range(0..2_000)),
+                        slot: rng.gen_range(0..slots),
+                        kind: FaultKind::LoadBurst {
+                            requests: rng.gen_range(8..32),
+                            sectors: 2048,
+                        },
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.slot));
+        FaultPlan {
+            events,
+            seq: fault_seq,
+        }
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A fresh RNG for fault-local randomness on `slot` (e.g. flaky
+    /// error draws), independent of the plan draws and of every disk's
+    /// service stream.
+    pub fn fault_rng(&self, slot: usize) -> crate::rng::SimRng {
+        self.seq.fork("fault-local", slot as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq() -> SeedSequence {
+        SeedSequence::new(42)
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let p = FaultPlan::generate(&FaultScenario::none(), 16, &seq());
+        assert!(p.is_empty());
+        assert!(FaultScenario::none().is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = FaultScenario::n_failures(3);
+        let a = FaultPlan::generate(&s, 16, &seq());
+        let b = FaultPlan::generate(&s, 16, &seq());
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 3);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = FaultScenario::one_slow_disk(8.0);
+        let slots: Vec<usize> = (0..64)
+            .map(|i| FaultPlan::generate(&s, 32, &SeedSequence::new(i)).events[0].slot)
+            .collect();
+        let distinct: std::collections::HashSet<_> = slots.iter().collect();
+        assert!(distinct.len() > 8, "slot choice should vary with seed");
+    }
+
+    #[test]
+    fn n_failures_picks_distinct_slots() {
+        let p = FaultPlan::generate(&FaultScenario::n_failures(8), 8, &seq());
+        let distinct: std::collections::HashSet<_> = p.events.iter().map(|e| e.slot).collect();
+        assert_eq!(distinct.len(), 8);
+        // Requesting more failures than slots saturates rather than
+        // panicking or repeating.
+        let p = FaultPlan::generate(&FaultScenario::n_failures(99), 4, &seq());
+        assert_eq!(p.events.len(), 4);
+    }
+
+    #[test]
+    fn events_sorted_by_onset() {
+        let p = FaultPlan::generate(&FaultScenario::load_bursts(10), 16, &seq());
+        assert_eq!(p.events.len(), 10);
+        assert!(p.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn flaky_affects_a_quarter() {
+        let p = FaultPlan::generate(&FaultScenario::flaky(0.2), 16, &seq());
+        assert_eq!(p.events.len(), 4);
+        let p = FaultPlan::generate(&FaultScenario::flaky(0.2), 2, &seq());
+        assert_eq!(p.events.len(), 1, "at least one disk is affected");
+    }
+
+    #[test]
+    fn fault_rng_is_per_slot_and_reproducible() {
+        use rand::RngCore;
+        let p = FaultPlan::generate(&FaultScenario::flaky(0.5), 8, &seq());
+        let a = p.fault_rng(0).next_u64();
+        let b = p.fault_rng(0).next_u64();
+        let c = p.fault_rng(1).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FaultScenario::one_slow_disk(4.0).name(), "one_slow_disk");
+        assert_eq!(FaultScenario::flaky(0.1).name(), "flaky");
+    }
+}

@@ -11,6 +11,9 @@
 //!   FIFO tie-breaking for simultaneous events.
 //! * [`rng`] — deterministic per-component random streams derived from a
 //!   single master seed, so every experiment is exactly reproducible.
+//! * [`faults`] — seeded fault plans (slowdowns, failures, flaky I/O,
+//!   load bursts) expanded from named scenarios on a dedicated stream,
+//!   so every scheme can be compared under an identical fault schedule.
 //! * [`stats`] — online mean/variance accumulation and summaries used by the
 //!   evaluation harness (access bandwidth, latency standard deviation, ...).
 //! * [`report`] — plain-text table formatting for the experiment binaries.
@@ -21,12 +24,14 @@
 //! rather than onto a general process-oriented framework.
 
 pub mod event;
+pub mod faults;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultScenario};
 pub use rng::{SeedSequence, SimRng};
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

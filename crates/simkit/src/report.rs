@@ -123,7 +123,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(3.45678, 2), "3.46");
         assert_eq!(mbps(123.456), "123.5");
         assert_eq!(pct(0.405), "40.5%");
     }

@@ -35,7 +35,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// Streams are labelled: `fork("disk", 17)` always yields the same stream
 /// for a given master seed, independent of the order in which other streams
 /// are forked.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SeedSequence {
     master: u64,
 }

@@ -188,7 +188,9 @@ mod tests {
 
     #[test]
     fn known_values() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.stdev_population() - 2.0).abs() < 1e-12);
         assert!((s.stdev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);

@@ -13,9 +13,7 @@
 //! (the §4.1.3 argument: erasure coding needs only *any* sufficient
 //! subset; plain striping dies with the first disk).
 
-use robustore::core::{
-    AccessMode, Client, InMemoryBackend, QosOptions, System, SystemConfig,
-};
+use robustore::core::{AccessMode, Client, InMemoryBackend, QosOptions, System, SystemConfig};
 use robustore::schemes::{run_trials, AccessConfig, SchemeKind};
 use robustore::simkit::report::{mbps, Table};
 
@@ -78,7 +76,12 @@ fn main() {
     println!("\n1 GB read, 64 disks, 3x redundancy, with failed servers ({trials} trials):\n");
     let mut table = Table::new(
         "Reads with injected server failures",
-        &["failed disks", "scheme", "bandwidth (MB/s)", "failed trials"],
+        &[
+            "failed disks",
+            "scheme",
+            "bandwidth (MB/s)",
+            "failed trials",
+        ],
     );
     for failed in [0usize, 1, 4, 8] {
         for scheme in [SchemeKind::Raid0, SchemeKind::RraidA, SchemeKind::RobuStore] {

@@ -8,9 +8,7 @@
 //! 4 MB object with LT-coded redundancy, reads it back speculatively, and
 //! patches 1 KB in place — printing what each step cost.
 
-use robustore::core::{
-    AccessMode, Client, InMemoryBackend, QosOptions, System, SystemConfig,
-};
+use robustore::core::{AccessMode, Client, InMemoryBackend, QosOptions, System, SystemConfig};
 
 fn main() {
     // A pool of 16 disks whose nominal speeds span ~10x, like a federated

@@ -11,11 +11,11 @@
 //! admission control refusing an overloaded tenant, and a credential chain
 //! letting a collaborator read a private dataset (Appendices B/C).
 
+use robustore::cluster::BackgroundPolicy;
 use robustore::core::{
     AccessMode, Client, CredentialChain, InMemoryBackend, QosOptions, Rights, StoreError, System,
     SystemConfig,
 };
-use robustore::cluster::BackgroundPolicy;
 use robustore::schemes::{run_trials, AccessConfig, SchemeKind};
 use robustore::simkit::report::{mbps, Table};
 
@@ -64,7 +64,11 @@ fn main() {
 
     let data: Vec<u8> = (0..2 << 20).map(|i| (i % 199) as u8).collect();
     let mut h = pi_client
-        .open("lab/results.raw", AccessMode::Write, QosOptions::best_effort())
+        .open(
+            "lab/results.raw",
+            AccessMode::Write,
+            QosOptions::best_effort(),
+        )
         .expect("open");
     pi_client.write(&mut h, &data).expect("write");
     pi_client.close(h).expect("close");
@@ -86,13 +90,19 @@ fn main() {
     for d in 0..8 {
         system.release_admission(d, 4242);
     }
-    pi_client.write(&mut h, &data).expect("write after tenants leave");
+    pi_client
+        .write(&mut h, &data)
+        .expect("write after tenants leave");
     pi_client.close(h).expect("close scratch");
     println!("…and admitted it once the competing tenant released its slots");
 
     // The postdoc cannot read the PI's file without a credential.
     assert!(matches!(
-        postdoc_client.open("lab/results.raw", AccessMode::Read, QosOptions::best_effort()),
+        postdoc_client.open(
+            "lab/results.raw",
+            AccessMode::Read,
+            QosOptions::best_effort()
+        ),
         Err(StoreError::AccessDenied(_))
     ));
     let cred = system

@@ -105,7 +105,9 @@ mod sidecar {
                     let ids: Vec<u32> = if ids.is_empty() {
                         Vec::new()
                     } else {
-                        ids.split(',').map(|t| t.parse().ok()).collect::<Option<_>>()?
+                        ids.split(',')
+                            .map(|t| t.parse().ok())
+                            .collect::<Option<_>>()?
                     };
                     layout.push((disk.parse().ok()?, ids));
                 }
@@ -159,7 +161,10 @@ fn open_store(store: &Path) -> (System, Client) {
         ));
     }
     let text = std::fs::read_to_string(store.join("speeds")).unwrap_or_default();
-    let speeds: Vec<f64> = text.split_whitespace().filter_map(|t| t.parse().ok()).collect();
+    let speeds: Vec<f64> = text
+        .split_whitespace()
+        .filter_map(|t| t.parse().ok())
+        .collect();
     let backend = FileBackend::open(store, speeds).unwrap_or_else(|e| die(&e.to_string()));
     let system = System::with_backend(
         Box::new(backend),
@@ -210,7 +215,9 @@ fn main() {
         usage();
     }
     let flag = |name: &str| -> Option<String> {
-        rest.iter().position(|a| a == name).and_then(|p| rest.get(p + 1).cloned())
+        rest.iter()
+            .position(|a| a == name)
+            .and_then(|p| rest.get(p + 1).cloned())
     };
 
     match rest[0].as_str() {
@@ -228,12 +235,17 @@ fn main() {
                 .collect();
             FileBackend::open(&store, speeds).unwrap_or_else(|e| die(&e.to_string()));
             std::fs::create_dir_all(meta_dir(&store)).ok();
-            println!("initialised store at {} with {disks} disks", store.display());
+            println!(
+                "initialised store at {} with {disks} disks",
+                store.display()
+            );
         }
         "put" => {
             let src = rest.get(1).unwrap_or_else(|| usage());
             let name = flag("--name").unwrap_or_else(|| src.clone());
-            let redundancy: f64 = flag("--redundancy").and_then(|v| v.parse().ok()).unwrap_or(3.0);
+            let redundancy: f64 = flag("--redundancy")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3.0);
             let data = std::fs::read(src).unwrap_or_else(|e| die(&format!("read {src}: {e}")));
             let (system, client) = open_store(&store);
             let mut h = client
@@ -243,7 +255,9 @@ fn main() {
                     QosOptions::best_effort().with_redundancy(redundancy),
                 )
                 .unwrap_or_else(|e| die(&e.to_string()));
-            let report = client.write(&mut h, &data).unwrap_or_else(|e| die(&e.to_string()));
+            let report = client
+                .write(&mut h, &data)
+                .unwrap_or_else(|e| die(&e.to_string()));
             client.close(h).unwrap_or_else(|e| die(&e.to_string()));
             persist_meta(&store, &system, &name);
             println!(
@@ -261,7 +275,9 @@ fn main() {
             let h = client
                 .open(name, AccessMode::Read, QosOptions::best_effort())
                 .unwrap_or_else(|e| die(&e.to_string()));
-            let (data, rr) = client.read_with_report(&h).unwrap_or_else(|e| die(&e.to_string()));
+            let (data, rr) = client
+                .read_with_report(&h)
+                .unwrap_or_else(|e| die(&e.to_string()));
             client.close(h).unwrap_or_else(|e| die(&e.to_string()));
             std::fs::write(&out, &data).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
             println!(
@@ -299,7 +315,10 @@ fn main() {
                         m.coding.seed
                     );
                     println!("version:     {}", m.version);
-                    println!("disks used:  {}", m.layout.iter().filter(|(_, b)| !b.is_empty()).count());
+                    println!(
+                        "disks used:  {}",
+                        m.layout.iter().filter(|(_, b)| !b.is_empty()).count()
+                    );
                     println!("blocks:      {}", m.stored_blocks());
                 }
                 None => die(&format!("no such file: {name}")),

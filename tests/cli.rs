@@ -48,8 +48,14 @@ fn full_lifecycle_across_invocations() {
     std::fs::write(&src, &payload).unwrap();
 
     let (ok, out) = run(&[
-        "--store", store_s, "put", src.to_str().unwrap(),
-        "--name", "proj/payload", "--redundancy", "2",
+        "--store",
+        store_s,
+        "put",
+        src.to_str().unwrap(),
+        "--name",
+        "proj/payload",
+        "--redundancy",
+        "2",
     ]);
     assert!(ok, "put failed: {out}");
     assert!(out.contains("coded blocks"), "{out}");
@@ -63,7 +69,12 @@ fn full_lifecycle_across_invocations() {
     // Retrieval round-trips the bytes exactly.
     let dst = dir.join("back.bin");
     let (ok, out) = run(&[
-        "--store", store_s, "get", "proj/payload", "--out", dst.to_str().unwrap(),
+        "--store",
+        store_s,
+        "get",
+        "proj/payload",
+        "--out",
+        dst.to_str().unwrap(),
     ]);
     assert!(ok, "get failed: {out}");
     assert!(out.contains("left unread"), "speculative accounting: {out}");
@@ -91,8 +102,14 @@ fn get_survives_losing_disks_up_to_redundancy() {
     let src = dir.join("p.bin");
     std::fs::write(&src, &payload).unwrap();
     let (ok, out) = run(&[
-        "--store", store_s, "put", src.to_str().unwrap(),
-        "--name", "x", "--redundancy", "3",
+        "--store",
+        store_s,
+        "put",
+        src.to_str().unwrap(),
+        "--name",
+        "x",
+        "--redundancy",
+        "3",
     ]);
     assert!(ok, "{out}");
 
@@ -101,7 +118,14 @@ fn get_survives_losing_disks_up_to_redundancy() {
     std::fs::create_dir_all(store.join("disk-0")).unwrap();
 
     let dst = dir.join("x.out");
-    let (ok, out) = run(&["--store", store_s, "get", "x", "--out", dst.to_str().unwrap()]);
+    let (ok, out) = run(&[
+        "--store",
+        store_s,
+        "get",
+        "x",
+        "--out",
+        dst.to_str().unwrap(),
+    ]);
     assert!(ok, "degraded get failed: {out}");
     assert_eq!(std::fs::read(&dst).unwrap(), payload);
 

@@ -20,7 +20,9 @@ fn system(disks: usize) -> System {
 }
 
 fn payload(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| ((i * 131 + salt as usize) % 256) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 131 + salt as usize) % 256) as u8)
+        .collect()
 }
 
 #[test]
@@ -29,16 +31,25 @@ fn many_files_roundtrip() {
     let user = sys.register_user();
     let client = Client::connect(&sys, user);
     let files: Vec<(String, Vec<u8>)> = (0..10)
-        .map(|i| (format!("data/file-{i}"), payload(30_000 + i * 7_000, i as u8)))
+        .map(|i| {
+            (
+                format!("data/file-{i}"),
+                payload(30_000 + i * 7_000, i as u8),
+            )
+        })
         .collect();
 
     for (name, data) in &files {
-        let mut h = client.open(name, AccessMode::Write, QosOptions::best_effort()).unwrap();
+        let mut h = client
+            .open(name, AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
         client.write(&mut h, data).unwrap();
         client.close(h).unwrap();
     }
     for (name, data) in &files {
-        let h = client.open(name, AccessMode::Read, QosOptions::best_effort()).unwrap();
+        let h = client
+            .open(name, AccessMode::Read, QosOptions::best_effort())
+            .unwrap();
         assert_eq!(&client.read(&h).unwrap(), data, "{name}");
         client.close(h).unwrap();
     }
@@ -50,7 +61,9 @@ fn concurrent_readers_across_threads() {
     let user = sys.register_user();
     let writer = Client::connect(&sys, user);
     let data = Arc::new(payload(200_000, 3));
-    let mut h = writer.open("shared", AccessMode::Write, QosOptions::best_effort()).unwrap();
+    let mut h = writer
+        .open("shared", AccessMode::Write, QosOptions::best_effort())
+        .unwrap();
     writer.write(&mut h, &data).unwrap();
     writer.close(h).unwrap();
 
@@ -73,7 +86,9 @@ fn concurrent_readers_across_threads() {
 
     // With all readers gone, the writer lock is available again.
     let owner = Client::connect(&sys, user);
-    let h = owner.open("shared", AccessMode::Write, QosOptions::best_effort()).unwrap();
+    let h = owner
+        .open("shared", AccessMode::Write, QosOptions::best_effort())
+        .unwrap();
     owner.close(h).unwrap();
 }
 
@@ -88,7 +103,11 @@ fn two_level_delegation_end_to_end() {
     let admin_client = Client::connect(&sys, admin);
     let data = payload(64_000, 9);
     let mut h = admin_client
-        .open("robustore_dir", AccessMode::Write, QosOptions::best_effort())
+        .open(
+            "robustore_dir",
+            AccessMode::Write,
+            QosOptions::best_effort(),
+        )
         .unwrap();
     admin_client.write(&mut h, &data).unwrap();
     admin_client.close(h).unwrap();
@@ -104,7 +123,12 @@ fn two_level_delegation_end_to_end() {
 
     let bob_client = Client::connect(&sys, bob);
     let h = bob_client
-        .open_with_chain("robustore_dir", AccessMode::Read, QosOptions::best_effort(), &chain)
+        .open_with_chain(
+            "robustore_dir",
+            AccessMode::Read,
+            QosOptions::best_effort(),
+            &chain,
+        )
         .unwrap();
     assert_eq!(bob_client.read(&h).unwrap(), data);
     bob_client.close(h).unwrap();
@@ -124,7 +148,12 @@ fn two_level_delegation_end_to_end() {
     let alice_client = Client::connect(&sys, alice);
     let chain1 = CredentialChain(vec![l1]);
     let mut h = alice_client
-        .open_with_chain("robustore_dir", AccessMode::Write, QosOptions::best_effort(), &chain1)
+        .open_with_chain(
+            "robustore_dir",
+            AccessMode::Write,
+            QosOptions::best_effort(),
+            &chain1,
+        )
         .unwrap();
     alice_client.write(&mut h, &payload(32_000, 11)).unwrap();
     alice_client.close(h).unwrap();
@@ -139,7 +168,9 @@ fn qos_disk_count_is_respected() {
         .open(
             "narrow",
             AccessMode::Write,
-            QosOptions::best_effort().with_num_disks(4).with_redundancy(2.0),
+            QosOptions::best_effort()
+                .with_num_disks(4)
+                .with_redundancy(2.0),
         )
         .unwrap();
     client.write(&mut h, &payload(100_000, 1)).unwrap();
@@ -163,12 +194,19 @@ fn updates_preserve_unpatched_bytes_across_many_patches() {
     let user = sys.register_user();
     let client = Client::connect(&sys, user);
     let mut expect = payload(128_000, 5);
-    let mut h = client.open("patchy", AccessMode::Write, QosOptions::best_effort()).unwrap();
+    let mut h = client
+        .open("patchy", AccessMode::Write, QosOptions::best_effort())
+        .unwrap();
     client.write(&mut h, &expect).unwrap();
 
-    for (i, (off, len)) in [(0usize, 100usize), (50_000, 3_000), (127_000, 1_000), (16_384, 16_384)]
-        .into_iter()
-        .enumerate()
+    for (i, (off, len)) in [
+        (0usize, 100usize),
+        (50_000, 3_000),
+        (127_000, 1_000),
+        (16_384, 16_384),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let patch: Vec<u8> = (0..len).map(|j| ((i * 37 + j) % 256) as u8).collect();
         client.update(&mut h, off as u64, &patch).unwrap();
@@ -176,7 +214,9 @@ fn updates_preserve_unpatched_bytes_across_many_patches() {
     }
     client.close(h).unwrap();
 
-    let h = client.open("patchy", AccessMode::Read, QosOptions::best_effort()).unwrap();
+    let h = client
+        .open("patchy", AccessMode::Read, QosOptions::best_effort())
+        .unwrap();
     assert_eq!(client.read(&h).unwrap(), expect);
     client.close(h).unwrap();
 }
@@ -201,7 +241,9 @@ fn degraded_read_survives_offline_disks() {
     // Take two of eight disks offline.
     sys.set_disk_offline(0, true);
     sys.set_disk_offline(3, true);
-    let h = client.open("resilient", AccessMode::Read, QosOptions::best_effort()).unwrap();
+    let h = client
+        .open("resilient", AccessMode::Read, QosOptions::best_effort())
+        .unwrap();
     assert_eq!(client.read(&h).unwrap(), data, "degraded read");
     client.close(h).unwrap();
 
@@ -209,7 +251,9 @@ fn degraded_read_survives_offline_disks() {
     for d in 0..7 {
         sys.set_disk_offline(d, true);
     }
-    let h = client.open("resilient", AccessMode::Read, QosOptions::best_effort()).unwrap();
+    let h = client
+        .open("resilient", AccessMode::Read, QosOptions::best_effort())
+        .unwrap();
     assert!(client.read(&h).is_err(), "insufficient blocks must error");
     client.close(h).unwrap();
 
@@ -217,7 +261,9 @@ fn degraded_read_survives_offline_disks() {
     for d in 0..8 {
         sys.set_disk_offline(d, false);
     }
-    let h = client.open("resilient", AccessMode::Read, QosOptions::best_effort()).unwrap();
+    let h = client
+        .open("resilient", AccessMode::Read, QosOptions::best_effort())
+        .unwrap();
     assert_eq!(client.read(&h).unwrap(), data);
     client.close(h).unwrap();
 }
@@ -230,7 +276,11 @@ fn rateless_write_routes_around_offline_disk() {
     sys.set_disk_offline(2, true);
     let data = payload(120_000, 9);
     let mut h = client
-        .open("writable", AccessMode::Write, QosOptions::best_effort().with_redundancy(2.0))
+        .open(
+            "writable",
+            AccessMode::Write,
+            QosOptions::best_effort().with_redundancy(2.0),
+        )
         .unwrap();
     client.write(&mut h, &data).unwrap();
     let meta = h.meta().unwrap().clone();
@@ -245,7 +295,9 @@ fn rateless_write_routes_around_offline_disk() {
     assert_eq!(on_dead, 0);
     assert_eq!(meta.stored_blocks(), meta.coding.n);
     // And the data reads back (dead disk still down).
-    let h = client.open("writable", AccessMode::Read, QosOptions::best_effort()).unwrap();
+    let h = client
+        .open("writable", AccessMode::Read, QosOptions::best_effort())
+        .unwrap();
     assert_eq!(client.read(&h).unwrap(), data);
     client.close(h).unwrap();
 }
@@ -255,7 +307,9 @@ fn out_of_range_update_rejected() {
     let sys = system(8);
     let user = sys.register_user();
     let client = Client::connect(&sys, user);
-    let mut h = client.open("f", AccessMode::Write, QosOptions::best_effort()).unwrap();
+    let mut h = client
+        .open("f", AccessMode::Write, QosOptions::best_effort())
+        .unwrap();
     client.write(&mut h, &payload(10_000, 1)).unwrap();
     assert!(matches!(
         client.update(&mut h, 9_990, &[0u8; 100]),

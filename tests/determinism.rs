@@ -2,7 +2,9 @@
 //! through every layer — the property the reproducibility of every figure
 //! rests on.
 
-use robustore::schemes::{run_access, run_trials, AccessConfig, AccessKind, SchemeKind};
+use robustore::schemes::{
+    run_access, run_trials, AccessConfig, AccessKind, FaultScenario, SchemeKind,
+};
 use robustore::simkit::SeedSequence;
 
 fn cfg(scheme: SchemeKind) -> AccessConfig {
@@ -15,7 +17,11 @@ fn cfg(scheme: SchemeKind) -> AccessConfig {
 #[test]
 fn single_access_bitwise_reproducible() {
     for scheme in SchemeKind::ALL {
-        for kind in [AccessKind::Read, AccessKind::Write, AccessKind::ReadAfterWrite] {
+        for kind in [
+            AccessKind::Read,
+            AccessKind::Write,
+            AccessKind::ReadAfterWrite,
+        ] {
             let c = cfg(scheme).with_kind(kind);
             let a = run_access(&c, &SeedSequence::new(0xAB));
             let b = run_access(&c, &SeedSequence::new(0xAB));
@@ -39,6 +45,80 @@ fn aggregates_reproducible_across_invocations() {
     assert_eq!(
         s1.io_overhead.mean().to_bits(),
         s2.io_overhead.mean().to_bits()
+    );
+}
+
+/// The fault layer keeps the bitwise-reproducibility contract: for every
+/// scheme and every fault scenario, the same seed yields a byte-identical
+/// per-request outcome log (the event trace) and identical metrics —
+/// including runs the injected faults kill outright.
+#[test]
+fn fault_schedules_are_bitwise_reproducible() {
+    let scenarios = [
+        FaultScenario::none(),
+        FaultScenario::one_slow_disk(6.0),
+        FaultScenario::n_failures(2),
+        FaultScenario::flaky(0.15),
+        FaultScenario::load_bursts(2),
+    ];
+    for scheme in SchemeKind::ALL {
+        for scenario in &scenarios {
+            let c = cfg(scheme).with_faults(*scenario);
+            let a = run_access(&c, &SeedSequence::new(0xF001));
+            let b = run_access(&c, &SeedSequence::new(0xF001));
+            let tag = format!("{scheme:?}/{}", scenario.name());
+            assert_eq!(a.request_log, b.request_log, "{tag}: outcome log");
+            assert!(!a.request_log.is_empty(), "{tag}: log must be populated");
+            assert_eq!(a.latency, b.latency, "{tag}: latency");
+            assert_eq!(a.network_bytes, b.network_bytes, "{tag}: network bytes");
+            assert_eq!(a.failed, b.failed, "{tag}: failure flag");
+        }
+    }
+}
+
+/// Aggregated statistics under faults are reproducible to the bit, and
+/// the per-request outcome counters agree across invocations.
+#[test]
+fn faulted_aggregates_reproducible() {
+    for scheme in SchemeKind::ALL {
+        let c = cfg(scheme).with_faults(FaultScenario::one_slow_disk(8.0));
+        let s1 = run_trials(&c, 4, 77);
+        let s2 = run_trials(&c, 4, 77);
+        assert_eq!(
+            s1.latency.stdev().to_bits(),
+            s2.latency.stdev().to_bits(),
+            "{scheme:?}"
+        );
+        assert_eq!(s1.served_requests, s2.served_requests, "{scheme:?}");
+        assert_eq!(s1.cancelled_requests, s2.cancelled_requests, "{scheme:?}");
+        assert_eq!(s1.timed_out_requests, s2.timed_out_requests, "{scheme:?}");
+        assert_eq!(s1.failed_requests, s2.failed_requests, "{scheme:?}");
+        assert_eq!(s1.failures, s2.failures, "{scheme:?}");
+    }
+}
+
+/// Injecting a fault scenario actually perturbs the run (it is not a
+/// silent no-op), while leaving the no-fault stream untouched: a config
+/// with `FaultScenario::None` behaves identically to one that never
+/// mentions faults.
+#[test]
+fn fault_injection_perturbs_and_none_is_identity() {
+    let c = cfg(SchemeKind::RobuStore);
+    let base = run_access(&c, &SeedSequence::new(0xF002));
+    let none = run_access(
+        &c.clone().with_faults(FaultScenario::none()),
+        &SeedSequence::new(0xF002),
+    );
+    assert_eq!(base.latency, none.latency);
+    assert_eq!(base.request_log, none.request_log);
+
+    let slow = run_access(
+        &c.clone().with_faults(FaultScenario::one_slow_disk(8.0)),
+        &SeedSequence::new(0xF002),
+    );
+    assert!(
+        slow.latency != base.latency || slow.request_log != base.request_log,
+        "a slow disk must leave a trace"
     );
 }
 

@@ -7,7 +7,7 @@
 
 use robustore::cluster::{BackgroundPolicy, LayoutPolicy};
 use robustore::schemes::{
-    run_trials, AccessConfig, AccessKind, SchemeKind, TrialStats,
+    run_trials, AccessConfig, AccessKind, FaultScenario, SchemeKind, TrialStats,
 };
 use robustore::simkit::SimDuration;
 
@@ -39,7 +39,10 @@ fn robustore_read_bandwidth_dominates() {
         rraid_a.mean_bandwidth_mbps(),
         robusto.mean_bandwidth_mbps(),
     );
-    assert!(br > ba && ba > bs && bs > b0, "ordering: {b0:.0} {bs:.0} {ba:.0} {br:.0}");
+    assert!(
+        br > ba && ba > bs && bs > b0,
+        "ordering: {b0:.0} {bs:.0} {ba:.0} {br:.0}"
+    );
     assert!(
         br / b0 > 5.0,
         "RobuSTore should beat RAID-0 severalfold: {br:.0} vs {b0:.0}"
@@ -49,9 +52,9 @@ fn robustore_read_bandwidth_dominates() {
 #[test]
 fn robustore_is_most_robust_and_rraid_s_least() {
     // Figure 6-7: latency stdev ordering for >8 disks.
-    let raid0 = read_stats(SchemeKind::Raid0, 12, 2);
-    let rraid_s = read_stats(SchemeKind::RraidS, 12, 2);
-    let robusto = read_stats(SchemeKind::RobuStore, 12, 2);
+    let raid0 = read_stats(SchemeKind::Raid0, 12, 3);
+    let rraid_s = read_stats(SchemeKind::RraidS, 12, 3);
+    let robusto = read_stats(SchemeKind::RobuStore, 12, 3);
     assert!(
         robusto.latency_stdev_secs() < raid0.latency_stdev_secs(),
         "RobuSTore stdev {} must beat RAID-0 {}",
@@ -73,6 +76,64 @@ fn robustore_is_most_robust_and_rraid_s_least() {
         robusto.latency_stdev_secs(),
         robusto.mean_latency_secs()
     );
+}
+
+#[test]
+fn robustore_absorbs_a_slow_disk_raid0_does_not() {
+    // §6.3 operationalised: inject the same deterministic mid-access
+    // slowdown schedule (one disk drops to 1/8 speed) into every scheme.
+    // RAID-0 must wait for the straggler, so its latency spread explodes;
+    // RobuSTore completes from other coded blocks and keeps both its
+    // spread and its mean almost intact.
+    let faulted = |scheme| {
+        let cfg = base(scheme).with_faults(FaultScenario::one_slow_disk(8.0));
+        run_trials(&cfg, 10, 14)
+    };
+    let raid0 = faulted(SchemeKind::Raid0);
+    let robusto = faulted(SchemeKind::RobuStore);
+    assert!(
+        robusto.latency_stdev_secs() < raid0.latency_stdev_secs() / 5.0,
+        "RobuSTore stdev {:.3} must stay far below RAID-0's {:.3} under a slow disk",
+        robusto.latency_stdev_secs(),
+        raid0.latency_stdev_secs()
+    );
+    assert!(
+        robusto.mean_latency_secs() < raid0.mean_latency_secs(),
+        "and its mean latency must win outright"
+    );
+    // The slowdown must actually bite: RAID-0's spread visibly exceeds
+    // its no-fault baseline at the same seed.
+    let raid0_clean = read_stats(SchemeKind::Raid0, 10, 14);
+    assert!(
+        raid0.latency_stdev_secs() > 2.0 * raid0_clean.latency_stdev_secs(),
+        "slow disk must widen RAID-0's spread: {:.3} vs clean {:.3}",
+        raid0.latency_stdev_secs(),
+        raid0_clean.latency_stdev_secs()
+    );
+    // RobuSTore pays for the ride in cancelled speculative requests, not
+    // in lost data: nothing fails outright.
+    assert_eq!(robusto.failures, 0);
+    assert!(robusto.cancelled_requests > 0);
+}
+
+#[test]
+fn erasure_coding_survives_midaccess_failures() {
+    // Two disks die mid-access under identical schedules: RAID-0 loses
+    // data on every trial, RobuSTore completes every trial from the
+    // remaining coded blocks and logs the lost requests as failed.
+    let faulted = |scheme| {
+        let cfg = base(scheme).with_faults(FaultScenario::n_failures(2));
+        run_trials(&cfg, 6, 15)
+    };
+    let raid0 = faulted(SchemeKind::Raid0);
+    let robusto = faulted(SchemeKind::RobuStore);
+    assert_eq!(raid0.failures, 6, "RAID-0 cannot lose a disk");
+    assert_eq!(robusto.failures, 0, "coded redundancy rides through");
+    assert!(
+        robusto.failed_requests > 0,
+        "the deaths must be visible in the log"
+    );
+    assert!(robusto.mean_bandwidth_mbps() > 0.0);
 }
 
 #[test]

@@ -5,6 +5,7 @@
 //! xp fig6-6               # run one experiment
 //! xp all                  # run everything (writes results/<id>.txt each)
 //! xp fig6-15 --trials 100 # override the trial count (default 40)
+//! xp bench-coding --quick # smoke-test sizes (same as --trials 1)
 //! ```
 
 use std::io::Write as _;
@@ -13,7 +14,7 @@ use std::path::Path;
 use robustore_bench::{find, registry, DEFAULT_TRIALS};
 
 fn usage() -> ! {
-    eprintln!("usage: xp <experiment-id|all|list> [--trials N]");
+    eprintln!("usage: xp <experiment-id|all|list> [--trials N] [--quick]");
     eprintln!("run `xp list` to see the available experiments");
     std::process::exit(2);
 }
@@ -49,6 +50,9 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            // One trial everywhere; experiments with a quick mode (e.g.
+            // bench-coding) also shrink their data sizes for CI smoke runs.
+            "--quick" => trials = 1,
             flag if flag.starts_with("--") => usage(),
             id => {
                 if target.is_some() {

@@ -1,4 +1,5 @@
-//! Coding experiments: Table 5-1, Figure 4-1, Figures 5-1/5-2/5-3.
+//! Coding experiments: Table 5-1, Figure 4-1, Figures 5-1/5-2/5-3, and
+//! the kernel benchmark behind them (`bench-coding`).
 
 use std::time::Instant;
 
@@ -30,16 +31,23 @@ pub fn table5_1(_trials: u64) -> String {
             .map(|i| (0..block).map(|j| ((i * 31 + j * 7) % 256) as u8).collect())
             .collect();
 
-        let t = Instant::now();
-        let coded = rs.encode(&data).expect("encode");
-        let enc_bw = DATA as f64 / t.elapsed().as_secs_f64() / 1e6;
+        // Wall-clock best-of-3: single timings on a shared host jitter
+        // enough to scramble the K ordering the table exists to show.
+        let (mut enc_bw, mut dec_bw) = (0f64, 0f64);
+        for rep in 0..3 {
+            let t = Instant::now();
+            let coded = rs.encode(&data).expect("encode");
+            enc_bw = enc_bw.max(DATA as f64 / t.elapsed().as_secs_f64() / 1e6);
 
-        // Decode from the last K blocks (forces a real matrix solve).
-        let rx: Vec<_> = (k..2 * k).map(|i| (i, coded[i].clone())).collect();
-        let t = Instant::now();
-        let decoded = rs.decode(&rx).expect("decode");
-        let dec_bw = DATA as f64 / t.elapsed().as_secs_f64() / 1e6;
-        assert_eq!(decoded, data);
+            // Decode from the last K blocks (forces a real matrix solve).
+            let rx: Vec<_> = (k..2 * k).map(|i| (i, coded[i].clone())).collect();
+            let t = Instant::now();
+            let decoded = rs.decode(&rx).expect("decode");
+            dec_bw = dec_bw.max(DATA as f64 / t.elapsed().as_secs_f64() / 1e6);
+            if rep == 0 {
+                assert_eq!(decoded, data);
+            }
+        }
 
         table.row(vec![
             k.to_string(),
@@ -52,6 +60,199 @@ pub fn table5_1(_trials: u64) -> String {
     out.push_str(
         "\nShape check: bandwidth should fall ~2x per K doubling (cost quadratic in K).\n",
     );
+    out
+}
+
+/// Kernel benchmark: RS and LT coding bandwidth under the scalar
+/// reference vs the vector (SWAR + nibble-table) kernels, on identical
+/// inputs. Writes machine-readable rows to `BENCH_coding.json` — schema
+/// `{kernel, code, k, encode_mbps, decode_mbps, host}` — alongside the
+/// rendered table, so the speedup claims in `EXPERIMENTS.md` are backed
+/// by same-host data. `--quick` (or `--trials 1`) shrinks the data sizes
+/// for CI smoke runs.
+pub fn bench_coding(trials: u64) -> String {
+    use robustore_erasure::{set_kernel, Block, BlockPool, Kernel};
+
+    let quick = trials <= 1;
+    // Wall-clock best-of: the host is shared, so single timings jitter by
+    // ±15%; five reps reliably capture the uncontended rate.
+    let reps = trials.clamp(1, 5);
+    let rs_bytes: usize = if quick { 2 << 20 } else { 16 << 20 };
+    let lt_block: usize = if quick { 4 << 10 } else { 64 << 10 };
+    let seq = SeedSequence::new(MASTER_SEED ^ 0xBE7C);
+
+    struct Row {
+        kernel: &'static str,
+        code: &'static str,
+        k: usize,
+        encode_mbps: f64,
+        decode_mbps: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    // The two kernels are measured back-to-back *within* each
+    // configuration, not in separate sweeps: host speed drifts on a
+    // minutes scale (this is a shared machine), and a ratio of two
+    // measurements taken minutes apart reflects the drift, not the code.
+    const KERNELS: [(Kernel, &str); 2] = [(Kernel::Scalar, "scalar"), (Kernel::Vector, "vector")];
+
+    // Reed–Solomon: dense GF(256) arithmetic — the axpy/scale kernels.
+    for k in [4usize, 8, 16, 32] {
+        let n = 2 * k;
+        let rs = ReedSolomon::new(k, n).expect("valid parameters");
+        let block = rs_bytes / k;
+        let data: Vec<Block> = (0..k)
+            .map(|i| (0..block).map(|j| ((i * 31 + j * 7) % 256) as u8).collect())
+            .collect();
+        let mb = rs_bytes as f64 / 1e6;
+        for (kernel, kname) in KERNELS {
+            set_kernel(kernel);
+            let (mut enc, mut dec) = (0f64, 0f64);
+            for rep in 0..reps {
+                let t = Instant::now();
+                let coded = rs.encode(&data).expect("encode");
+                enc = enc.max(mb / t.elapsed().as_secs_f64());
+                // Decode from the last K blocks (forces a real matrix solve).
+                let rx: Vec<_> = (k..2 * k).map(|i| (i, coded[i].clone())).collect();
+                let t = Instant::now();
+                let decoded = rs.decode(&rx).expect("decode");
+                dec = dec.max(mb / t.elapsed().as_secs_f64());
+                if rep == 0 {
+                    assert_eq!(decoded, data);
+                }
+            }
+            rows.push(Row {
+                kernel: kname,
+                code: "rs",
+                k,
+                encode_mbps: enc,
+                decode_mbps: dec,
+            });
+        }
+    }
+
+    // LT: pure XOR — the wide-XOR kernel. Coded buffers come from a
+    // BlockPool and every one returns to it, so reps after the first
+    // are allocation-free (the zero-copy receive path end to end).
+    for k in [128usize, 256, 512, 1024] {
+        let n = 3 * k;
+        let code = LtCode::plan(k, n, LtParams::default(), seq.seed_for("lt-plan", k as u64))
+            .expect("valid parameters");
+        let data: Vec<Block> = (0..k)
+            .map(|i| (0..lt_block).map(|j| ((i + j * 13) % 256) as u8).collect())
+            .collect();
+        let mb = (k * lt_block) as f64 / 1e6;
+        let mut pool = BlockPool::new(lt_block);
+        for (kernel, kname) in KERNELS {
+            set_kernel(kernel);
+            let (mut enc, mut dec) = (0f64, 0f64);
+            for rep in 0..reps {
+                let t = Instant::now();
+                let mut coded: Vec<Option<Block>> = (0..n)
+                    .map(|j| {
+                        let mut b = pool.get_scratch();
+                        code.encode_block_into(&data, j, &mut b);
+                        Some(b)
+                    })
+                    .collect();
+                enc = enc.max(mb / t.elapsed().as_secs_f64());
+
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(&mut seq.fork("lt-order", (k as u64) << 8 | rep));
+                let t = Instant::now();
+                let mut ltdec = LtDecoder::new(&code, lt_block);
+                for &j in &order {
+                    if ltdec.receive(j, coded[j].take().unwrap()) {
+                        break;
+                    }
+                }
+                dec = dec.max(mb / t.elapsed().as_secs_f64());
+                assert!(ltdec.is_complete());
+                pool.put_all(ltdec.drain_spares());
+                pool.put_all(coded.into_iter().flatten()); // never-fed blocks
+                let decoded = ltdec.into_data().expect("complete");
+                if rep == 0 {
+                    assert_eq!(decoded, data);
+                }
+                pool.put_all(decoded);
+            }
+            rows.push(Row {
+                kernel: kname,
+                code: "lt",
+                k,
+                encode_mbps: enc,
+                decode_mbps: dec,
+            });
+        }
+    }
+    set_kernel(Kernel::Vector); // restore the process-wide default
+
+    let host = format!(
+        "{}-{}-{}threads",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"kernel\": \"{}\", \"code\": \"{}\", \"k\": {}, \
+             \"encode_mbps\": {:.1}, \"decode_mbps\": {:.1}, \"host\": \"{}\"}}{}\n",
+            r.kernel,
+            r.code,
+            r.k,
+            r.encode_mbps,
+            r.decode_mbps,
+            host,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    let json_note = match std::fs::write("BENCH_coding.json", &json) {
+        Ok(()) => "rows written to BENCH_coding.json".to_string(),
+        Err(e) => format!("could not write BENCH_coding.json: {e}"),
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Kernel benchmark: scalar reference vs vector kernels ({}, {} MB RS / {} KB LT blocks)",
+            host,
+            rs_bytes >> 20,
+            lt_block >> 10
+        ),
+        &["code", "K", "kernel", "encode (MB/s)", "decode (MB/s)"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.code.into(),
+            r.k.to_string(),
+            r.kernel.into(),
+            format!("{:.0}", r.encode_mbps),
+            format!("{:.0}", r.decode_mbps),
+        ]);
+    }
+    let mut out = table.render();
+    let ratio = |code: &str, k: usize| -> f64 {
+        let get = |kern: &str| {
+            rows.iter()
+                .find(|r| r.code == code && r.k == k && r.kernel == kern)
+                .map_or(f64::NAN, |r| r.decode_mbps)
+        };
+        get("vector") / get("scalar")
+    };
+    out.push_str("\nDecode speedup, vector over scalar (same host, same inputs):\n");
+    for k in [4usize, 8, 16, 32] {
+        out.push_str(&format!("  RS K={k}: {:.1}x\n", ratio("rs", k)));
+    }
+    for k in [128usize, 256, 512, 1024] {
+        out.push_str(&format!("  LT K={k}: {:.1}x\n", ratio("lt", k)));
+    }
+    out.push_str(&format!(
+        "Targets: >=3x RS decode at K=32 (got {:.1}x), >=1.5x LT decode at K=1024 (got {:.1}x).\n{}\n",
+        ratio("rs", 32),
+        ratio("lt", 1024),
+        json_note
+    ));
     out
 }
 

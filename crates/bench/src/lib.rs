@@ -139,6 +139,11 @@ pub fn registry() -> Vec<Experiment> {
             run: coding::coding_survey,
         },
         Experiment {
+            id: "bench-coding",
+            covers: "Kernel benchmark: scalar vs vector coding kernels (writes BENCH_coding.json)",
+            run: coding::bench_coding,
+        },
+        Experiment {
             id: "ablation-lt",
             covers: "Ablation: stock vs improved LT construction (the §5.2.3 claims)",
             run: ablation::ablation_lt,
@@ -182,7 +187,7 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 25, "one entry per paper artifact group plus extensions");
+        assert_eq!(n, 26, "one entry per paper artifact group plus extensions");
     }
 
     #[test]

@@ -25,6 +25,21 @@ pub trait StorageBackend {
     /// Fetch block `block` of disk `disk`.
     fn read_block(&self, disk: usize, block: u64) -> Result<Vec<u8>, StoreError>;
 
+    /// Fetch block `block` of disk `disk` into a caller-provided buffer
+    /// (e.g. one recycled from a `BlockPool`), avoiding a fresh
+    /// allocation per read. The buffer is resized to the block's length.
+    /// The default delegates to [`StorageBackend::read_block`]; backends
+    /// that can copy in place should override it.
+    fn read_block_into(
+        &self,
+        disk: usize,
+        block: u64,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        *buf = self.read_block(disk, block)?;
+        Ok(())
+    }
+
     /// Remove a block (updates delete obsolete coded blocks, §4.3.4).
     fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError>;
 
@@ -146,6 +161,25 @@ impl StorageBackend for InMemoryBackend {
             .ok_or(StoreError::MissingBlock { disk, block })
     }
 
+    /// Copies into `buf` in place — no allocation when its capacity
+    /// already covers the block (the pooled-buffer fast path).
+    fn read_block_into(
+        &self,
+        disk: usize,
+        block: u64,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        let data = self
+            .disks
+            .get(disk)
+            .filter(|d| !d.offline)
+            .and_then(|d| d.blocks.get(&block))
+            .ok_or(StoreError::MissingBlock { disk, block })?;
+        buf.clear();
+        buf.extend_from_slice(data);
+        Ok(())
+    }
+
     fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {
         let d = self
             .disks
@@ -233,6 +267,21 @@ mod tests {
         b.write_block(0, 1, vec![0; 40]).unwrap();
         assert_eq!(b.disk_used(0), 40);
         assert_eq!(b.writes(), 2);
+    }
+
+    #[test]
+    fn read_into_reuses_capacity() {
+        let mut b = InMemoryBackend::uniform(1, 10e6);
+        b.write_block(0, 3, vec![9, 8, 7]).unwrap();
+        let mut buf = Vec::with_capacity(16);
+        let ptr = buf.as_ptr();
+        b.read_block_into(0, 3, &mut buf).unwrap();
+        assert_eq!(buf, vec![9, 8, 7]);
+        assert_eq!(buf.as_ptr(), ptr, "capacity sufficed; no reallocation");
+        assert!(matches!(
+            b.read_block_into(0, 99, &mut buf),
+            Err(StoreError::MissingBlock { .. })
+        ));
     }
 
     #[test]

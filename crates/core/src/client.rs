@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use robustore_erasure::lt::{LtCode, LtDecoder};
-use robustore_erasure::LtParams;
+use robustore_erasure::{BlockPool, LtParams};
 use robustore_schemes::placement::Placement;
 use robustore_simkit::SeedSequence;
 
@@ -68,6 +68,9 @@ struct SystemInner {
     backend: Mutex<Box<dyn StorageBackend + Send>>,
     admission: Mutex<Vec<AdmissionController>>,
     authority: Mutex<KeyAuthority>,
+    /// Recycled read buffers shared across accesses (one size at a time;
+    /// replaced if a file with a different block size is read).
+    pool: Mutex<Option<BlockPool>>,
     clock: AtomicU64,
     next_access: AtomicU64,
 }
@@ -111,6 +114,7 @@ impl System {
                 backend: Mutex::new(backend),
                 admission: Mutex::new(admission),
                 authority: Mutex::new(KeyAuthority::new()),
+                pool: Mutex::new(None),
                 clock: AtomicU64::new(0),
                 next_access: AtomicU64::new(0),
             }),
@@ -175,6 +179,16 @@ impl System {
     pub fn backend_stats(&self) -> (u64, u64) {
         let b = self.inner.backend.lock();
         (b.reads(), b.writes())
+    }
+
+    /// Read-buffer pool counters `(fresh_allocations, reuses)` — the
+    /// byte-allocation evidence that repeated reads recycle buffers
+    /// instead of allocating (zeros before the first read).
+    pub fn pool_stats(&self) -> (u64, u64) {
+        match self.inner.pool.lock().as_ref() {
+            Some(p) => (p.fresh_allocations(), p.reuses()),
+            None => (0, 0),
+        }
     }
 
     /// Admission occupancy per disk (diagnostics / examples).
@@ -599,7 +613,15 @@ impl Client {
         let meta = handle.meta.as_ref().ok_or(StoreError::StaleHandle)?;
         let spec = &meta.coding;
         let code = LtCode::plan(spec.k, spec.n, spec.params, spec.seed)?;
-        let mut decoder = LtDecoder::new(&code, spec.block_bytes as usize);
+        let block_len = spec.block_bytes as usize;
+        let mut decoder = LtDecoder::new(&code, block_len);
+        // Borrow the system's recycled-buffer pool for this access; every
+        // fetched buffer returns to it (decoded or spare) so repeated
+        // reads are allocation-free after the first.
+        let mut pool = match self.system.inner.pool.lock().take() {
+            Some(p) if p.block_len() == block_len => p,
+            _ => BlockPool::new(block_len),
+        };
 
         // Merge per-disk streams by virtual arrival time: block `idx` on
         // disk `d` arrives at (idx+1)·block/speed(d). BinaryHeap is a
@@ -644,15 +666,19 @@ impl Client {
                 // redundancy absorbs it (§4.1.3). Skip to the disk's next
                 // block; decoding fails only if no sufficient subset
                 // remains anywhere.
-                match backend.read_block(*disk, meta.block_key(coded)) {
-                    Ok(data) => {
+                let mut buf = pool.get_scratch();
+                match backend.read_block_into(*disk, meta.block_key(coded), &mut buf) {
+                    Ok(()) => {
                         backend.count_read();
                         fetched += 1;
-                        if decoder.receive(coded as usize, data) {
+                        if decoder.receive(coded as usize, buf) {
                             break; // completion: cancel everything still queued
                         }
                     }
-                    Err(StoreError::MissingBlock { .. }) => {}
+                    Err(StoreError::MissingBlock { .. }) => {
+                        buf.resize(block_len, 0);
+                        pool.put(buf);
+                    }
                     Err(e) => return Err(e),
                 }
                 if idx + 1 < ids.len() {
@@ -660,14 +686,17 @@ impl Client {
                 }
             }
         }
+        pool.put_all(decoder.drain_spares());
         let blocks = decoder.into_data().ok_or(StoreError::Coding(
             robustore_erasure::CodingError::DecodeFailed,
         ))?;
         let mut out = Vec::with_capacity(meta.size_bytes as usize);
         for b in blocks {
             out.extend_from_slice(&b);
+            pool.put(b); // decoded buffers recycle too
         }
         out.truncate(meta.size_bytes as usize);
+        *self.system.inner.pool.lock() = Some(pool);
         Ok((
             out,
             ReadReport {
@@ -848,6 +877,43 @@ mod tests {
         let (got, rr) = client.read_with_report(&h).unwrap();
         assert_eq!(got, data);
         assert!(rr.blocks_cancelled > 0, "speculative read must cancel some");
+        client.close(h).unwrap();
+    }
+
+    #[test]
+    fn repeated_reads_recycle_buffers() {
+        // The shared BlockPool's allocation counter proves the whole
+        // fetch→decode path is allocation-free once warm: read 1 fills
+        // the pool, read 2 onward reuse its buffers exclusively.
+        let sys = test_system();
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        let data = payload(120_000);
+        let mut h = client
+            .open("pooled", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
+        client.write(&mut h, &data).unwrap();
+        client.close(h).unwrap();
+
+        assert_eq!(sys.pool_stats(), (0, 0), "no reads yet");
+        let h = client
+            .open("pooled", AccessMode::Read, QosOptions::best_effort())
+            .unwrap();
+        assert_eq!(client.read(&h).unwrap(), data);
+        let (fresh_after_first, _) = sys.pool_stats();
+        assert!(fresh_after_first > 0);
+        for _ in 0..3 {
+            assert_eq!(client.read(&h).unwrap(), data);
+        }
+        let (fresh, reuses) = sys.pool_stats();
+        assert_eq!(
+            fresh, fresh_after_first,
+            "warm reads must not allocate (hidden copy otherwise)"
+        );
+        assert!(
+            reuses >= 3 * fresh_after_first,
+            "warm reads run on the pool"
+        );
         client.close(h).unwrap();
     }
 

@@ -108,6 +108,25 @@ impl StorageBackend for FileBackend {
         std::fs::read(self.block_path(disk, block)).map_err(|_| io_err(disk, block))
     }
 
+    /// Streams the file into `buf` (cleared first), reusing its capacity
+    /// instead of allocating a fresh vector per block.
+    fn read_block_into(
+        &self,
+        disk: usize,
+        block: u64,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        use std::io::Read as _;
+        if disk >= self.speeds.len() || self.offline[disk] {
+            return Err(io_err(disk, block));
+        }
+        let mut f =
+            std::fs::File::open(self.block_path(disk, block)).map_err(|_| io_err(disk, block))?;
+        buf.clear();
+        f.read_to_end(buf).map_err(|_| io_err(disk, block))?;
+        Ok(())
+    }
+
     fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {
         if disk >= self.speeds.len() {
             return Err(io_err(disk, block));
@@ -172,6 +191,9 @@ mod tests {
         b.write_block(0, 7, vec![1, 2, 3]).unwrap();
         b.write_block(1, 8, vec![9; 100]).unwrap();
         assert_eq!(b.read_block(0, 7).unwrap(), vec![1, 2, 3]);
+        let mut buf = Vec::new();
+        b.read_block_into(0, 7, &mut buf).unwrap();
+        assert_eq!(buf, vec![1, 2, 3]);
         assert_eq!(b.disk_used(1), 100);
         b.delete_block(0, 7).unwrap();
         assert!(b.read_block(0, 7).is_err());

@@ -1,0 +1,94 @@
+//! Microbenchmark for the axpy kernels: best-of-N timing of a K=32
+//! RS-decode-shaped workload (32 sources folded into one destination),
+//! comparing the per-source and fused vector paths against the scalar
+//! reference, then a full decode sweep in the shape of `xp bench-coding`.
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p robustore-erasure --example axpy_micro
+//! ```
+
+use std::time::Instant;
+
+use robustore_erasure::kernels::{gf_axpy_multi_scalar, gf_axpy_multi_vector, gf_axpy_vector};
+
+fn main() {
+    let k = 32usize;
+    let block = 512 * 1024usize;
+    let srcs: Vec<Vec<u8>> = (0..k)
+        .map(|i| {
+            (0..block)
+                .map(|j| ((i * 131 + j * 17 + 5) % 256) as u8)
+                .collect()
+        })
+        .collect();
+    let coefs: Vec<u8> = (0..k).map(|i| (i * 37 + 11) as u8).collect();
+    let pairs: Vec<(u8, &[u8])> = coefs
+        .iter()
+        .zip(&srcs)
+        .map(|(&c, s)| (c, s.as_slice()))
+        .collect();
+    let reps = 10;
+
+    let best = |name: &str, f: &mut dyn FnMut(&mut [u8])| {
+        let mut acc = vec![0u8; block];
+        let mut t_best = f64::MAX;
+        for _ in 0..reps {
+            acc.fill(0);
+            let t = Instant::now();
+            f(&mut acc);
+            t_best = t_best.min(t.elapsed().as_secs_f64());
+        }
+        let mbps = (block * k) as f64 / 1e6 / t_best;
+        println!(
+            "{name:12} best {:8.3} ms  {mbps:7.0} MB/s source-bytes",
+            t_best * 1e3
+        );
+        acc.iter().fold(0u8, |a, &b| a ^ b)
+    };
+
+    let a = best("scalar", &mut |acc| gf_axpy_multi_scalar(acc, &pairs));
+    let b = best("per-source", &mut |acc| {
+        for &(c, s) in &pairs {
+            gf_axpy_vector(acc, c, s);
+        }
+    });
+    let c = best("fused", &mut |acc| gf_axpy_multi_vector(acc, &pairs));
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+
+    // Full decode sweep in the exact shape of the xp benchmark loop —
+    // fresh data/coded/rx per rep — to localize any gap between the
+    // kernel rate above and the end-to-end benchmark rate.
+    use robustore_erasure::{set_kernel, Kernel, ReedSolomon};
+    let rs_bytes = 16usize << 20;
+    for (kernel, name) in [
+        (Kernel::Scalar, "decode-scalar"),
+        (Kernel::Vector, "decode-vector"),
+    ] {
+        set_kernel(kernel);
+        for kk in [4usize, 8, 16, 32] {
+            let rs = ReedSolomon::new(kk, 2 * kk).unwrap();
+            let blk = rs_bytes / kk;
+            let data: Vec<Vec<u8>> = (0..kk)
+                .map(|i| (0..blk).map(|j| ((i * 31 + j * 7) % 256) as u8).collect())
+                .collect();
+            let mut t_best = f64::MAX;
+            for _ in 0..5 {
+                let coded = rs.encode(&data).unwrap();
+                let rx: Vec<(usize, Vec<u8>)> =
+                    (kk..2 * kk).map(|i| (i, coded[i].clone())).collect();
+                let t = Instant::now();
+                let out = rs.decode(&rx).unwrap();
+                t_best = t_best.min(t.elapsed().as_secs_f64());
+                assert_eq!(out[0], data[0]);
+            }
+            let mbps = rs_bytes as f64 / 1e6 / t_best;
+            println!(
+                "{name:13} K={kk:2} best {:8.1} ms  {mbps:7.1} MB/s data",
+                t_best * 1e3
+            );
+        }
+    }
+    set_kernel(Kernel::Vector);
+}

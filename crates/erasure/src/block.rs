@@ -1,37 +1,18 @@
-//! Block representation and XOR kernels.
+//! Block representation and XOR helpers.
 //!
 //! A *block* is the symbol unit of every code in this crate — in RobuSTore
 //! deployments, 1 MB of data (§5.2.2 recommends K=128..1024 blocks per
 //! segment). All LT coding work reduces to XOR over blocks, so the XOR
 //! kernel is the throughput-critical path the paper optimises (§5.2.3
-//! item 4: long operands, register- and cache-conscious loops). In Rust the
-//! same effect is achieved by giving LLVM an exact-chunked u64 loop it can
-//! unroll and vectorise.
+//! item 4: long operands, register- and cache-conscious loops). The actual
+//! loops live in [`crate::kernels`], which provides both a wide vectorized
+//! implementation and a byte-at-a-time scalar reference, selectable at
+//! runtime with byte-identical results.
+
+pub use crate::kernels::xor_into;
 
 /// A data block: owned bytes of the segment's block size.
 pub type Block = Vec<u8>;
-
-/// XOR `src` into `dst` element-wise.
-///
-/// # Panics
-/// Panics if the blocks differ in length — codes operate on equal-sized
-/// blocks only, and a mismatch indicates corruption upstream.
-#[inline]
-pub fn xor_into(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "xor of blocks with unequal lengths");
-    // Word-at-a-time main loop. `chunks_exact` lets the compiler drop the
-    // per-iteration bounds checks and auto-vectorise.
-    let mut d = dst.chunks_exact_mut(8);
-    let mut s = src.chunks_exact(8);
-    for (dw, sw) in (&mut d).zip(&mut s) {
-        let x =
-            u64::from_ne_bytes(dw.try_into().unwrap()) ^ u64::from_ne_bytes(sw.try_into().unwrap());
-        dw.copy_from_slice(&x.to_ne_bytes());
-    }
-    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *db ^= *sb;
-    }
-}
 
 /// Allocate a zero block of `len` bytes.
 #[inline]

@@ -1,0 +1,762 @@
+//! Hot-loop coding kernels: GF(256) multiply-accumulate, wide XOR, and
+//! block-buffer pooling.
+//!
+//! Every code in this crate bottoms out in two inner loops — `acc ^= src`
+//! (LT/Raptor/Tornado/parity) and `acc ^= coef · src` over GF(2⁸)
+//! (Reed–Solomon) — so this module is the single substrate they all share.
+//! The paper makes coding bandwidth a first-class constraint (§5.2.3
+//! item 4: "long operands, register- and cache-conscious loops"; Table 5-1
+//! rules RS out for long code words because its per-byte field math halves
+//! bandwidth with every K doubling). Two implementations exist for each
+//! kernel:
+//!
+//! * **Scalar reference** — the textbook byte-at-a-time loops (log/exp
+//!   table lookups for GF, single-byte XOR). These pin the semantics: the
+//!   vectorized kernels must be *byte-identical* to them for every input,
+//!   a guarantee enforced by differential property tests. They double as
+//!   the ablation baseline mirroring the paper's pre-optimisation loops —
+//!   [`std::hint::black_box`] keeps the XOR reference genuinely
+//!   byte-at-a-time so the compiler cannot quietly vectorize the baseline
+//!   and erase the very effect §5.2.3 measures.
+//! * **Vectorized** — wide loops over 32-byte chunks (4 × `u64` lanes)
+//!   that LLVM lowers to SIMD. The GF multiply is table-driven in the
+//!   ISA-L style: per coefficient, two 16-entry split-nibble tables
+//!   ([`NibbleTables`], `c·b = lo[b & 15] ^ hi[b >> 4]`) are expanded
+//!   once into a 256-entry product table that stays L1-resident for the
+//!   whole block, so the inner loop is one branch-free lookup per byte
+//!   with the XOR into the destination done on full `u64` lanes. That
+//!   keeps per-byte work to a single independent load (the lookups of a
+//!   chunk pipeline in parallel), versus the scalar reference's
+//!   zero-check branch plus *two dependent* log/exp lookups per byte.
+//!
+//! Alignment note: the wide loops read/write through
+//! `u64::from_ne_bytes`/`to_ne_bytes` on exact 32-byte chunks, which LLVM
+//! merges into full-width vector loads. On x86-64 and aarch64 the
+//! unaligned forms run at aligned speed when the data is aligned (and
+//! `Vec<u8>` allocations are), so a separately-dispatched aligned path
+//! would only duplicate code without a measurable win — and would need
+//! `unsafe` reinterpretation this crate otherwise avoids.
+//!
+//! Which implementation runs is a process-wide runtime choice
+//! ([`set_kernel`]) so benchmarks can measure both in one run; because the
+//! kernels agree byte-for-byte, the selection can never change what any
+//! experiment computes — only how fast.
+//!
+//! [`BlockPool`] rounds out the memory-discipline side: a free-list of
+//! equal-sized blocks with allocation counters, so per-trial segment
+//! buffers are recycled across a request loop instead of reallocated, and
+//! tests can assert that a decode path performed no hidden copies.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::Block;
+
+/// GF(2⁸) arithmetic with the AES polynomial x⁸+x⁴+x³+x+1 (0x11B).
+pub mod gf {
+    /// Exponential table: EXP[i] = g^i for generator g = 0x03, doubled to
+    /// avoid a modulo in `mul`.
+    pub struct Tables {
+        /// g^i for i in 0..510 (duplicated past 255 so `mul` skips a mod).
+        pub exp: [u8; 512],
+        /// Discrete log base g of each nonzero field element.
+        pub log: [u16; 256],
+    }
+
+    /// Build the log/exp tables at first use.
+    pub fn tables() -> &'static Tables {
+        use std::sync::OnceLock;
+        static TABLES: OnceLock<Tables> = OnceLock::new();
+        TABLES.get_or_init(|| {
+            let mut exp = [0u8; 512];
+            let mut log = [0u16; 256];
+            let mut x: u16 = 1;
+            for (i, e) in exp.iter_mut().enumerate().take(255) {
+                *e = x as u8;
+                log[x as usize] = i as u16;
+                // multiply by generator 0x03 = x + 1: x*3 = x*2 ^ x
+                let x2 = x << 1;
+                let x2 = if x2 & 0x100 != 0 { x2 ^ 0x11B } else { x2 };
+                x = (x2 ^ x) & 0xFF;
+            }
+            for i in 255..512 {
+                exp[i] = exp[i - 255];
+            }
+            Tables { exp, log }
+        })
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let t = tables();
+        t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero, which has no inverse.
+    #[inline]
+    pub fn inv(a: u8) -> u8 {
+        assert_ne!(a, 0, "inverse of zero in GF(256)");
+        let t = tables();
+        t.exp[255 - t.log[a as usize] as usize]
+    }
+
+    /// Field addition (= subtraction = XOR).
+    #[inline]
+    pub fn add(a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+}
+
+/// Which kernel implementation the dispatching entry points run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Byte-at-a-time reference loops (differential-test oracle and
+    /// ablation baseline).
+    Scalar,
+    /// Wide 32-byte-chunk loops (the default).
+    Vector,
+}
+
+/// 0 = Vector (default), 1 = Scalar.
+static ACTIVE_KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// Select the kernel implementation process-wide. Results are
+/// byte-identical either way; only throughput changes.
+pub fn set_kernel(kernel: Kernel) {
+    let v = match kernel {
+        Kernel::Vector => 0,
+        Kernel::Scalar => 1,
+    };
+    ACTIVE_KERNEL.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected kernel implementation.
+#[inline]
+pub fn active_kernel() -> Kernel {
+    match ACTIVE_KERNEL.load(Ordering::Relaxed) {
+        0 => Kernel::Vector,
+        _ => Kernel::Scalar,
+    }
+}
+
+/// Per-coefficient split-nibble multiply tables (ISA-L layout): for a
+/// fixed coefficient `c`, `c·b = lo[b & 15] ^ hi[b >> 4]` because
+/// b = (b & 0x0F) ⊕ (b & 0xF0) and multiplication distributes over ⊕.
+/// 32 bytes per coefficient — they live in registers/L1 for a whole block.
+pub struct NibbleTables {
+    /// Products of the coefficient with 0x00..=0x0F.
+    pub lo: [u8; 16],
+    /// Products of the coefficient with 0x00, 0x10, .., 0xF0.
+    pub hi: [u8; 16],
+}
+
+impl NibbleTables {
+    /// Build the two 16-entry tables for coefficient `c`.
+    pub fn new(c: u8) -> Self {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for i in 0..16u8 {
+            lo[i as usize] = gf::mul(c, i);
+            hi[i as usize] = gf::mul(c, i << 4);
+        }
+        NibbleTables { lo, hi }
+    }
+
+    /// Multiply `b` by the tables' coefficient.
+    #[inline]
+    pub fn mul(&self, b: u8) -> u8 {
+        self.lo[(b & 0x0F) as usize] ^ self.hi[(b >> 4) as usize]
+    }
+
+    /// Expand into the full 256-entry product table the wide loops index
+    /// by whole bytes: `expand()[b] = c·b`. 256 bytes per coefficient —
+    /// L1-resident for the duration of a block operation.
+    pub fn expand(&self) -> [u8; 256] {
+        let mut full = [0u8; 256];
+        for (b, e) in full.iter_mut().enumerate() {
+            *e = self.lo[b & 0x0F] ^ self.hi[b >> 4];
+        }
+        full
+    }
+}
+
+#[inline(always)]
+fn load4(chunk: &[u8]) -> [u64; 4] {
+    [
+        u64::from_ne_bytes(chunk[0..8].try_into().unwrap()),
+        u64::from_ne_bytes(chunk[8..16].try_into().unwrap()),
+        u64::from_ne_bytes(chunk[16..24].try_into().unwrap()),
+        u64::from_ne_bytes(chunk[24..32].try_into().unwrap()),
+    ]
+}
+
+#[inline(always)]
+fn store4(chunk: &mut [u8], w: [u64; 4]) {
+    chunk[0..8].copy_from_slice(&w[0].to_ne_bytes());
+    chunk[8..16].copy_from_slice(&w[1].to_ne_bytes());
+    chunk[16..24].copy_from_slice(&w[2].to_ne_bytes());
+    chunk[24..32].copy_from_slice(&w[3].to_ne_bytes());
+}
+
+/// The product `coef · src` of one 8-byte group through the expanded
+/// split-nibble table, assembled in little-endian byte order (byte `i` of
+/// the group lands in bits `8i..8i+8`, matching `u64::from_le_bytes` on
+/// the destination). The 8 lookups carry no inter-dependencies, so they
+/// pipeline — and assembling in registers avoids the store-forwarding
+/// round trip a staging byte array would cost.
+#[inline(always)]
+fn mul8(w: u64, full: &[u8; 256]) -> u64 {
+    // The group arrives as one u64 load; bytes are extracted with shifts
+    // (ALU work) rather than eight extra byte-loads, halving load-port
+    // pressure — the table lookups are then the only loads. Assembly is
+    // tree-shaped: three OR levels instead of a serial chain of eight.
+    let at = |i: u32| full[(w >> (8 * i)) as u8 as usize] as u64;
+    let p0 = at(0) | at(1) << 8;
+    let p1 = at(2) << 16 | at(3) << 24;
+    let p2 = at(4) << 32 | at(5) << 40;
+    let p3 = at(6) << 48 | at(7) << 56;
+    (p0 | p1) | (p2 | p3)
+}
+
+// ---------------------------------------------------------------------------
+// XOR kernels
+// ---------------------------------------------------------------------------
+
+/// XOR `src` into `dst` element-wise, using the selected kernel.
+///
+/// # Panics
+/// Panics if the slices differ in length — codes operate on equal-sized
+/// blocks only, and a mismatch indicates corruption upstream.
+#[inline]
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    match active_kernel() {
+        Kernel::Vector => xor_into_wide(dst, src),
+        Kernel::Scalar => xor_into_scalar(dst, src),
+    }
+}
+
+/// Byte-at-a-time XOR reference. `black_box` pins the loop to genuinely
+/// scalar execution (see module docs); use only as an oracle/baseline.
+pub fn xor_into_scalar(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor of blocks with unequal lengths");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = std::hint::black_box(*d ^ s);
+    }
+}
+
+/// Wide XOR: 32-byte chunks (4 × u64), then an 8-byte loop, then bytes.
+pub fn xor_into_wide(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor of blocks with unequal lengths");
+    let mut d = dst.chunks_exact_mut(32);
+    let mut s = src.chunks_exact(32);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let a = load4(dw);
+        let b = load4(sw);
+        store4(dw, [a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]]);
+    }
+    let dr = d.into_remainder();
+    let sr = s.remainder();
+    let mut d8 = dr.chunks_exact_mut(8);
+    let mut s8 = sr.chunks_exact(8);
+    for (dw, sw) in (&mut d8).zip(&mut s8) {
+        let x =
+            u64::from_ne_bytes(dw.try_into().unwrap()) ^ u64::from_ne_bytes(sw.try_into().unwrap());
+        dw.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (db, sb) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+        *db ^= *sb;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GF(256) multiply-accumulate / scale kernels
+// ---------------------------------------------------------------------------
+
+/// `acc ^= coef · src` over GF(2⁸), element-wise, using the selected
+/// kernel.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn gf_axpy(acc: &mut [u8], coef: u8, src: &[u8]) {
+    match active_kernel() {
+        Kernel::Vector => gf_axpy_vector(acc, coef, src),
+        Kernel::Scalar => gf_axpy_scalar(acc, coef, src),
+    }
+}
+
+/// Scalar reference multiply-accumulate: a branch plus two dependent
+/// table lookups per byte (the loop Table 5-1's RS numbers come from).
+pub fn gf_axpy_scalar(acc: &mut [u8], coef: u8, src: &[u8]) {
+    assert_eq!(acc.len(), src.len(), "axpy over blocks of unequal lengths");
+    if coef == 0 {
+        return;
+    }
+    if coef == 1 {
+        xor_into_scalar(acc, src);
+        return;
+    }
+    let t = gf::tables();
+    let lc = t.log[coef as usize] as usize;
+    for (a, &s) in acc.iter_mut().zip(src) {
+        if s != 0 {
+            *a ^= t.exp[t.log[s as usize] as usize + lc];
+        }
+    }
+}
+
+/// Vectorized multiply-accumulate: expanded split-nibble table over
+/// 32-byte chunks, per-byte table lookups on the tail.
+pub fn gf_axpy_vector(acc: &mut [u8], coef: u8, src: &[u8]) {
+    assert_eq!(acc.len(), src.len(), "axpy over blocks of unequal lengths");
+    if coef == 0 {
+        return;
+    }
+    if coef == 1 {
+        xor_into_wide(acc, src);
+        return;
+    }
+    if acc.len() >= PAIR_TABLE_MIN_LEN {
+        gf_axpy_pair_table(acc, coef, src);
+        return;
+    }
+    let full = NibbleTables::new(coef).expand();
+    // Two independent 8-byte groups per iteration keep 16 lookups in
+    // flight at once.
+    let mut d = acc.chunks_exact_mut(16);
+    let mut s = src.chunks_exact(16);
+    for (dg, sg) in (&mut d).zip(&mut s) {
+        let x0 = u64::from_le_bytes(dg[0..8].try_into().unwrap())
+            ^ mul8(u64::from_le_bytes(sg[0..8].try_into().unwrap()), &full);
+        let x1 = u64::from_le_bytes(dg[8..16].try_into().unwrap())
+            ^ mul8(u64::from_le_bytes(sg[8..16].try_into().unwrap()), &full);
+        dg[0..8].copy_from_slice(&x0.to_le_bytes());
+        dg[8..16].copy_from_slice(&x1.to_le_bytes());
+    }
+    let dr = d.into_remainder();
+    let sr = s.remainder();
+    let mut d8 = dr.chunks_exact_mut(8);
+    let mut s8 = sr.chunks_exact(8);
+    for (dg, sg) in (&mut d8).zip(&mut s8) {
+        let x = u64::from_le_bytes(dg.as_ref().try_into().unwrap())
+            ^ mul8(u64::from_le_bytes(sg.try_into().unwrap()), &full);
+        dg.copy_from_slice(&x.to_le_bytes());
+    }
+    for (a, &sb) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+        *a ^= full[sb as usize];
+    }
+}
+
+/// Block length above which the per-coefficient byte-pair table pays for
+/// itself. Building the 64 Ki-entry table costs a fixed ~64 Ki stores;
+/// past this length the halved lookup count wins it back.
+const PAIR_TABLE_MIN_LEN: usize = 1 << 15;
+
+/// Multiply-accumulate over a 65 536-entry byte-*pair* product table:
+/// `t2[hi·256+lo] = (coef·hi) << 8 | coef·lo`. One 16-bit lookup covers
+/// two source bytes, so an 8-byte group needs four table loads instead of
+/// eight — the lookup stream is what saturates the load ports, so this is
+/// the lever that matters on big blocks. The table is boxed as a
+/// fixed-size array so `u16`-cast indices provably need no bounds checks.
+fn gf_axpy_pair_table(acc: &mut [u8], coef: u8, src: &[u8]) {
+    // The table is thread-local, not per-call: at 128 KiB a fresh Vec sits
+    // exactly at glibc's mmap threshold, and an mmap + page-fault + munmap
+    // cycle per axpy call quietly dominates the decode.
+    thread_local! {
+        static PAIR_TABLE: std::cell::RefCell<Box<[u16; 65536]>> =
+            std::cell::RefCell::new(vec![0u16; 65536].into_boxed_slice().try_into().unwrap());
+    }
+    PAIR_TABLE.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let t2: &mut [u16; 65536] = &mut guard;
+        let full = NibbleTables::new(coef).expand();
+        for hi in 0..256usize {
+            let h = (full[hi] as u16) << 8;
+            let base = hi << 8;
+            for lo in 0..256usize {
+                t2[base | lo] = h | full[lo] as u16;
+            }
+        }
+        let t2: &[u16; 65536] = t2;
+        let mul8p = |w: u64, t2: &[u16; 65536]| -> u64 {
+            let p0 = t2[w as u16 as usize] as u64;
+            let p1 = (t2[(w >> 16) as u16 as usize] as u64) << 16;
+            let p2 = (t2[(w >> 32) as u16 as usize] as u64) << 32;
+            let p3 = (t2[(w >> 48) as u16 as usize] as u64) << 48;
+            (p0 | p1) | (p2 | p3)
+        };
+        let mut d = acc.chunks_exact_mut(16);
+        let mut s = src.chunks_exact(16);
+        for (dg, sg) in (&mut d).zip(&mut s) {
+            let x0 = u64::from_le_bytes(dg[0..8].try_into().unwrap())
+                ^ mul8p(u64::from_le_bytes(sg[0..8].try_into().unwrap()), t2);
+            let x1 = u64::from_le_bytes(dg[8..16].try_into().unwrap())
+                ^ mul8p(u64::from_le_bytes(sg[8..16].try_into().unwrap()), t2);
+            dg[0..8].copy_from_slice(&x0.to_le_bytes());
+            dg[8..16].copy_from_slice(&x1.to_le_bytes());
+        }
+        let dr = d.into_remainder();
+        let sr = s.remainder();
+        let mut d8 = dr.chunks_exact_mut(8);
+        let mut s8 = sr.chunks_exact(8);
+        for (dg, sg) in (&mut d8).zip(&mut s8) {
+            let x = u64::from_le_bytes(dg.as_ref().try_into().unwrap())
+                ^ mul8p(u64::from_le_bytes(sg.try_into().unwrap()), t2);
+            dg.copy_from_slice(&x.to_le_bytes());
+        }
+        for (a, &sb) in d8.into_remainder().iter_mut().zip(s8.remainder()) {
+            *a ^= full[sb as usize];
+        }
+    });
+}
+
+/// Fused multiply-accumulate of several sources into one destination:
+/// `acc ^= Σᵢ coefᵢ · srcᵢ`, element-wise over GF(2⁸), using the selected
+/// kernel. XOR accumulation is exact and order-free, so the result is
+/// byte-identical to applying [`gf_axpy`] once per source — but the
+/// vector path makes a *single* pass over `acc`, folding every source's
+/// contribution into the destination group while it sits in a register.
+/// For a K×K Reed–Solomon decode that cuts destination memory traffic by
+/// a factor of K, which is where the per-source loop saturates.
+///
+/// # Panics
+/// Panics if any source's length differs from `acc`'s.
+pub fn gf_axpy_multi(acc: &mut [u8], srcs: &[(u8, &[u8])]) {
+    match active_kernel() {
+        Kernel::Vector => gf_axpy_multi_vector(acc, srcs),
+        Kernel::Scalar => gf_axpy_multi_scalar(acc, srcs),
+    }
+}
+
+/// Scalar reference for the fused multiply-accumulate: the sources
+/// applied one at a time with the byte-at-a-time loop — exactly the
+/// structure the pre-kernel decoder had.
+pub fn gf_axpy_multi_scalar(acc: &mut [u8], srcs: &[(u8, &[u8])]) {
+    for &(coef, src) in srcs {
+        gf_axpy_scalar(acc, coef, src);
+    }
+}
+
+/// Vectorized fused multiply-accumulate: sources are folded in four at a
+/// time by [`gf_axpy_quad`] (a fixed-arity loop the compiler can strip of
+/// bounds checks, with four independent lookup chains in flight), so the
+/// destination is traversed once per four sources instead of once per
+/// source.
+pub fn gf_axpy_multi_vector(acc: &mut [u8], srcs: &[(u8, &[u8])]) {
+    for &(_, src) in srcs {
+        assert_eq!(acc.len(), src.len(), "axpy over blocks of unequal lengths");
+    }
+    // Zero coefficients contribute nothing; drop them before building
+    // tables so the hot loops only visit live sources.
+    let live: Vec<(u8, &[u8])> = srcs.iter().filter(|&&(c, _)| c != 0).copied().collect();
+    if acc.len() >= PAIR_TABLE_MIN_LEN {
+        // Long blocks: the byte-pair-table path is load-port-limited and
+        // gains nothing from fusion — run it per source.
+        for &(coef, src) in &live {
+            gf_axpy_vector(acc, coef, src);
+        }
+        return;
+    }
+    let mut quads = live.chunks_exact(4);
+    for quad in &mut quads {
+        let tables = [
+            NibbleTables::new(quad[0].0).expand(),
+            NibbleTables::new(quad[1].0).expand(),
+            NibbleTables::new(quad[2].0).expand(),
+            NibbleTables::new(quad[3].0).expand(),
+        ];
+        gf_axpy_quad(acc, &tables, [quad[0].1, quad[1].1, quad[2].1, quad[3].1]);
+    }
+    for &(coef, src) in quads.remainder() {
+        gf_axpy_vector(acc, coef, src);
+    }
+}
+
+/// Fold exactly four sources into `acc` in a single pass. All slices must
+/// share `acc`'s length (checked by the caller).
+fn gf_axpy_quad(acc: &mut [u8], tables: &[[u8; 256]; 4], srcs: [&[u8]; 4]) {
+    let mut d = acc.chunks_exact_mut(8);
+    let mut c0 = srcs[0].chunks_exact(8);
+    let mut c1 = srcs[1].chunks_exact(8);
+    let mut c2 = srcs[2].chunks_exact(8);
+    let mut c3 = srcs[3].chunks_exact(8);
+    for ((((dg, s0), s1), s2), s3) in (&mut d).zip(&mut c0).zip(&mut c1).zip(&mut c2).zip(&mut c3) {
+        let x = u64::from_le_bytes(dg.as_ref().try_into().unwrap())
+            ^ mul8(u64::from_le_bytes(s0.try_into().unwrap()), &tables[0])
+            ^ mul8(u64::from_le_bytes(s1.try_into().unwrap()), &tables[1])
+            ^ mul8(u64::from_le_bytes(s2.try_into().unwrap()), &tables[2])
+            ^ mul8(u64::from_le_bytes(s3.try_into().unwrap()), &tables[3]);
+        dg.copy_from_slice(&x.to_le_bytes());
+    }
+    for ((((a, &b0), &b1), &b2), &b3) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(c0.remainder())
+        .zip(c1.remainder())
+        .zip(c2.remainder())
+        .zip(c3.remainder())
+    {
+        *a ^= tables[0][b0 as usize]
+            ^ tables[1][b1 as usize]
+            ^ tables[2][b2 as usize]
+            ^ tables[3][b3 as usize];
+    }
+}
+
+/// In-place multiply of every byte of `block` by field scalar `x`, using
+/// the selected kernel.
+#[inline]
+pub fn gf_scale(block: &mut [u8], x: u8) {
+    match active_kernel() {
+        Kernel::Vector => gf_scale_vector(block, x),
+        Kernel::Scalar => gf_scale_scalar(block, x),
+    }
+}
+
+/// Scalar reference in-place scale.
+pub fn gf_scale_scalar(block: &mut [u8], x: u8) {
+    if x == 1 {
+        return;
+    }
+    if x == 0 {
+        block.fill(0);
+        return;
+    }
+    let t = gf::tables();
+    let lx = t.log[x as usize] as usize;
+    for b in block.iter_mut() {
+        if *b != 0 {
+            *b = t.exp[t.log[*b as usize] as usize + lx];
+        }
+    }
+}
+
+/// Vectorized in-place scale: expanded split-nibble table over 32-byte
+/// chunks, per-byte table lookups on the tail.
+pub fn gf_scale_vector(block: &mut [u8], x: u8) {
+    if x == 1 {
+        return;
+    }
+    if x == 0 {
+        block.fill(0);
+        return;
+    }
+    let full = NibbleTables::new(x).expand();
+    let mut d = block.chunks_exact_mut(8);
+    for dg in &mut d {
+        let x = mul8(u64::from_le_bytes(dg.as_ref().try_into().unwrap()), &full);
+        dg.copy_from_slice(&x.to_le_bytes());
+    }
+    for b in d.into_remainder().iter_mut() {
+        *b = full[*b as usize];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block pooling
+// ---------------------------------------------------------------------------
+
+/// Free-list of equal-sized blocks, so a request loop recycles its segment
+/// buffers instead of reallocating them every trial.
+///
+/// The counters make memory discipline testable: after a warm-up pass,
+/// a loop that truly recycles shows `fresh_allocations()` frozen while
+/// `reuses()` climbs, and a decode path that secretly copied blocks would
+/// need allocations the pool never saw.
+#[derive(Debug, Default)]
+pub struct BlockPool {
+    block_len: usize,
+    free: Vec<Block>,
+    fresh: u64,
+    reused: u64,
+}
+
+impl BlockPool {
+    /// A pool of `block_len`-byte blocks.
+    pub fn new(block_len: usize) -> Self {
+        BlockPool {
+            block_len,
+            free: Vec::new(),
+            fresh: 0,
+            reused: 0,
+        }
+    }
+
+    /// The block size this pool serves.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// A zeroed block, recycled from the free list when possible.
+    pub fn get(&mut self) -> Block {
+        let mut b = self.get_scratch();
+        b.fill(0);
+        b
+    }
+
+    /// A block with unspecified contents — for callers that overwrite it
+    /// entirely (e.g. reading from a backend), skipping the memset.
+    pub fn get_scratch(&mut self) -> Block {
+        match self.free.pop() {
+            Some(b) => {
+                self.reused += 1;
+                b
+            }
+            None => {
+                self.fresh += 1;
+                vec![0u8; self.block_len]
+            }
+        }
+    }
+
+    /// Return a block to the free list.
+    ///
+    /// # Panics
+    /// Panics if the block's length does not match the pool's.
+    pub fn put(&mut self, block: Block) {
+        assert_eq!(block.len(), self.block_len, "pooled block length mismatch");
+        self.free.push(block);
+    }
+
+    /// Return every block of an iterator to the free list.
+    pub fn put_all(&mut self, blocks: impl IntoIterator<Item = Block>) {
+        for b in blocks {
+            self.put(b);
+        }
+    }
+
+    /// Blocks newly allocated (not served from the free list).
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Blocks served from the free list.
+    pub fn reuses(&self) -> u64 {
+        self.reused
+    }
+
+    /// Total bytes this pool has ever allocated — the byte-allocation
+    /// counter zero-copy tests assert against.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.fresh * self.block_len as u64
+    }
+
+    /// Blocks currently idle in the free list.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive check of the chunk product against the log/exp tables:
+    /// every (coefficient, byte) pair, via a 32-byte chunk.
+    #[test]
+    fn chunk_product_matches_tables_exhaustively() {
+        for c in 0..=255u8 {
+            if c < 2 {
+                continue; // axpy special-cases 0 and 1 before the table path
+            }
+            let full = NibbleTables::new(c).expand();
+            for b0 in 0..=255u8 {
+                let bytes = mul8(u64::from_le_bytes([b0; 8]), &full).to_le_bytes();
+                let expect = gf::mul(c, b0);
+                assert!(
+                    bytes.iter().all(|&x| x == expect),
+                    "c={c} b={b0}: got {:#x}, want {expect:#x}",
+                    bytes[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_tables_match_mul() {
+        for c in [0u8, 1, 2, 3, 0x53, 0x80, 0xFF] {
+            let nt = NibbleTables::new(c);
+            for b in 0..=255u8 {
+                assert_eq!(nt.mul(b), gf::mul(c, b), "c={c} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_selection_round_trips() {
+        assert_eq!(active_kernel(), Kernel::Vector);
+        set_kernel(Kernel::Scalar);
+        assert_eq!(active_kernel(), Kernel::Scalar);
+        set_kernel(Kernel::Vector);
+        assert_eq!(active_kernel(), Kernel::Vector);
+    }
+
+    #[test]
+    fn axpy_vector_handles_tails_and_special_coefficients() {
+        for len in [0usize, 1, 7, 8, 31, 32, 33, 40, 63, 64, 100] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            for coef in [0u8, 1, 2, 0x1D, 0xFF] {
+                let mut a: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+                let mut b = a.clone();
+                gf_axpy_vector(&mut a, coef, &src);
+                gf_axpy_scalar(&mut b, coef, &src);
+                assert_eq!(a, b, "len={len} coef={coef}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_vector_matches_scalar() {
+        for len in [0usize, 5, 31, 32, 33, 96, 129] {
+            let init: Vec<u8> = (0..len).map(|i| (i * 29 + 1) as u8).collect();
+            for x in [0u8, 1, 2, 0x35, 0xFE] {
+                let mut a = init.clone();
+                let mut b = init.clone();
+                gf_scale_vector(&mut a, x);
+                gf_scale_scalar(&mut b, x);
+                assert_eq!(a, b, "len={len} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn wide_xor_rejects_unequal_lengths() {
+        let mut a = vec![0u8; 8];
+        xor_into_wide(&mut a, &[0u8; 9]);
+    }
+
+    #[test]
+    fn pool_recycles_and_counts() {
+        let mut pool = BlockPool::new(16);
+        let a = pool.get();
+        let b = pool.get();
+        assert_eq!(pool.fresh_allocations(), 2);
+        assert_eq!(pool.allocated_bytes(), 32);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.available(), 2);
+        let c = pool.get();
+        assert!(
+            c.iter().all(|&x| x == 0),
+            "recycled blocks come back zeroed"
+        );
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(pool.fresh_allocations(), 2, "no fresh alloc on reuse");
+        pool.put(c);
+        pool.put_all((0..2).map(|_| vec![0u8; 16]));
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pool_rejects_foreign_sizes() {
+        BlockPool::new(8).put(vec![0u8; 9]);
+    }
+}

@@ -26,7 +26,11 @@
 //! * [`soliton`] — the ideal and robust Soliton degree distributions.
 //! * [`analysis`] — the Appendix-A reassembly-probability analysis behind
 //!   Figure 4-1 (replication vs erasure-coded redundancy).
-//! * [`block`] — the shared block representation and XOR kernels.
+//! * [`block`] — the shared block representation and XOR helpers.
+//! * [`kernels`] — the hot-loop substrate every code runs on: vectorized
+//!   GF(256) multiply-accumulate and wide XOR with scalar reference
+//!   kernels (byte-identical, runtime-selectable), plus [`BlockPool`]
+//!   buffer recycling.
 //!
 //! Terminology follows §2.2.1: a *data segment* of K *blocks* is encoded
 //! into N *coded blocks*; `D = N/K − 1` is the degree of data redundancy and
@@ -44,12 +48,13 @@
 //! let coded = code.encode(&data)?;
 //!
 //! // Blocks arrive in arbitrary order; feed them until the decoder
-//! // completes — typically well before all 32 have arrived.
+//! // completes — typically well before all 32 have arrived. The decoder
+//! // takes ownership: no copies are made on receive.
 //! let mut decoder = LtDecoder::new(&code, 1024);
 //! let mut used = 0;
-//! for j in (0..32).rev() {
+//! for (j, block) in coded.into_iter().enumerate().rev() {
 //!     used += 1;
-//!     if decoder.receive(j, coded[j].clone()) {
+//!     if decoder.receive(j, block) {
 //!         break;
 //!     }
 //! }
@@ -60,6 +65,7 @@
 
 pub mod analysis;
 pub mod block;
+pub mod kernels;
 pub mod lt;
 pub mod parity;
 pub mod raptor;
@@ -69,6 +75,7 @@ pub mod soliton;
 pub mod tornado;
 
 pub use block::{xor_into, Block};
+pub use kernels::{set_kernel, BlockPool, Kernel};
 pub use lt::{LtCode, LtDecoder, LtParams, SymbolDecoder};
 pub use raptor::RaptorCode;
 pub use rs::ReedSolomon;

@@ -29,6 +29,9 @@ pub struct LtDecoder<'a> {
     remaining: Vec<u32>,
     /// incidence[i] = unresolved received coded blocks containing original i.
     incidence: Vec<Vec<u32>>,
+    /// Buffers of duplicate/redundant/post-completion arrivals, kept for
+    /// recycling into a [`crate::kernels::BlockPool`] instead of dropped.
+    spares: Vec<Block>,
     decoded_count: usize,
     received_count: usize,
     xor_ops: usize,
@@ -44,20 +47,24 @@ impl<'a> LtDecoder<'a> {
             pending_data: vec![None; code.n()],
             remaining: vec![u32::MAX; code.n()],
             incidence: vec![Vec::new(); code.k()],
+            spares: Vec::new(),
             decoded_count: 0,
             received_count: 0,
             xor_ops: 0,
         }
     }
 
-    /// Feed coded block `j` with its data. Returns `true` once all K
+    /// Feed coded block `j` with its data, taking ownership — the buffer
+    /// is decoded in place, never copied. Returns `true` once all K
     /// originals are decoded. Duplicates and post-completion arrivals are
     /// ignored (they occur naturally under speculative access: cancelled
-    /// requests may already have bytes in flight, §4.1.2).
+    /// requests may already have bytes in flight, §4.1.2); their buffers
+    /// land in [`LtDecoder::drain_spares`] for pool recycling.
     pub fn receive(&mut self, j: usize, data: Block) -> bool {
         assert!(j < self.code.n(), "coded index out of range");
         assert_eq!(data.len(), self.block_len, "block length mismatch");
         if self.is_complete() || self.remaining[j] != u32::MAX {
+            self.spares.push(data);
             return self.is_complete();
         }
         self.received_count += 1;
@@ -70,6 +77,7 @@ impl<'a> LtDecoder<'a> {
         }
         self.remaining[j] = undecoded;
         if undecoded == 0 {
+            self.spares.push(data);
             return self.is_complete();
         }
         self.pending_data[j] = Some(data);
@@ -144,6 +152,18 @@ impl<'a> LtDecoder<'a> {
         self.received_count as f64 / self.code.k() as f64 - 1.0
     }
 
+    /// Take the buffers of arrivals that contributed nothing (duplicates,
+    /// fully-redundant blocks, post-completion stragglers — plus, once
+    /// decoding is complete, received blocks the peel never resolved) so
+    /// callers can return them to a [`crate::kernels::BlockPool`].
+    pub fn drain_spares(&mut self) -> Vec<Block> {
+        let mut out = std::mem::take(&mut self.spares);
+        if self.is_complete() {
+            out.extend(self.pending_data.iter_mut().filter_map(Option::take));
+        }
+        out
+    }
+
     /// Extract the decoded data; `None` if decoding is incomplete.
     pub fn into_data(self) -> Option<Vec<Block>> {
         if !self.is_complete() {
@@ -161,6 +181,7 @@ impl<'a> LtDecoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::BlockPool;
     use crate::lt::{peel::SymbolDecoder, LtParams};
     use rand::seq::SliceRandom;
     use robustore_simkit::SeedSequence;
@@ -175,13 +196,19 @@ mod tests {
             .collect()
     }
 
+    /// Turn an encoded set into single-use owned blocks, so tests feed the
+    /// decoder by move (ownership, not clones).
+    fn take_by_move(coded: Vec<Block>) -> Vec<Option<Block>> {
+        coded.into_iter().map(Some).collect()
+    }
+
     #[test]
     fn data_decoder_agrees_with_symbol_decoder() {
         // The index-only decoder used by the simulator must complete at
         // exactly the same arrival as the real data decoder.
         let code = LtCode::plan(96, 384, LtParams::default(), 55).unwrap();
         let data = make_data(96, 32);
-        let coded = code.encode(&data).unwrap();
+        let mut coded = take_by_move(code.encode(&data).unwrap());
         let mut order: Vec<usize> = (0..code.n()).collect();
         let mut rng = SeedSequence::new(8).fork("order", 0);
         order.shuffle(&mut rng);
@@ -190,7 +217,7 @@ mod tests {
         let mut dat = LtDecoder::new(&code, 32);
         for &j in &order {
             let s_done = sym.receive(j);
-            let d_done = dat.receive(j, coded[j].clone());
+            let d_done = dat.receive(j, coded[j].take().unwrap());
             assert_eq!(s_done, d_done, "divergence at block {j}");
             if s_done {
                 break;
@@ -206,8 +233,8 @@ mod tests {
         let data = make_data(128, 16);
         let coded = code.encode(&data).unwrap();
         let mut dec = LtDecoder::new(&code, 16);
-        for (j, block) in coded.iter().enumerate() {
-            if dec.receive(j, block.clone()) {
+        for (j, block) in coded.into_iter().enumerate() {
+            if dec.receive(j, block) {
                 break;
             }
         }
@@ -234,16 +261,88 @@ mod tests {
         // A straggler arriving after completion changes nothing.
         assert!(dec.receive(code.n() - 1, coded[code.n() - 1].clone()));
         assert_eq!(dec.received(), at_completion);
+        // Every duplicate/straggler buffer is recoverable for pooling.
+        assert!(dec.drain_spares().len() >= at_completion);
         assert_eq!(dec.into_data().unwrap(), data);
+    }
+
+    #[test]
+    fn decode_is_zero_copy() {
+        // Ownership pass: every decoded original must live in one of the
+        // exact buffers fed to `receive` — no hidden copies anywhere in
+        // the peel. Pointer identity is the strongest possible witness.
+        let code = LtCode::plan(64, 256, LtParams::default(), 60).unwrap();
+        let data = make_data(64, 48);
+        let mut coded = take_by_move(code.encode(&data).unwrap());
+        let mut order: Vec<usize> = (0..code.n()).collect();
+        let mut rng = SeedSequence::new(9).fork("order", 0);
+        order.shuffle(&mut rng);
+
+        let mut fed: Vec<*const u8> = Vec::new();
+        let mut dec = LtDecoder::new(&code, 48);
+        for &j in &order {
+            let block = coded[j].take().unwrap();
+            fed.push(block.as_ptr());
+            if dec.receive(j, block) {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+        let spares: Vec<*const u8> = dec.drain_spares().iter().map(|b| b.as_ptr()).collect();
+        let decoded = dec.into_data().unwrap();
+        assert_eq!(decoded, data);
+        for (i, b) in decoded.iter().enumerate() {
+            assert!(
+                fed.contains(&b.as_ptr()),
+                "original {i} was copied instead of moved"
+            );
+        }
+        // Fed buffers are fully accounted for: decoded + recyclable spares.
+        assert_eq!(decoded.len() + spares.len(), fed.len());
+    }
+
+    #[test]
+    fn pooled_request_loop_stops_allocating_after_warmup() {
+        // The BlockPool byte-allocation counter proves the
+        // encode/receive/decode path allocates nothing itself: seed the
+        // pool with enough buffers for one trial (a trial feeds at most N
+        // blocks) and both trials run entirely on recycled buffers.
+        let code = LtCode::plan(48, 192, LtParams::default(), 61).unwrap();
+        let data = make_data(48, 32);
+        let mut pool = BlockPool::new(32);
+        pool.put_all((0..code.n()).map(|_| vec![0u8; 32]));
+        for trial in 0..2u64 {
+            let mut order: Vec<usize> = (0..code.n()).collect();
+            order.shuffle(&mut SeedSequence::new(10).fork("order", trial));
+            let mut dec = LtDecoder::new(&code, 32);
+            for &j in &order {
+                let mut buf = pool.get();
+                code.encode_block_into(&data, j, &mut buf);
+                if dec.receive(j, buf) {
+                    break;
+                }
+            }
+            assert!(dec.is_complete());
+            pool.put_all(dec.drain_spares());
+            let decoded = dec.into_data().unwrap();
+            assert_eq!(decoded, data);
+            pool.put_all(decoded);
+            assert_eq!(
+                pool.allocated_bytes(),
+                0,
+                "trial {trial} allocated (hidden copy or leak otherwise)"
+            );
+        }
+        assert!(pool.reuses() > 0);
     }
 
     #[test]
     fn incomplete_returns_none() {
         let code = LtCode::plan(32, 128, LtParams::default(), 58).unwrap();
         let data = make_data(32, 8);
-        let coded = code.encode(&data).unwrap();
+        let mut coded = take_by_move(code.encode(&data).unwrap());
         let mut dec = LtDecoder::new(&code, 8);
-        dec.receive(0, coded[0].clone());
+        dec.receive(0, coded[0].take().unwrap());
         assert!(!dec.is_complete());
         assert!(dec.into_data().is_none());
     }

@@ -24,6 +24,8 @@ pub struct GreedyDecoder<'a> {
     incidence: Vec<Vec<u32>>,
     /// Arrival dedup (held[j] alone cannot serve: resolved blocks leave it).
     seen: Vec<bool>,
+    /// Buffers of arrivals that contributed nothing, kept for pooling.
+    spares: Vec<Block>,
     decoded_count: usize,
     received_count: usize,
     xor_ops: usize,
@@ -39,17 +41,20 @@ impl<'a> GreedyDecoder<'a> {
             held: vec![None; code.n()],
             incidence: vec![Vec::new(); code.k()],
             seen: vec![false; code.n()],
+            spares: Vec::new(),
             decoded_count: 0,
             received_count: 0,
             xor_ops: 0,
         }
     }
 
-    /// Feed coded block `j`. Returns `true` once all K originals decode.
+    /// Feed coded block `j`, taking ownership of its buffer. Returns
+    /// `true` once all K originals decode.
     pub fn receive(&mut self, j: usize, mut data: Block) -> bool {
         assert!(j < self.code.n(), "coded index out of range");
         assert_eq!(data.len(), self.block_len, "block length mismatch");
         if self.is_complete() || self.seen[j] {
+            self.spares.push(data);
             return self.is_complete();
         }
         self.seen[j] = true;
@@ -66,6 +71,7 @@ impl<'a> GreedyDecoder<'a> {
             }
         }
         if unknown.is_empty() {
+            self.spares.push(data);
             return self.is_complete(); // fully redundant arrival
         }
         for &i in &unknown {
@@ -127,6 +133,20 @@ impl<'a> GreedyDecoder<'a> {
         self.xor_ops
     }
 
+    /// Take buffers of arrivals that contributed nothing (see
+    /// [`super::LtDecoder::drain_spares`]) for pool recycling.
+    pub fn drain_spares(&mut self) -> Vec<Block> {
+        let mut out = std::mem::take(&mut self.spares);
+        if self.is_complete() {
+            out.extend(
+                self.held
+                    .iter_mut()
+                    .filter_map(|slot| slot.take().map(|(b, _)| b)),
+            );
+        }
+        out
+    }
+
     /// Extract the decoded data; `None` if incomplete.
     pub fn into_data(self) -> Option<Vec<Block>> {
         if !self.is_complete() {
@@ -162,13 +182,14 @@ mod tests {
     fn greedy_decodes_correctly() {
         let code = LtCode::plan(48, 192, LtParams::default(), 91).unwrap();
         let data = make_data(48, 32);
-        let coded = code.encode(&data).unwrap();
+        let mut coded: Vec<Option<Block>> =
+            code.encode(&data).unwrap().into_iter().map(Some).collect();
         let mut order: Vec<usize> = (0..code.n()).collect();
         let mut rng = SeedSequence::new(12).fork("order", 0);
         order.shuffle(&mut rng);
         let mut dec = GreedyDecoder::new(&code, 32);
         for &j in &order {
-            if dec.receive(j, coded[j].clone()) {
+            if dec.receive(j, coded[j].take().unwrap()) {
                 break;
             }
         }
@@ -247,5 +268,7 @@ mod tests {
         dec.receive(0, coded[0].clone());
         dec.receive(0, coded[0].clone());
         assert_eq!(dec.received(), 1);
+        // The duplicate's buffer is recoverable, not leaked.
+        assert_eq!(dec.drain_spares().len(), 1);
     }
 }

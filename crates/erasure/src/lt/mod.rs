@@ -19,7 +19,8 @@
 //! 3. **Lazy XOR decoding** — block XORs happen only when a coded block
 //!    actually resolves an original ([`LtDecoder`]), never to produce
 //!    intermediate values.
-//! 4. **Word-at-a-time XOR kernels** — see [`crate::block`].
+//! 4. **Wide XOR kernels** — see [`crate::kernels`]: 32-byte-chunk loops
+//!    with a byte-at-a-time scalar reference for differential testing.
 //!
 //! [`SymbolDecoder`] runs the same peeling on indices only; the simulator
 //! uses it to find how many blocks an access needs (reception overhead)
@@ -316,17 +317,29 @@ impl LtCode {
     /// used by speculative writes, which encode only as many blocks as the
     /// disks actually absorb (§4.1.1).
     pub fn encode_block(&self, data: &[Block], j: usize) -> Block {
-        let len = data[0].len();
-        let mut acc = vec![0u8; len];
-        for &i in self.neighbors(j) {
-            xor_into(&mut acc, &data[i as usize]);
-        }
+        let mut acc = vec![0u8; data[0].len()];
+        self.encode_block_into(data, j, &mut acc);
         acc
     }
 
-    /// Convenience: decode from `(coded_index, block)` pairs in one call.
-    /// For incremental decoding use [`LtDecoder`] directly.
-    pub fn decode(&self, received: &[(usize, Block)]) -> Result<Vec<Block>, CodingError> {
+    /// Encode coded block `j` into a caller-supplied buffer (typically a
+    /// recycled [`crate::kernels::BlockPool`] block), so a request loop
+    /// encodes without allocating.
+    ///
+    /// # Panics
+    /// Panics if `out` is not exactly one data-block long.
+    pub fn encode_block_into(&self, data: &[Block], j: usize, out: &mut [u8]) {
+        assert_eq!(out.len(), data[0].len(), "output buffer length mismatch");
+        out.fill(0);
+        for &i in self.neighbors(j) {
+            xor_into(out, &data[i as usize]);
+        }
+    }
+
+    /// Convenience: decode from `(coded_index, block)` pairs in one call,
+    /// consuming the blocks — decoding happens in the received buffers,
+    /// copy-free. For incremental decoding use [`LtDecoder`] directly.
+    pub fn decode(&self, received: Vec<(usize, Block)>) -> Result<Vec<Block>, CodingError> {
         if received.is_empty() {
             return Err(CodingError::NotEnoughBlocks {
                 got: 0,
@@ -339,10 +352,10 @@ impl LtCode {
         }
         let mut dec = LtDecoder::new(self, len);
         for (j, b) in received {
-            if *j >= self.n {
-                return Err(CodingError::InvalidBlockIndex(*j));
+            if j >= self.n {
+                return Err(CodingError::InvalidBlockIndex(j));
             }
-            if dec.receive(*j, b.clone()) {
+            if dec.receive(j, b) {
                 return Ok(dec.into_data().expect("decoder reported completion"));
             }
         }
@@ -507,19 +520,24 @@ mod tests {
         let data = make_data(32, 64);
         let coded = code.encode(&data).unwrap();
         let rx: Vec<_> = coded.into_iter().enumerate().collect();
-        assert_eq!(code.decode(&rx).unwrap(), data);
+        assert_eq!(code.decode(rx).unwrap(), data);
     }
 
     #[test]
     fn roundtrip_random_subset() {
         let code = LtCode::plan(64, 256, LtParams::default(), 11).unwrap();
         let data = make_data(64, 32);
-        let coded = code.encode(&data).unwrap();
+        let mut coded: Vec<Option<Block>> =
+            code.encode(&data).unwrap().into_iter().map(Some).collect();
         let mut order: Vec<usize> = (0..code.n()).collect();
         let mut rng = SeedSequence::new(5).fork("order", 0);
         order.shuffle(&mut rng);
-        let rx: Vec<_> = order.iter().map(|&j| (j, coded[j].clone())).collect();
-        assert_eq!(code.decode(&rx).unwrap(), data);
+        // Shuffled arrival, blocks moved (not cloned) into the decode call.
+        let rx: Vec<_> = order
+            .iter()
+            .map(|&j| (j, coded[j].take().unwrap()))
+            .collect();
+        assert_eq!(code.decode(rx).unwrap(), data);
     }
 
     #[test]
@@ -533,11 +551,12 @@ mod tests {
         let mut rng = SeedSequence::new(6).fork("order", 0);
         order.shuffle(&mut rng);
 
+        let mut coded: Vec<Option<Block>> = coded.into_iter().map(Some).collect();
         let mut dec = LtDecoder::new(&code, 16);
         let mut used = 0;
         for &j in &order {
             used += 1;
-            if dec.receive(j, coded[j].clone()) {
+            if dec.receive(j, coded[j].take().unwrap()) {
                 break;
             }
         }
@@ -561,9 +580,20 @@ mod tests {
         let code = LtCode::plan(16, 48, LtParams::default(), 3).unwrap();
         let data = make_data(16, 24);
         let bulk = code.encode(&data).unwrap();
+        let mut scratch = vec![0xAAu8; 24]; // dirty: encode_into must clear it
         for (j, block) in bulk.iter().enumerate() {
             assert_eq!(&code.encode_block(&data, j), block, "block {j}");
+            code.encode_block_into(&data, j, &mut scratch);
+            assert_eq!(&scratch, block, "encode_block_into block {j}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn encode_block_into_rejects_wrong_buffer() {
+        let code = LtCode::plan(4, 8, LtParams::default(), 3).unwrap();
+        let data = make_data(4, 16);
+        code.encode_block_into(&data, 0, &mut [0u8; 15]);
     }
 
     #[test]
@@ -620,8 +650,8 @@ mod tests {
         let data = make_data(32, 8);
         let coded = code.encode(&data).unwrap();
         // Only 10 blocks cannot cover 32 originals.
-        let rx: Vec<_> = (0..10).map(|j| (j, coded[j].clone())).collect();
-        assert_eq!(code.decode(&rx), Err(CodingError::DecodeFailed));
+        let rx: Vec<_> = coded.into_iter().enumerate().take(10).collect();
+        assert_eq!(code.decode(rx), Err(CodingError::DecodeFailed));
     }
 
     #[test]

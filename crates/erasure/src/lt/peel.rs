@@ -1,7 +1,9 @@
 //! Index-only peeling decoder.
 //!
 //! Runs the LT belief-propagation (peeling) process on block *indices*
-//! without touching data. Three users:
+//! without touching data — the only LT path that deliberately bypasses the
+//! data kernels in [`crate::kernels`], because it moves no bytes at all.
+//! Three users:
 //!
 //! * `LtCode::plan` — the §5.2.3 decodability check before any data XOR;
 //! * the simulator — a virtual client feeds arriving block ids in and stops

@@ -3,7 +3,9 @@
 //! The simplest erasure code (§2.2.2): K data blocks plus one XOR parity
 //! block, tolerating the loss of any single block. Included as the
 //! optimal-code lower bound on redundancy and because the RAID-5 layout the
-//! paper depicts (Figure 2-2) uses exactly this code per stripe.
+//! paper depicts (Figure 2-2) uses exactly this code per stripe. Parity
+//! generation and reconstruction run on the shared wide-XOR kernel
+//! ([`crate::kernels`]).
 
 use crate::{xor_into, Block, CodingError};
 

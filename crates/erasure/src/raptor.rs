@@ -167,9 +167,10 @@ impl RaptorCode {
         }
         let solved = peel_sparse_xor(self.m, equations);
         let mut out = Vec::with_capacity(self.k);
-        for slot in solved.iter().take(self.k) {
+        // Move solutions out of the solver's slots — no output copies.
+        for slot in solved.into_iter().take(self.k) {
             match slot {
-                Some(b) => out.push(b.clone()),
+                Some(b) => out.push(b),
                 None => return Err(CodingError::DecodeFailed),
             }
         }

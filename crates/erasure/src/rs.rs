@@ -14,67 +14,8 @@
 //! received evaluations by Gaussian elimination over GF(2⁸), then applies
 //! the inverse row-by-row to the block data.
 
+use crate::kernels::{gf, gf_axpy, gf_axpy_multi, gf_scale};
 use crate::{xor_into, Block, CodingError};
-
-/// GF(2⁸) arithmetic with the AES polynomial x⁸+x⁴+x³+x+1 (0x11B).
-mod gf {
-    /// Exponential table: EXP[i] = g^i for generator g = 0x03, doubled to
-    /// avoid a modulo in `mul`.
-    pub struct Tables {
-        pub exp: [u8; 512],
-        pub log: [u16; 256],
-    }
-
-    /// Build the log/exp tables at first use.
-    pub fn tables() -> &'static Tables {
-        use std::sync::OnceLock;
-        static TABLES: OnceLock<Tables> = OnceLock::new();
-        TABLES.get_or_init(|| {
-            let mut exp = [0u8; 512];
-            let mut log = [0u16; 256];
-            let mut x: u16 = 1;
-            for (i, e) in exp.iter_mut().enumerate().take(255) {
-                *e = x as u8;
-                log[x as usize] = i as u16;
-                // multiply by generator 0x03 = x + 1: x*3 = x*2 ^ x
-                let x2 = x << 1;
-                let x2 = if x2 & 0x100 != 0 { x2 ^ 0x11B } else { x2 };
-                x = (x2 ^ x) & 0xFF;
-            }
-            for i in 255..512 {
-                exp[i] = exp[i - 255];
-            }
-            Tables { exp, log }
-        })
-    }
-
-    /// Field multiplication.
-    #[inline]
-    pub fn mul(a: u8, b: u8) -> u8 {
-        if a == 0 || b == 0 {
-            return 0;
-        }
-        let t = tables();
-        t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
-    }
-
-    /// Multiplicative inverse.
-    ///
-    /// # Panics
-    /// Panics on zero, which has no inverse.
-    #[inline]
-    pub fn inv(a: u8) -> u8 {
-        assert_ne!(a, 0, "inverse of zero in GF(256)");
-        let t = tables();
-        t.exp[255 - t.log[a as usize] as usize]
-    }
-
-    /// Field addition (= subtraction = XOR).
-    #[inline]
-    pub fn add(a: u8, b: u8) -> u8 {
-        a ^ b
-    }
-}
 
 /// A Reed–Solomon erasure code with parameters (K, N), N ≤ 255.
 #[derive(Debug, Clone)]
@@ -144,7 +85,7 @@ impl ReedSolomon {
             // Horner: acc = ((d[k-1]·x + d[k-2])·x + ...)·x + d[0]
             let mut acc = data[self.k - 1].clone();
             for block in data[..self.k - 1].iter().rev() {
-                scale_in_place(&mut acc, x);
+                gf_scale(&mut acc, x);
                 xor_into(&mut acc, block);
             }
             out.push(acc);
@@ -191,61 +132,43 @@ impl ReedSolomon {
         }
         let inv = invert_matrix(&mut mat, self.k).ok_or(CodingError::DecodeFailed)?;
 
-        // data_i = Σ_r inv[i][r] · received_r, per byte.
+        // data_i = Σ_r inv[i][r] · received_r, per byte. The whole row is
+        // handed to the fused kernel so the vector path makes one pass
+        // over the destination instead of K.
         let mut out = Vec::with_capacity(self.k);
         for i in 0..self.k {
             let mut acc = vec![0u8; len];
-            for (r, (_, block)) in use_blocks.iter().enumerate() {
-                let coef = inv[i * self.k + r];
-                if coef == 0 {
-                    continue;
-                }
-                axpy(&mut acc, coef, block);
-            }
+            let row: Vec<(u8, &[u8])> = use_blocks
+                .iter()
+                .enumerate()
+                .map(|(r, (_, block))| (inv[i * self.k + r], block.as_slice()))
+                .filter(|&(coef, _)| coef != 0)
+                .collect();
+            gf_axpy_multi(&mut acc, &row);
             out.push(acc);
         }
         Ok(out)
     }
 }
 
-/// In-place multiply of every byte of `block` by field scalar `x`.
-#[inline]
-fn scale_in_place(block: &mut [u8], x: u8) {
-    if x == 1 {
-        return;
-    }
-    if x == 0 {
-        block.fill(0);
-        return;
-    }
-    let t = gf::tables();
-    let lx = t.log[x as usize] as usize;
-    for b in block.iter_mut() {
-        if *b != 0 {
-            *b = t.exp[t.log[*b as usize] as usize + lx];
-        }
-    }
-}
-
-/// acc += coef · src over GF(256), element-wise.
-#[inline]
-fn axpy(acc: &mut [u8], coef: u8, src: &[u8]) {
-    if coef == 1 {
-        xor_into(acc, src);
-        return;
-    }
-    let t = gf::tables();
-    let lc = t.log[coef as usize] as usize;
-    for (a, &s) in acc.iter_mut().zip(src) {
-        if s != 0 {
-            *a ^= t.exp[t.log[s as usize] as usize + lc];
-        }
+/// Disjoint mutable/shared views of rows `r` and `c` of a row-major k×k
+/// matrix, so elimination row ops can run through the block kernels.
+fn row_pair(m: &mut [u8], k: usize, r: usize, c: usize) -> (&mut [u8], &[u8]) {
+    debug_assert_ne!(r, c, "row op needs two distinct rows");
+    if r < c {
+        let (head, tail) = m.split_at_mut(c * k);
+        (&mut head[r * k..(r + 1) * k], &tail[..k])
+    } else {
+        let (head, tail) = m.split_at_mut(r * k);
+        (&mut tail[..k], &head[c * k..(c + 1) * k])
     }
 }
 
 /// Invert a k×k matrix over GF(256) by Gauss–Jordan elimination.
 /// Consumes `mat` as scratch. Returns row-major inverse, or `None` if
 /// singular (cannot happen for distinct Vandermonde points, but defended).
+/// Row scaling and elimination run on the shared [`crate::kernels`] ops —
+/// rows are tiny next to blocks, but one code path means one oracle.
 fn invert_matrix(mat: &mut [u8], k: usize) -> Option<Vec<u8>> {
     let mut inv = vec![0u8; k * k];
     for i in 0..k {
@@ -261,10 +184,8 @@ fn invert_matrix(mat: &mut [u8], k: usize) -> Option<Vec<u8>> {
             }
         }
         let pinv = gf::inv(mat[col * k + col]);
-        for c in 0..k {
-            mat[col * k + c] = gf::mul(mat[col * k + c], pinv);
-            inv[col * k + c] = gf::mul(inv[col * k + c], pinv);
-        }
+        gf_scale(&mut mat[col * k..(col + 1) * k], pinv);
+        gf_scale(&mut inv[col * k..(col + 1) * k], pinv);
         for r in 0..k {
             if r == col {
                 continue;
@@ -273,12 +194,10 @@ fn invert_matrix(mat: &mut [u8], k: usize) -> Option<Vec<u8>> {
             if factor == 0 {
                 continue;
             }
-            for c in 0..k {
-                let m = gf::mul(factor, mat[col * k + c]);
-                mat[r * k + c] = gf::add(mat[r * k + c], m);
-                let m = gf::mul(factor, inv[col * k + c]);
-                inv[r * k + c] = gf::add(inv[r * k + c], m);
-            }
+            let (row_r, row_c) = row_pair(mat, k, r, col);
+            gf_axpy(row_r, factor, row_c);
+            let (row_r, row_c) = row_pair(&mut inv, k, r, col);
+            gf_axpy(row_r, factor, row_c);
         }
     }
     Some(inv)

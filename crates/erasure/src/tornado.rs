@@ -172,10 +172,10 @@ impl TornadoCode {
             level_start += level.inputs;
             out.extend(checks);
         }
-        // RS tail over the last level's outputs.
-        let last_inputs = out[level_start..].to_vec();
-        debug_assert_eq!(last_inputs.len(), self.tail.k());
-        let tail = self.tail.encode(&last_inputs)?;
+        // RS tail over the last level's outputs, encoded straight from the
+        // code word under construction (no staging copy).
+        debug_assert_eq!(out[level_start..].len(), self.tail.k());
+        let tail = self.tail.encode(&out[level_start..])?;
         // The RS code word replaces nothing; we append the full tail
         // (systematic-free), so the last level's symbols appear both raw
         // and inside the RS word — matching "the cascade is ended with an
@@ -236,17 +236,18 @@ impl TornadoCode {
             }
             level_start = check_start;
         }
-        // Known symbols become degree-1 equations.
-        for (i, k) in known.iter().enumerate() {
+        // Known symbols become degree-1 equations; their buffers move into
+        // the solver rather than being copied again.
+        for (i, k) in known.into_iter().enumerate() {
             if let Some(b) = k {
-                equations.push((b.clone(), vec![i as u32]));
+                equations.push((b, vec![i as u32]));
             }
         }
         let solved = peel_sparse_xor(plain_count, equations);
         let mut out = Vec::with_capacity(self.k);
-        for slot in solved.iter().take(self.k) {
+        for slot in solved.into_iter().take(self.k) {
             match slot {
-                Some(b) => out.push(b.clone()),
+                Some(b) => out.push(b),
                 None => return Err(CodingError::DecodeFailed),
             }
         }

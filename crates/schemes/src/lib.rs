@@ -51,8 +51,12 @@ pub mod runner;
 pub mod tracker;
 
 pub use config::{AccessConfig, AccessKind, SchemeKind, Striping};
+// The scheme engine itself is symbolic (it moves block *ids*, not bytes),
+// so it never needs a pool; the re-export serves data-path callers built
+// on top of the schemes (the real client, benchmarks) from one place.
 pub use multiuser::{run_concurrent_reads, MultiConfig, MultiOutcome};
 pub use outcome::{AccessOutcome, RequestOutcome, RequestRecord, TrialStats};
 pub use placement::Placement;
+pub use robustore_erasure::BlockPool;
 pub use robustore_simkit::FaultScenario;
 pub use runner::{run_access, run_read_cold_warm, run_sequence, run_trials};

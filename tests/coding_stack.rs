@@ -30,7 +30,7 @@ fn lt_and_rs_recover_identical_data() {
     let mut rng = SeedSequence::new(9).fork("order", 0);
     order.shuffle(&mut rng);
     let rx: Vec<_> = order.iter().map(|&j| (j, lt_coded[j].clone())).collect();
-    assert_eq!(lt.decode(&rx).unwrap(), data);
+    assert_eq!(lt.decode(rx).unwrap(), data);
 }
 
 #[test]
@@ -104,6 +104,6 @@ fn rateless_extension_by_replanning() {
         let code = LtCode::plan(k, n, LtParams::default(), 5).unwrap();
         let coded = code.encode(&data).unwrap();
         let rx: Vec<_> = coded.into_iter().enumerate().collect();
-        assert_eq!(code.decode(&rx).unwrap(), data, "n = {n}");
+        assert_eq!(code.decode(rx).unwrap(), data, "n = {n}");
     }
 }

@@ -33,7 +33,7 @@ proptest! {
         let mut rng = SeedSequence::new(seed ^ 0x5A5A).fork("order", 0);
         order.shuffle(&mut rng);
         let rx: Vec<_> = order.iter().map(|&j| (j, coded[j].clone())).collect();
-        prop_assert_eq!(code.decode(&rx).unwrap(), data);
+        prop_assert_eq!(code.decode(rx).unwrap(), data);
     }
 
     /// LT codes under block loss: drop a random subset of the coded

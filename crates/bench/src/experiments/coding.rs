@@ -71,7 +71,7 @@ pub fn table5_1(_trials: u64) -> String {
 /// by same-host data. `--quick` (or `--trials 1`) shrinks the data sizes
 /// for CI smoke runs.
 pub fn bench_coding(trials: u64) -> String {
-    use robustore_erasure::{set_kernel, Block, BlockPool, Kernel};
+    use robustore_erasure::{set_kernel, simd_available, Block, BlockPool, Kernel};
 
     let quick = trials <= 1;
     // Wall-clock best-of: the host is shared, so single timings jitter by
@@ -90,11 +90,18 @@ pub fn bench_coding(trials: u64) -> String {
     }
     let mut rows: Vec<Row> = Vec::new();
 
-    // The two kernels are measured back-to-back *within* each
-    // configuration, not in separate sweeps: host speed drifts on a
-    // minutes scale (this is a shared machine), and a ratio of two
-    // measurements taken minutes apart reflects the drift, not the code.
-    const KERNELS: [(Kernel, &str); 2] = [(Kernel::Scalar, "scalar"), (Kernel::Vector, "vector")];
+    // The kernels are measured back-to-back *within* each configuration,
+    // not in separate sweeps: host speed drifts on a minutes scale (this
+    // is a shared machine), and a ratio of two measurements taken minutes
+    // apart reflects the drift, not the code. The simd column appears
+    // only when the build has the `simd` feature and the CPU supports it;
+    // absence from BENCH_coding.json therefore means "not measurable
+    // here", never "measured at zero".
+    let mut kernels: Vec<(Kernel, &'static str)> =
+        vec![(Kernel::Scalar, "scalar"), (Kernel::Vector, "vector")];
+    if simd_available() {
+        kernels.push((Kernel::Simd, "simd"));
+    }
 
     // Reed–Solomon: dense GF(256) arithmetic — the axpy/scale kernels.
     for k in [4usize, 8, 16, 32] {
@@ -105,7 +112,7 @@ pub fn bench_coding(trials: u64) -> String {
             .map(|i| (0..block).map(|j| ((i * 31 + j * 7) % 256) as u8).collect())
             .collect();
         let mb = rs_bytes as f64 / 1e6;
-        for (kernel, kname) in KERNELS {
+        for &(kernel, kname) in &kernels {
             set_kernel(kernel);
             let (mut enc, mut dec) = (0f64, 0f64);
             for rep in 0..reps {
@@ -143,7 +150,7 @@ pub fn bench_coding(trials: u64) -> String {
             .collect();
         let mb = (k * lt_block) as f64 / 1e6;
         let mut pool = BlockPool::new(lt_block);
-        for (kernel, kname) in KERNELS {
+        for &(kernel, kname) in &kernels {
             set_kernel(kernel);
             let (mut enc, mut dec) = (0f64, 0f64);
             for rep in 0..reps {
@@ -215,7 +222,7 @@ pub fn bench_coding(trials: u64) -> String {
 
     let mut table = Table::new(
         format!(
-            "Kernel benchmark: scalar reference vs vector kernels ({}, {} MB RS / {} KB LT blocks)",
+            "Kernel benchmark: scalar / vector / simd kernels ({}, {} MB RS / {} KB LT blocks)",
             host,
             rs_bytes >> 20,
             lt_block >> 10
@@ -248,11 +255,31 @@ pub fn bench_coding(trials: u64) -> String {
         out.push_str(&format!("  LT K={k}: {:.1}x\n", ratio("lt", k)));
     }
     out.push_str(&format!(
-        "Targets: >=3x RS decode at K=32 (got {:.1}x), >=1.5x LT decode at K=1024 (got {:.1}x).\n{}\n",
+        "Targets: >=3x RS decode at K=32 (got {:.1}x), >=1.5x LT decode at K=1024 (got {:.1}x).\n",
         ratio("rs", 32),
         ratio("lt", 1024),
-        json_note
     ));
+    if simd_available() {
+        let simd_ratio = |code: &str, k: usize, which: fn(&Row) -> f64| -> f64 {
+            let get = |kern: &str| {
+                rows.iter()
+                    .find(|r| r.code == code && r.k == k && r.kernel == kern)
+                    .map_or(f64::NAN, which)
+            };
+            get("simd") / get("vector")
+        };
+        out.push_str("Simd speedup over the table (vector) kernels, encode/decode:\n");
+        out.push_str(&format!(
+            "  RS K=32: {:.1}x / {:.1}x   LT K=1024: {:.1}x / {:.1}x\n",
+            simd_ratio("rs", 32, |r| r.encode_mbps),
+            simd_ratio("rs", 32, |r| r.decode_mbps),
+            simd_ratio("lt", 1024, |r| r.encode_mbps),
+            simd_ratio("lt", 1024, |r| r.decode_mbps),
+        ));
+    } else {
+        out.push_str("Simd kernels unavailable (feature off or CPU unsupported): no simd rows.\n");
+    }
+    out.push_str(&format!("{json_note}\n"));
     out
 }
 

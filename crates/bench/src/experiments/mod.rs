@@ -9,6 +9,7 @@ pub mod disk;
 pub mod faults;
 pub mod layoutvar;
 pub mod multiuser;
+pub mod pipeline;
 
 use robustore_schemes::{run_trials, AccessConfig, TrialStats};
 use robustore_simkit::report::Table;

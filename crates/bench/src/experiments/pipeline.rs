@@ -1,0 +1,233 @@
+//! Pipeline benchmark (`bench-pipeline`): where the wall-clock goes when
+//! the *same* deterministic work fans out over threads.
+//!
+//! Two stages are measured, each single- vs multi-threaded on identical
+//! inputs:
+//!
+//! * **Segment encode** — the client write path's per-segment
+//!   [`LtCode::encode_block`] loop, both as a raw coding kernel
+//!   ([`LtCode::encode_parallel`]) and end-to-end through
+//!   [`robustore_core::Client::write`] with `SystemConfig::encode_threads`
+//!   set to 1 vs the host default.
+//! * **Trial fan-out** — [`run_trials_threaded`]'s per-trial simulation
+//!   spread over worker threads.
+//!
+//! Both stages are deterministic by construction (slot-indexed seeds,
+//! index-order aggregation), and this benchmark *asserts* that before
+//! timing anything: a speedup that changed the answer would be a bug, not
+//! a result. Rows go to `BENCH_pipeline.json` — schema
+//! `{section, config, threads, value, unit, host}` — so EXPERIMENTS.md
+//! claims are backed by same-host data.
+
+use std::time::Instant;
+
+use robustore_core::{
+    default_encode_threads, AccessMode, Client, InMemoryBackend, QosOptions, System, SystemConfig,
+};
+use robustore_erasure::{LtCode, LtParams};
+use robustore_schemes::{run_trials_threaded, AccessConfig, SchemeKind};
+use robustore_simkit::report::Table;
+use robustore_simkit::SeedSequence;
+
+use crate::MASTER_SEED;
+
+struct Row {
+    section: &'static str,
+    config: String,
+    threads: usize,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Run the pipeline benchmark. `--quick` (or `--trials 1`) shrinks data
+/// sizes and trial counts for CI smoke runs.
+pub fn bench_pipeline(trials: u64) -> String {
+    let quick = trials <= 1;
+    let reps = trials.clamp(1, 5);
+    let n_threads = default_encode_threads().max(2);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- Stage A1: raw segment encode (LtCode::encode_parallel) ---------
+    let k = if quick { 64 } else { 256 };
+    let block = if quick { 4 << 10 } else { 64 << 10 };
+    let seq = SeedSequence::new(MASTER_SEED ^ 0x919E);
+    let code = LtCode::plan(k, 3 * k, LtParams::default(), seq.seed_for("plan", 0))
+        .expect("valid parameters");
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..block).map(|j| ((i * 7 + j) % 256) as u8).collect())
+        .collect();
+    let mb = (k * block) as f64 / 1e6;
+    let baseline = code.encode_parallel(&data, 1).expect("encode");
+    for threads in [1usize, n_threads] {
+        let mut best = 0f64;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let coded = code.encode_parallel(&data, threads).expect("encode");
+            best = best.max(mb / t.elapsed().as_secs_f64());
+            // Fan-out must never change the bytes.
+            assert_eq!(
+                coded, baseline,
+                "parallel encode diverged at {threads} threads"
+            );
+        }
+        rows.push(Row {
+            section: "segment-encode",
+            config: format!("lt k={k} block={}KiB", block >> 10),
+            threads,
+            value: best,
+            unit: "MB/s",
+        });
+    }
+
+    // --- Stage A2: end-to-end client write (encode_threads knob) --------
+    let data_bytes = if quick { 1 << 20 } else { 16 << 20 };
+    let payload: Vec<u8> = (0..data_bytes).map(|i| (i % 251) as u8).collect();
+    let speeds: Vec<f64> = (0..8).map(|i| 40e6 + i as f64 * 10e6).collect();
+    let mut decoded_digests: Vec<u64> = Vec::new();
+    for threads in [1usize, n_threads] {
+        let mut best = 0f64;
+        for rep in 0..reps {
+            let sys = System::new(
+                InMemoryBackend::new(speeds.clone()),
+                SystemConfig {
+                    block_bytes: if quick { 16 << 10 } else { 64 << 10 },
+                    encode_threads: threads,
+                    ..Default::default()
+                },
+            );
+            let user = sys.register_user();
+            let client = Client::connect(&sys, user);
+            let mut h = client
+                .open(
+                    "bench",
+                    AccessMode::Write,
+                    QosOptions::best_effort().with_redundancy(2.0),
+                )
+                .expect("open for write");
+            let t = Instant::now();
+            client.write(&mut h, &payload).expect("write");
+            best = best.max(data_bytes as f64 / 1e6 / t.elapsed().as_secs_f64());
+            client.close(h).expect("close");
+            if rep == 0 {
+                let h = client
+                    .open("bench", AccessMode::Read, QosOptions::best_effort())
+                    .expect("open for read");
+                let got = client.read(&h).expect("read");
+                assert_eq!(got, payload, "write at {threads} threads corrupted data");
+                client.close(h).expect("close");
+                decoded_digests.push(fnv(&got));
+            }
+        }
+        rows.push(Row {
+            section: "client-write",
+            config: format!("{}MiB redundancy=2.0", data_bytes >> 20),
+            threads,
+            value: best,
+            unit: "MB/s",
+        });
+    }
+    assert!(
+        decoded_digests.windows(2).all(|w| w[0] == w[1]),
+        "decoded bytes depend on encode_threads"
+    );
+
+    // --- Stage B: trial fan-out (run_trials_threaded) -------------------
+    let sim_trials: u64 = if quick { 4 } else { 24 };
+    let mut cfg = AccessConfig::default().with_scheme(SchemeKind::RobuStore);
+    if quick {
+        cfg = cfg.with_disks(4);
+        cfg.data_bytes = 8 << 20;
+        cfg.cluster.num_disks = 8;
+    }
+    let base = run_trials_threaded(&cfg, sim_trials, MASTER_SEED, 1);
+    for threads in [1usize, n_threads] {
+        let mut best = 0f64;
+        for _ in 0..reps.min(3) {
+            let t = Instant::now();
+            let stats = run_trials_threaded(&cfg, sim_trials, MASTER_SEED, threads);
+            best = best.max(sim_trials as f64 / t.elapsed().as_secs_f64());
+            // Byte-identical aggregation regardless of thread count.
+            assert_eq!(
+                stats.bandwidth.mean().to_bits(),
+                base.bandwidth.mean().to_bits(),
+                "trial aggregation diverged at {threads} threads"
+            );
+            assert_eq!(stats.failures, base.failures);
+        }
+        rows.push(Row {
+            section: "trial-fanout",
+            config: format!("robustore {sim_trials} trials"),
+            threads,
+            value: best,
+            unit: "trials/s",
+        });
+    }
+
+    // --- Report ---------------------------------------------------------
+    let host = format!(
+        "{}-{}-{}threads",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"section\": \"{}\", \"config\": \"{}\", \"threads\": {}, \
+             \"value\": {:.2}, \"unit\": \"{}\", \"host\": \"{}\"}}{}\n",
+            r.section,
+            r.config,
+            r.threads,
+            r.value,
+            r.unit,
+            host,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    let json_note = match std::fs::write("BENCH_pipeline.json", &json) {
+        Ok(()) => "rows written to BENCH_pipeline.json".to_string(),
+        Err(e) => format!("could not write BENCH_pipeline.json: {e}"),
+    };
+
+    let mut table = Table::new(
+        format!("Pipeline benchmark: single- vs multi-threaded stages ({host})"),
+        &["section", "config", "threads", "throughput", "unit"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.section.into(),
+            r.config.clone(),
+            r.threads.to_string(),
+            format!("{:.1}", r.value),
+            r.unit.into(),
+        ]);
+    }
+    let mut out = table.render();
+    let speedup = |section: &str| -> f64 {
+        let of = |threads_one: bool| {
+            rows.iter()
+                .find(|r| r.section == section && (r.threads == 1) == threads_one)
+                .map_or(f64::NAN, |r| r.value)
+        };
+        of(false) / of(true)
+    };
+    out.push_str(&format!(
+        "\nSpeedup at {n_threads} threads (same inputs, outputs asserted identical):\n  \
+         segment encode {:.1}x, client write {:.1}x, trial fan-out {:.1}x\n\
+         All three stages are deterministic: thread count changes wall-clock only.\n{}\n",
+        speedup("segment-encode"),
+        speedup("client-write"),
+        speedup("trial-fanout"),
+        json_note
+    ));
+    out
+}
+
+/// Tiny FNV-1a digest — enough to compare decoded payloads across runs
+/// without holding every copy.
+fn fnv(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}

@@ -140,8 +140,13 @@ pub fn registry() -> Vec<Experiment> {
         },
         Experiment {
             id: "bench-coding",
-            covers: "Kernel benchmark: scalar vs vector coding kernels (writes BENCH_coding.json)",
+            covers: "Kernel benchmark: scalar vs vector vs simd coding kernels (writes BENCH_coding.json)",
             run: coding::bench_coding,
+        },
+        Experiment {
+            id: "bench-pipeline",
+            covers: "Pipeline benchmark: single- vs multi-threaded encode and trial fan-out (writes BENCH_pipeline.json)",
+            run: pipeline::bench_pipeline,
         },
         Experiment {
             id: "ablation-lt",
@@ -187,7 +192,7 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 26, "one entry per paper artifact group plus extensions");
+        assert_eq!(n, 27, "one entry per paper artifact group plus extensions");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use robustore_erasure::lt::{LtCode, LtDecoder};
-use robustore_erasure::{BlockPool, LtParams};
+use robustore_erasure::{Block, BlockPool, LtParams};
 use robustore_schemes::placement::Placement;
 use robustore_simkit::SeedSequence;
 
@@ -49,6 +49,20 @@ pub struct SystemConfig {
     pub admission_capacity: usize,
     /// Application domain stamped into credentials.
     pub app_domain: String,
+    /// Worker threads for segment encoding on the write/update path
+    /// (coded blocks are independent, §7.3's parallel-coding direction).
+    /// 1 = sequential; the default caps at 8 — segment encode is
+    /// memory-bandwidth-bound well before that on most hosts. Results are
+    /// byte-identical at any setting.
+    pub encode_threads: usize,
+}
+
+/// Default encode worker count: the host's parallelism, capped at 8.
+pub fn default_encode_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 impl Default for SystemConfig {
@@ -58,6 +72,7 @@ impl Default for SystemConfig {
             lt: LtParams::default(),
             admission_capacity: 4,
             app_domain: "RobuSTore".into(),
+            encode_threads: default_encode_threads(),
         }
     }
 }
@@ -189,6 +204,17 @@ impl System {
             Some(p) => (p.fresh_allocations(), p.reuses()),
             None => (0, 0),
         }
+    }
+
+    /// Bytes checked out of the read-buffer pool and not yet returned.
+    /// Zero whenever no access is in flight — every completed read puts
+    /// every buffer back (asserted by tests, including concurrent reads).
+    pub fn pool_outstanding_bytes(&self) -> i64 {
+        self.inner
+            .pool
+            .lock()
+            .as_ref()
+            .map_or(0, |p| p.outstanding_bytes())
     }
 
     /// Admission occupancy per disk (diagnostics / examples).
@@ -529,6 +555,23 @@ impl Client {
             version,
         };
 
+        // Encode every planned block *before* taking the backend lock:
+        // segment encodes are independent, so they fan out across the
+        // configured worker threads (and concurrent accesses aren't
+        // blocked behind this access's coding work).
+        let all_ids: Vec<u32> = meta
+            .layout
+            .iter()
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        let mut encoded = encode_ids_parallel(
+            &code,
+            blocks,
+            &all_ids,
+            self.system.inner.config.encode_threads,
+        )
+        .into_iter();
+
         let mut meta = meta;
         {
             let mut backend = self.system.inner.backend.lock();
@@ -547,7 +590,7 @@ impl Client {
             for (disk, ids) in &mut meta.layout {
                 let mut kept = Vec::with_capacity(ids.len());
                 for &coded in ids.iter() {
-                    let data = code.encode_block(blocks, coded as usize);
+                    let data = encoded.next().expect("one encoded block per planned id");
                     match backend.write_block(*disk, meta_key(file_id, coded), data) {
                         Ok(()) => kept.push(coded),
                         Err(StoreError::MissingBlock { .. }) => displaced.push(coded),
@@ -696,7 +739,17 @@ impl Client {
             pool.put(b); // decoded buffers recycle too
         }
         out.truncate(meta.size_bytes as usize);
-        *self.system.inner.pool.lock() = Some(pool);
+        // Hand the pool back. Concurrent reads each run on their own pool
+        // (the lock is never held across I/O); merging instead of
+        // overwriting keeps every buffer and every counter — accounting
+        // stays exact no matter how many readers overlapped.
+        {
+            let mut slot = self.system.inner.pool.lock();
+            match slot.as_mut() {
+                Some(existing) if existing.block_len() == block_len => existing.absorb(pool),
+                _ => *slot = Some(pool),
+            }
+        }
         Ok((
             out,
             ReadReport {
@@ -747,14 +800,21 @@ impl Client {
                 disk_of.insert(id, *disk);
             }
         }
+        // Regenerated blocks are independent too — same parallel fan-out
+        // as the write path.
+        let regenerated = encode_ids_parallel(
+            &code,
+            &blocks,
+            &dirty_coded,
+            self.system.inner.config.encode_threads,
+        );
         {
             let mut backend = self.system.inner.backend.lock();
-            for &coded in &dirty_coded {
+            for (&coded, data) in dirty_coded.iter().zip(regenerated) {
                 let disk = *disk_of.get(&coded).ok_or(StoreError::MissingBlock {
                     disk: usize::MAX,
                     block: coded as u64,
                 })?;
-                let data = code.encode_block(&blocks, coded as usize);
                 backend.write_block(disk, meta.block_key(coded), data)?;
             }
         }
@@ -817,6 +877,48 @@ impl Client {
 /// key computation can coexist).
 fn meta_key(file_id: u64, coded: u32) -> u64 {
     (file_id << 32) | coded as u64
+}
+
+/// Encode the coded blocks named by `ids` across up to `threads` worker
+/// threads, returning the encoded blocks *in `ids` order* — the output is
+/// byte-identical to a sequential `encode_block` loop at any thread
+/// count, because each coded block depends only on the read-only segment
+/// data and the output slot order is fixed up front.
+///
+/// Each worker owns a per-worker [`BlockPool`] for its output buffers, so
+/// the zero-copy discipline holds across threads without sharing: a
+/// worker's buffers are drawn from its own free list (warm when the pool
+/// carries over), encoded into in place, and then moved out — ownership
+/// transfers to the caller (and ultimately the backend) with no copies.
+fn encode_ids_parallel(
+    code: &LtCode,
+    blocks: &[Vec<u8>],
+    ids: &[u32],
+    threads: usize,
+) -> Vec<Block> {
+    let block_len = blocks.first().map_or(0, |b| b.len());
+    let threads = threads.clamp(1, ids.len().max(1));
+    if threads == 1 {
+        return ids
+            .iter()
+            .map(|&j| code.encode_block(blocks, j as usize))
+            .collect();
+    }
+    let chunk = ids.len().div_ceil(threads);
+    let mut out: Vec<Block> = vec![Vec::new(); ids.len()];
+    std::thread::scope(|scope| {
+        for (slots, id_chunk) in out.chunks_mut(chunk).zip(ids.chunks(chunk)) {
+            scope.spawn(move || {
+                let mut pool = BlockPool::new(block_len);
+                for (slot, &j) in slots.iter_mut().zip(id_chunk) {
+                    let mut buf = pool.get_scratch();
+                    code.encode_block_into(blocks, j as usize, &mut buf);
+                    *slot = buf;
+                }
+            });
+        }
+    });
+    out
 }
 
 /// Split `data` into exactly `k` blocks of `block_bytes`, zero-padding the
@@ -915,6 +1017,98 @@ mod tests {
             "warm reads run on the pool"
         );
         client.close(h).unwrap();
+    }
+
+    #[test]
+    fn parallel_encode_is_deterministic_across_thread_counts() {
+        // Same data, same seed, different encode_threads: the committed
+        // layouts and the decoded bytes must be identical — parallelism
+        // can only change wall-clock, never content.
+        let data = payload(300_000);
+        let speeds: Vec<f64> = (0..8).map(|i| 10e6 + i as f64 * 6e6).collect();
+        let mut metas = Vec::new();
+        for threads in [1usize, 3, 7] {
+            let sys = System::new(
+                InMemoryBackend::new(speeds.clone()),
+                SystemConfig {
+                    block_bytes: 4 << 10,
+                    encode_threads: threads,
+                    ..Default::default()
+                },
+            );
+            let u = sys.register_user();
+            let client = Client::connect(&sys, u);
+            let mut h = client
+                .open(
+                    "f",
+                    AccessMode::Write,
+                    QosOptions::best_effort().with_redundancy(2.0),
+                )
+                .unwrap();
+            client.write(&mut h, &data).unwrap();
+            // Exercise the parallel update path too.
+            client.update(&mut h, 9_000, &vec![0xC3u8; 2_000]).unwrap();
+            let meta = h.meta().unwrap().clone();
+            client.close(h).unwrap();
+
+            let h = client
+                .open("f", AccessMode::Read, QosOptions::best_effort())
+                .unwrap();
+            let got = client.read(&h).unwrap();
+            client.close(h).unwrap();
+            let mut expect = data.clone();
+            expect[9_000..11_000].copy_from_slice(&vec![0xC3u8; 2_000]);
+            assert_eq!(got, expect, "threads={threads}");
+            metas.push((threads, meta));
+        }
+        let (_, base) = &metas[0];
+        for (threads, meta) in &metas[1..] {
+            assert_eq!(
+                meta.layout, base.layout,
+                "threads={threads}: layout must not depend on thread count"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_reads_return_every_buffer() {
+        // Concurrent readers each borrow (or create) a pool; merging on
+        // return keeps accounting exact: when the dust settles, zero
+        // bytes are still checked out and fresh+reused covers every get.
+        let sys = test_system();
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        let data = payload(150_000);
+        let mut h = client
+            .open("shared", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
+        client.write(&mut h, &data).unwrap();
+        client.close(h).unwrap();
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sys = sys.clone();
+                let data = &data;
+                scope.spawn(move || {
+                    let c = Client::connect(&sys, u);
+                    for _ in 0..3 {
+                        let h = c
+                            .open("shared", AccessMode::Read, QosOptions::best_effort())
+                            .unwrap();
+                        assert_eq!(&c.read(&h).unwrap(), data);
+                        c.close(h).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            sys.pool_outstanding_bytes(),
+            0,
+            "a completed parallel read leaked pool buffers"
+        );
+        let (fresh, reuses) = sys.pool_stats();
+        assert!(fresh > 0, "reads allocated through the pool");
+        assert!(reuses > 0, "repeated reads recycled buffers");
     }
 
     #[test]

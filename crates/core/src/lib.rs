@@ -68,7 +68,10 @@ pub mod qos;
 
 pub use admission::{AdmissionController, PriorityAdmissionController, PriorityDecision};
 pub use backend::{InMemoryBackend, StorageBackend};
-pub use client::{Client, FileHandle, ReadReport, System, SystemConfig, UpdateReport, WriteReport};
+pub use client::{
+    default_encode_threads, Client, FileHandle, ReadReport, System, SystemConfig, UpdateReport,
+    WriteReport,
+};
 pub use credentials::{Credential, CredentialChain, KeyAuthority, PublicKey, Rights};
 pub use error::StoreError;
 pub use file_backend::FileBackend;

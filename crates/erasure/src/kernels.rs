@@ -47,7 +47,7 @@
 //! buffers are recycled across a request loop instead of reallocated, and
 //! tests can assert that a decode path performed no hidden copies.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
 
 use crate::Block;
 
@@ -121,17 +121,41 @@ pub enum Kernel {
     Scalar,
     /// Wide 32-byte-chunk loops (the default).
     Vector,
+    /// Hardware-shuffle split-nibble kernels (`simd` feature): SSSE3/AVX2
+    /// `PSHUFB` on x86_64, NEON `TBL` on aarch64. Selectable only when the
+    /// feature is compiled in *and* the CPU probe succeeds; otherwise
+    /// [`set_kernel`] falls back to [`Kernel::Vector`]. Byte-identical to
+    /// the other tiers either way.
+    Simd,
 }
 
-/// 0 = Vector (default), 1 = Scalar.
+/// 0 = Vector (default), 1 = Scalar, 2 = Simd.
 static ACTIVE_KERNEL: AtomicU8 = AtomicU8::new(0);
 
+/// Whether the hardware-shuffle kernels can run on this build + host.
+/// `false` when the crate is built without the `simd` feature or the CPU
+/// probe finds no usable instruction set.
+pub fn simd_available() -> bool {
+    #[cfg(feature = "simd")]
+    {
+        crate::simd::available()
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        false
+    }
+}
+
 /// Select the kernel implementation process-wide. Results are
-/// byte-identical either way; only throughput changes.
+/// byte-identical either way; only throughput changes. Requesting
+/// [`Kernel::Simd`] on a build or host that cannot run it selects
+/// [`Kernel::Vector`] instead (check [`simd_available`] to know which).
 pub fn set_kernel(kernel: Kernel) {
     let v = match kernel {
         Kernel::Vector => 0,
         Kernel::Scalar => 1,
+        Kernel::Simd if simd_available() => 2,
+        Kernel::Simd => 0,
     };
     ACTIVE_KERNEL.store(v, Ordering::Relaxed);
 }
@@ -141,6 +165,7 @@ pub fn set_kernel(kernel: Kernel) {
 pub fn active_kernel() -> Kernel {
     match ACTIVE_KERNEL.load(Ordering::Relaxed) {
         0 => Kernel::Vector,
+        2 => Kernel::Simd,
         _ => Kernel::Scalar,
     }
 }
@@ -238,6 +263,10 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     match active_kernel() {
         Kernel::Vector => xor_into_wide(dst, src),
         Kernel::Scalar => xor_into_scalar(dst, src),
+        #[cfg(feature = "simd")]
+        Kernel::Simd => crate::simd::xor_into_simd(dst, src),
+        #[cfg(not(feature = "simd"))]
+        Kernel::Simd => xor_into_wide(dst, src),
     }
 }
 
@@ -288,6 +317,10 @@ pub fn gf_axpy(acc: &mut [u8], coef: u8, src: &[u8]) {
     match active_kernel() {
         Kernel::Vector => gf_axpy_vector(acc, coef, src),
         Kernel::Scalar => gf_axpy_scalar(acc, coef, src),
+        #[cfg(feature = "simd")]
+        Kernel::Simd => crate::simd::gf_axpy_simd(acc, coef, src),
+        #[cfg(not(feature = "simd"))]
+        Kernel::Simd => gf_axpy_vector(acc, coef, src),
     }
 }
 
@@ -365,25 +398,48 @@ const PAIR_TABLE_MIN_LEN: usize = 1 << 15;
 /// the lever that matters on big blocks. The table is boxed as a
 /// fixed-size array so `u16`-cast indices provably need no bounds checks.
 fn gf_axpy_pair_table(acc: &mut [u8], coef: u8, src: &[u8]) {
+    /// Per-thread pair-table cache. `built_for` records which coefficient
+    /// the table currently holds (`None` until the first build), and is
+    /// only set *after* the 64 Ki-entry fill completes — so a caller can
+    /// never observe a partially initialized table: either `built_for`
+    /// matches and the table is complete, or it doesn't and the table is
+    /// rebuilt from scratch. Each worker thread owns its table outright
+    /// (`thread_local!`), so the parallel encode/trial paths cannot race
+    /// on it by construction; the concurrent-init differential test in
+    /// `tests/kernel_differential.rs` pins this.
+    struct PairTable {
+        built_for: Option<u8>,
+        t2: Box<[u16; 65536]>,
+    }
     // The table is thread-local, not per-call: at 128 KiB a fresh Vec sits
     // exactly at glibc's mmap threshold, and an mmap + page-fault + munmap
-    // cycle per axpy call quietly dominates the decode.
+    // cycle per axpy call quietly dominates the decode. Caching the
+    // coefficient it was built for also makes back-to-back calls with one
+    // coefficient (RS row application, repeated bench reps) skip the
+    // 64 Ki-store rebuild entirely.
     thread_local! {
-        static PAIR_TABLE: std::cell::RefCell<Box<[u16; 65536]>> =
-            std::cell::RefCell::new(vec![0u16; 65536].into_boxed_slice().try_into().unwrap());
+        static PAIR_TABLE: std::cell::RefCell<PairTable> =
+            std::cell::RefCell::new(PairTable {
+                built_for: None,
+                t2: vec![0u16; 65536].into_boxed_slice().try_into().unwrap(),
+            });
     }
+    let full = NibbleTables::new(coef).expand();
     PAIR_TABLE.with(|cell| {
         let mut guard = cell.borrow_mut();
-        let t2: &mut [u16; 65536] = &mut guard;
-        let full = NibbleTables::new(coef).expand();
-        for hi in 0..256usize {
-            let h = (full[hi] as u16) << 8;
-            let base = hi << 8;
-            for lo in 0..256usize {
-                t2[base | lo] = h | full[lo] as u16;
+        if guard.built_for != Some(coef) {
+            guard.built_for = None; // invalidate while the fill is in progress
+            let t2: &mut [u16; 65536] = &mut guard.t2;
+            for hi in 0..256usize {
+                let h = (full[hi] as u16) << 8;
+                let base = hi << 8;
+                for lo in 0..256usize {
+                    t2[base | lo] = h | full[lo] as u16;
+                }
             }
+            guard.built_for = Some(coef);
         }
-        let t2: &[u16; 65536] = t2;
+        let t2: &[u16; 65536] = &guard.t2;
         let mul8p = |w: u64, t2: &[u16; 65536]| -> u64 {
             let p0 = t2[w as u16 as usize] as u64;
             let p1 = (t2[(w >> 16) as u16 as usize] as u64) << 16;
@@ -431,6 +487,10 @@ pub fn gf_axpy_multi(acc: &mut [u8], srcs: &[(u8, &[u8])]) {
     match active_kernel() {
         Kernel::Vector => gf_axpy_multi_vector(acc, srcs),
         Kernel::Scalar => gf_axpy_multi_scalar(acc, srcs),
+        #[cfg(feature = "simd")]
+        Kernel::Simd => crate::simd::gf_axpy_multi_simd(acc, srcs),
+        #[cfg(not(feature = "simd"))]
+        Kernel::Simd => gf_axpy_multi_vector(acc, srcs),
     }
 }
 
@@ -516,6 +576,10 @@ pub fn gf_scale(block: &mut [u8], x: u8) {
     match active_kernel() {
         Kernel::Vector => gf_scale_vector(block, x),
         Kernel::Scalar => gf_scale_scalar(block, x),
+        #[cfg(feature = "simd")]
+        Kernel::Simd => crate::simd::gf_scale_simd(block, x),
+        #[cfg(not(feature = "simd"))]
+        Kernel::Simd => gf_scale_vector(block, x),
     }
 }
 
@@ -568,13 +632,29 @@ pub fn gf_scale_vector(block: &mut [u8], x: u8) {
 /// The counters make memory discipline testable: after a warm-up pass,
 /// a loop that truly recycles shows `fresh_allocations()` frozen while
 /// `reuses()` climbs, and a decode path that secretly copied blocks would
-/// need allocations the pool never saw.
+/// need allocations the pool never saw. `outstanding_blocks()` tracks
+/// checked-out-minus-returned, so a completed access can assert it leaked
+/// nothing.
+///
+/// Threading model: the free list needs `&mut self`, so a pool is owned
+/// by exactly one thread at a time — the parallel encode/trial paths give
+/// each worker its *own* pool and [`BlockPool::absorb`] merges the
+/// workers' free lists and counters back into a parent afterwards. The
+/// counters themselves are atomic ([`AtomicU64`]/[`AtomicI64`]), so the
+/// accounting stays exact across the absorb (no read-modify-write races
+/// on shared references) and read-only probes work through `&self` even
+/// while another handle's counters are being merged in.
 #[derive(Debug, Default)]
 pub struct BlockPool {
     block_len: usize,
     free: Vec<Block>,
-    fresh: u64,
-    reused: u64,
+    fresh: AtomicU64,
+    reused: AtomicU64,
+    /// Blocks checked out minus blocks returned. Signed: adopting a
+    /// foreign buffer via [`BlockPool::put`] counts as a return without a
+    /// checkout, which is legitimate (the read path adopts the decoder's
+    /// buffers) and must not wrap.
+    outstanding: AtomicI64,
 }
 
 impl BlockPool {
@@ -583,8 +663,9 @@ impl BlockPool {
         BlockPool {
             block_len,
             free: Vec::new(),
-            fresh: 0,
-            reused: 0,
+            fresh: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            outstanding: AtomicI64::new(0),
         }
     }
 
@@ -603,13 +684,14 @@ impl BlockPool {
     /// A block with unspecified contents — for callers that overwrite it
     /// entirely (e.g. reading from a backend), skipping the memset.
     pub fn get_scratch(&mut self) -> Block {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
         match self.free.pop() {
             Some(b) => {
-                self.reused += 1;
+                self.reused.fetch_add(1, Ordering::Relaxed);
                 b
             }
             None => {
-                self.fresh += 1;
+                self.fresh.fetch_add(1, Ordering::Relaxed);
                 vec![0u8; self.block_len]
             }
         }
@@ -621,6 +703,7 @@ impl BlockPool {
     /// Panics if the block's length does not match the pool's.
     pub fn put(&mut self, block: Block) {
         assert_eq!(block.len(), self.block_len, "pooled block length mismatch");
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
         self.free.push(block);
     }
 
@@ -631,20 +714,54 @@ impl BlockPool {
         }
     }
 
+    /// Merge another pool (typically a per-worker pool from a parallel
+    /// section) into this one: its free blocks join this free list and
+    /// its counters fold in, so system-wide accounting stays exact no
+    /// matter how many workers allocated.
+    ///
+    /// # Panics
+    /// Panics if the pools serve different block sizes.
+    pub fn absorb(&mut self, other: BlockPool) {
+        assert_eq!(
+            other.block_len, self.block_len,
+            "absorbing a pool of a different block size"
+        );
+        self.free.extend(other.free);
+        self.fresh
+            .fetch_add(other.fresh.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.reused
+            .fetch_add(other.reused.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.outstanding
+            .fetch_add(other.outstanding.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Blocks newly allocated (not served from the free list).
     pub fn fresh_allocations(&self) -> u64 {
-        self.fresh
+        self.fresh.load(Ordering::Relaxed)
     }
 
     /// Blocks served from the free list.
     pub fn reuses(&self) -> u64 {
-        self.reused
+        self.reused.load(Ordering::Relaxed)
     }
 
     /// Total bytes this pool has ever allocated — the byte-allocation
     /// counter zero-copy tests assert against.
     pub fn allocated_bytes(&self) -> u64 {
-        self.fresh * self.block_len as u64
+        self.fresh_allocations() * self.block_len as u64
+    }
+
+    /// Blocks checked out and not yet returned (negative if the pool
+    /// adopted more foreign buffers than it handed out). A completed
+    /// access that recycles everything leaves this at zero.
+    pub fn outstanding_blocks(&self) -> i64 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Bytes checked out and not yet returned — zero at the end of a
+    /// leak-free access.
+    pub fn outstanding_bytes(&self) -> i64 {
+        self.outstanding_blocks() * self.block_len as i64
     }
 
     /// Blocks currently idle in the free list.
@@ -698,6 +815,20 @@ mod tests {
     }
 
     #[test]
+    fn simd_selection_respects_availability() {
+        // Requesting Simd either activates it (feature + CPU support) or
+        // falls back to Vector — never anything else, and never a panic.
+        set_kernel(Kernel::Simd);
+        let got = active_kernel();
+        if simd_available() {
+            assert_eq!(got, Kernel::Simd);
+        } else {
+            assert_eq!(got, Kernel::Vector);
+        }
+        set_kernel(Kernel::Vector);
+    }
+
+    #[test]
     fn axpy_vector_handles_tails_and_special_coefficients() {
         for len in [0usize, 1, 7, 8, 31, 32, 33, 40, 63, 64, 100] {
             let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
@@ -739,9 +870,12 @@ mod tests {
         let b = pool.get();
         assert_eq!(pool.fresh_allocations(), 2);
         assert_eq!(pool.allocated_bytes(), 32);
+        assert_eq!(pool.outstanding_blocks(), 2);
+        assert_eq!(pool.outstanding_bytes(), 32);
         pool.put(a);
         pool.put(b);
         assert_eq!(pool.available(), 2);
+        assert_eq!(pool.outstanding_blocks(), 0);
         let c = pool.get();
         assert!(
             c.iter().all(|&x| x == 0),
@@ -752,6 +886,34 @@ mod tests {
         pool.put(c);
         pool.put_all((0..2).map(|_| vec![0u8; 16]));
         assert_eq!(pool.available(), 4);
+        // Adopting foreign buffers counts as returns without checkouts.
+        assert_eq!(pool.outstanding_blocks(), -2);
+    }
+
+    #[test]
+    fn pool_absorb_merges_blocks_and_counters() {
+        let mut parent = BlockPool::new(8);
+        let p = parent.get();
+        let mut worker = BlockPool::new(8);
+        let w1 = worker.get_scratch();
+        let w2 = worker.get_scratch();
+        worker.put(w1);
+        worker.put(w2);
+        let w3 = worker.get(); // reuse
+        worker.put(w3);
+        parent.absorb(worker);
+        assert_eq!(parent.fresh_allocations(), 3, "1 parent + 2 worker");
+        assert_eq!(parent.reuses(), 1);
+        assert_eq!(parent.available(), 2, "worker's free list joins");
+        assert_eq!(parent.outstanding_blocks(), 1, "only `p` is still out");
+        parent.put(p);
+        assert_eq!(parent.outstanding_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different block size")]
+    fn pool_absorb_rejects_size_mismatch() {
+        BlockPool::new(8).absorb(BlockPool::new(16));
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   GF(256) multiply-accumulate and wide XOR with scalar reference
 //!   kernels (byte-identical, runtime-selectable), plus [`BlockPool`]
 //!   buffer recycling.
+//! * `simd` (feature-gated) — the same split-nibble GF(256) kernels on
+//!   real shuffle hardware: SSSE3/AVX2 `PSHUFB` on x86_64, NEON `TBL` on
+//!   aarch64, with runtime CPU probing and automatic fallback to the
+//!   table kernels ([`simd_available`], `set_kernel(Kernel::Simd)`).
 //!
 //! Terminology follows §2.2.1: a *data segment* of K *blocks* is encoded
 //! into N *coded blocks*; `D = N/K − 1` is the degree of data redundancy and
@@ -71,11 +75,13 @@ pub mod parity;
 pub mod raptor;
 pub mod replication;
 pub mod rs;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod soliton;
 pub mod tornado;
 
 pub use block::{xor_into, Block};
-pub use kernels::{set_kernel, BlockPool, Kernel};
+pub use kernels::{set_kernel, simd_available, BlockPool, Kernel};
 pub use lt::{LtCode, LtDecoder, LtParams, SymbolDecoder};
 pub use raptor::RaptorCode;
 pub use rs::ReedSolomon;

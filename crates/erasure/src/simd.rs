@@ -1,0 +1,532 @@
+//! SIMD GF(256) kernels: the split-nibble formulation on real shuffle
+//! hardware (`simd` feature).
+//!
+//! The table kernels in [`crate::kernels`] index an expanded 256-entry
+//! product table one byte (or one byte *pair*) at a time — every product
+//! is a load, and the load ports are the ceiling. The split-nibble
+//! identity `c·b = T_lo[b & 15] ^ T_hi[b >> 4]` has a second reading: the
+//! two 16-entry tables fit in one vector register each, and a 16-lane
+//! byte shuffle (`PSHUFB` on x86, `TBL` on aarch64) performs *sixteen*
+//! table lookups in one instruction with no memory traffic at all. That
+//! is the ISA-L/Plank formulation, and it turns the multiply-accumulate
+//! from a load-bound loop into a handful of register-only ops per 16/32
+//! bytes.
+//!
+//! Three implementations, chosen once at startup by CPU probing:
+//!
+//! * **x86_64 AVX2** — 32 lanes per op (`_mm256_shuffle_epi8` shuffles
+//!   within each 128-bit half, which is exactly right: the same 16-entry
+//!   table is broadcast to both halves), main loop unrolled to 64 bytes.
+//! * **x86_64 SSSE3** — the 16-lane `_mm_shuffle_epi8` version for CPUs
+//!   without AVX2 (SSSE3 is ~2006-era and effectively universal).
+//! * **aarch64 NEON** — `vqtbl1q_u8` against the same two tables.
+//!
+//! Every function here is byte-identical to the scalar reference (the
+//! differential suite in `tests/kernel_differential.rs` runs all of its
+//! randomized cases against this module when the feature and CPU allow);
+//! tails shorter than one vector fall back to the expanded-table path so
+//! odd lengths and unaligned slices cost nothing in correctness. All
+//! loads/stores use the unaligned forms — callers hand us arbitrary
+//! sub-slices.
+//!
+//! Runtime selection: [`available`] reports whether the probe found a
+//! usable instruction set; [`crate::kernels::set_kernel`] refuses to
+//! activate [`crate::kernels::Kernel::Simd`] without it, so a binary
+//! built with `--features simd` still runs (on the table kernels) on a
+//! host without the instructions.
+
+#![allow(unsafe_code)]
+
+use crate::kernels::NibbleTables;
+
+/// The instruction tier the CPU probe selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// No usable SIMD tier (or the crate was built without `simd`).
+    None,
+    /// x86_64 SSSE3: 16-lane `PSHUFB`.
+    Ssse3,
+    /// x86_64 AVX2: 32-lane `VPSHUFB`.
+    Avx2,
+    /// aarch64 NEON: 16-lane `TBL`.
+    Neon,
+}
+
+/// Probe the CPU once and cache the best usable tier.
+pub fn level() -> SimdLevel {
+    use std::sync::OnceLock;
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(probe)
+}
+
+/// Whether a SIMD tier is usable on this host.
+pub fn available() -> bool {
+    level() != SimdLevel::None
+}
+
+#[cfg(target_arch = "x86_64")]
+fn probe() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        SimdLevel::Avx2
+    } else if std::arch::is_x86_feature_detected!("ssse3") {
+        SimdLevel::Ssse3
+    } else {
+        SimdLevel::None
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn probe() -> SimdLevel {
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        SimdLevel::Neon
+    } else {
+        SimdLevel::None
+    }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn probe() -> SimdLevel {
+    SimdLevel::None
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points (same signatures as the kernels-module pairs)
+// ---------------------------------------------------------------------------
+
+/// SIMD XOR of `src` into `dst`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn xor_into_simd(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor of blocks with unequal lengths");
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::xor_avx2(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Ssse3 => unsafe { x86::xor_sse2(dst, src) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::xor_neon(dst, src) },
+        _ => crate::kernels::xor_into_wide(dst, src),
+    }
+}
+
+/// SIMD `acc ^= coef · src` over GF(2⁸).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn gf_axpy_simd(acc: &mut [u8], coef: u8, src: &[u8]) {
+    assert_eq!(acc.len(), src.len(), "axpy over blocks of unequal lengths");
+    if coef == 0 {
+        return;
+    }
+    if coef == 1 {
+        xor_into_simd(acc, src);
+        return;
+    }
+    let nt = NibbleTables::new(coef);
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::axpy_avx2(acc, &nt, src) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Ssse3 => unsafe { x86::axpy_ssse3(acc, &nt, src) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::axpy_neon(acc, &nt, src) },
+        _ => crate::kernels::gf_axpy_vector(acc, coef, src),
+    }
+}
+
+/// SIMD in-place scale of `block` by field scalar `x`.
+pub fn gf_scale_simd(block: &mut [u8], x: u8) {
+    if x == 1 {
+        return;
+    }
+    if x == 0 {
+        block.fill(0);
+        return;
+    }
+    let nt = NibbleTables::new(x);
+    match level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::scale_avx2(block, &nt) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Ssse3 => unsafe { x86::scale_ssse3(block, &nt) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { neon::scale_neon(block, &nt) },
+        _ => crate::kernels::gf_scale_vector(block, x),
+    }
+}
+
+/// SIMD fused multiply-accumulate of several sources: `acc ^= Σ coefᵢ·srcᵢ`.
+/// Sources fold in pairs per pass, so the destination round-trips memory
+/// half as often as per-source application — and each pass keeps two
+/// independent shuffle chains in flight.
+///
+/// # Panics
+/// Panics if any source's length differs from `acc`'s.
+pub fn gf_axpy_multi_simd(acc: &mut [u8], srcs: &[(u8, &[u8])]) {
+    for &(_, src) in srcs {
+        assert_eq!(acc.len(), src.len(), "axpy over blocks of unequal lengths");
+    }
+    let live: Vec<(u8, &[u8])> = srcs.iter().filter(|&&(c, _)| c != 0).copied().collect();
+    let mut pairs = live.chunks_exact(2);
+    for pair in &mut pairs {
+        let (c0, s0) = pair[0];
+        let (c1, s1) = pair[1];
+        match level() {
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => unsafe {
+                x86::axpy2_avx2(acc, &NibbleTables::new(c0), s0, &NibbleTables::new(c1), s1)
+            },
+            _ => {
+                gf_axpy_simd(acc, c0, s0);
+                gf_axpy_simd(acc, c1, s1);
+            }
+        }
+    }
+    for &(coef, src) in pairs.remainder() {
+        gf_axpy_simd(acc, coef, src);
+    }
+}
+
+/// Per-byte tail fallback shared by all tiers: finish `acc[i] ^= c·src[i]`
+/// through the nibble tables.
+#[inline]
+fn axpy_tail(acc: &mut [u8], nt: &NibbleTables, src: &[u8]) {
+    for (a, &s) in acc.iter_mut().zip(src) {
+        *a ^= nt.mul(s);
+    }
+}
+
+#[inline]
+fn scale_tail(block: &mut [u8], nt: &NibbleTables) {
+    for b in block.iter_mut() {
+        *b = nt.mul(*b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86_64: SSSE3 PSHUFB and AVX2 VPSHUFB
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{axpy_tail, scale_tail};
+    use crate::kernels::NibbleTables;
+    use std::arch::x86_64::*;
+
+    /// One 16-lane product: `T_lo[v & 15] ^ T_hi[v >> 4]` via two PSHUFBs.
+    /// Indices are masked to 0..15, so the PSHUFB high-bit-clears-lane
+    /// rule never triggers.
+    #[inline(always)]
+    unsafe fn mul16(v: __m128i, lo_tbl: __m128i, hi_tbl: __m128i, mask: __m128i) -> __m128i {
+        let lo = _mm_and_si128(v, mask);
+        // Byte-wise >>4 does not exist; shift 64-bit lanes and re-mask.
+        let hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+        _mm_xor_si128(_mm_shuffle_epi8(lo_tbl, lo), _mm_shuffle_epi8(hi_tbl, hi))
+    }
+
+    /// One 32-lane product. VPSHUFB shuffles within each 128-bit half, so
+    /// broadcasting the 16-entry table to both halves gives the correct
+    /// per-byte lookup across all 32 lanes.
+    #[inline(always)]
+    unsafe fn mul32(v: __m256i, lo_tbl: __m256i, hi_tbl: __m256i, mask: __m256i) -> __m256i {
+        let lo = _mm256_and_si256(v, mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+        _mm256_xor_si256(
+            _mm256_shuffle_epi8(lo_tbl, lo),
+            _mm256_shuffle_epi8(hi_tbl, hi),
+        )
+    }
+
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn axpy_ssse3(acc: &mut [u8], nt: &NibbleTables, src: &[u8]) {
+        let lo_tbl = _mm_loadu_si128(nt.lo.as_ptr() as *const __m128i);
+        let hi_tbl = _mm_loadu_si128(nt.hi.as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0F);
+        let n = acc.len() / 16 * 16;
+        let (a, s) = (acc.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let v = _mm_loadu_si128(s.add(i) as *const __m128i);
+            let d = _mm_loadu_si128(a.add(i) as *const __m128i);
+            let p = mul16(v, lo_tbl, hi_tbl, mask);
+            _mm_storeu_si128(a.add(i) as *mut __m128i, _mm_xor_si128(d, p));
+            i += 16;
+        }
+        axpy_tail(&mut acc[n..], nt, &src[n..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_avx2(acc: &mut [u8], nt: &NibbleTables, src: &[u8]) {
+        let lo128 = _mm_loadu_si128(nt.lo.as_ptr() as *const __m128i);
+        let hi128 = _mm_loadu_si128(nt.hi.as_ptr() as *const __m128i);
+        let lo_tbl = _mm256_broadcastsi128_si256(lo128);
+        let hi_tbl = _mm256_broadcastsi128_si256(hi128);
+        let mask = _mm256_set1_epi8(0x0F);
+        let (a, s) = (acc.as_mut_ptr(), src.as_ptr());
+        // 64-byte main loop: two independent shuffle chains in flight.
+        let n64 = acc.len() / 64 * 64;
+        let mut i = 0;
+        while i < n64 {
+            let v0 = _mm256_loadu_si256(s.add(i) as *const __m256i);
+            let v1 = _mm256_loadu_si256(s.add(i + 32) as *const __m256i);
+            let d0 = _mm256_loadu_si256(a.add(i) as *const __m256i);
+            let d1 = _mm256_loadu_si256(a.add(i + 32) as *const __m256i);
+            let p0 = mul32(v0, lo_tbl, hi_tbl, mask);
+            let p1 = mul32(v1, lo_tbl, hi_tbl, mask);
+            _mm256_storeu_si256(a.add(i) as *mut __m256i, _mm256_xor_si256(d0, p0));
+            _mm256_storeu_si256(a.add(i + 32) as *mut __m256i, _mm256_xor_si256(d1, p1));
+            i += 64;
+        }
+        let n32 = acc.len() / 32 * 32;
+        while i < n32 {
+            let v = _mm256_loadu_si256(s.add(i) as *const __m256i);
+            let d = _mm256_loadu_si256(a.add(i) as *const __m256i);
+            let p = mul32(v, lo_tbl, hi_tbl, mask);
+            _mm256_storeu_si256(a.add(i) as *mut __m256i, _mm256_xor_si256(d, p));
+            i += 32;
+        }
+        axpy_tail(&mut acc[n32..], nt, &src[n32..]);
+    }
+
+    /// Two-source fused AVX2 axpy: one destination round trip per pair.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy2_avx2(
+        acc: &mut [u8],
+        nt0: &NibbleTables,
+        src0: &[u8],
+        nt1: &NibbleTables,
+        src1: &[u8],
+    ) {
+        let lo0 = _mm256_broadcastsi128_si256(_mm_loadu_si128(nt0.lo.as_ptr() as *const __m128i));
+        let hi0 = _mm256_broadcastsi128_si256(_mm_loadu_si128(nt0.hi.as_ptr() as *const __m128i));
+        let lo1 = _mm256_broadcastsi128_si256(_mm_loadu_si128(nt1.lo.as_ptr() as *const __m128i));
+        let hi1 = _mm256_broadcastsi128_si256(_mm_loadu_si128(nt1.hi.as_ptr() as *const __m128i));
+        let mask = _mm256_set1_epi8(0x0F);
+        let n32 = acc.len() / 32 * 32;
+        let (a, s0, s1) = (acc.as_mut_ptr(), src0.as_ptr(), src1.as_ptr());
+        let mut i = 0;
+        while i < n32 {
+            let v0 = _mm256_loadu_si256(s0.add(i) as *const __m256i);
+            let v1 = _mm256_loadu_si256(s1.add(i) as *const __m256i);
+            let d = _mm256_loadu_si256(a.add(i) as *const __m256i);
+            let p0 = mul32(v0, lo0, hi0, mask);
+            let p1 = mul32(v1, lo1, hi1, mask);
+            let x = _mm256_xor_si256(d, _mm256_xor_si256(p0, p1));
+            _mm256_storeu_si256(a.add(i) as *mut __m256i, x);
+            i += 32;
+        }
+        axpy_tail(&mut acc[n32..], nt0, &src0[n32..]);
+        axpy_tail(&mut acc[n32..], nt1, &src1[n32..]);
+    }
+
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn scale_ssse3(block: &mut [u8], nt: &NibbleTables) {
+        let lo_tbl = _mm_loadu_si128(nt.lo.as_ptr() as *const __m128i);
+        let hi_tbl = _mm_loadu_si128(nt.hi.as_ptr() as *const __m128i);
+        let mask = _mm_set1_epi8(0x0F);
+        let n = block.len() / 16 * 16;
+        let b = block.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let v = _mm_loadu_si128(b.add(i) as *const __m128i);
+            _mm_storeu_si128(b.add(i) as *mut __m128i, mul16(v, lo_tbl, hi_tbl, mask));
+            i += 16;
+        }
+        scale_tail(&mut block[n..], nt);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_avx2(block: &mut [u8], nt: &NibbleTables) {
+        let lo_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(nt.lo.as_ptr() as *const __m128i));
+        let hi_tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(nt.hi.as_ptr() as *const __m128i));
+        let mask = _mm256_set1_epi8(0x0F);
+        let n = block.len() / 32 * 32;
+        let b = block.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let v = _mm256_loadu_si256(b.add(i) as *const __m256i);
+            _mm256_storeu_si256(b.add(i) as *mut __m256i, mul32(v, lo_tbl, hi_tbl, mask));
+            i += 32;
+        }
+        scale_tail(&mut block[n..], nt);
+    }
+
+    /// AVX2 XOR, 64 bytes per iteration.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_avx2(dst: &mut [u8], src: &[u8]) {
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let n64 = dst.len() / 64 * 64;
+        let mut i = 0;
+        while i < n64 {
+            let a0 = _mm256_loadu_si256(d.add(i) as *const __m256i);
+            let b0 = _mm256_loadu_si256(s.add(i) as *const __m256i);
+            let a1 = _mm256_loadu_si256(d.add(i + 32) as *const __m256i);
+            let b1 = _mm256_loadu_si256(s.add(i + 32) as *const __m256i);
+            _mm256_storeu_si256(d.add(i) as *mut __m256i, _mm256_xor_si256(a0, b0));
+            _mm256_storeu_si256(d.add(i + 32) as *mut __m256i, _mm256_xor_si256(a1, b1));
+            i += 64;
+        }
+        for (db, sb) in dst[n64..].iter_mut().zip(&src[n64..]) {
+            *db ^= *sb;
+        }
+    }
+
+    /// SSE2 XOR (SSE2 is x86_64 baseline; used on the SSSE3 tier).
+    pub unsafe fn xor_sse2(dst: &mut [u8], src: &[u8]) {
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let n = dst.len() / 16 * 16;
+        let mut i = 0;
+        while i < n {
+            let a = _mm_loadu_si128(d.add(i) as *const __m128i);
+            let b = _mm_loadu_si128(s.add(i) as *const __m128i);
+            _mm_storeu_si128(d.add(i) as *mut __m128i, _mm_xor_si128(a, b));
+            i += 16;
+        }
+        for (db, sb) in dst[n..].iter_mut().zip(&src[n..]) {
+            *db ^= *sb;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64: NEON TBL
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{axpy_tail, scale_tail};
+    use crate::kernels::NibbleTables;
+    use std::arch::aarch64::*;
+
+    /// One 16-lane product via two `TBL` lookups. `vqtbl1q_u8` zeroes
+    /// lanes whose index is ≥ 16; ours are masked to 0..15.
+    #[inline(always)]
+    unsafe fn mul16(v: uint8x16_t, lo_tbl: uint8x16_t, hi_tbl: uint8x16_t) -> uint8x16_t {
+        let lo = vandq_u8(v, vdupq_n_u8(0x0F));
+        let hi = vshrq_n_u8::<4>(v);
+        veorq_u8(vqtbl1q_u8(lo_tbl, lo), vqtbl1q_u8(hi_tbl, hi))
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy_neon(acc: &mut [u8], nt: &NibbleTables, src: &[u8]) {
+        let lo_tbl = vld1q_u8(nt.lo.as_ptr());
+        let hi_tbl = vld1q_u8(nt.hi.as_ptr());
+        let n = acc.len() / 16 * 16;
+        let (a, s) = (acc.as_mut_ptr(), src.as_ptr());
+        let mut i = 0;
+        while i < n {
+            let v = vld1q_u8(s.add(i));
+            let d = vld1q_u8(a.add(i));
+            vst1q_u8(a.add(i), veorq_u8(d, mul16(v, lo_tbl, hi_tbl)));
+            i += 16;
+        }
+        axpy_tail(&mut acc[n..], nt, &src[n..]);
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn scale_neon(block: &mut [u8], nt: &NibbleTables) {
+        let lo_tbl = vld1q_u8(nt.lo.as_ptr());
+        let hi_tbl = vld1q_u8(nt.hi.as_ptr());
+        let n = block.len() / 16 * 16;
+        let b = block.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let v = vld1q_u8(b.add(i));
+            vst1q_u8(b.add(i), mul16(v, lo_tbl, hi_tbl));
+            i += 16;
+        }
+        scale_tail(&mut block[n..], nt);
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn xor_neon(dst: &mut [u8], src: &[u8]) {
+        let (d, s) = (dst.as_mut_ptr(), src.as_ptr());
+        let n = dst.len() / 16 * 16;
+        let mut i = 0;
+        while i < n {
+            let a = vld1q_u8(d.add(i));
+            let b = vld1q_u8(s.add(i));
+            vst1q_u8(d.add(i), veorq_u8(a, b));
+            i += 16;
+        }
+        for (db, sb) in dst[n..].iter_mut().zip(&src[n..]) {
+            *db ^= *sb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{gf_axpy_scalar, gf_scale_scalar, xor_into_scalar};
+
+    #[test]
+    fn probe_is_stable() {
+        assert_eq!(level(), level());
+    }
+
+    #[test]
+    fn simd_axpy_matches_scalar_when_available() {
+        if !available() {
+            return;
+        }
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 257] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            for coef in [0u8, 1, 2, 0x1D, 0x80, 0xFF] {
+                let mut a: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+                let mut b = a.clone();
+                gf_axpy_simd(&mut a, coef, &src);
+                gf_axpy_scalar(&mut b, coef, &src);
+                assert_eq!(a, b, "len={len} coef={coef}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_scale_and_xor_match_scalar_when_available() {
+        if !available() {
+            return;
+        }
+        for len in [0usize, 7, 16, 33, 64, 129] {
+            let init: Vec<u8> = (0..len).map(|i| (i * 29 + 1) as u8).collect();
+            for x in [0u8, 1, 2, 0x35, 0xFE] {
+                let mut a = init.clone();
+                let mut b = init.clone();
+                gf_scale_simd(&mut a, x);
+                gf_scale_scalar(&mut b, x);
+                assert_eq!(a, b, "scale len={len} x={x}");
+            }
+            let src: Vec<u8> = (0..len).map(|i| (i * 13 + 5) as u8).collect();
+            let mut a = init.clone();
+            let mut b = init.clone();
+            xor_into_simd(&mut a, &src);
+            xor_into_scalar(&mut b, &src);
+            assert_eq!(a, b, "xor len={len}");
+        }
+    }
+
+    #[test]
+    fn simd_multi_matches_per_source() {
+        if !available() {
+            return;
+        }
+        let len = 97;
+        let srcs_owned: Vec<(u8, Vec<u8>)> = (0..5u8)
+            .map(|t| {
+                (
+                    t.wrapping_mul(0x3B),
+                    (0..len).map(|i| (i as u8).wrapping_mul(t + 3)).collect(),
+                )
+            })
+            .collect();
+        let srcs: Vec<(u8, &[u8])> = srcs_owned.iter().map(|(c, s)| (*c, s.as_slice())).collect();
+        let mut a = vec![0x5Au8; len];
+        let mut b = a.clone();
+        gf_axpy_multi_simd(&mut a, &srcs);
+        for &(c, s) in &srcs {
+            gf_axpy_scalar(&mut b, c, s);
+        }
+        assert_eq!(a, b);
+    }
+}

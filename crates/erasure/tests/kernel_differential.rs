@@ -163,6 +163,39 @@ fn scale_vector_matches_scalar_on_300_random_cases() {
     }
 }
 
+/// The byte-pair product table is rebuilt lazily per thread and per
+/// coefficient; many threads initializing it at once — with different
+/// coefficients, over table-threshold lengths — must each still match the
+/// scalar reference exactly. Regression for the table being observed
+/// partially filled.
+#[test]
+fn pair_table_initializes_safely_under_concurrency() {
+    let seq = SeedSequence::new(0xA7);
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let seq = &seq;
+            scope.spawn(move || {
+                let mut rng = seq.fork("pair-concurrent", t);
+                for round in 0..6 {
+                    // Over the pair-table threshold, coef varies per round
+                    // so the per-thread table is rebuilt repeatedly while
+                    // sibling threads do the same.
+                    let len = 32 * 1024 + rng.gen_range(0usize..100);
+                    let coef: u8 = rng.gen_range(1..=255);
+                    let mut src = vec![0u8; len];
+                    let mut a = vec![0u8; len];
+                    rng.fill_bytes(&mut src);
+                    rng.fill_bytes(&mut a);
+                    let mut b = a.clone();
+                    gf_axpy_vector(&mut a, coef, &src);
+                    gf_axpy_scalar(&mut b, coef, &src);
+                    assert_eq!(a, b, "thread {t} round {round}: len={len} coef={coef}");
+                }
+            });
+        }
+    });
+}
+
 /// RS encode/decode round-trips under both kernels and the two kernels
 /// produce byte-identical code words — the end-to-end check that the
 /// kernel swap cannot change any experiment output.
@@ -193,4 +226,191 @@ fn rs_roundtrip_is_kernel_invariant() {
         assert_eq!(dec_v, data, "round {round}: vector round-trip");
     }
     set_kernel(Kernel::Vector); // leave the process-global default in place
+}
+
+/// The same randomized case families, pinned against the hardware-shuffle
+/// kernels. Compiled only with `--features simd`; each test additionally
+/// no-ops (cleanly, loudly) when the host CPU lacks the instructions, so
+/// the suite stays green everywhere while proving bit identity wherever
+/// the simd path can actually run.
+#[cfg(feature = "simd")]
+mod simd_differential {
+    use super::*;
+    use robustore_erasure::simd::{
+        self, gf_axpy_multi_simd, gf_axpy_simd, gf_scale_simd, xor_into_simd,
+    };
+
+    /// Skip guard: `false` (with a note) on hosts without shuffle units.
+    fn runnable() -> bool {
+        if simd::available() {
+            true
+        } else {
+            eprintln!("simd kernels unavailable on this CPU; differential cases skipped");
+            false
+        }
+    }
+
+    #[test]
+    fn axpy_simd_matches_scalar_on_500_random_cases() {
+        if !runnable() {
+            return;
+        }
+        let mut rng = SeedSequence::new(0xA1).fork("axpy", 0); // same cases as the vector test
+        for round in 0..500 {
+            let case = Case::random(&mut rng, round);
+            let mut a = case.dst();
+            let mut b = case.dst();
+            gf_axpy_simd(&mut a, case.coef, case.src());
+            gf_axpy_scalar(&mut b, case.coef, case.src());
+            assert_eq!(
+                a, b,
+                "round {round}: len={} coef={} offs=({},{})",
+                case.len, case.coef, case.dst_off, case.src_off
+            );
+        }
+    }
+
+    #[test]
+    fn xor_simd_matches_scalar_on_300_random_cases() {
+        if !runnable() {
+            return;
+        }
+        let mut rng = SeedSequence::new(0xA2).fork("xor", 0);
+        for round in 0..300 {
+            let case = Case::random(&mut rng, round);
+            let mut a = case.dst();
+            let mut b = case.dst();
+            xor_into_simd(&mut a, case.src());
+            xor_into_scalar(&mut b, case.src());
+            assert_eq!(
+                a, b,
+                "round {round}: len={} offs=({},{})",
+                case.len, case.dst_off, case.src_off
+            );
+        }
+    }
+
+    #[test]
+    fn fused_axpy_simd_matches_scalar_on_300_random_cases() {
+        if !runnable() {
+            return;
+        }
+        let mut rng = SeedSequence::new(0xA5).fork("multi", 0);
+        for round in 0..300 {
+            let case = Case::random(&mut rng, round);
+            let extra: Vec<(u8, Vec<u8>)> = (0..rng.gen_range(0usize..6))
+                .map(|_| {
+                    let mut s = vec![0u8; case.len];
+                    rng.fill_bytes(&mut s);
+                    (rng.gen::<u8>() & rng.gen::<u8>(), s)
+                })
+                .collect();
+            let mut srcs: Vec<(u8, &[u8])> = vec![(case.coef, case.src())];
+            srcs.extend(extra.iter().map(|(c, s)| (*c, s.as_slice())));
+            let mut a = case.dst();
+            let mut b = case.dst();
+            gf_axpy_multi_simd(&mut a, &srcs);
+            gf_axpy_multi_scalar(&mut b, &srcs);
+            assert_eq!(
+                a,
+                b,
+                "round {round}: len={} sources={}",
+                case.len,
+                srcs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn scale_simd_matches_scalar_on_300_random_cases() {
+        if !runnable() {
+            return;
+        }
+        let mut rng = SeedSequence::new(0xA3).fork("scale", 0);
+        for round in 0..300 {
+            let case = Case::random(&mut rng, round);
+            let mut a = case.dst();
+            let mut b = case.dst();
+            gf_scale_simd(&mut a, case.coef);
+            gf_scale_scalar(&mut b, case.coef);
+            assert_eq!(
+                a, b,
+                "round {round}: len={} coef={} off={}",
+                case.len, case.coef, case.dst_off
+            );
+        }
+    }
+
+    /// Large lengths through the dispatchers with `Kernel::Simd` active —
+    /// covers the unrolled 64-byte main loops and their tails, plus the
+    /// selection machinery itself.
+    #[test]
+    fn dispatched_simd_matches_scalar_on_large_unaligned_cases() {
+        use robustore_erasure::kernels::{gf_axpy, gf_scale, xor_into};
+        if !runnable() {
+            return;
+        }
+        let mut rng = SeedSequence::new(0xA8).fork("large", 0);
+        set_kernel(Kernel::Simd);
+        for round in 0..40 {
+            // 1–3 KiB bodies at every alignment, odd tails included.
+            let len = rng.gen_range(1024usize..3072);
+            let dst_off = rng.gen_range(0..64);
+            let src_off = rng.gen_range(0..64);
+            let coef: u8 = rng.gen();
+            let mut dst_buf = vec![0u8; dst_off + len];
+            let mut src_buf = vec![0u8; src_off + len];
+            rng.fill_bytes(&mut dst_buf);
+            rng.fill_bytes(&mut src_buf);
+            let mut a = dst_buf[dst_off..].to_vec();
+            let mut b = a.clone();
+            let src = &src_buf[src_off..];
+
+            gf_axpy(&mut a, coef, src);
+            gf_axpy_scalar(&mut b, coef, src);
+            assert_eq!(a, b, "axpy round {round}: len={len} coef={coef}");
+
+            xor_into(&mut a, src);
+            xor_into_scalar(&mut b, src);
+            assert_eq!(a, b, "xor round {round}: len={len}");
+
+            gf_scale(&mut a, coef);
+            gf_scale_scalar(&mut b, coef);
+            assert_eq!(a, b, "scale round {round}: len={len} coef={coef}");
+        }
+        set_kernel(Kernel::Vector); // restore the process-wide default
+    }
+
+    /// Full RS round-trip with the simd kernels selected, byte-compared to
+    /// the scalar code words — the experiment-level invariance check.
+    #[test]
+    fn rs_roundtrip_is_simd_invariant() {
+        if !runnable() {
+            return;
+        }
+        let mut rng = SeedSequence::new(0xA4).fork("rs", 0); // same cases as the vector test
+        for round in 0..40 {
+            let k = rng.gen_range(1..12);
+            let n = k + rng.gen_range(1..=k);
+            let len = rng.gen_range(1..100);
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|_| (0..len).map(|_| rng.gen()).collect())
+                .collect();
+            let rs = ReedSolomon::new(k, n).unwrap();
+
+            set_kernel(Kernel::Simd);
+            let coded_simd = rs.encode(&data).unwrap();
+            set_kernel(Kernel::Scalar);
+            let coded_s = rs.encode(&data).unwrap();
+            assert_eq!(coded_simd, coded_s, "round {round}: encodings diverge");
+
+            let rx: Vec<_> = (n - k..n).map(|i| (i, coded_s[i].clone())).collect();
+            let dec_s = rs.decode(&rx).unwrap();
+            set_kernel(Kernel::Simd);
+            let dec_simd = rs.decode(&rx).unwrap();
+            assert_eq!(dec_s, data, "round {round}: scalar round-trip");
+            assert_eq!(dec_simd, data, "round {round}: simd round-trip");
+        }
+        set_kernel(Kernel::Vector);
+    }
 }

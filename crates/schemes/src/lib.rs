@@ -59,4 +59,4 @@ pub use outcome::{AccessOutcome, RequestOutcome, RequestRecord, TrialStats};
 pub use placement::Placement;
 pub use robustore_erasure::BlockPool;
 pub use robustore_simkit::FaultScenario;
-pub use runner::{run_access, run_read_cold_warm, run_sequence, run_trials};
+pub use runner::{run_access, run_read_cold_warm, run_sequence, run_trials, run_trials_threaded};

@@ -227,14 +227,37 @@ pub fn run_access(cfg: &AccessConfig, seq: &SeedSequence) -> AccessOutcome {
 }
 
 /// Run `trials` independent accesses and aggregate the metrics. Trials run
-/// in parallel across OS threads; results are deterministic in
-/// (`cfg`, `trials`, `master_seed`) regardless of thread count.
+/// in parallel across OS threads (one per available core, capped by the
+/// trial count); results are deterministic in (`cfg`, `trials`,
+/// `master_seed`) regardless of thread count — see
+/// [`run_trials_threaded`] for why.
 pub fn run_trials(cfg: &AccessConfig, trials: u64, master_seed: u64) -> TrialStats {
-    let root = SeedSequence::new(master_seed);
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(trials.max(1) as usize);
+        .unwrap_or(4);
+    run_trials_threaded(cfg, trials, master_seed, n_threads)
+}
+
+/// [`run_trials`] with an explicit worker-thread count (1 = sequential).
+///
+/// Determinism is by construction, not by luck:
+/// * every trial draws from its own label-indexed seed subsequence
+///   (`root.subsequence("trial", i)`), so a trial's randomness depends
+///   only on (`master_seed`, trial index) — never on which thread ran it
+///   or in what order;
+/// * each trial writes its outcome into a preassigned slot, and the
+///   aggregation folds the slots in index order — [`TrialStats`]'s
+///   floating-point accumulations see the exact same operand sequence at
+///   any thread count, so the aggregate is *byte-identical*, not merely
+///   statistically equal (pinned by a regression test).
+pub fn run_trials_threaded(
+    cfg: &AccessConfig,
+    trials: u64,
+    master_seed: u64,
+    threads: usize,
+) -> TrialStats {
+    let root = SeedSequence::new(master_seed);
+    let n_threads = threads.max(1).min(trials.max(1) as usize);
     let mut outcomes: Vec<Option<AccessOutcome>> = vec![None; trials as usize];
     let chunk = trials.div_ceil(n_threads as u64).max(1);
     std::thread::scope(|scope| {
@@ -316,6 +339,53 @@ mod tests {
         let b = run_access(&cfg, &SeedSequence::new(10));
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.network_bytes, b.network_bytes);
+    }
+
+    /// Multi-threaded trial fan-out must aggregate *byte-identically* to
+    /// the single-threaded run: every float compared by bit pattern, every
+    /// counter exactly — at several thread counts, including ones that
+    /// split the trials into ragged chunks.
+    #[test]
+    fn trial_fanout_is_byte_identical_across_thread_counts() {
+        let cfg = small(SchemeKind::RobuStore);
+        let trials = 6;
+        let base = run_trials_threaded(&cfg, trials, 42, 1);
+        for threads in [2usize, 3, 4, 16] {
+            let par = run_trials_threaded(&cfg, trials, 42, threads);
+            let pairs = [
+                (base.bandwidth.mean(), par.bandwidth.mean(), "bw mean"),
+                (base.bandwidth.stdev(), par.bandwidth.stdev(), "bw stdev"),
+                (base.latency.mean(), par.latency.mean(), "lat mean"),
+                (base.latency.stdev(), par.latency.stdev(), "lat stdev"),
+                (
+                    base.io_overhead.mean(),
+                    par.io_overhead.mean(),
+                    "io overhead",
+                ),
+                (
+                    base.reception_overhead.mean(),
+                    par.reception_overhead.mean(),
+                    "reception",
+                ),
+            ];
+            for (a, b, what) in pairs {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{what} diverges at {threads} threads: {a} vs {b}"
+                );
+            }
+            assert_eq!(base.failures, par.failures, "threads={threads}");
+            assert_eq!(
+                base.served_requests, par.served_requests,
+                "threads={threads}"
+            );
+            assert_eq!(
+                base.cancelled_requests, par.cancelled_requests,
+                "threads={threads}"
+            );
+            assert_eq!(base.trials(), par.trials(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -14,13 +14,40 @@ use robustore_simkit::SeedSequence;
 
 use crate::error::StoreError;
 
+/// A refused or failed block write: the error plus the owned payload,
+/// handed back so the caller can redirect the *same bytes* to another
+/// disk (the rateless routing of §4.1.1) without re-encoding, or recycle
+/// the allocation. The buffer is only consumed by a write that succeeds.
+#[derive(Debug)]
+pub struct RefusedWrite {
+    /// Why the write did not happen.
+    pub error: StoreError,
+    /// The unconsumed payload, exactly as submitted.
+    pub data: Vec<u8>,
+}
+
+impl RefusedWrite {
+    /// Bundle an error with the returned payload.
+    pub fn new(error: StoreError, data: Vec<u8>) -> Self {
+        RefusedWrite { error, data }
+    }
+}
+
+impl From<RefusedWrite> for StoreError {
+    fn from(r: RefusedWrite) -> Self {
+        r.error
+    }
+}
+
 /// Block-granular storage under the client.
 pub trait StorageBackend {
     /// Number of disks in the system.
     fn num_disks(&self) -> usize;
 
-    /// Store `data` as block `block` of disk `disk`.
-    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), StoreError>;
+    /// Store `data` as block `block` of disk `disk`. On failure the
+    /// buffer comes back inside [`RefusedWrite`] — ownership transfers to
+    /// the backend only on success.
+    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite>;
 
     /// Fetch block `block` of disk `disk`.
     fn read_block(&self, disk: usize, block: u64) -> Result<Vec<u8>, StoreError>;
@@ -136,13 +163,18 @@ impl StorageBackend for InMemoryBackend {
         self.disks.len()
     }
 
-    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), StoreError> {
-        let d = self
-            .disks
-            .get_mut(disk)
-            .ok_or(StoreError::MissingBlock { disk, block })?;
+    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
+        let Some(d) = self.disks.get_mut(disk) else {
+            return Err(RefusedWrite::new(
+                StoreError::MissingBlock { disk, block },
+                data,
+            ));
+        };
         if d.offline {
-            return Err(StoreError::MissingBlock { disk, block });
+            return Err(RefusedWrite::new(
+                StoreError::MissingBlock { disk, block },
+                data,
+            ));
         }
         d.used += data.len() as u64;
         if let Some(old) = d.blocks.insert(block, data) {

@@ -1,0 +1,251 @@
+//! Write-path fault injection over any [`StorageBackend`].
+//!
+//! [`ChaosBackend`] wraps a real backend and interposes on `write_block`
+//! according to a [`FaultSwitch`] the test arms from outside — including
+//! *mid-access*, because the switch is a shared handle while the wrapped
+//! backend is owned by the [`crate::System`]. Two fault shapes cover the
+//! write-path failure modes of the paper's evaluation:
+//!
+//! * **Refusal** — the disk declines the block (admission revoked, filer
+//!   unreachable). Surfaced as [`StoreError::MissingBlock`], which the
+//!   rateless write path routes around by redirecting the block to
+//!   another disk.
+//! * **Hard fault after a write budget** — the disk accepts `n` more
+//!   writes and then fails mid-I/O. Surfaced as
+//!   [`StoreError::DiskFault`], which aborts the access and exercises
+//!   the commit protocol's rollback.
+//!
+//! Deterministic schedules come from [`robustore_simkit::WriteFaultPlan`]
+//! via [`FaultSwitch::apply`], so the chaos suite replays bit-identically
+//! from a seed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use robustore_simkit::{SeedSequence, WriteFaultKind, WriteFaultPlan};
+
+use crate::backend::{RefusedWrite, StorageBackend};
+use crate::error::StoreError;
+
+#[derive(Debug, Default)]
+struct SwitchState {
+    /// Disks refusing every write.
+    refuse: BTreeSet<usize>,
+    /// Disks with a remaining write budget; at zero the next write faults.
+    fail_after: BTreeMap<usize, u64>,
+    /// Hard faults actually delivered (budget exhausted).
+    hard_faults: u64,
+}
+
+/// Shared control handle for a [`ChaosBackend`].
+///
+/// Cloneable; the test keeps one clone while the wrapped backend (owning
+/// the other) sits inside the system, so faults can be armed and cleared
+/// between — or during — accesses.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSwitch {
+    state: Arc<Mutex<SwitchState>>,
+}
+
+impl FaultSwitch {
+    /// A switch with no faults armed.
+    pub fn new() -> Self {
+        FaultSwitch::default()
+    }
+
+    /// Make `disk` refuse every subsequent write.
+    pub fn refuse_disk(&self, disk: usize) {
+        self.state.lock().unwrap().refuse.insert(disk);
+    }
+
+    /// Let `disk` accept `writes` more blocks, then fail hard.
+    pub fn fail_disk_after(&self, disk: usize, writes: u64) {
+        self.state.lock().unwrap().fail_after.insert(disk, writes);
+    }
+
+    /// Arm every fault of a seeded [`WriteFaultPlan`].
+    pub fn apply(&self, plan: &WriteFaultPlan) {
+        let mut s = self.state.lock().unwrap();
+        for fault in &plan.faults {
+            match fault.kind {
+                WriteFaultKind::Refuse => {
+                    s.refuse.insert(fault.disk);
+                }
+                WriteFaultKind::FailAfter { writes } => {
+                    s.fail_after.insert(fault.disk, writes);
+                }
+            }
+        }
+    }
+
+    /// Disarm everything (delivered-fault count is preserved).
+    pub fn clear(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.refuse.clear();
+        s.fail_after.clear();
+    }
+
+    /// Hard faults delivered so far (budget-exhausted writes).
+    pub fn injected_hard_faults(&self) -> u64 {
+        self.state.lock().unwrap().hard_faults
+    }
+
+    /// Decide the fate of one write. `None` = let it through.
+    fn intercept(&self, disk: usize, block: u64) -> Option<StoreError> {
+        let mut s = self.state.lock().unwrap();
+        if s.refuse.contains(&disk) {
+            return Some(StoreError::MissingBlock { disk, block });
+        }
+        if let Some(budget) = s.fail_after.get_mut(&disk) {
+            if *budget == 0 {
+                s.hard_faults += 1;
+                return Some(StoreError::DiskFault { disk });
+            }
+            *budget -= 1;
+        }
+        None
+    }
+}
+
+/// A [`StorageBackend`] that injects write faults per its [`FaultSwitch`].
+///
+/// Reads, deletes, and accounting delegate untouched to the inner
+/// backend; only `write_block` is interposed.
+#[derive(Debug)]
+pub struct ChaosBackend<B> {
+    inner: B,
+    switch: FaultSwitch,
+}
+
+impl<B: StorageBackend> ChaosBackend<B> {
+    /// Wrap `inner`, returning the backend and its control handle.
+    pub fn new(inner: B) -> (Self, FaultSwitch) {
+        let switch = FaultSwitch::new();
+        let backend = ChaosBackend {
+            inner,
+            switch: switch.clone(),
+        };
+        (backend, switch)
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for ChaosBackend<B> {
+    fn num_disks(&self) -> usize {
+        self.inner.num_disks()
+    }
+
+    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
+        if let Some(error) = self.switch.intercept(disk, block) {
+            return Err(RefusedWrite::new(error, data));
+        }
+        self.inner.write_block(disk, block, data)
+    }
+
+    fn read_block(&self, disk: usize, block: u64) -> Result<Vec<u8>, StoreError> {
+        self.inner.read_block(disk, block)
+    }
+
+    fn read_block_into(
+        &self,
+        disk: usize,
+        block: u64,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), StoreError> {
+        self.inner.read_block_into(disk, block, buf)
+    }
+
+    fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {
+        self.inner.delete_block(disk, block)
+    }
+
+    fn disk_speed(&self, disk: usize) -> f64 {
+        self.inner.disk_speed(disk)
+    }
+
+    fn disk_used(&self, disk: usize) -> u64 {
+        self.inner.disk_used(disk)
+    }
+
+    fn count_read(&mut self) {
+        self.inner.count_read();
+    }
+
+    fn reads(&self) -> u64 {
+        self.inner.reads()
+    }
+
+    fn writes(&self) -> u64 {
+        self.inner.writes()
+    }
+
+    fn set_offline(&mut self, disk: usize, offline: bool) {
+        self.inner.set_offline(disk, offline);
+    }
+
+    fn drop_random_blocks(&mut self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        self.inner.drop_random_blocks(disk, fraction, seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InMemoryBackend;
+
+    #[test]
+    fn refusal_returns_buffer_and_routes_as_missing() {
+        let (mut b, switch) = ChaosBackend::new(InMemoryBackend::uniform(2, 10e6));
+        switch.refuse_disk(0);
+        let err = b.write_block(0, 1, vec![7; 8]).unwrap_err();
+        assert!(matches!(
+            err.error,
+            StoreError::MissingBlock { disk: 0, .. }
+        ));
+        assert_eq!(err.data, vec![7; 8], "payload handed back intact");
+        b.write_block(1, 1, vec![7; 8]).unwrap();
+        assert_eq!(b.disk_used(0), 0);
+        assert_eq!(b.disk_used(1), 8);
+        assert_eq!(switch.injected_hard_faults(), 0);
+    }
+
+    #[test]
+    fn fail_after_budget_then_hard_fault() {
+        let (mut b, switch) = ChaosBackend::new(InMemoryBackend::uniform(1, 10e6));
+        switch.fail_disk_after(0, 2);
+        b.write_block(0, 1, vec![1]).unwrap();
+        b.write_block(0, 2, vec![2]).unwrap();
+        let err = b.write_block(0, 3, vec![3]).unwrap_err();
+        assert!(matches!(err.error, StoreError::DiskFault { disk: 0 }));
+        assert_eq!(err.data, vec![3]);
+        assert_eq!(switch.injected_hard_faults(), 1);
+        // Reads of committed blocks still succeed: the fault is I/O-side.
+        assert_eq!(b.read_block(0, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn clear_disarms_but_keeps_count() {
+        let (mut b, switch) = ChaosBackend::new(InMemoryBackend::uniform(1, 10e6));
+        switch.fail_disk_after(0, 0);
+        assert!(b.write_block(0, 1, vec![1]).is_err());
+        switch.clear();
+        b.write_block(0, 1, vec![1]).unwrap();
+        assert_eq!(switch.injected_hard_faults(), 1);
+    }
+
+    #[test]
+    fn apply_arms_a_seeded_plan() {
+        use robustore_simkit::WriteFaultScenario;
+        let seq = SeedSequence::new(42);
+        let plan = WriteFaultPlan::generate(&WriteFaultScenario::RefusingDisks { n: 2 }, 4, &seq);
+        let (mut b, switch) = ChaosBackend::new(InMemoryBackend::uniform(4, 10e6));
+        switch.apply(&plan);
+        let refused: Vec<usize> = (0..4)
+            .filter(|&d| b.write_block(d, 0, vec![0]).is_err())
+            .collect();
+        assert_eq!(refused.len(), 2);
+        assert_eq!(
+            refused,
+            plan.faults.iter().map(|f| f.disk).collect::<Vec<_>>()
+        );
+    }
+}

@@ -11,7 +11,11 @@
 //!
 //! * **write** (§4.3.2) — rateless LT encoding; more blocks flow to faster
 //!   disks (blocks ∝ disk bandwidth, the §5.3.2 layout), stopping at
-//!   N = (1+D)·K committed blocks.
+//!   N = (1+D)·K committed blocks. Overwrites are crash-consistent: the
+//!   new generation lands under fresh (opposite-parity) keys while a
+//!   bounded pipeline overlaps encoding with disk I/O, the metadata
+//!   commit switches versions atomically, and only then is the old
+//!   generation garbage-collected (on error, the new one is instead).
 //! * **read** (§4.3.3) — blocks are consumed in simulated arrival order
 //!   (per-disk streams merged by virtual time); the incremental decoder
 //!   stops the access the moment it completes, and the remaining requests
@@ -19,8 +23,8 @@
 //! * **update** (§4.3.4) — only the coded blocks whose coding-graph
 //!   neighbourhood intersects the changed originals are regenerated.
 
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeSet, BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -33,7 +37,7 @@ use crate::admission::AdmissionController;
 use crate::backend::{InMemoryBackend, StorageBackend};
 use crate::credentials::{CredentialChain, KeyAuthority, PublicKey, Rights};
 use crate::error::StoreError;
-use crate::metadata::{AccessMode, CodingSpec, DiskInfo, FileMeta, MetadataServer};
+use crate::metadata::{gen_key, AccessMode, CodingSpec, DiskInfo, FileMeta, MetadataServer};
 use crate::planner::LayoutPlanner;
 use crate::qos::QosOptions;
 
@@ -55,6 +59,13 @@ pub struct SystemConfig {
     /// memory-bandwidth-bound well before that on most hosts. Results are
     /// byte-identical at any setting.
     pub encode_threads: usize,
+    /// Bound of the write pipeline's reordering window: how many encoded
+    /// blocks may sit finished (or in flight) ahead of the in-order
+    /// backend writer. `0` disables pipelining — encode everything, then
+    /// write (the barrier mode). Any positive depth overlaps encode with
+    /// disk I/O; committed layouts and on-disk bytes are byte-identical
+    /// at every depth and thread count.
+    pub pipeline_depth: usize,
 }
 
 /// Default encode worker count: the host's parallelism, capped at 8.
@@ -65,6 +76,12 @@ pub fn default_encode_threads() -> usize {
         .min(8)
 }
 
+/// Default write-pipeline depth: two encoded blocks in flight per encode
+/// worker, enough to keep the writer fed without unbounded buffering.
+pub fn default_pipeline_depth() -> usize {
+    2 * default_encode_threads()
+}
+
 impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig {
@@ -73,6 +90,7 @@ impl Default for SystemConfig {
             admission_capacity: 4,
             app_domain: "RobuSTore".into(),
             encode_threads: default_encode_threads(),
+            pipeline_depth: default_pipeline_depth(),
         }
     }
 }
@@ -194,6 +212,18 @@ impl System {
     pub fn backend_stats(&self) -> (u64, u64) {
         let b = self.inner.backend.lock();
         (b.reads(), b.writes())
+    }
+
+    /// Bytes stored on one disk (backend accounting; orphan detection in
+    /// the crash-consistency tests).
+    pub fn disk_used(&self, disk: usize) -> u64 {
+        self.inner.backend.lock().disk_used(disk)
+    }
+
+    /// Bytes stored across every disk.
+    pub fn total_used(&self) -> u64 {
+        let b = self.inner.backend.lock();
+        (0..b.num_disks()).map(|d| b.disk_used(d)).sum()
     }
 
     /// Read-buffer pool counters `(fresh_allocations, reuses)` — the
@@ -523,7 +553,42 @@ impl Client {
         };
         let placement = Placement::coded_weighted(k, n, &weights);
 
-        let meta = FileMeta {
+        let layout: Vec<(usize, Vec<u32>)> = disks
+            .iter()
+            .enumerate()
+            .map(|(slot, &d)| {
+                (
+                    d,
+                    placement.per_disk[slot]
+                        .iter()
+                        .map(|b| b.semantic)
+                        .collect(),
+                )
+            })
+            .collect();
+
+        // Copy-on-write overwrite: every new-generation block lands under
+        // the key of *opposite* parity to the old generation's, so the
+        // previous version stays intact (and readable) until the metadata
+        // commit. Ids the old generation does not store default to even.
+        let old = handle.meta.clone();
+        let new_odd: BTreeSet<u32> = match &old {
+            Some(old) => {
+                let old_stored: HashSet<u32> = old
+                    .layout
+                    .iter()
+                    .flat_map(|(_, ids)| ids.iter().copied())
+                    .collect();
+                layout
+                    .iter()
+                    .flat_map(|(_, ids)| ids.iter().copied())
+                    .filter(|id| old_stored.contains(id) && !old.odd_keys.contains(id))
+                    .collect()
+            }
+            None => BTreeSet::new(),
+        };
+
+        let mut meta = FileMeta {
             name: handle.name.clone(),
             file_id,
             size_bytes,
@@ -534,102 +599,140 @@ impl Client {
                 params,
                 seed,
             },
-            layout: disks
-                .iter()
-                .enumerate()
-                .map(|(slot, &d)| {
-                    (
-                        d,
-                        placement.per_disk[slot]
-                            .iter()
-                            .map(|b| b.semantic)
-                            .collect(),
-                    )
-                })
-                .collect(),
-            owner: handle
-                .meta
-                .as_ref()
-                .map(|m| m.owner)
-                .unwrap_or(self.identity),
+            layout,
+            odd_keys: new_odd.clone(),
+            owner: old.as_ref().map(|m| m.owner).unwrap_or(self.identity),
             version,
         };
 
-        // Encode every planned block *before* taking the backend lock:
-        // segment encodes are independent, so they fan out across the
-        // configured worker threads (and concurrent accesses aren't
-        // blocked behind this access's coding work).
-        let all_ids: Vec<u32> = meta
+        // Every planned write, flattened in layout order — the order the
+        // in-order pipeline writer issues them, so the backend sees the
+        // same sequence at every thread count and pipeline depth.
+        let jobs: Vec<(usize, usize, u32)> = meta
             .layout
             .iter()
-            .flat_map(|(_, ids)| ids.iter().copied())
+            .enumerate()
+            .flat_map(|(slot, (d, ids))| ids.iter().map(move |&coded| (slot, *d, coded)))
             .collect();
-        let mut encoded = encode_ids_parallel(
-            &code,
-            blocks,
-            &all_ids,
-            self.system.inner.config.encode_threads,
-        )
-        .into_iter();
+        let job_ids: Vec<u32> = jobs.iter().map(|&(_, _, coded)| coded).collect();
 
-        let mut meta = meta;
         {
             let mut backend = self.system.inner.backend.lock();
-            // Remove the previous version's blocks first (replace
-            // semantics), then write the new generation.
-            if let Some(old) = &handle.meta {
+            // Writes the commit protocol must undo if this access aborts.
+            let mut written: Vec<(usize, u64)> = Vec::new();
+            // Ids each layout slot actually keeps (refusals drop out).
+            let mut kept: Vec<Vec<u32>> = vec![Vec::new(); meta.layout.len()];
+            // Blocks a disk refused, with their encoded bytes — redirected
+            // below without re-encoding.
+            let mut displaced: Vec<(u32, Block)> = Vec::new();
+
+            // Bounded producer/consumer pipeline: encode workers run ahead
+            // of this consumer by at most `pipeline_depth` blocks while the
+            // backend write (the disk I/O) happens here, in job order.
+            // Rateless writing routes around refusing disks (§4.1.1): a
+            // rejected block is set aside for redirection, anything worse
+            // aborts the access.
+            let result = encode_write_pipelined(
+                &code,
+                blocks,
+                &job_ids,
+                self.system.inner.config.encode_threads,
+                self.system.inner.config.pipeline_depth,
+                |idx, coded, data| {
+                    let (slot, disk, _) = jobs[idx];
+                    let key = gen_key(file_id, coded, new_odd.contains(&coded));
+                    match backend.write_block(disk, key, data) {
+                        Ok(()) => {
+                            kept[slot].push(coded);
+                            written.push((disk, key));
+                            Ok(())
+                        }
+                        Err(rw) => match rw.error {
+                            StoreError::MissingBlock { .. } => {
+                                displaced.push((coded, rw.data));
+                                Ok(())
+                            }
+                            e => Err(e),
+                        },
+                    }
+                },
+            );
+            if let Err(e) = result {
+                delete_written(&mut **backend, &written);
+                return Err(e);
+            }
+            for (slot, (_, ids)) in meta.layout.iter_mut().enumerate() {
+                *ids = std::mem::take(&mut kept[slot]);
+            }
+            if !displaced.is_empty() {
+                let healthy: Vec<usize> = meta
+                    .layout
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, ids))| !ids.is_empty())
+                    .map(|(slot, _)| slot)
+                    .collect();
+                if healthy.is_empty() {
+                    delete_written(&mut **backend, &written);
+                    return Err(StoreError::InsufficientDisks { got: 0, need: 1 });
+                }
+                for (i, (coded, data)) in displaced.into_iter().enumerate() {
+                    // Round-robin over the healthy disks, reusing the
+                    // already-encoded bytes — a refusal hands the buffer
+                    // back, so it just moves on to the next candidate.
+                    let key = gen_key(file_id, coded, new_odd.contains(&coded));
+                    let mut data = data;
+                    let mut placed = false;
+                    for attempt in 0..healthy.len() {
+                        let slot = healthy[(i + attempt) % healthy.len()];
+                        let disk = meta.layout[slot].0;
+                        match backend.write_block(disk, key, data) {
+                            Ok(()) => {
+                                meta.layout[slot].1.push(coded);
+                                written.push((disk, key));
+                                placed = true;
+                                break;
+                            }
+                            Err(rw) => match rw.error {
+                                StoreError::MissingBlock { .. } => data = rw.data,
+                                e => {
+                                    delete_written(&mut **backend, &written);
+                                    return Err(e);
+                                }
+                            },
+                        }
+                    }
+                    if !placed {
+                        delete_written(&mut **backend, &written);
+                        return Err(StoreError::InsufficientDisks { got: 0, need: 1 });
+                    }
+                }
+            }
+            // Commit point: the metadata switch-over makes the new
+            // generation the file. Until here the old version was intact;
+            // from here the new one is.
+            let mut meta_srv = self.system.inner.meta.lock();
+            if let Err(e) = meta_srv.commit(meta.clone()) {
+                delete_written(&mut **backend, &written);
+                return Err(e);
+            }
+            // Garbage-collect the superseded generation (its keys differ
+            // from every new one by the parity bit, so nothing just
+            // written is touched).
+            if let Some(old) = &old {
                 for (disk, ids) in &old.layout {
                     for &id in ids {
                         let _ = backend.delete_block(*disk, old.block_key(id));
                     }
                 }
             }
-            // Rateless writing routes around refusing disks (§4.1.1): any
-            // block a disk rejects is redirected to the healthy disks.
-            let mut displaced: Vec<u32> = Vec::new();
-            for (disk, ids) in &mut meta.layout {
-                let mut kept = Vec::with_capacity(ids.len());
-                for &coded in ids.iter() {
-                    let data = encoded.next().expect("one encoded block per planned id");
-                    match backend.write_block(*disk, meta_key(file_id, coded), data) {
-                        Ok(()) => kept.push(coded),
-                        Err(StoreError::MissingBlock { .. }) => displaced.push(coded),
-                        Err(e) => return Err(e),
-                    }
-                }
-                *ids = kept;
-            }
-            if !displaced.is_empty() {
-                let healthy: Vec<usize> = meta
-                    .layout
-                    .iter()
-                    .filter(|(_, ids)| !ids.is_empty())
-                    .map(|(d, _)| *d)
-                    .collect();
-                if healthy.is_empty() {
-                    return Err(StoreError::InsufficientDisks { got: 0, need: 1 });
-                }
-                for (i, coded) in displaced.into_iter().enumerate() {
-                    let disk = healthy[i % healthy.len()];
-                    let data = code.encode_block(blocks, coded as usize);
-                    backend.write_block(disk, meta_key(file_id, coded), data)?;
-                    meta.layout
-                        .iter_mut()
-                        .find(|(d, _)| *d == disk)
-                        .expect("healthy disk is in the layout")
-                        .1
-                        .push(coded);
-                }
-            }
             // Feed fresh usage back to the registry (§4.2: dynamic storage
             // information comes from client accesses).
-            let mut meta_srv = self.system.inner.meta.lock();
             for &d in disks {
                 let used = backend.disk_used(d);
                 let load = { self.system.inner.admission.lock()[d].load() };
                 meta_srv.update_disk(d, used, load);
             }
-            meta_srv.commit(meta.clone())?;
         }
         handle.meta = Some(meta);
         Ok(WriteReport {
@@ -800,28 +903,64 @@ impl Client {
                 disk_of.insert(id, *disk);
             }
         }
-        // Regenerated blocks are independent too — same parallel fan-out
-        // as the write path.
-        let regenerated = encode_ids_parallel(
-            &code,
-            &blocks,
-            &dirty_coded,
-            self.system.inner.config.encode_threads,
-        );
-        {
-            let mut backend = self.system.inner.backend.lock();
-            for (&coded, data) in dirty_coded.iter().zip(regenerated) {
-                let disk = *disk_of.get(&coded).ok_or(StoreError::MissingBlock {
+        for &coded in &dirty_coded {
+            if !disk_of.contains_key(&coded) {
+                return Err(StoreError::MissingBlock {
                     disk: usize::MAX,
                     block: coded as u64,
-                })?;
-                backend.write_block(disk, meta.block_key(coded), data)?;
+                });
             }
         }
-        // Commit the version bump.
+        // Copy-on-write in place: each regenerated block lands under the
+        // opposite-parity key of its current one, so the committed version
+        // stays readable until the metadata commit flips the parities.
+        let mut new_odd = meta.odd_keys.clone();
+        for &id in &dirty_coded {
+            if !new_odd.remove(&id) {
+                new_odd.insert(id);
+            }
+        }
         let mut new_meta = meta.clone();
         new_meta.version += 1;
-        self.system.inner.meta.lock().commit(new_meta.clone())?;
+        new_meta.odd_keys = new_odd.clone();
+        {
+            let mut backend = self.system.inner.backend.lock();
+            let mut written: Vec<(usize, u64)> = Vec::new();
+            // Regenerated blocks are independent too — the same bounded
+            // encode/write pipeline as the write path. An update has no
+            // rateless slack (each block's disk is fixed by the layout),
+            // so *any* write failure aborts and rolls back.
+            let result = encode_write_pipelined(
+                &code,
+                &blocks,
+                &dirty_coded,
+                self.system.inner.config.encode_threads,
+                self.system.inner.config.pipeline_depth,
+                |_, coded, data| {
+                    let disk = disk_of[&coded];
+                    let key = gen_key(meta.file_id, coded, new_odd.contains(&coded));
+                    match backend.write_block(disk, key, data) {
+                        Ok(()) => {
+                            written.push((disk, key));
+                            Ok(())
+                        }
+                        Err(rw) => Err(rw.error),
+                    }
+                },
+            );
+            if let Err(e) = result {
+                delete_written(&mut **backend, &written);
+                return Err(e);
+            }
+            // Commit point, then garbage-collect the superseded blocks.
+            if let Err(e) = self.system.inner.meta.lock().commit(new_meta.clone()) {
+                delete_written(&mut **backend, &written);
+                return Err(e);
+            }
+            for &coded in &dirty_coded {
+                let _ = backend.delete_block(disk_of[&coded], meta.block_key(coded));
+            }
+        }
         handle.meta = Some(new_meta);
 
         Ok(UpdateReport {
@@ -872,11 +1011,125 @@ impl Client {
     }
 }
 
-/// Backend block key for coded block `coded` of file `file_id` (the same
-/// key [`FileMeta::block_key`] computes; standalone so layout mutation and
-/// key computation can coexist).
-fn meta_key(file_id: u64, coded: u32) -> u64 {
-    (file_id << 32) | coded as u64
+/// Roll back a partially written generation: delete every block the
+/// aborted access put down, so no orphans survive an error return. Delete
+/// failures are ignored — the block either never landed or is gone.
+fn delete_written(backend: &mut dyn StorageBackend, written: &[(usize, u64)]) {
+    for &(disk, key) in written {
+        let _ = backend.delete_block(disk, key);
+    }
+}
+
+/// Encode the coded blocks named by `ids` on up to `threads` workers and
+/// feed each encoded block to `consume` **in `ids` order**, overlapping
+/// encode (CPU) with whatever `consume` does (disk I/O) — the bounded
+/// producer/consumer pipeline of the write path.
+///
+/// Workers claim indices from a shared counter and may run at most
+/// `depth` blocks ahead of the consumer (the reordering window doubles as
+/// backpressure, so memory stays bounded at `depth` blocks). The consumer
+/// runs on the calling thread and takes blocks strictly by index, so
+/// `consume` observes the exact sequence a sequential encode-then-write
+/// loop would produce — byte-identical at every `threads`/`depth`
+/// combination. `depth == 0` is the barrier mode: encode everything via
+/// [`encode_ids_parallel`], then consume.
+///
+/// An error from `consume` stops the pipeline: workers drain promptly
+/// (in-flight buffers are dropped) and the error is returned.
+fn encode_write_pipelined<F>(
+    code: &LtCode,
+    blocks: &[Vec<u8>],
+    ids: &[u32],
+    threads: usize,
+    depth: usize,
+    mut consume: F,
+) -> Result<(), StoreError>
+where
+    F: FnMut(usize, u32, Block) -> Result<(), StoreError>,
+{
+    if depth == 0 || ids.len() <= 1 {
+        let encoded = encode_ids_parallel(code, blocks, ids, threads);
+        for (i, (&coded, data)) in ids.iter().zip(encoded).enumerate() {
+            consume(i, coded, data)?;
+        }
+        return Ok(());
+    }
+    let threads = threads.clamp(1, ids.len());
+    let block_len = blocks.first().map_or(0, |b| b.len());
+
+    use std::sync::{Condvar, Mutex as StdMutex};
+    struct Shared {
+        /// Encoded blocks parked until the consumer reaches their index.
+        slots: Vec<Option<Block>>,
+        /// Next index the consumer will take; workers stay < cursor+depth.
+        cursor: usize,
+        /// Abort flag (consumer error): workers drain without depositing.
+        stop: bool,
+    }
+    let shared = StdMutex::new(Shared {
+        slots: vec![None; ids.len()],
+        cursor: 0,
+        stop: false,
+    });
+    let ready = Condvar::new(); // worker → consumer: a slot was filled
+    let space = Condvar::new(); // consumer → workers: the window advanced
+    let next = AtomicUsize::new(0);
+
+    let mut result: Result<(), StoreError> = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut pool = BlockPool::new(block_len);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ids.len() {
+                        break;
+                    }
+                    {
+                        let mut s = shared.lock().unwrap();
+                        while !s.stop && i >= s.cursor + depth {
+                            s = space.wait(s).unwrap();
+                        }
+                        if s.stop {
+                            break;
+                        }
+                    }
+                    let mut buf = pool.get_scratch();
+                    code.encode_block_into(blocks, ids[i] as usize, &mut buf);
+                    pool.mark_consumed(1); // ownership moves to the consumer
+                    let mut s = shared.lock().unwrap();
+                    if s.stop {
+                        break;
+                    }
+                    s.slots[i] = Some(buf);
+                    ready.notify_all();
+                }
+            });
+        }
+        let mut s = shared.lock().unwrap();
+        for (i, &coded) in ids.iter().enumerate() {
+            let data = loop {
+                if let Some(d) = s.slots[i].take() {
+                    break d;
+                }
+                s = ready.wait(s).unwrap();
+            };
+            // Open the window before the (slow) consume call, so workers
+            // encode the next blocks while this one is being written.
+            s.cursor = i + 1;
+            space.notify_all();
+            drop(s);
+            if let Err(e) = consume(i, coded, data) {
+                result = Err(e);
+                shared.lock().unwrap().stop = true;
+                space.notify_all();
+                break;
+            }
+            s = shared.lock().unwrap();
+        }
+        // Scope exit joins the workers; with `stop` set they bail out.
+    });
+    result
 }
 
 /// Encode the coded blocks named by `ids` across up to `threads` worker
@@ -1335,12 +1588,117 @@ mod tests {
             .unwrap();
         client.write(&mut h, &v1).unwrap();
         client.write(&mut h, &v2).unwrap();
+        let meta = h.meta().unwrap().clone();
         client.close(h).unwrap();
+
+        // The old generation was garbage-collected after the commit: the
+        // backend holds exactly the committed blocks, nothing more.
+        let committed_bytes = meta.stored_blocks() as u64 * meta.coding.block_bytes;
+        assert_eq!(
+            sys.total_used(),
+            committed_bytes,
+            "overwrite left orphaned blocks behind"
+        );
 
         let h = client
             .open("f", AccessMode::Read, QosOptions::best_effort())
             .unwrap();
         assert_eq!(client.read(&h).unwrap(), v2);
+        client.close(h).unwrap();
+    }
+
+    #[test]
+    fn pipelined_writes_are_byte_identical_to_barriered() {
+        // The pipeline is a wall-clock optimisation only: at every
+        // (encode_threads, pipeline_depth) combination — including the
+        // depth=0 barrier mode — the committed layout, generation
+        // parities, per-disk byte counts, and decoded contents must match
+        // the sequential baseline exactly, across write, overwrite, and
+        // update.
+        let data = payload(300_000);
+        let v2: Vec<u8> = data.iter().map(|b| b ^ 0x5A).collect();
+        let speeds: Vec<f64> = (0..8).map(|i| 10e6 + i as f64 * 6e6).collect();
+        let mut outcomes = Vec::new();
+        for (threads, depth) in [(1, 0), (1, 2), (2, 1), (4, 8), (16, 4), (16, 64)] {
+            let sys = System::new(
+                InMemoryBackend::new(speeds.clone()),
+                SystemConfig {
+                    block_bytes: 4 << 10,
+                    encode_threads: threads,
+                    pipeline_depth: depth,
+                    ..Default::default()
+                },
+            );
+            let u = sys.register_user();
+            let client = Client::connect(&sys, u);
+            let mut h = client
+                .open(
+                    "f",
+                    AccessMode::Write,
+                    QosOptions::best_effort().with_redundancy(2.0),
+                )
+                .unwrap();
+            client.write(&mut h, &data).unwrap();
+            client.write(&mut h, &v2).unwrap();
+            client.update(&mut h, 7_000, &vec![0x11u8; 3_000]).unwrap();
+            let meta = h.meta().unwrap().clone();
+            client.close(h).unwrap();
+
+            let h = client
+                .open("f", AccessMode::Read, QosOptions::best_effort())
+                .unwrap();
+            let got = client.read(&h).unwrap();
+            client.close(h).unwrap();
+            let used: Vec<u64> = (0..8).map(|d| sys.disk_used(d)).collect();
+            outcomes.push((threads, depth, meta, got, used));
+        }
+        let mut expect = v2.clone();
+        expect[7_000..10_000].copy_from_slice(&vec![0x11u8; 3_000]);
+        let (_, _, base_meta, base_got, base_used) = &outcomes[0];
+        assert_eq!(base_got, &expect);
+        for (threads, depth, meta, got, used) in &outcomes[1..] {
+            let tag = format!("threads={threads} depth={depth}");
+            assert_eq!(meta.layout, base_meta.layout, "{tag}: layout diverged");
+            assert_eq!(
+                meta.odd_keys, base_meta.odd_keys,
+                "{tag}: generation parity diverged"
+            );
+            assert_eq!(got, base_got, "{tag}: decoded bytes diverged");
+            assert_eq!(used, base_used, "{tag}: on-disk bytes diverged");
+        }
+    }
+
+    #[test]
+    fn pipeline_stops_and_rolls_back_on_write_error() {
+        // A hard mid-write fault aborts the access; the pipeline must
+        // drain its workers, delete the partial new generation, and leave
+        // the pool/backed accounting clean (no leaked or orphaned blocks).
+        use crate::chaos::ChaosBackend;
+        let speeds: Vec<f64> = (0..8).map(|i| 10e6 + i as f64 * 6e6).collect();
+        let (backend, switch) = ChaosBackend::new(InMemoryBackend::new(speeds));
+        let sys = System::with_backend(
+            Box::new(backend),
+            SystemConfig {
+                block_bytes: 4 << 10,
+                encode_threads: 4,
+                pipeline_depth: 8,
+                ..Default::default()
+            },
+        );
+        let u = sys.register_user();
+        let client = Client::connect(&sys, u);
+        switch.fail_disk_after(3, 5);
+        let mut h = client
+            .open("f", AccessMode::Write, QosOptions::best_effort())
+            .unwrap();
+        let err = client.write(&mut h, &payload(200_000)).unwrap_err();
+        assert!(matches!(err, StoreError::DiskFault { disk: 3 }), "{err:?}");
+        assert_eq!(switch.injected_hard_faults(), 1);
+        assert_eq!(sys.total_used(), 0, "aborted write left orphans");
+        assert!(h.meta().is_none(), "nothing was committed");
+        // The system stays usable once the fault clears.
+        switch.clear();
+        client.write(&mut h, &payload(200_000)).unwrap();
         client.close(h).unwrap();
     }
 

@@ -34,6 +34,14 @@ pub enum StoreError {
         /// The block id.
         block: u64,
     },
+    /// A storage server failed mid-I/O (hard media/controller error, real
+    /// or injected). Unlike [`StoreError::MissingBlock`], which a rateless
+    /// write routes around, this aborts the access — the commit protocol
+    /// rolls the new generation back.
+    DiskFault {
+        /// The failing disk.
+        disk: usize,
+    },
     /// Erasure coding failed.
     Coding(CodingError),
     /// Access control rejected the credential chain.
@@ -58,6 +66,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::MissingBlock { disk, block } => {
                 write!(f, "disk {disk} has no block {block}")
+            }
+            StoreError::DiskFault { disk } => {
+                write!(f, "disk {disk} failed mid-I/O")
             }
             StoreError::Coding(e) => write!(f, "coding error: {e}"),
             StoreError::AccessDenied(why) => write!(f, "access denied: {why}"),
@@ -94,6 +105,10 @@ mod tests {
         assert_eq!(
             StoreError::InsufficientDisks { got: 3, need: 8 }.to_string(),
             "insufficient disks: got 3, need 8"
+        );
+        assert_eq!(
+            StoreError::DiskFault { disk: 2 }.to_string(),
+            "disk 2 failed mid-I/O"
         );
     }
 

@@ -13,7 +13,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use crate::backend::StorageBackend;
+use crate::backend::{RefusedWrite, StorageBackend};
 use crate::error::StoreError;
 
 /// Block storage rooted in a directory.
@@ -92,11 +92,13 @@ impl StorageBackend for FileBackend {
         self.speeds.len()
     }
 
-    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), StoreError> {
+    fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
         if disk >= self.speeds.len() || self.offline[disk] {
-            return Err(io_err(disk, block));
+            return Err(RefusedWrite::new(io_err(disk, block), data));
         }
-        std::fs::write(self.block_path(disk, block), data).map_err(|_| io_err(disk, block))?;
+        if std::fs::write(self.block_path(disk, block), &data).is_err() {
+            return Err(RefusedWrite::new(io_err(disk, block), data));
+        }
         self.writes += 1;
         Ok(())
     }

@@ -22,6 +22,8 @@
 //! * [`qos`] — the QoS options of the `open` call (Appendix B).
 //! * [`backend`] — storage-server data plane; an in-memory implementation
 //!   with per-disk speeds stands in for remote filers.
+//! * [`chaos`] — a fault-injecting backend wrapper driven by seeded
+//!   write-fault plans, for crash-consistency testing.
 //!
 //! Everything is deterministic and synchronous: the crate models the
 //! *control* architecture with real coding and real data movement, while
@@ -58,6 +60,7 @@
 
 pub mod admission;
 pub mod backend;
+pub mod chaos;
 pub mod client;
 pub mod credentials;
 pub mod error;
@@ -67,14 +70,15 @@ pub mod planner;
 pub mod qos;
 
 pub use admission::{AdmissionController, PriorityAdmissionController, PriorityDecision};
-pub use backend::{InMemoryBackend, StorageBackend};
+pub use backend::{InMemoryBackend, RefusedWrite, StorageBackend};
+pub use chaos::{ChaosBackend, FaultSwitch};
 pub use client::{
-    default_encode_threads, Client, FileHandle, ReadReport, System, SystemConfig, UpdateReport,
-    WriteReport,
+    default_encode_threads, default_pipeline_depth, Client, FileHandle, ReadReport, System,
+    SystemConfig, UpdateReport, WriteReport,
 };
 pub use credentials::{Credential, CredentialChain, KeyAuthority, PublicKey, Rights};
 pub use error::StoreError;
 pub use file_backend::FileBackend;
-pub use metadata::{AccessMode, DiskInfo, FileMeta, MetadataServer};
+pub use metadata::{gen_key, AccessMode, DiskInfo, FileMeta, MetadataServer};
 pub use planner::LayoutPlanner;
 pub use qos::QosOptions;

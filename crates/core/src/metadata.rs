@@ -8,7 +8,7 @@
 //! recommends for moderate scale ("a well-designed metadata server can
 //! support a large-scale system").
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use robustore_erasure::LtParams;
 
@@ -76,18 +76,34 @@ pub struct FileMeta {
     /// Coding description.
     pub coding: CodingSpec,
     /// Layout: for each used disk, the coded-block ids it stores
-    /// (block key = `file_id << 32 | coded_id`).
+    /// (block key = [`gen_key`]).
     pub layout: Vec<(usize, Vec<u32>)>,
+    /// Coded-block ids currently stored under the *odd* generation key.
+    ///
+    /// Overwrites and updates are copy-on-write: the new generation of a
+    /// coded block lands under the opposite-parity key of the old one, the
+    /// metadata commit flips the recorded parity atomically, and only then
+    /// is the old key garbage-collected. Since at most two generations of
+    /// a block ever coexist, one parity bit per block suffices.
+    pub odd_keys: BTreeSet<u32>,
     /// Owner identity.
     pub owner: PublicKey,
     /// Bumped on every committed write/update.
     pub version: u64,
 }
 
+/// Backend block key of coded block `coded` of file `file_id`, in the
+/// generation of parity `odd`. The two generation keys of a block differ
+/// only in bit 32, and keys of distinct files never collide.
+pub fn gen_key(file_id: u64, coded: u32, odd: bool) -> u64 {
+    (file_id << 33) | ((odd as u64) << 32) | coded as u64
+}
+
 impl FileMeta {
-    /// Backend block key of coded block `coded_id`.
+    /// Backend block key of coded block `coded_id` in the *committed*
+    /// generation.
     pub fn block_key(&self, coded_id: u32) -> u64 {
-        (self.file_id << 32) | coded_id as u64
+        gen_key(self.file_id, coded_id, self.odd_keys.contains(&coded_id))
     }
 
     /// Total coded blocks across the layout.
@@ -257,6 +273,7 @@ mod tests {
                 seed: 1,
             },
             layout: vec![(0, vec![0, 1]), (1, vec![2, 3])],
+            odd_keys: BTreeSet::new(),
             owner: 42,
             version: 1,
         }
@@ -336,7 +353,20 @@ mod tests {
         let a = meta("a", 1);
         let b = meta("b", 2);
         assert_ne!(a.block_key(0), b.block_key(0));
-        assert_eq!(a.block_key(5), (1 << 32) | 5);
+        assert_eq!(a.block_key(5), (1 << 33) | 5);
+    }
+
+    #[test]
+    fn generation_keys_differ_only_in_parity() {
+        let mut m = meta("a", 3);
+        let even = m.block_key(7);
+        m.odd_keys.insert(7);
+        let odd = m.block_key(7);
+        assert_ne!(even, odd);
+        assert_eq!(even ^ odd, 1 << 32, "parity flips exactly bit 32");
+        assert_eq!(even, gen_key(3, 7, false));
+        assert_eq!(odd, gen_key(3, 7, true));
+        assert_eq!(m.block_key(8), gen_key(3, 8, false), "other ids untouched");
     }
 
     #[test]

@@ -714,6 +714,18 @@ impl BlockPool {
         }
     }
 
+    /// Account `blocks` checked-out buffers whose *ownership moved* to an
+    /// external consumer (e.g. a storage backend that keeps the
+    /// allocation as the stored block): outstanding drops as if they had
+    /// been returned, but the buffers never rejoin the free list. This is
+    /// what lets a zero-copy write path assert
+    /// [`BlockPool::outstanding_blocks`]` == 0` after every outcome —
+    /// a buffer is either back in a pool or durably owned elsewhere,
+    /// never in limbo.
+    pub fn mark_consumed(&self, blocks: u64) {
+        self.outstanding.fetch_sub(blocks as i64, Ordering::Relaxed);
+    }
+
     /// Merge another pool (typically a per-worker pool from a parallel
     /// section) into this one: its free blocks join this free list and
     /// its counters fold in, so system-wide accounting stays exact no
@@ -888,6 +900,21 @@ mod tests {
         assert_eq!(pool.available(), 4);
         // Adopting foreign buffers counts as returns without checkouts.
         assert_eq!(pool.outstanding_blocks(), -2);
+    }
+
+    #[test]
+    fn pool_mark_consumed_accounts_ownership_transfer() {
+        // A write path draws buffers and hands them to the backend for
+        // keeps: outstanding must settle to zero without the buffers ever
+        // coming back to the free list.
+        let mut pool = BlockPool::new(16);
+        let a = pool.get_scratch();
+        let b = pool.get_scratch();
+        assert_eq!(pool.outstanding_blocks(), 2);
+        drop((a, b)); // ownership notionally moved to the backend
+        pool.mark_consumed(2);
+        assert_eq!(pool.outstanding_blocks(), 0);
+        assert_eq!(pool.available(), 0, "consumed buffers never rejoin");
     }
 
     #[test]

@@ -741,6 +741,34 @@ impl<'a> Engine<'a> {
         let mut next_coded: u32 = 0;
         let mut fixed_total = 0usize;
 
+        // Client-side encode model (RobuSTore only): coded block `j`
+        // leaves the encoder at start + (j+1)·block/bandwidth when
+        // streaming, or only once the whole target set is encoded in
+        // barrier mode. A send is held (`now.max(ready)`) until its block
+        // exists; with no encode bandwidth configured, every block is
+        // ready at `start` and the model is inert.
+        let encode_ns: Option<u64> = if speculative {
+            self.cfg
+                .encode_bandwidth
+                .map(|bw| (self.cfg.block_bytes as f64 / bw * 1e9).round() as u64)
+        } else {
+            None
+        };
+        let encode_barrier = self.cfg.encode_barrier;
+        let encode_ready = |j: u32| -> SimTime {
+            match encode_ns {
+                Some(ns) => {
+                    let encoded = if encode_barrier {
+                        target_blocks as u64
+                    } else {
+                        j as u64 + 1
+                    };
+                    start + SimDuration::from_nanos(ns.saturating_mul(encoded))
+                }
+                None => start,
+            }
+        };
+
         while !self.done() {
             let Some((now, ev)) = self.q.pop() else {
                 panic!(
@@ -754,9 +782,11 @@ impl<'a> Engine<'a> {
                         // Prime a WRITE_WINDOW-deep pipeline on every disk.
                         for _ in 0..WRITE_WINDOW {
                             for slot in 0..slots {
-                                let inst = self.new_instance(slot, next_coded, 0);
+                                let coded = next_coded;
+                                let inst = self.new_instance(slot, coded, 0);
                                 next_coded += 1;
-                                self.send_write(now, inst);
+                                let at = now.max(encode_ready(coded));
+                                self.send_write(at, inst);
                             }
                         }
                     } else {
@@ -827,9 +857,11 @@ impl<'a> Engine<'a> {
                         self.broadcast_cancel(now);
                     } else if speculative {
                         // Refill this disk's pipeline with a fresh block.
-                        let ninst = self.new_instance(slot, next_coded, 0);
+                        let coded = next_coded;
+                        let ninst = self.new_instance(slot, coded, 0);
                         next_coded += 1;
-                        self.send_write(now, ninst);
+                        let at = now.max(encode_ready(coded));
+                        self.send_write(at, ninst);
                     }
                 }
                 Ev::CancelAll { slot } => self.on_cancel_all(slot),

@@ -251,6 +251,135 @@ impl FaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Write-path faults
+// ---------------------------------------------------------------------------
+
+/// What a write-path fault does to one disk's storage server.
+///
+/// Read-path faults ([`FaultKind`]) perturb *service times and
+/// completions* inside the simulation engine; write-path faults instead
+/// hook the framework's storage backend, where the commit protocol's
+/// rollback guarantees are what is under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFaultKind {
+    /// The server refuses every block write (admission pressure, no
+    /// capacity): a rateless writer routes the blocks elsewhere.
+    Refuse,
+    /// The server accepts `writes` more block writes, then every later
+    /// write fails hard (media/controller error mid-generation): the
+    /// access must abort and roll back.
+    FailAfter {
+        /// Block writes accepted before the hard failure.
+        writes: u64,
+    },
+}
+
+/// One write-path fault bound to a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteFault {
+    /// The faulted disk (backend index).
+    pub disk: usize,
+    /// What its server does.
+    pub kind: WriteFaultKind,
+}
+
+/// A named, parameterized write-path fault shape; expanded to concrete
+/// per-disk faults by [`WriteFaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum WriteFaultScenario {
+    /// No write faults.
+    #[default]
+    None,
+    /// `n` randomly chosen disks refuse block writes outright — the
+    /// rateless write must commit with the blocks redirected.
+    RefusingDisks {
+        /// How many distinct disks refuse.
+        n: usize,
+    },
+    /// One randomly chosen disk fails hard after accepting `after` block
+    /// writes — the access must abort, leaving the previous generation
+    /// intact and no orphaned new-generation blocks behind.
+    MidWriteFailure {
+        /// Block writes the unlucky disk accepts before failing.
+        after: u64,
+    },
+    /// Every disk refuses: the write must fail cleanly without storing
+    /// anything anywhere.
+    AllRefuse,
+}
+
+impl WriteFaultScenario {
+    /// Short stable name for reports and experiment ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WriteFaultScenario::None => "none",
+            WriteFaultScenario::RefusingDisks { .. } => "refusing_disks",
+            WriteFaultScenario::MidWriteFailure { .. } => "mid_write_failure",
+            WriteFaultScenario::AllRefuse => "all_refuse",
+        }
+    }
+}
+
+/// A concrete, deterministic set of write-path faults for one store of
+/// `disks` disks. Like [`FaultPlan`], the expansion draws only from a
+/// dedicated labelled stream (`"write-faults"`), so arming write faults
+/// never perturbs any other randomness in a trial.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteFaultPlan {
+    /// The per-disk faults, sorted by disk.
+    pub faults: Vec<WriteFault>,
+}
+
+impl WriteFaultPlan {
+    /// The empty plan (no write faults).
+    pub fn empty() -> Self {
+        WriteFaultPlan::default()
+    }
+
+    /// Expand `scenario` over a store of `disks` disks. The plan is a
+    /// pure function of (scenario, disks, seed).
+    pub fn generate(scenario: &WriteFaultScenario, disks: usize, seq: &SeedSequence) -> Self {
+        use rand::Rng;
+        let mut rng = seq.subsequence("write-faults", 0).fork("plan", 0);
+        let mut faults = Vec::new();
+        match *scenario {
+            WriteFaultScenario::None => {}
+            WriteFaultScenario::RefusingDisks { n } => {
+                let mut order: Vec<usize> = (0..disks).collect();
+                rand::seq::SliceRandom::shuffle(&mut order[..], &mut rng);
+                for &disk in order.iter().take(n.min(disks)) {
+                    faults.push(WriteFault {
+                        disk,
+                        kind: WriteFaultKind::Refuse,
+                    });
+                }
+            }
+            WriteFaultScenario::MidWriteFailure { after } => {
+                faults.push(WriteFault {
+                    disk: rng.gen_range(0..disks),
+                    kind: WriteFaultKind::FailAfter { writes: after },
+                });
+            }
+            WriteFaultScenario::AllRefuse => {
+                for disk in 0..disks {
+                    faults.push(WriteFault {
+                        disk,
+                        kind: WriteFaultKind::Refuse,
+                    });
+                }
+            }
+        }
+        faults.sort_by_key(|f| f.disk);
+        WriteFaultPlan { faults }
+    }
+
+    /// True when the plan arms nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +455,50 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(FaultScenario::one_slow_disk(4.0).name(), "one_slow_disk");
         assert_eq!(FaultScenario::flaky(0.1).name(), "flaky");
+    }
+
+    #[test]
+    fn write_fault_plans_are_deterministic_and_sorted() {
+        let s = WriteFaultScenario::RefusingDisks { n: 3 };
+        let a = WriteFaultPlan::generate(&s, 8, &seq());
+        let b = WriteFaultPlan::generate(&s, 8, &seq());
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 3);
+        assert!(a.faults.windows(2).all(|w| w[0].disk < w[1].disk));
+        assert!(a
+            .faults
+            .iter()
+            .all(|f| f.kind == WriteFaultKind::Refuse && f.disk < 8));
+        // Other seeds pick other victims, eventually.
+        let picks: std::collections::HashSet<Vec<usize>> = (0..16)
+            .map(|i| {
+                WriteFaultPlan::generate(&s, 8, &SeedSequence::new(i))
+                    .faults
+                    .iter()
+                    .map(|f| f.disk)
+                    .collect()
+            })
+            .collect();
+        assert!(picks.len() > 4, "victim choice should vary with seed");
+    }
+
+    #[test]
+    fn write_fault_scenario_shapes() {
+        assert!(WriteFaultPlan::generate(&WriteFaultScenario::None, 8, &seq()).is_empty());
+        let all = WriteFaultPlan::generate(&WriteFaultScenario::AllRefuse, 4, &seq());
+        assert_eq!(all.faults.len(), 4);
+        let mid =
+            WriteFaultPlan::generate(&WriteFaultScenario::MidWriteFailure { after: 7 }, 8, &seq());
+        assert_eq!(mid.faults.len(), 1);
+        assert_eq!(mid.faults[0].kind, WriteFaultKind::FailAfter { writes: 7 });
+        // Saturates rather than repeating disks.
+        let over =
+            WriteFaultPlan::generate(&WriteFaultScenario::RefusingDisks { n: 99 }, 4, &seq());
+        assert_eq!(over.faults.len(), 4);
+        assert_eq!(WriteFaultScenario::AllRefuse.name(), "all_refuse");
+        assert_eq!(
+            WriteFaultScenario::MidWriteFailure { after: 1 }.name(),
+            "mid_write_failure"
+        );
     }
 }

@@ -31,7 +31,10 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultScenario};
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, FaultScenario, WriteFault, WriteFaultKind, WriteFaultPlan,
+    WriteFaultScenario,
+};
 pub use rng::{SeedSequence, SimRng};
 pub use stats::{OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

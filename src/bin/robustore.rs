@@ -53,7 +53,10 @@ mod sidecar {
 
     pub fn encode(m: &FileMeta) -> String {
         let mut out = String::new();
-        out.push_str("robustore-meta-v1\n");
+        // v2: generation-parity block keys (`odd` line). v1 sidecars index
+        // blocks under the old key scheme, so decode refuses them instead
+        // of misaddressing every block.
+        out.push_str("robustore-meta-v2\n");
         out.push_str(&format!("name={}\n", m.name));
         out.push_str(&format!("file_id={}\n", m.file_id));
         out.push_str(&format!("size_bytes={}\n", m.size_bytes));
@@ -64,6 +67,8 @@ mod sidecar {
         out.push_str(&format!("lt_delta={}\n", m.coding.params.delta));
         out.push_str(&format!("seed={}\n", m.coding.seed));
         out.push_str(&format!("version={}\n", m.version));
+        let odd: Vec<String> = m.odd_keys.iter().map(|i| i.to_string()).collect();
+        out.push_str(&format!("odd={}\n", odd.join(",")));
         for (disk, ids) in &m.layout {
             let list: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
             out.push_str(&format!("disk={}:{}\n", disk, list.join(",")));
@@ -73,7 +78,7 @@ mod sidecar {
 
     pub fn decode(text: &str, owner: u64) -> Option<FileMeta> {
         let mut lines = text.lines();
-        if lines.next()? != "robustore-meta-v1" {
+        if lines.next()? != "robustore-meta-v2" {
             return None;
         }
         let mut name = None;
@@ -86,6 +91,7 @@ mod sidecar {
         let mut delta = None;
         let mut seed = None;
         let mut version = None;
+        let mut odd_keys = std::collections::BTreeSet::new();
         let mut layout: Vec<(usize, Vec<u32>)> = Vec::new();
         for line in lines {
             let (key, value) = line.split_once('=')?;
@@ -100,6 +106,11 @@ mod sidecar {
                 "lt_delta" => delta = value.parse().ok(),
                 "seed" => seed = value.parse().ok(),
                 "version" => version = value.parse().ok(),
+                "odd" => {
+                    for t in value.split(',').filter(|t| !t.is_empty()) {
+                        odd_keys.insert(t.parse().ok()?);
+                    }
+                }
                 "disk" => {
                     let (disk, ids) = value.split_once(':')?;
                     let ids: Vec<u32> = if ids.is_empty() {
@@ -130,6 +141,7 @@ mod sidecar {
                 seed: seed?,
             },
             layout,
+            odd_keys,
             owner,
             version: version?,
         })

@@ -10,6 +10,7 @@ pub mod faults;
 pub mod layoutvar;
 pub mod multiuser;
 pub mod pipeline;
+pub mod scrub;
 
 use robustore_schemes::{run_trials, AccessConfig, TrialStats};
 use robustore_simkit::report::Table;

@@ -173,6 +173,11 @@ pub fn registry() -> Vec<Experiment> {
             covers: "Chaos extension: schemes under identical injected fault schedules (§6.3 operationalised)",
             run: faults::faults,
         },
+        Experiment {
+            id: "scrub",
+            covers: "Self-healing extension: redundancy over time with/without scrubbing under seeded loss + bit rot (writes BENCH_scrub.json)",
+            run: scrub::scrub,
+        },
     ]
 }
 
@@ -192,7 +197,7 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 27, "one entry per paper artifact group plus extensions");
+        assert_eq!(n, 28, "one entry per paper artifact group plus extensions");
     }
 
     #[test]

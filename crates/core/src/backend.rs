@@ -107,6 +107,21 @@ pub trait StorageBackend {
     ) -> Vec<u64> {
         Vec::new()
     }
+
+    /// Fault injection: silently flip one byte in each stored block of
+    /// `disk` with probability `fraction` (at-rest bit rot — the block
+    /// still reads, but with wrong bytes only checksum verification can
+    /// catch), deterministically from `seq`. Returns the corrupted block
+    /// keys in ascending order; backends without corruption support
+    /// corrupt nothing.
+    fn corrupt_random_blocks(
+        &mut self,
+        _disk: usize,
+        _fraction: f64,
+        _seq: &SeedSequence,
+    ) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 /// In-memory backend: one block map per disk plus a nominal speed.
@@ -272,6 +287,36 @@ impl StorageBackend for InMemoryBackend {
         }
         lost
     }
+
+    /// Bit rot: victims keep their length and keep reading successfully,
+    /// but one byte is flipped — indistinguishable from a good block
+    /// without the stored checksum. Victims depend only on the disk's
+    /// contents, `fraction`, and `seq` (dedicated `"bit-rot"` stream).
+    fn corrupt_random_blocks(
+        &mut self,
+        disk: usize,
+        fraction: f64,
+        seq: &SeedSequence,
+    ) -> Vec<u64> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in 0..=1");
+        let d = &mut self.disks[disk];
+        let mut rng = seq.fork("bit-rot", disk as u64);
+        let mut keys: Vec<u64> = d.blocks.keys().copied().collect();
+        keys.sort_unstable();
+        let mut rotted = Vec::new();
+        for key in keys {
+            if uniform01(&mut rng) < fraction {
+                let data = d.blocks.get_mut(&key).expect("key just listed");
+                if !data.is_empty() {
+                    let pos = (uniform01(&mut rng) * data.len() as f64) as usize;
+                    let last = data.len() - 1;
+                    data[pos.min(last)] ^= 0x40;
+                    rotted.push(key);
+                }
+            }
+        }
+        rotted
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +427,36 @@ mod tests {
                 .drop_random_blocks(0, 1.0, &SeedSequence::new(7))
                 .len(),
             64
+        );
+    }
+
+    #[test]
+    fn bit_rot_is_deterministic_and_silent() {
+        let seq = SeedSequence::new(21);
+        let rot_a = loaded_backend().corrupt_random_blocks(0, 0.3, &seq);
+        let rot_b = loaded_backend().corrupt_random_blocks(0, 0.3, &seq);
+        assert_eq!(rot_a, rot_b);
+        assert!(!rot_a.is_empty() && rot_a.len() < 64);
+        assert!(rot_a.windows(2).all(|w| w[0] < w[1]), "ascending keys");
+
+        let mut b = loaded_backend();
+        let used_before = b.disk_used(0);
+        let rotted = b.corrupt_random_blocks(0, 0.3, &seq);
+        // Silent: same usage, same length, reads still succeed — but the
+        // bytes differ from the originals.
+        assert_eq!(b.disk_used(0), used_before);
+        for &key in &rotted {
+            let data = b.read_block(0, key).unwrap();
+            assert_eq!(data.len(), 16);
+            assert_ne!(data, vec![key as u8; 16], "block {key} not corrupted");
+        }
+        // Non-victims are untouched.
+        for key in (0..64).filter(|k| !rotted.contains(k)) {
+            assert_eq!(b.read_block(0, key).unwrap(), vec![key as u8; 16]);
+        }
+        assert_ne!(
+            rot_a,
+            loaded_backend().corrupt_random_blocks(0, 0.3, &SeedSequence::new(22))
         );
     }
 }

@@ -1,10 +1,11 @@
-//! Write-path fault injection over any [`StorageBackend`].
+//! Fault injection over any [`StorageBackend`].
 //!
 //! [`ChaosBackend`] wraps a real backend and interposes on `write_block`
-//! according to a [`FaultSwitch`] the test arms from outside — including
-//! *mid-access*, because the switch is a shared handle while the wrapped
-//! backend is owned by the [`crate::System`]. Two fault shapes cover the
-//! write-path failure modes of the paper's evaluation:
+//! and `read_block_into` according to a [`FaultSwitch`] the test arms
+//! from outside — including *mid-access*, because the switch is a shared
+//! handle while the wrapped backend is owned by the [`crate::System`].
+//!
+//! Write-path fault shapes:
 //!
 //! * **Refusal** — the disk declines the block (admission revoked, filer
 //!   unreachable). Surfaced as [`StoreError::MissingBlock`], which the
@@ -15,14 +16,29 @@
 //!   [`StoreError::DiskFault`], which aborts the access and exercises
 //!   the commit protocol's rollback.
 //!
+//! Read-path fault shapes (the self-healing read's chaos diet):
+//!
+//! * **Transient error** — the next `n` reads of a disk fail with
+//!   [`StoreError::TransientIo`]; the retry policy rides it out.
+//! * **Corruption** — the next `n` reads return with one byte flipped;
+//!   only checksum verification catches it.
+//! * **Torn read** — the next `n` reads come back truncated to half
+//!   length; length/checksum verification demotes them to missing.
+//! * **Hard read fault** — every read of the disk fails with
+//!   [`StoreError::DiskFault`] (non-transient, non-retryable), for
+//!   testing that fatal errors abort without leaking resources.
+//!
 //! Deterministic schedules come from [`robustore_simkit::WriteFaultPlan`]
-//! via [`FaultSwitch::apply`], so the chaos suite replays bit-identically
+//! via [`FaultSwitch::apply`] and [`robustore_simkit::ReadFaultPlan`] via
+//! [`FaultSwitch::apply_read`], so chaos suites replay bit-identically
 //! from a seed.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 
-use robustore_simkit::{SeedSequence, WriteFaultKind, WriteFaultPlan};
+use robustore_simkit::{
+    ReadFaultKind, ReadFaultPlan, SeedSequence, WriteFaultKind, WriteFaultPlan,
+};
 
 use crate::backend::{RefusedWrite, StorageBackend};
 use crate::error::StoreError;
@@ -35,6 +51,28 @@ struct SwitchState {
     fail_after: BTreeMap<usize, u64>,
     /// Hard faults actually delivered (budget exhausted).
     hard_faults: u64,
+    /// Per-disk remaining transiently-failing reads.
+    transient_reads: BTreeMap<usize, u64>,
+    /// Per-disk remaining silently-corrupted reads.
+    corrupt_reads: BTreeMap<usize, u64>,
+    /// Per-disk remaining torn (truncated) reads.
+    torn_reads: BTreeMap<usize, u64>,
+    /// Disks whose every read fails hard (non-retryable).
+    read_fail_hard: BTreeSet<usize>,
+    /// Read faults actually delivered, by kind.
+    injected_transients: u64,
+    injected_corruptions: u64,
+    injected_torn: u64,
+}
+
+/// What the switch decided to do to one read.
+enum ReadFate {
+    /// Fail before touching the inner backend.
+    Error(StoreError),
+    /// Read normally, then flip one byte.
+    Corrupt,
+    /// Read normally, then truncate the buffer to half length.
+    Tear,
 }
 
 /// Shared control handle for a [`ChaosBackend`].
@@ -78,16 +116,76 @@ impl FaultSwitch {
         }
     }
 
-    /// Disarm everything (delivered-fault count is preserved).
+    /// The next `reads` block reads of `disk` fail with
+    /// [`StoreError::TransientIo`]; the block stays intact underneath.
+    pub fn transient_reads(&self, disk: usize, reads: u64) {
+        self.state
+            .lock()
+            .unwrap()
+            .transient_reads
+            .insert(disk, reads);
+    }
+
+    /// The next `reads` block reads of `disk` return with one byte
+    /// flipped (silent corruption).
+    pub fn corrupt_reads(&self, disk: usize, reads: u64) {
+        self.state.lock().unwrap().corrupt_reads.insert(disk, reads);
+    }
+
+    /// The next `reads` block reads of `disk` come back truncated to
+    /// half length (torn read).
+    pub fn torn_reads(&self, disk: usize, reads: u64) {
+        self.state.lock().unwrap().torn_reads.insert(disk, reads);
+    }
+
+    /// Every read of `disk` fails hard ([`StoreError::DiskFault`]) until
+    /// cleared — a non-retryable failure.
+    pub fn fail_reads_hard(&self, disk: usize) {
+        self.state.lock().unwrap().read_fail_hard.insert(disk);
+    }
+
+    /// Arm every fault of a seeded [`ReadFaultPlan`].
+    pub fn apply_read(&self, plan: &ReadFaultPlan) {
+        let mut s = self.state.lock().unwrap();
+        for fault in &plan.faults {
+            match fault.kind {
+                ReadFaultKind::Transient { reads } => {
+                    s.transient_reads.insert(fault.disk, reads);
+                }
+                ReadFaultKind::Corrupt { reads } => {
+                    s.corrupt_reads.insert(fault.disk, reads);
+                }
+                ReadFaultKind::Torn { reads } => {
+                    s.torn_reads.insert(fault.disk, reads);
+                }
+            }
+        }
+    }
+
+    /// Disarm everything (delivered-fault counts are preserved).
     pub fn clear(&self) {
         let mut s = self.state.lock().unwrap();
         s.refuse.clear();
         s.fail_after.clear();
+        s.transient_reads.clear();
+        s.corrupt_reads.clear();
+        s.torn_reads.clear();
+        s.read_fail_hard.clear();
     }
 
     /// Hard faults delivered so far (budget-exhausted writes).
     pub fn injected_hard_faults(&self) -> u64 {
         self.state.lock().unwrap().hard_faults
+    }
+
+    /// Read faults delivered so far, as (transient, corrupt, torn).
+    pub fn injected_read_faults(&self) -> (u64, u64, u64) {
+        let s = self.state.lock().unwrap();
+        (
+            s.injected_transients,
+            s.injected_corruptions,
+            s.injected_torn,
+        )
     }
 
     /// Decide the fate of one write. `None` = let it through.
@@ -105,12 +203,45 @@ impl FaultSwitch {
         }
         None
     }
+
+    /// Decide the fate of one read. `None` = let it through untouched.
+    /// Budgeted fault kinds decrement on delivery; a disk armed with
+    /// several kinds delivers them in transient → corrupt → torn order.
+    fn intercept_read(&self, disk: usize) -> Option<ReadFate> {
+        let mut s = self.state.lock().unwrap();
+        if s.read_fail_hard.contains(&disk) {
+            return Some(ReadFate::Error(StoreError::DiskFault { disk }));
+        }
+        if let Some(budget) = s.transient_reads.get_mut(&disk) {
+            if *budget > 0 {
+                *budget -= 1;
+                s.injected_transients += 1;
+                return Some(ReadFate::Error(StoreError::TransientIo { disk }));
+            }
+        }
+        if let Some(budget) = s.corrupt_reads.get_mut(&disk) {
+            if *budget > 0 {
+                *budget -= 1;
+                s.injected_corruptions += 1;
+                return Some(ReadFate::Corrupt);
+            }
+        }
+        if let Some(budget) = s.torn_reads.get_mut(&disk) {
+            if *budget > 0 {
+                *budget -= 1;
+                s.injected_torn += 1;
+                return Some(ReadFate::Tear);
+            }
+        }
+        None
+    }
 }
 
-/// A [`StorageBackend`] that injects write faults per its [`FaultSwitch`].
+/// A [`StorageBackend`] that injects write and read faults per its
+/// [`FaultSwitch`].
 ///
-/// Reads, deletes, and accounting delegate untouched to the inner
-/// backend; only `write_block` is interposed.
+/// Deletes and accounting delegate untouched to the inner backend;
+/// `write_block` and the block-read methods are interposed.
 #[derive(Debug)]
 pub struct ChaosBackend<B> {
     inner: B,
@@ -142,7 +273,9 @@ impl<B: StorageBackend> StorageBackend for ChaosBackend<B> {
     }
 
     fn read_block(&self, disk: usize, block: u64) -> Result<Vec<u8>, StoreError> {
-        self.inner.read_block(disk, block)
+        let mut buf = Vec::new();
+        self.read_block_into(disk, block, &mut buf)?;
+        Ok(buf)
     }
 
     fn read_block_into(
@@ -151,7 +284,21 @@ impl<B: StorageBackend> StorageBackend for ChaosBackend<B> {
         block: u64,
         buf: &mut Vec<u8>,
     ) -> Result<(), StoreError> {
-        self.inner.read_block_into(disk, block, buf)
+        let fate = self.switch.intercept_read(disk);
+        if let Some(ReadFate::Error(e)) = fate {
+            return Err(e);
+        }
+        self.inner.read_block_into(disk, block, buf)?;
+        match fate {
+            Some(ReadFate::Corrupt) => {
+                if let Some(byte) = buf.first_mut() {
+                    *byte ^= 0xFF;
+                }
+            }
+            Some(ReadFate::Tear) => buf.truncate(buf.len() / 2),
+            _ => {}
+        }
+        Ok(())
     }
 
     fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {
@@ -184,6 +331,15 @@ impl<B: StorageBackend> StorageBackend for ChaosBackend<B> {
 
     fn drop_random_blocks(&mut self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
         self.inner.drop_random_blocks(disk, fraction, seq)
+    }
+
+    fn corrupt_random_blocks(
+        &mut self,
+        disk: usize,
+        fraction: f64,
+        seq: &SeedSequence,
+    ) -> Vec<u64> {
+        self.inner.corrupt_random_blocks(disk, fraction, seq)
     }
 }
 
@@ -247,5 +403,79 @@ mod tests {
             refused,
             plan.faults.iter().map(|f| f.disk).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn transient_reads_exhaust_then_succeed() {
+        let (mut b, switch) = ChaosBackend::new(InMemoryBackend::uniform(1, 10e6));
+        b.write_block(0, 5, vec![3; 8]).unwrap();
+        switch.transient_reads(0, 2);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            b.read_block_into(0, 5, &mut buf),
+            Err(StoreError::TransientIo { disk: 0 })
+        ));
+        assert!(matches!(
+            b.read_block_into(0, 5, &mut buf),
+            Err(StoreError::TransientIo { disk: 0 })
+        ));
+        b.read_block_into(0, 5, &mut buf).unwrap();
+        assert_eq!(buf, vec![3; 8], "block intact after transients");
+        assert_eq!(switch.injected_read_faults(), (2, 0, 0));
+    }
+
+    #[test]
+    fn corrupt_and_torn_reads_mutate_the_buffer() {
+        let (mut b, switch) = ChaosBackend::new(InMemoryBackend::uniform(1, 10e6));
+        b.write_block(0, 1, vec![0xAA; 8]).unwrap();
+        switch.corrupt_reads(0, 1);
+        let got = b.read_block(0, 1).unwrap();
+        assert_eq!(got.len(), 8);
+        assert_ne!(got, vec![0xAA; 8], "first byte flipped");
+        assert_eq!(&got[1..], &[0xAA; 7][..]);
+        // Budget spent: next read is clean.
+        assert_eq!(b.read_block(0, 1).unwrap(), vec![0xAA; 8]);
+
+        switch.torn_reads(0, 1);
+        let torn = b.read_block(0, 1).unwrap();
+        assert_eq!(torn, vec![0xAA; 4], "torn read returns half the block");
+        assert_eq!(b.read_block(0, 1).unwrap(), vec![0xAA; 8]);
+        assert_eq!(switch.injected_read_faults(), (0, 1, 1));
+    }
+
+    #[test]
+    fn hard_read_faults_until_cleared() {
+        let (mut b, switch) = ChaosBackend::new(InMemoryBackend::uniform(1, 10e6));
+        b.write_block(0, 1, vec![1]).unwrap();
+        switch.fail_reads_hard(0);
+        assert!(matches!(
+            b.read_block(0, 1),
+            Err(StoreError::DiskFault { disk: 0 })
+        ));
+        switch.clear();
+        assert_eq!(b.read_block(0, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn apply_read_arms_a_seeded_plan() {
+        use robustore_simkit::ReadFaultScenario;
+        let seq = SeedSequence::new(9);
+        let plan = ReadFaultPlan::generate(
+            &ReadFaultScenario::TransientDisks { n: 2, reads: 1 },
+            4,
+            &seq,
+        );
+        let (mut b, switch) = ChaosBackend::new(InMemoryBackend::uniform(4, 10e6));
+        for d in 0..4 {
+            b.write_block(d, 0, vec![d as u8]).unwrap();
+        }
+        switch.apply_read(&plan);
+        let failing: Vec<usize> = (0..4).filter(|&d| b.read_block(d, 0).is_err()).collect();
+        assert_eq!(
+            failing,
+            plan.faults.iter().map(|f| f.disk).collect::<Vec<_>>()
+        );
+        // Budgets spent: everything reads clean now.
+        assert!((0..4).all(|d| b.read_block(d, 0).is_ok()));
     }
 }

@@ -23,7 +23,7 @@
 //! * **update** (§4.3.4) — only the coded blocks whose coding-graph
 //!   neighbourhood intersects the changed originals are regenerated.
 
-use std::collections::{BTreeSet, BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -31,15 +31,18 @@ use parking_lot::Mutex;
 use robustore_erasure::lt::{LtCode, LtDecoder};
 use robustore_erasure::{Block, BlockPool, LtParams};
 use robustore_schemes::placement::Placement;
+use robustore_simkit::rng::uniform01;
 use robustore_simkit::SeedSequence;
 
 use crate::admission::AdmissionController;
 use crate::backend::{InMemoryBackend, StorageBackend};
 use crate::credentials::{CredentialChain, KeyAuthority, PublicKey, Rights};
 use crate::error::StoreError;
+use crate::integrity::crc32c;
 use crate::metadata::{gen_key, AccessMode, CodingSpec, DiskInfo, FileMeta, MetadataServer};
 use crate::planner::LayoutPlanner;
 use crate::qos::QosOptions;
+use crate::scrub::ScrubReport;
 
 /// System-wide configuration.
 #[derive(Debug, Clone)]
@@ -66,6 +69,39 @@ pub struct SystemConfig {
     /// disk I/O; committed layouts and on-disk bytes are byte-identical
     /// at every depth and thread count.
     pub pipeline_depth: usize,
+    /// Bounded retry policy for transiently failing block reads.
+    pub read_retry: ReadRetry,
+    /// Repair damage discovered by a read: when a read completes with
+    /// missing or corrupt blocks, re-encode them from the decoded data
+    /// and re-place them on healthy disks (in place when the original
+    /// disk accepts the write; redirected — with a metadata commit —
+    /// otherwise). Best-effort: repair never fails a successful read.
+    pub read_repair: bool,
+}
+
+/// Bounded retry-with-backoff for transient read errors
+/// ([`StoreError::TransientIo`]). Hard errors (missing block, checksum
+/// mismatch) are never retried — they skip straight to the degraded-read
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRetry {
+    /// Total attempts per block (first try included); once spent, the
+    /// block is demoted to missing. Minimum 1.
+    pub attempts: u32,
+    /// Base backoff before the second attempt, microseconds; doubles per
+    /// further attempt, scaled by a deterministic seeded jitter in
+    /// [0.5, 1.5). `0` disables sleeping entirely (simulated backends
+    /// fail and recover instantly — tests stay fast).
+    pub backoff_micros: u64,
+}
+
+impl Default for ReadRetry {
+    fn default() -> Self {
+        ReadRetry {
+            attempts: 3,
+            backoff_micros: 0,
+        }
+    }
 }
 
 /// Default encode worker count: the host's parallelism, capped at 8.
@@ -91,6 +127,8 @@ impl Default for SystemConfig {
             app_domain: "RobuSTore".into(),
             encode_threads: default_encode_threads(),
             pipeline_depth: default_pipeline_depth(),
+            read_retry: ReadRetry::default(),
+            read_repair: true,
         }
     }
 }
@@ -286,6 +324,17 @@ impl System {
             .drop_random_blocks(disk, fraction, seq)
     }
 
+    /// Fault injection: silently flip one byte in each of `disk`'s stored
+    /// blocks with probability `fraction` (at-rest bit rot, seeded by
+    /// `seq`). The backend still serves the block — only checksum
+    /// verification can tell. Returns the corrupted block keys.
+    pub fn corrupt_blocks(&self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        self.inner
+            .backend
+            .lock()
+            .corrupt_random_blocks(disk, fraction, seq)
+    }
+
     /// Snapshot a file's metadata (for persistence alongside a durable
     /// backend).
     pub fn export_meta(&self, name: &str) -> Option<FileMeta> {
@@ -349,12 +398,28 @@ pub struct WriteReport {
 /// Report of a completed read.
 #[derive(Debug, Clone)]
 pub struct ReadReport {
-    /// Blocks actually fetched before the decoder completed.
+    /// Blocks actually fetched (delivered to the decoder) before it
+    /// completed.
     pub blocks_fetched: usize,
     /// Blocks whose requests were cancelled unfetched.
     pub blocks_cancelled: usize,
     /// Reception overhead: fetched/K − 1.
     pub reception_overhead: f64,
+    /// Transient read errors absorbed by the retry policy (each retried
+    /// attempt counts one).
+    pub transient_retries: u64,
+    /// Blocks skipped as missing (lost sectors, offline disks, or a
+    /// retry budget spent on a transiently failing disk).
+    pub blocks_missing: usize,
+    /// Blocks fetched but discarded for failing verification (checksum
+    /// mismatch or short read) — silent corruption demoted to missing.
+    pub blocks_corrupt: usize,
+    /// Blocks delivered without verification because the file's metadata
+    /// carries no checksum for them (legacy, pre-integrity files).
+    pub blocks_unverified: usize,
+    /// Damaged blocks re-encoded from the decoded data and re-placed on
+    /// disks by read-repair during this access.
+    pub blocks_repaired: usize,
 }
 
 /// Report of an update.
@@ -395,6 +460,11 @@ impl Client {
     pub fn with_planner(mut self, planner: LayoutPlanner) -> Self {
         self.planner = planner;
         self
+    }
+
+    /// The system this client is connected to.
+    pub fn system(&self) -> &System {
+        &self.system
     }
 
     /// `open(filename, access_type, qos)` — Appendix B. Owners open their
@@ -601,6 +671,7 @@ impl Client {
             },
             layout,
             odd_keys: new_odd.clone(),
+            checksums: BTreeMap::new(),
             owner: old.as_ref().map(|m| m.owner).unwrap_or(self.identity),
             version,
         };
@@ -625,6 +696,9 @@ impl Client {
             // Blocks a disk refused, with their encoded bytes — redirected
             // below without re-encoding.
             let mut displaced: Vec<(u32, Block)> = Vec::new();
+            // End-to-end integrity: digest every coded block once, as it
+            // leaves the encoder, whatever disk it eventually lands on.
+            let mut checksums: BTreeMap<u32, u32> = BTreeMap::new();
 
             // Bounded producer/consumer pipeline: encode workers run ahead
             // of this consumer by at most `pipeline_depth` blocks while the
@@ -641,6 +715,7 @@ impl Client {
                 |idx, coded, data| {
                     let (slot, disk, _) = jobs[idx];
                     let key = gen_key(file_id, coded, new_odd.contains(&coded));
+                    checksums.insert(coded, crc32c(&data));
                     match backend.write_block(disk, key, data) {
                         Ok(()) => {
                             kept[slot].push(coded);
@@ -708,6 +783,7 @@ impl Client {
                     }
                 }
             }
+            meta.checksums = checksums;
             // Commit point: the metadata switch-over makes the new
             // generation the file. Until here the old version was intact;
             // from here the new one is.
@@ -760,7 +836,6 @@ impl Client {
         let spec = &meta.coding;
         let code = LtCode::plan(spec.k, spec.n, spec.params, spec.seed)?;
         let block_len = spec.block_bytes as usize;
-        let mut decoder = LtDecoder::new(&code, block_len);
         // Borrow the system's recycled-buffer pool for this access; every
         // fetched buffer returns to it (decoded or spare) so repeated
         // reads are allocation-free after the first.
@@ -768,6 +843,32 @@ impl Client {
             Some(p) if p.block_len() == block_len => p,
             _ => BlockPool::new(block_len),
         };
+        let result = self.read_inner(meta, &code, block_len, &mut pool);
+        // Hand the pool back on *every* exit — success, decode failure, or
+        // a hard backend error — so buffers and counters never leak.
+        // Concurrent reads each run on their own pool (the lock is never
+        // held across I/O); merging instead of overwriting keeps every
+        // buffer and every counter — accounting stays exact no matter how
+        // many readers overlapped.
+        {
+            let mut slot = self.system.inner.pool.lock();
+            match slot.as_mut() {
+                Some(existing) if existing.block_len() == block_len => existing.absorb(pool),
+                _ => *slot = Some(pool),
+            }
+        }
+        result
+    }
+
+    fn read_inner(
+        &self,
+        meta: &FileMeta,
+        code: &LtCode,
+        block_len: usize,
+        pool: &mut BlockPool,
+    ) -> Result<(Vec<u8>, ReadReport), StoreError> {
+        let spec = &meta.coding;
+        let mut decoder = LtDecoder::new(code, block_len);
 
         // Merge per-disk streams by virtual arrival time: block `idx` on
         // disk `d` arrives at (idx+1)·block/speed(d). BinaryHeap is a
@@ -801,66 +902,254 @@ impl Client {
             }
         }
 
+        let retry = self.system.inner.config.read_retry;
+        let max_attempts = retry.attempts.max(1);
+        // Deterministic backoff jitter: seeded by file identity so a
+        // replay under the same fault plan sleeps the same schedule.
+        let mut backoff_rng = SeedSequence::new(
+            meta.file_id
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(meta.version),
+        )
+        .fork("read-backoff", 0);
+
         let mut fetched = 0usize;
+        let mut transient_retries = 0u64;
+        let mut missing = 0usize;
+        let mut corrupt = 0usize;
+        let mut unverified = 0usize;
+        // Ids the layout stores but the read could not use (missing or
+        // failed verification) — the read-repair candidates.
+        let mut bad: BTreeSet<u32> = BTreeSet::new();
+        let mut fatal: Option<StoreError> = None;
         {
             let mut backend = self.system.inner.backend.lock();
-            while let Some(Reverse((T(t), slot, idx))) = heap.pop() {
+            'fetch: while let Some(Reverse((T(t), slot, idx))) = heap.pop() {
                 let (disk, ids) = &meta.layout[slot];
                 let coded = ids[idx];
                 // Degraded read: an unreadable block (offline server, lost
                 // sector) is simply a block that never arrives — the
                 // redundancy absorbs it (§4.1.3). Skip to the disk's next
                 // block; decoding fails only if no sufficient subset
-                // remains anywhere.
+                // remains anywhere. Transient errors get a bounded retry
+                // first; only then is the block demoted to missing.
                 let mut buf = pool.get_scratch();
-                match backend.read_block_into(*disk, meta.block_key(coded), &mut buf) {
+                let mut attempt = 0u32;
+                let outcome = loop {
+                    match backend.read_block_into(*disk, meta.block_key(coded), &mut buf) {
+                        Ok(()) => break Ok(()),
+                        Err(StoreError::TransientIo { .. }) => {
+                            attempt += 1;
+                            if attempt >= max_attempts {
+                                break Err(None); // retries exhausted → missing
+                            }
+                            transient_retries += 1;
+                            if retry.backoff_micros > 0 {
+                                let jitter = 0.5 + uniform01(&mut backoff_rng);
+                                let micros =
+                                    (retry.backoff_micros << (attempt - 1)) as f64 * jitter;
+                                std::thread::sleep(std::time::Duration::from_micros(micros as u64));
+                            }
+                        }
+                        Err(StoreError::MissingBlock { .. }) => break Err(None),
+                        Err(e) => break Err(Some(e)),
+                    }
+                };
+                match outcome {
                     Ok(()) => {
                         backend.count_read();
-                        fetched += 1;
-                        if decoder.receive(coded as usize, buf) {
-                            break; // completion: cancel everything still queued
+                        // Integrity gate: a block that fails its recorded
+                        // digest — or arrives short (torn read) — is silent
+                        // corruption, demoted to a missing block. Blocks
+                        // with no recorded digest (pre-checksum metadata)
+                        // are accepted but counted as unverified.
+                        let accepted = if buf.len() != block_len {
+                            corrupt += 1;
+                            false
+                        } else {
+                            match meta.checksums.get(&coded) {
+                                Some(&want) if crc32c(&buf) != want => {
+                                    corrupt += 1;
+                                    false
+                                }
+                                Some(_) => true,
+                                None => {
+                                    unverified += 1;
+                                    true
+                                }
+                            }
+                        };
+                        if accepted {
+                            fetched += 1;
+                            if decoder.receive(coded as usize, buf) {
+                                break; // completion: cancel everything still queued
+                            }
+                        } else {
+                            bad.insert(coded);
+                            buf.clear();
+                            buf.resize(block_len, 0);
+                            pool.put(buf);
                         }
                     }
-                    Err(StoreError::MissingBlock { .. }) => {
+                    Err(None) => {
+                        missing += 1;
+                        bad.insert(coded);
+                        buf.clear();
                         buf.resize(block_len, 0);
                         pool.put(buf);
                     }
-                    Err(e) => return Err(e),
+                    Err(Some(e)) => {
+                        buf.clear();
+                        buf.resize(block_len, 0);
+                        pool.put(buf);
+                        fatal = Some(e);
+                        break 'fetch;
+                    }
                 }
                 if idx + 1 < ids.len() {
                     heap.push(Reverse((T(t + per_block_time[slot]), slot, idx + 1)));
                 }
             }
         }
+        if let Some(e) = fatal {
+            pool.put_all(decoder.drain_all());
+            return Err(e);
+        }
+        // Every fetchable block is in. If the peel stalled, fall back to
+        // Gaussian elimination — the survivors may still span the data
+        // (see `LtDecoder::solve`); only rank deficiency fails the read.
+        let complete = decoder.is_complete() || decoder.solve();
         pool.put_all(decoder.drain_spares());
-        let blocks = decoder.into_data().ok_or(StoreError::Coding(
-            robustore_erasure::CodingError::DecodeFailed,
-        ))?;
+        if !complete {
+            pool.put_all(decoder.drain_all());
+            return Err(StoreError::Coding(
+                robustore_erasure::CodingError::DecodeFailed,
+            ));
+        }
+        let blocks = decoder.into_data().expect("complete decoder yields data");
+
+        // Read-repair: the decode just reconstructed everything the bad
+        // blocks encoded, so put them back while the data is in hand.
+        // Strictly best-effort — a successful read never fails here.
+        let repaired = if self.system.inner.config.read_repair && !bad.is_empty() {
+            self.try_read_repair(meta, code, &blocks, &bad)
+        } else {
+            0
+        };
+
         let mut out = Vec::with_capacity(meta.size_bytes as usize);
         for b in blocks {
             out.extend_from_slice(&b);
             pool.put(b); // decoded buffers recycle too
         }
         out.truncate(meta.size_bytes as usize);
-        // Hand the pool back. Concurrent reads each run on their own pool
-        // (the lock is never held across I/O); merging instead of
-        // overwriting keeps every buffer and every counter — accounting
-        // stays exact no matter how many readers overlapped.
-        {
-            let mut slot = self.system.inner.pool.lock();
-            match slot.as_mut() {
-                Some(existing) if existing.block_len() == block_len => existing.absorb(pool),
-                _ => *slot = Some(pool),
-            }
-        }
         Ok((
             out,
             ReadReport {
                 blocks_fetched: fetched,
-                blocks_cancelled: meta.stored_blocks() - fetched,
+                blocks_cancelled: meta.stored_blocks().saturating_sub(fetched),
                 reception_overhead: fetched as f64 / spec.k as f64 - 1.0,
+                transient_retries,
+                blocks_missing: missing,
+                blocks_corrupt: corrupt,
+                blocks_unverified: unverified,
+                blocks_repaired: repaired,
             },
         ))
+    }
+
+    /// Best-effort read-repair. Re-encodes the coded blocks a read found
+    /// missing or corrupt and re-places them:
+    ///
+    /// - **In place** (same disk, same key) whenever the home disk takes
+    ///   the write — coded bytes are a deterministic function of content
+    ///   and the key parity is per-id, so the rewrite is idempotent and
+    ///   needs no metadata change.
+    /// - **Relocated** to another layout disk when the home refuses. A
+    ///   relocation moves the id in the layout, which needs a metadata
+    ///   commit — taken only if this reader can upgrade its reader lock
+    ///   (i.e. it is the sole reader; `update` holds the writer lock so
+    ///   it can never race this commit). Otherwise relocations roll back.
+    ///
+    /// Returns the number of blocks restored. Never fails the read.
+    fn try_read_repair(
+        &self,
+        meta: &FileMeta,
+        code: &LtCode,
+        blocks: &[Block],
+        bad: &BTreeSet<u32>,
+    ) -> usize {
+        let mut slot_of: BTreeMap<u32, usize> = BTreeMap::new();
+        for (slot, (_, ids)) in meta.layout.iter().enumerate() {
+            for &id in ids {
+                slot_of.insert(id, slot);
+            }
+        }
+        let mut repaired = 0usize;
+        let mut relocations: Vec<(u32, usize, usize)> = Vec::new();
+        // Relocation writes only — rolled back if the commit is skipped.
+        let mut placed: Vec<(usize, u64)> = Vec::new();
+        let mut backend = self.system.inner.backend.lock();
+        for &id in bad {
+            let Some(&home) = slot_of.get(&id) else {
+                continue;
+            };
+            let key = meta.block_key(id);
+            let mut data = code.encode_block(blocks, id as usize);
+            match backend.write_block(meta.layout[home].0, key, data) {
+                Ok(()) => {
+                    repaired += 1;
+                    continue;
+                }
+                Err(rw) => match rw.error {
+                    StoreError::MissingBlock { .. } => data = rw.data,
+                    _ => continue, // hard failure: give up on this block
+                },
+            }
+            for attempt in 1..meta.layout.len() {
+                let slot = (home + attempt) % meta.layout.len();
+                let disk = meta.layout[slot].0;
+                match backend.write_block(disk, key, data) {
+                    Ok(()) => {
+                        relocations.push((id, home, slot));
+                        placed.push((disk, key));
+                        break;
+                    }
+                    Err(rw) => match rw.error {
+                        StoreError::MissingBlock { .. } => data = rw.data,
+                        _ => break,
+                    },
+                }
+            }
+        }
+        if !relocations.is_empty() {
+            let mut meta_srv = self.system.inner.meta.lock();
+            if meta_srv.try_upgrade(&meta.name) {
+                let mut new_meta = meta.clone();
+                new_meta.version += 1;
+                for &(id, old_slot, new_slot) in &relocations {
+                    new_meta.layout[old_slot].1.retain(|&x| x != id);
+                    new_meta.layout[new_slot].1.push(id);
+                }
+                let committed = meta_srv.commit(new_meta).is_ok();
+                meta_srv.downgrade(&meta.name);
+                drop(meta_srv);
+                if committed {
+                    repaired += relocations.len();
+                    // Corrupt leftovers at the old homes are garbage now.
+                    for &(id, old_slot, _) in &relocations {
+                        let _ = backend.delete_block(meta.layout[old_slot].0, meta.block_key(id));
+                    }
+                } else {
+                    delete_written(&mut **backend, &placed);
+                }
+            } else {
+                // Overlapping readers: keep the file exactly as committed.
+                drop(meta_srv);
+                delete_written(&mut **backend, &placed);
+            }
+        }
+        repaired
     }
 
     /// Update `patch.len()` bytes at `offset` — §4.3.4: regenerate only
@@ -926,6 +1215,9 @@ impl Client {
         {
             let mut backend = self.system.inner.backend.lock();
             let mut written: Vec<(usize, u64)> = Vec::new();
+            // Regenerated blocks get fresh digests; untouched ones keep
+            // theirs (legacy files may have partial maps — that's fine).
+            let mut new_checksums = meta.checksums.clone();
             // Regenerated blocks are independent too — the same bounded
             // encode/write pipeline as the write path. An update has no
             // rateless slack (each block's disk is fixed by the layout),
@@ -939,6 +1231,7 @@ impl Client {
                 |_, coded, data| {
                     let disk = disk_of[&coded];
                     let key = gen_key(meta.file_id, coded, new_odd.contains(&coded));
+                    new_checksums.insert(coded, crc32c(&data));
                     match backend.write_block(disk, key, data) {
                         Ok(()) => {
                             written.push((disk, key));
@@ -952,6 +1245,7 @@ impl Client {
                 delete_written(&mut **backend, &written);
                 return Err(e);
             }
+            new_meta.checksums = new_checksums;
             // Commit point, then garbage-collect the superseded blocks.
             if let Err(e) = self.system.inner.meta.lock().commit(new_meta.clone()) {
                 delete_written(&mut **backend, &written);
@@ -993,6 +1287,248 @@ impl Client {
         })();
         self.close(handle)?;
         result
+    }
+
+    /// Verify and restore one file to full strength — the scrubber's
+    /// per-file pass (see [`crate::scrub::Scrubber`] for the sweep over a
+    /// whole store).
+    ///
+    /// Unlike a read, a scrub visits *every* stored block (no early
+    /// cancel): it verifies checksums disk by disk, decodes the file,
+    /// re-encodes whatever is missing or corrupt, re-places it on the
+    /// least-loaded disks (colonising disks the file never used if that's
+    /// where the space is), and commits metadata carrying a complete
+    /// checksum map — so a legacy, pre-checksum file comes out fully
+    /// verifiable.
+    ///
+    /// Legacy blocks with no recorded digest are fed to the decoder
+    /// optimistically and audited afterwards against a re-encode of the
+    /// decoded data; a mismatch means corruption reached the decoder, so
+    /// the scrub fails with `DecodeFailed` rather than commit anything
+    /// derived from it.
+    pub fn scrub(&self, name: &str) -> Result<ScrubReport, StoreError> {
+        let handle = self.open(name, AccessMode::Write, QosOptions::best_effort())?;
+        let result = self.scrub_admitted(&handle);
+        self.close(handle)?;
+        result
+    }
+
+    fn scrub_admitted(&self, handle: &FileHandle) -> Result<ScrubReport, StoreError> {
+        let meta = handle
+            .meta
+            .clone()
+            .ok_or_else(|| StoreError::NotFound(handle.name.clone()))?;
+        let spec = meta.coding.clone();
+        let code = LtCode::plan(spec.k, spec.n, spec.params, spec.seed)?;
+        let block_len = spec.block_bytes as usize;
+        let mut pool = match self.system.inner.pool.lock().take() {
+            Some(p) if p.block_len() == block_len => p,
+            _ => BlockPool::new(block_len),
+        };
+        let result = self.scrub_inner(&meta, &code, block_len, &mut pool);
+        {
+            let mut slot = self.system.inner.pool.lock();
+            match slot.as_mut() {
+                Some(existing) if existing.block_len() == block_len => existing.absorb(pool),
+                _ => *slot = Some(pool),
+            }
+        }
+        result
+    }
+
+    fn scrub_inner(
+        &self,
+        meta: &FileMeta,
+        code: &LtCode,
+        block_len: usize,
+        pool: &mut BlockPool,
+    ) -> Result<ScrubReport, StoreError> {
+        let spec = &meta.coding;
+        let max_attempts = self.system.inner.config.read_retry.attempts.max(1);
+        let mut decoder = LtDecoder::new(code, block_len);
+        let mut verified: BTreeSet<u32> = BTreeSet::new();
+        // Readable blocks not covered by the checksum map: id → CRC of the
+        // bytes actually read, audited against a re-encode after decode.
+        let mut legacy: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut corrupt: BTreeSet<u32> = BTreeSet::new();
+        // Disk each corrupt block currently occupies (stale-copy cleanup).
+        let mut corrupt_home: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut missing = 0usize;
+        let mut complete = false;
+        {
+            let mut backend = self.system.inner.backend.lock();
+            for (disk, ids) in &meta.layout {
+                for &id in ids {
+                    let mut buf = pool.get_scratch();
+                    let mut attempt = 0u32;
+                    let read_ok = loop {
+                        match backend.read_block_into(*disk, meta.block_key(id), &mut buf) {
+                            Ok(()) => break true,
+                            Err(StoreError::TransientIo { .. }) if attempt + 1 < max_attempts => {
+                                attempt += 1;
+                            }
+                            Err(_) => break false,
+                        }
+                    };
+                    let mut accepted = false;
+                    if read_ok {
+                        backend.count_read();
+                        if buf.len() == block_len {
+                            match meta.checksums.get(&id) {
+                                Some(&want) => {
+                                    if crc32c(&buf) == want {
+                                        verified.insert(id);
+                                        accepted = true;
+                                    }
+                                }
+                                None => {
+                                    legacy.insert(id, crc32c(&buf));
+                                    accepted = true;
+                                }
+                            }
+                        }
+                        if !accepted {
+                            corrupt.insert(id);
+                            corrupt_home.insert(id, *disk);
+                        }
+                    } else {
+                        missing += 1;
+                    }
+                    if accepted && !complete {
+                        complete = decoder.receive(id as usize, buf);
+                    } else {
+                        buf.clear();
+                        buf.resize(block_len, 0);
+                        pool.put(buf);
+                    }
+                }
+            }
+        }
+        // Same completion ladder as the read path: peel, then the GE
+        // fallback; only genuine rank deficiency fails the scrub.
+        let complete = decoder.is_complete() || decoder.solve();
+        pool.put_all(decoder.drain_spares());
+        if !complete {
+            pool.put_all(decoder.drain_all());
+            return Err(StoreError::Coding(
+                robustore_erasure::CodingError::DecodeFailed,
+            ));
+        }
+        let blocks = decoder.into_data().expect("complete decoder yields data");
+        // Audit the optimistically-accepted legacy blocks now that the
+        // decoded data is in hand: their bytes must equal the re-encode.
+        for (&id, &crc_read) in &legacy {
+            if crc32c(&code.encode_block(&blocks, id as usize)) != crc_read {
+                pool.put_all(blocks);
+                return Err(StoreError::Coding(
+                    robustore_erasure::CodingError::DecodeFailed,
+                ));
+            }
+        }
+
+        // Everything the code can generate, minus what is demonstrably
+        // good on disk, gets re-placed — restoring the file to its full
+        // target of N coded blocks (this also heals blocks a write-time
+        // refusal dropped entirely).
+        let present: BTreeSet<u32> = verified.iter().chain(legacy.keys()).copied().collect();
+        let absent: Vec<u32> = (0..spec.n as u32)
+            .filter(|id| !present.contains(id))
+            .collect();
+        let mut new_layout = meta.layout.clone();
+        for (_, ids) in new_layout.iter_mut() {
+            ids.retain(|id| present.contains(id));
+        }
+        let mut new_checksums: BTreeMap<u32, u32> = BTreeMap::new();
+        for &id in &verified {
+            new_checksums.insert(id, meta.checksums[&id]);
+        }
+        for (&id, &crc) in &legacy {
+            new_checksums.insert(id, crc);
+        }
+
+        let mut restored = 0usize;
+        let mut final_disk: BTreeMap<u32, usize> = BTreeMap::new();
+        // Writes to a *new* location for an id — rolled back if the
+        // metadata commit fails. In-place overwrites of corrupt copies
+        // need no rollback: they restore exactly the committed bytes.
+        let mut relocated: Vec<(usize, u64)> = Vec::new();
+        let report = {
+            let mut backend = self.system.inner.backend.lock();
+            let num_disks = backend.num_disks();
+            let mut count: Vec<usize> = vec![0; num_disks];
+            for (disk, ids) in &new_layout {
+                count[*disk] += ids.len();
+            }
+            let mut slot_of_disk: BTreeMap<usize, usize> = new_layout
+                .iter()
+                .enumerate()
+                .map(|(slot, (d, _))| (*d, slot))
+                .collect();
+            for &id in &absent {
+                let key = gen_key(meta.file_id, id, meta.odd_keys.contains(&id));
+                let mut data = code.encode_block(&blocks, id as usize);
+                let crc = crc32c(&data);
+                // Candidate disks, emptiest first (ties → lowest id);
+                // refusals just move to the next candidate — best effort.
+                let mut order: Vec<usize> = (0..num_disks).collect();
+                order.sort_by_key(|&d| (count[d], d));
+                let mut placed_on = None;
+                for &disk in &order {
+                    match backend.write_block(disk, key, data) {
+                        Ok(()) => {
+                            placed_on = Some(disk);
+                            break;
+                        }
+                        Err(rw) => data = rw.data,
+                    }
+                }
+                let Some(disk) = placed_on else { continue };
+                count[disk] += 1;
+                let slot = *slot_of_disk.entry(disk).or_insert_with(|| {
+                    new_layout.push((disk, Vec::new()));
+                    new_layout.len() - 1
+                });
+                new_layout[slot].1.push(id);
+                new_checksums.insert(id, crc);
+                final_disk.insert(id, disk);
+                if corrupt_home.get(&id) != Some(&disk) {
+                    relocated.push((disk, key));
+                }
+                restored += 1;
+            }
+            let blocks_stored_after: usize = new_layout.iter().map(|(_, ids)| ids.len()).sum();
+            let checksums_added = new_checksums.len().saturating_sub(meta.checksums.len());
+            let mut new_meta = meta.clone();
+            new_meta.version += 1;
+            new_meta.layout = new_layout;
+            new_meta.checksums = new_checksums;
+            if let Err(e) = self.system.inner.meta.lock().commit(new_meta) {
+                delete_written(&mut **backend, &relocated);
+                pool.put_all(blocks);
+                return Err(e);
+            }
+            // Stale corrupt copies that were re-placed elsewhere (or not
+            // restorable at all, and so dropped from the layout) are
+            // garbage now.
+            for (&id, &home) in &corrupt_home {
+                if final_disk.get(&id) != Some(&home) {
+                    let _ = backend.delete_block(home, meta.block_key(id));
+                }
+            }
+            ScrubReport {
+                file: meta.name.clone(),
+                blocks_target: spec.n,
+                blocks_verified: verified.len(),
+                blocks_unverified: legacy.len(),
+                blocks_corrupt: corrupt.len(),
+                blocks_missing: missing,
+                blocks_restored: restored,
+                blocks_stored_after,
+                checksums_added,
+            }
+        };
+        pool.put_all(blocks);
+        Ok(report)
     }
 
     /// `close(fdescriptor)` — release locks; metadata was committed by

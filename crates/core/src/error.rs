@@ -42,6 +42,14 @@ pub enum StoreError {
         /// The failing disk.
         disk: usize,
     },
+    /// A storage server failed a read with a *transient* error (timeout,
+    /// controller reset): the block is intact and a bounded retry
+    /// ([`crate::ReadRetry`]) is expected to succeed. After the retry
+    /// budget is exhausted the reader demotes the block to missing.
+    TransientIo {
+        /// The disk whose read transiently failed.
+        disk: usize,
+    },
     /// Erasure coding failed.
     Coding(CodingError),
     /// Access control rejected the credential chain.
@@ -69,6 +77,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::DiskFault { disk } => {
                 write!(f, "disk {disk} failed mid-I/O")
+            }
+            StoreError::TransientIo { disk } => {
+                write!(f, "disk {disk} read failed transiently")
             }
             StoreError::Coding(e) => write!(f, "coding error: {e}"),
             StoreError::AccessDenied(why) => write!(f, "access denied: {why}"),
@@ -109,6 +120,10 @@ mod tests {
         assert_eq!(
             StoreError::DiskFault { disk: 2 }.to_string(),
             "disk 2 failed mid-I/O"
+        );
+        assert_eq!(
+            StoreError::TransientIo { disk: 4 }.to_string(),
+            "disk 4 read failed transiently"
         );
     }
 

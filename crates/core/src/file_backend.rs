@@ -168,6 +168,53 @@ impl StorageBackend for FileBackend {
     fn set_offline(&mut self, disk: usize, offline: bool) {
         self.offline[disk] = offline;
     }
+
+    /// At-rest bit rot on a durable store: flips one byte in each victim
+    /// block file in place (length and readability preserved). Victims
+    /// depend only on the disk's contents, `fraction`, and `seq`.
+    fn corrupt_random_blocks(
+        &mut self,
+        disk: usize,
+        fraction: f64,
+        seq: &robustore_simkit::SeedSequence,
+    ) -> Vec<u64> {
+        use robustore_simkit::rng::uniform01;
+        assert!((0.0..=1.0).contains(&fraction), "fraction in 0..=1");
+        let dir = self.root.join(format!("disk-{disk}"));
+        let mut keys: Vec<u64> = std::fs::read_dir(&dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| {
+                        let name = e.file_name().into_string().ok()?;
+                        let hex = name.strip_suffix(".blk")?;
+                        u64::from_str_radix(hex, 16).ok()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        keys.sort_unstable();
+        let mut rng = seq.fork("bit-rot", disk as u64);
+        let mut rotted = Vec::new();
+        for key in keys {
+            if uniform01(&mut rng) < fraction {
+                let path = self.block_path(disk, key);
+                let Ok(mut data) = std::fs::read(&path) else {
+                    continue;
+                };
+                if data.is_empty() {
+                    continue;
+                }
+                let pos = (uniform01(&mut rng) * data.len() as f64) as usize;
+                let last = data.len() - 1;
+                data[pos.min(last)] ^= 0x40;
+                if std::fs::write(&path, &data).is_ok() {
+                    rotted.push(key);
+                }
+            }
+        }
+        rotted
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +268,29 @@ mod tests {
         let root = temp_root("count");
         FileBackend::open(&root, vec![1e6, 1e6]).unwrap();
         assert!(FileBackend::open(&root, vec![1e6]).is_err());
+        std::fs::remove_dir_all(root).ok();
+    }
+
+    #[test]
+    fn bit_rot_flips_bytes_in_place() {
+        use robustore_simkit::SeedSequence;
+        let root = temp_root("rot");
+        let mut b = FileBackend::open(&root, vec![10e6]).unwrap();
+        for key in 0..32u64 {
+            b.write_block(0, key, vec![key as u8; 16]).unwrap();
+        }
+        let seq = SeedSequence::new(13);
+        let rotted = b.corrupt_random_blocks(0, 0.5, &seq);
+        assert!(!rotted.is_empty() && rotted.len() < 32);
+        assert!(rotted.windows(2).all(|w| w[0] < w[1]));
+        for &key in &rotted {
+            let data = b.read_block(0, key).unwrap();
+            assert_eq!(data.len(), 16, "rot must not change length");
+            assert_ne!(data, vec![key as u8; 16]);
+        }
+        for key in (0..32).filter(|k| !rotted.contains(k)) {
+            assert_eq!(b.read_block(0, key).unwrap(), vec![key as u8; 16]);
+        }
         std::fs::remove_dir_all(root).ok();
     }
 

@@ -23,7 +23,13 @@
 //! * [`backend`] — storage-server data plane; an in-memory implementation
 //!   with per-disk speeds stands in for remote filers.
 //! * [`chaos`] — a fault-injecting backend wrapper driven by seeded
-//!   write-fault plans, for crash-consistency testing.
+//!   write- and read-fault plans, for crash-consistency and
+//!   degraded-read testing.
+//! * [`integrity`] — CRC32C block checksums: every coded block is
+//!   digested at write time and verified on every read, demoting silent
+//!   corruption to a missing block the redundancy absorbs.
+//! * [`scrub`] — background scrubbing: sweep files, verify every stored
+//!   block, and restore each file to its full redundancy target.
 //!
 //! Everything is deterministic and synchronous: the crate models the
 //! *control* architecture with real coding and real data movement, while
@@ -65,20 +71,24 @@ pub mod client;
 pub mod credentials;
 pub mod error;
 pub mod file_backend;
+pub mod integrity;
 pub mod metadata;
 pub mod planner;
 pub mod qos;
+pub mod scrub;
 
 pub use admission::{AdmissionController, PriorityAdmissionController, PriorityDecision};
 pub use backend::{InMemoryBackend, RefusedWrite, StorageBackend};
 pub use chaos::{ChaosBackend, FaultSwitch};
 pub use client::{
-    default_encode_threads, default_pipeline_depth, Client, FileHandle, ReadReport, System,
-    SystemConfig, UpdateReport, WriteReport,
+    default_encode_threads, default_pipeline_depth, Client, FileHandle, ReadReport, ReadRetry,
+    System, SystemConfig, UpdateReport, WriteReport,
 };
 pub use credentials::{Credential, CredentialChain, KeyAuthority, PublicKey, Rights};
 pub use error::StoreError;
 pub use file_backend::FileBackend;
+pub use integrity::crc32c;
 pub use metadata::{gen_key, AccessMode, DiskInfo, FileMeta, MetadataServer};
 pub use planner::LayoutPlanner;
 pub use qos::QosOptions;
+pub use scrub::{ScrubReport, Scrubber, SweepReport};

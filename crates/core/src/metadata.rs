@@ -8,7 +8,7 @@
 //! recommends for moderate scale ("a well-designed metadata server can
 //! support a large-scale system").
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use robustore_erasure::LtParams;
 
@@ -86,6 +86,14 @@ pub struct FileMeta {
     /// is the old key garbage-collected. Since at most two generations of
     /// a block ever coexist, one parity bit per block suffices.
     pub odd_keys: BTreeSet<u32>,
+    /// CRC32C digest of each stored coded block's bytes, keyed by coded
+    /// id ([`crate::integrity::crc32c`]). Verified on every block read;
+    /// a mismatch demotes the block to missing. Checksums are over the
+    /// *coded* bytes, so they are generation-independent (both parity
+    /// keys of a block hold identical content when intact). An empty map
+    /// marks a legacy (pre-integrity) file: its blocks read as
+    /// `unverified` until a scrub populates the digests.
+    pub checksums: BTreeMap<u32, u32>,
     /// Owner identity.
     pub owner: PublicKey,
     /// Bumped on every committed write/update.
@@ -195,6 +203,32 @@ impl MetadataServer {
         }
     }
 
+    /// Try to upgrade a sole-reader lock on `name` to the writer lock
+    /// (read-repair wants to commit an improved layout discovered during
+    /// a read). Succeeds only when the caller is the *only* reader; with
+    /// other readers present, or no read lock held, it returns `false`
+    /// and the lock is untouched. Pair with [`MetadataServer::downgrade`].
+    pub fn try_upgrade(&mut self, name: &str) -> bool {
+        match self.locks.get(name) {
+            Some(LockState::Readers(1)) => {
+                self.locks.insert(name.to_string(), LockState::Writer);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Downgrade the writer lock on `name` back to a single-reader lock,
+    /// undoing [`MetadataServer::try_upgrade`].
+    pub fn downgrade(&mut self, name: &str) {
+        match self.locks.get(name) {
+            Some(LockState::Writer) => {
+                self.locks.insert(name.to_string(), LockState::Readers(1));
+            }
+            s => panic!("downgrade without writer lock: {s:?}"),
+        }
+    }
+
     /// Allocate a file id for a new file.
     pub fn allocate_file_id(&mut self) -> u64 {
         self.next_file_id += 1;
@@ -274,6 +308,7 @@ mod tests {
             },
             layout: vec![(0, vec![0, 1]), (1, vec![2, 3])],
             odd_keys: BTreeSet::new(),
+            checksums: BTreeMap::new(),
             owner: 42,
             version: 1,
         }
@@ -367,6 +402,50 @@ mod tests {
         assert_eq!(even, gen_key(3, 7, false));
         assert_eq!(odd, gen_key(3, 7, true));
         assert_eq!(m.block_key(8), gen_key(3, 8, false), "other ids untouched");
+    }
+
+    #[test]
+    fn upgrade_requires_sole_reader() {
+        let mut m = MetadataServer::new();
+        m.open("f", AccessMode::Write).unwrap();
+        m.commit(meta("f", 1)).unwrap();
+        m.close("f", AccessMode::Write);
+
+        // Two readers: no upgrade possible.
+        m.open("f", AccessMode::Read).unwrap();
+        m.open("f", AccessMode::Read).unwrap();
+        assert!(!m.try_upgrade("f"));
+        m.close("f", AccessMode::Read);
+
+        // Sole reader: upgrade, commit, downgrade, then a balanced
+        // read-close still works.
+        assert!(m.try_upgrade("f"));
+        assert!(matches!(
+            m.open("f", AccessMode::Read),
+            Err(StoreError::LockConflict(_))
+        ));
+        let mut upd = meta("f", 1);
+        upd.version = 2;
+        m.commit(upd).unwrap();
+        m.downgrade("f");
+        m.open("f", AccessMode::Read).unwrap();
+        m.close("f", AccessMode::Read);
+        m.close("f", AccessMode::Read);
+        assert_eq!(m.stat("f").unwrap().version, 2);
+
+        // No lock at all: upgrade refused.
+        assert!(!m.try_upgrade("f"));
+        // Writer lock: upgrade refused (already exclusive).
+        m.open("f", AccessMode::Write).unwrap();
+        assert!(!m.try_upgrade("f"));
+        m.close("f", AccessMode::Write);
+    }
+
+    #[test]
+    #[should_panic(expected = "downgrade without writer lock")]
+    fn downgrade_without_writer_panics() {
+        let mut m = MetadataServer::new();
+        m.downgrade("f");
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Background scrubbing: proactive verification and redundancy repair.
+//!
+//! A read only heals the damage it happens to trip over; the scrubber
+//! hunts. [`Scrubber::sweep`] walks every file the metadata server knows
+//! about and runs [`crate::Client::scrub`] on each: read *all* stored
+//! blocks (no early cancel), verify checksums, decode, re-encode whatever
+//! is missing or corrupt, and re-place it on the least-loaded disks —
+//! restoring each file to its full target of N coded blocks before latent
+//! faults accumulate past the code's decodability margin.
+//!
+//! Scrubbing is also the upgrade path for legacy metadata: a file written
+//! before checksums existed comes out of a scrub with a complete digest
+//! map, so every later read verifies end to end.
+
+use crate::client::Client;
+use crate::error::StoreError;
+
+/// What one per-file scrub pass found and fixed.
+#[derive(Debug, Clone)]
+pub struct ScrubReport {
+    /// File name.
+    pub file: String,
+    /// N — the coded-block count the file is restored towards.
+    pub blocks_target: usize,
+    /// Stored blocks that read back and passed their recorded checksum.
+    pub blocks_verified: usize,
+    /// Stored blocks that read back but had no recorded checksum (legacy
+    /// metadata); audited against a re-encode and given digests.
+    pub blocks_unverified: usize,
+    /// Stored blocks whose bytes failed verification (silent corruption).
+    pub blocks_corrupt: usize,
+    /// Stored blocks that would not read back at all (lost sectors,
+    /// offline disks, spent retry budgets).
+    pub blocks_missing: usize,
+    /// Blocks re-encoded from the decoded data and re-placed on disk.
+    pub blocks_restored: usize,
+    /// Blocks the committed layout stores after the pass (≤ target; less
+    /// only when disks refused restore writes).
+    pub blocks_stored_after: usize,
+    /// Checksum entries the pass added to the file's metadata (legacy
+    /// upgrade plus restored blocks).
+    pub checksums_added: usize,
+}
+
+/// Sweeps a whole store, file by file.
+pub struct Scrubber<'a> {
+    client: &'a Client,
+}
+
+/// Result of a store-wide sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Per-file outcomes for files that scrubbed cleanly.
+    pub scrubbed: Vec<ScrubReport>,
+    /// Files the scrubber could not repair (typically: damage already
+    /// past the code's decodability margin), with the error.
+    pub failed: Vec<(String, StoreError)>,
+}
+
+impl SweepReport {
+    /// Total blocks restored across the sweep.
+    pub fn blocks_restored(&self) -> usize {
+        self.scrubbed.iter().map(|r| r.blocks_restored).sum()
+    }
+}
+
+impl<'a> Scrubber<'a> {
+    /// A scrubber acting with `client`'s identity (it can only scrub
+    /// files that identity may open for writing).
+    pub fn new(client: &'a Client) -> Self {
+        Scrubber { client }
+    }
+
+    /// Scrub every file in the store, continuing past per-file failures —
+    /// one undecodable file must not stop the sweep from saving the rest.
+    pub fn sweep(&self) -> SweepReport {
+        let mut report = SweepReport::default();
+        for name in self.client.system().list_files() {
+            match self.client.scrub(&name) {
+                Ok(r) => report.scrubbed.push(r),
+                Err(e) => report.failed.push((name, e)),
+            }
+        }
+        report
+    }
+}

@@ -80,6 +80,35 @@ proptest! {
         prop_assert_eq!(ok, effective & needed == needed, "grants {:?} needed {}", grants, needed);
     }
 
+    /// Checksum verification never passes on mutated bytes: any single
+    /// byte change (however small — one bit), any truncation, and any
+    /// extension of a block changes its CRC32C. This is the property the
+    /// read path's integrity gate rests on.
+    #[test]
+    fn checksum_never_verifies_mutated_bytes(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        pos in any::<usize>(),
+        flip in 1u8..=255,
+        cut in any::<usize>(),
+    ) {
+        use robustore_core::crc32c;
+        let digest = crc32c(&data);
+        // Determinism: the digest is a pure function of the bytes.
+        prop_assert_eq!(crc32c(&data), digest);
+        // Any byte flip is caught (CRC32C detects all 1-bit and 2-bit
+        // errors, and `flip != 0` guarantees the byte really changed).
+        let mut flipped = data.clone();
+        flipped[pos % data.len()] ^= flip;
+        prop_assert_ne!(crc32c(&flipped), digest);
+        // Any truncation is caught (a torn read).
+        let keep = cut % data.len();
+        prop_assert_ne!(crc32c(&data[..keep]), digest);
+        // Appending a zero byte is caught too.
+        let mut longer = data.clone();
+        longer.push(0);
+        prop_assert_ne!(crc32c(&longer), digest);
+    }
+
     /// Admission controller never exceeds capacity and conserves slots
     /// through arbitrary request/release sequences.
     #[test]

@@ -359,6 +359,11 @@ impl LtCode {
                 return Ok(dec.into_data().expect("decoder reported completion"));
             }
         }
+        // Peel stalled with everything received: fall back to Gaussian
+        // elimination before giving up (see [`LtDecoder::solve`]).
+        if dec.solve() {
+            return Ok(dec.into_data().expect("solver reported completion"));
+        }
         Err(CodingError::DecodeFailed)
     }
 

@@ -45,8 +45,16 @@ impl RobustSoliton {
 
         let kf = k as f64;
         let r = c * (kf / delta).ln() * kf.sqrt();
-        // Spike position k/R, clamped into [1, k].
-        let spike = ((kf / r).floor() as usize).clamp(1, k);
+        // Spike position k/R. Luby's analysis assumes R < k; for small k
+        // (R ≥ k) the floor would land the spike on degree 1, dumping the
+        // whole τ mass — several times β — onto bare replicas. A code
+        // that is ~85% degree-1 blocks is near-replication: losing a
+        // small fraction of coded blocks then routinely erases every
+        // cover of some original (rank loss no decoder can fix). Keep
+        // the spike at degree ≥ 2 so small-k codes stay genuinely
+        // erasure-coded; distributions with a natural spike ≥ 2 are
+        // untouched.
+        let spike = ((kf / r).floor() as usize).clamp(2.min(k), k);
 
         let mut pdf = vec![0.0f64; k];
         // ρ
@@ -199,6 +207,27 @@ mod tests {
         for _ in 0..10_000 {
             let d = rs.sample(&mut rng);
             assert!((1..=4).contains(&d));
+        }
+    }
+
+    #[test]
+    fn small_k_does_not_degenerate_to_replication() {
+        // R ≥ k for these shapes: without the spike ≥ 2 guard the τ mass
+        // lands on degree 1 and ~85% of coded blocks are bare copies.
+        for (k, delta) in [(30usize, 0.1f64), (64, 0.1), (128, 0.1), (30, 0.5)] {
+            let rs = RobustSoliton::new(k, 1.0, delta);
+            assert!(
+                rs.pmf(1) < 0.5,
+                "k={k} δ={delta}: degree-1 mass {:.2} — replication-like",
+                rs.pmf(1)
+            );
+            assert!(
+                rs.mean_degree() >= 1.8,
+                "k={k} δ={delta}: mean {:.2}",
+                rs.mean_degree()
+            );
+            // The ripple still has a starting population.
+            assert!(rs.pmf(1) > 0.01, "k={k} δ={delta}: no degree-1 mass at all");
         }
     }
 

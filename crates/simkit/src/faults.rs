@@ -380,6 +380,170 @@ impl WriteFaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Read-path (backend) faults
+// ---------------------------------------------------------------------------
+
+/// What a read-path fault does to one disk's storage server.
+///
+/// These hook the framework's storage backend (like [`WriteFaultKind`]),
+/// exercising the self-healing read path: retry of transient errors,
+/// checksum detection of corruption, and demotion of torn reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFaultKind {
+    /// The next `reads` block reads fail with a transient I/O error
+    /// (controller reset, timeout); the block is intact and a retry
+    /// succeeds once the budget is spent.
+    Transient {
+        /// Block reads that error before the disk recovers.
+        reads: u64,
+    },
+    /// The next `reads` block reads return silently corrupted bytes
+    /// (bit rot, a misdirected write): only checksum verification can
+    /// catch it.
+    Corrupt {
+        /// Block reads that return flipped bytes.
+        reads: u64,
+    },
+    /// The next `reads` block reads return truncated buffers (a torn
+    /// read crossing a crashed sector boundary).
+    Torn {
+        /// Block reads that come back short.
+        reads: u64,
+    },
+}
+
+/// One read-path fault bound to a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFault {
+    /// The faulted disk (backend index).
+    pub disk: usize,
+    /// What its server does.
+    pub kind: ReadFaultKind,
+}
+
+/// A named, parameterized read-path fault shape; expanded to concrete
+/// per-disk faults by [`ReadFaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ReadFaultScenario {
+    /// No read faults.
+    #[default]
+    None,
+    /// `n` randomly chosen disks return transient errors for their next
+    /// `reads` block reads each — a retrying reader rides it out.
+    TransientDisks {
+        /// How many distinct disks misbehave.
+        n: usize,
+        /// Faulty reads per disk before recovery.
+        reads: u64,
+    },
+    /// `n` randomly chosen disks silently corrupt their next `reads`
+    /// block reads each — checksums must catch every one.
+    CorruptDisks {
+        /// How many distinct disks corrupt.
+        n: usize,
+        /// Corrupted reads per disk.
+        reads: u64,
+    },
+    /// `n` randomly chosen disks tear their next `reads` block reads
+    /// each (short buffers).
+    TornDisks {
+        /// How many distinct disks tear reads.
+        n: usize,
+        /// Torn reads per disk.
+        reads: u64,
+    },
+    /// A mixed storm: `transient` disks flake, `corrupt` disks rot, and
+    /// `torn` disks tear, all distinct, `reads` faulty reads each.
+    Mixed {
+        /// Disks returning transient errors.
+        transient: usize,
+        /// Disks returning corrupted bytes.
+        corrupt: usize,
+        /// Disks returning short buffers.
+        torn: usize,
+        /// Faulty reads per afflicted disk.
+        reads: u64,
+    },
+}
+
+impl ReadFaultScenario {
+    /// Short stable name for reports and experiment ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReadFaultScenario::None => "none",
+            ReadFaultScenario::TransientDisks { .. } => "transient_disks",
+            ReadFaultScenario::CorruptDisks { .. } => "corrupt_disks",
+            ReadFaultScenario::TornDisks { .. } => "torn_disks",
+            ReadFaultScenario::Mixed { .. } => "mixed",
+        }
+    }
+}
+
+/// A concrete, deterministic set of read-path faults for one store of
+/// `disks` disks. Like [`WriteFaultPlan`], the expansion draws only from
+/// a dedicated labelled stream (`"read-faults"`), so arming read faults
+/// never perturbs any other randomness in a trial.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadFaultPlan {
+    /// The per-disk faults, sorted by disk.
+    pub faults: Vec<ReadFault>,
+}
+
+impl ReadFaultPlan {
+    /// The empty plan (no read faults).
+    pub fn empty() -> Self {
+        ReadFaultPlan::default()
+    }
+
+    /// Expand `scenario` over a store of `disks` disks. The plan is a
+    /// pure function of (scenario, disks, seed).
+    pub fn generate(scenario: &ReadFaultScenario, disks: usize, seq: &SeedSequence) -> Self {
+        let mut rng = seq.subsequence("read-faults", 0).fork("plan", 0);
+        let mut order: Vec<usize> = (0..disks).collect();
+        rand::seq::SliceRandom::shuffle(&mut order[..], &mut rng);
+        let mut victims = order.into_iter();
+        let mut faults = Vec::new();
+        let mut take = |n: usize, kind: fn(u64) -> ReadFaultKind, reads: u64| {
+            for disk in victims.by_ref().take(n) {
+                faults.push(ReadFault {
+                    disk,
+                    kind: kind(reads),
+                });
+            }
+        };
+        match *scenario {
+            ReadFaultScenario::None => {}
+            ReadFaultScenario::TransientDisks { n, reads } => {
+                take(n, |reads| ReadFaultKind::Transient { reads }, reads)
+            }
+            ReadFaultScenario::CorruptDisks { n, reads } => {
+                take(n, |reads| ReadFaultKind::Corrupt { reads }, reads)
+            }
+            ReadFaultScenario::TornDisks { n, reads } => {
+                take(n, |reads| ReadFaultKind::Torn { reads }, reads)
+            }
+            ReadFaultScenario::Mixed {
+                transient,
+                corrupt,
+                torn,
+                reads,
+            } => {
+                take(transient, |reads| ReadFaultKind::Transient { reads }, reads);
+                take(corrupt, |reads| ReadFaultKind::Corrupt { reads }, reads);
+                take(torn, |reads| ReadFaultKind::Torn { reads }, reads);
+            }
+        }
+        faults.sort_by_key(|f| f.disk);
+        ReadFaultPlan { faults }
+    }
+
+    /// True when the plan arms nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +663,75 @@ mod tests {
         assert_eq!(
             WriteFaultScenario::MidWriteFailure { after: 1 }.name(),
             "mid_write_failure"
+        );
+    }
+
+    #[test]
+    fn read_fault_plans_are_deterministic_and_sorted() {
+        let s = ReadFaultScenario::TransientDisks { n: 3, reads: 5 };
+        let a = ReadFaultPlan::generate(&s, 8, &seq());
+        let b = ReadFaultPlan::generate(&s, 8, &seq());
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 3);
+        assert!(a.faults.windows(2).all(|w| w[0].disk < w[1].disk));
+        assert!(a
+            .faults
+            .iter()
+            .all(|f| f.kind == ReadFaultKind::Transient { reads: 5 } && f.disk < 8));
+        // Other seeds pick other victims, eventually.
+        let picks: std::collections::HashSet<Vec<usize>> = (0..16)
+            .map(|i| {
+                ReadFaultPlan::generate(&s, 8, &SeedSequence::new(i))
+                    .faults
+                    .iter()
+                    .map(|f| f.disk)
+                    .collect()
+            })
+            .collect();
+        assert!(picks.len() > 4, "victim choice should vary with seed");
+    }
+
+    #[test]
+    fn read_fault_scenario_shapes() {
+        assert!(ReadFaultPlan::generate(&ReadFaultScenario::None, 8, &seq()).is_empty());
+        let c = ReadFaultPlan::generate(
+            &ReadFaultScenario::CorruptDisks { n: 2, reads: 1 },
+            8,
+            &seq(),
+        );
+        assert_eq!(c.faults.len(), 2);
+        assert!(c
+            .faults
+            .iter()
+            .all(|f| f.kind == ReadFaultKind::Corrupt { reads: 1 }));
+        let t =
+            ReadFaultPlan::generate(&ReadFaultScenario::TornDisks { n: 1, reads: 4 }, 8, &seq());
+        assert_eq!(t.faults.len(), 1);
+        assert_eq!(t.faults[0].kind, ReadFaultKind::Torn { reads: 4 });
+        // Mixed picks distinct victims across classes and saturates.
+        let m = ReadFaultPlan::generate(
+            &ReadFaultScenario::Mixed {
+                transient: 2,
+                corrupt: 2,
+                torn: 2,
+                reads: 3,
+            },
+            4,
+            &seq(),
+        );
+        assert_eq!(m.faults.len(), 4, "saturates at the disk count");
+        let distinct: std::collections::HashSet<_> = m.faults.iter().map(|f| f.disk).collect();
+        assert_eq!(distinct.len(), 4, "victims are distinct across classes");
+        assert_eq!(ReadFaultScenario::None.name(), "none");
+        assert_eq!(
+            ReadFaultScenario::Mixed {
+                transient: 1,
+                corrupt: 1,
+                torn: 1,
+                reads: 1
+            }
+            .name(),
+            "mixed"
         );
     }
 }

@@ -32,8 +32,8 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use faults::{
-    FaultEvent, FaultKind, FaultPlan, FaultScenario, WriteFault, WriteFaultKind, WriteFaultPlan,
-    WriteFaultScenario,
+    FaultEvent, FaultKind, FaultPlan, FaultScenario, ReadFault, ReadFaultKind, ReadFaultPlan,
+    ReadFaultScenario, WriteFault, WriteFaultKind, WriteFaultPlan, WriteFaultScenario,
 };
 pub use rng::{SeedSequence, SimRng};
 pub use stats::{OnlineStats, Summary};

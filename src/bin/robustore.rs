@@ -23,7 +23,8 @@ use std::process::exit;
 
 use robustore::core::metadata::CodingSpec;
 use robustore::core::{
-    AccessMode, Client, FileBackend, FileMeta, QosOptions, System, SystemConfig,
+    AccessMode, Client, FileBackend, FileMeta, QosOptions, ScrubReport, Scrubber, System,
+    SystemConfig,
 };
 use robustore::erasure::LtParams;
 
@@ -41,7 +42,8 @@ fn usage() -> ! {
          \x20 get <name> [--out PATH]\n\
          \x20 rm <name>\n\
          \x20 ls\n\
-         \x20 stat <name>"
+         \x20 stat <name>\n\
+         \x20 scrub [<name>]                verify every block, restore redundancy, add checksums"
     );
     exit(2);
 }
@@ -53,10 +55,12 @@ mod sidecar {
 
     pub fn encode(m: &FileMeta) -> String {
         let mut out = String::new();
-        // v2: generation-parity block keys (`odd` line). v1 sidecars index
-        // blocks under the old key scheme, so decode refuses them instead
-        // of misaddressing every block.
-        out.push_str("robustore-meta-v2\n");
+        // v3: per-block CRC32C checksums (`crc` lines). v2 sidecars (no
+        // checksums) still decode — their blocks read as unverified until
+        // a scrub upgrades them. v1 sidecars index blocks under the old
+        // key scheme, so decode refuses them instead of misaddressing
+        // every block.
+        out.push_str("robustore-meta-v3\n");
         out.push_str(&format!("name={}\n", m.name));
         out.push_str(&format!("file_id={}\n", m.file_id));
         out.push_str(&format!("size_bytes={}\n", m.size_bytes));
@@ -73,14 +77,20 @@ mod sidecar {
             let list: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
             out.push_str(&format!("disk={}:{}\n", disk, list.join(",")));
         }
+        for (id, crc) in &m.checksums {
+            out.push_str(&format!("crc={id}:{crc:08x}\n"));
+        }
         out
     }
 
     pub fn decode(text: &str, owner: u64) -> Option<FileMeta> {
         let mut lines = text.lines();
-        if lines.next()? != "robustore-meta-v2" {
-            return None;
-        }
+        let header = lines.next()?;
+        let has_checksums = match header {
+            "robustore-meta-v3" => true,
+            "robustore-meta-v2" => false, // forward-compat: no crc lines
+            _ => return None,
+        };
         let mut name = None;
         let mut file_id = None;
         let mut size_bytes = None;
@@ -93,6 +103,7 @@ mod sidecar {
         let mut version = None;
         let mut odd_keys = std::collections::BTreeSet::new();
         let mut layout: Vec<(usize, Vec<u32>)> = Vec::new();
+        let mut checksums = std::collections::BTreeMap::new();
         for line in lines {
             let (key, value) = line.split_once('=')?;
             match key {
@@ -122,6 +133,10 @@ mod sidecar {
                     };
                     layout.push((disk.parse().ok()?, ids));
                 }
+                "crc" if has_checksums => {
+                    let (id, crc) = value.split_once(':')?;
+                    checksums.insert(id.parse().ok()?, u32::from_str_radix(crc, 16).ok()?);
+                }
                 _ => return None,
             }
         }
@@ -142,6 +157,7 @@ mod sidecar {
             },
             layout,
             odd_keys,
+            checksums,
             owner,
             version: version?,
         })
@@ -292,12 +308,20 @@ fn main() {
                 .unwrap_or_else(|e| die(&e.to_string()));
             client.close(h).unwrap_or_else(|e| die(&e.to_string()));
             std::fs::write(&out, &data).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+            if rr.blocks_repaired > 0 {
+                // Read-repair may have committed a new layout; keep the
+                // sidecar in step with it.
+                persist_meta(&store, &_system, name);
+            }
             println!(
                 "retrieved {name} -> {out} ({} bytes from {} blocks, {} left unread)",
                 data.len(),
                 rr.blocks_fetched,
                 rr.blocks_cancelled
             );
+            if rr.blocks_repaired > 0 {
+                println!("read-repair restored {} damaged blocks", rr.blocks_repaired);
+            }
         }
         "rm" => {
             let name = rest.get(1).unwrap_or_else(|| usage());
@@ -310,6 +334,44 @@ fn main() {
             let (system, _client) = open_store(&store);
             for name in system.list_files() {
                 println!("{name}");
+            }
+        }
+        "scrub" => {
+            let (system, client) = open_store(&store);
+            let print_report = |r: &ScrubReport| {
+                println!(
+                    "{}: {}/{} blocks stored ({} verified, {} unverified, \
+                     {} corrupt, {} missing) -> restored {}, +{} checksums",
+                    r.file,
+                    r.blocks_stored_after,
+                    r.blocks_target,
+                    r.blocks_verified,
+                    r.blocks_unverified,
+                    r.blocks_corrupt,
+                    r.blocks_missing,
+                    r.blocks_restored,
+                    r.checksums_added
+                );
+            };
+            match rest.get(1).filter(|a| !a.starts_with("--")) {
+                Some(name) => {
+                    let r = client.scrub(name).unwrap_or_else(|e| die(&e.to_string()));
+                    persist_meta(&store, &system, name);
+                    print_report(&r);
+                }
+                None => {
+                    let sweep = Scrubber::new(&client).sweep();
+                    for r in &sweep.scrubbed {
+                        persist_meta(&store, &system, &r.file);
+                        print_report(r);
+                    }
+                    for (name, e) in &sweep.failed {
+                        eprintln!("{name}: scrub failed: {e}");
+                    }
+                    if !sweep.failed.is_empty() {
+                        exit(1);
+                    }
+                }
             }
         }
         "stat" => {

@@ -133,6 +133,151 @@ fn get_survives_losing_disks_up_to_redundancy() {
 }
 
 #[test]
+fn v2_sidecars_without_checksums_still_read_and_scrub_upgrades_them() {
+    // Forward-compat: a store written before sidecar v3 has no `crc`
+    // lines. Reads must still work (blocks are just unverified), and one
+    // `scrub` pass must rewrite the sidecar as v3 with a full digest map.
+    let dir = temp_dir("v2compat");
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+    run(&["--store", store_s, "init", "--disks", "6"]);
+
+    let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 241) as u8).collect();
+    let src = dir.join("p.bin");
+    std::fs::write(&src, &payload).unwrap();
+    let (ok, out) = run(&[
+        "--store",
+        store_s,
+        "put",
+        src.to_str().unwrap(),
+        "--name",
+        "old",
+    ]);
+    assert!(ok, "{out}");
+
+    // Downgrade the sidecar to v2 by hand: drop the crc lines and the
+    // header version, exactly what a pre-checksum binary wrote.
+    let meta_dir = store.join("metadata");
+    let sidecar = std::fs::read_dir(&meta_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.path().extension().is_some_and(|x| x == "meta"))
+        .unwrap()
+        .path();
+    let v3 = std::fs::read_to_string(&sidecar).unwrap();
+    assert!(v3.starts_with("robustore-meta-v3"), "{v3}");
+    assert!(v3.contains("\ncrc="), "{v3}");
+    let v2: String = v3
+        .replace("robustore-meta-v3", "robustore-meta-v2")
+        .lines()
+        .filter(|l| !l.starts_with("crc="))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&sidecar, v2).unwrap();
+
+    // A fresh process reads the v2 store fine.
+    let dst = dir.join("old.out");
+    let (ok, out) = run(&[
+        "--store",
+        store_s,
+        "get",
+        "old",
+        "--out",
+        dst.to_str().unwrap(),
+    ]);
+    assert!(ok, "v2 get failed: {out}");
+    assert_eq!(std::fs::read(&dst).unwrap(), payload);
+
+    // Scrub upgrades: sidecar is v3 again, with one digest per stored
+    // block, and the file still round-trips.
+    let (ok, out) = run(&["--store", store_s, "scrub"]);
+    assert!(ok, "scrub failed: {out}");
+    assert!(out.contains("checksums"), "{out}");
+    let upgraded = std::fs::read_to_string(&sidecar).unwrap();
+    assert!(upgraded.starts_with("robustore-meta-v3"), "{upgraded}");
+    assert!(upgraded.contains("\ncrc="), "{upgraded}");
+    let (ok, out) = run(&[
+        "--store",
+        store_s,
+        "get",
+        "old",
+        "--out",
+        dst.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert_eq!(std::fs::read(&dst).unwrap(), payload);
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn scrub_heals_bit_rot_on_a_durable_store() {
+    // Flip bytes inside block files at rest; a get without scrubbing must
+    // still return correct bytes (checksums catch the rot), and a scrub
+    // must restore the store so the damage stops accumulating.
+    let dir = temp_dir("rot");
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+    run(&["--store", store_s, "init", "--disks", "6"]);
+
+    let payload = vec![0x5Au8; 400_000];
+    let src = dir.join("p.bin");
+    std::fs::write(&src, &payload).unwrap();
+    let (ok, out) = run(&[
+        "--store",
+        store_s,
+        "put",
+        src.to_str().unwrap(),
+        "--name",
+        "x",
+        "--redundancy",
+        "3",
+    ]);
+    assert!(ok, "{out}");
+
+    // Rot every block on one disk: flip a byte in each .blk file.
+    let disk = store.join("disk-2");
+    let mut rotted = 0;
+    for entry in std::fs::read_dir(&disk).unwrap().filter_map(|e| e.ok()) {
+        let p = entry.path();
+        if p.extension().is_some_and(|x| x == "blk") {
+            let mut bytes = std::fs::read(&p).unwrap();
+            bytes[0] ^= 0xFF;
+            std::fs::write(&p, &bytes).unwrap();
+            rotted += 1;
+        }
+    }
+    assert!(rotted > 0, "nothing stored on disk-2");
+
+    let dst = dir.join("x.out");
+    let (ok, out) = run(&[
+        "--store",
+        store_s,
+        "get",
+        "x",
+        "--out",
+        dst.to_str().unwrap(),
+    ]);
+    assert!(ok, "rotten get failed: {out}");
+    assert_eq!(std::fs::read(&dst).unwrap(), payload);
+
+    let (ok, out) = run(&["--store", store_s, "scrub", "x"]);
+    assert!(ok, "scrub failed: {out}");
+    let (ok, out) = run(&[
+        "--store",
+        store_s,
+        "get",
+        "x",
+        "--out",
+        dst.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert_eq!(std::fs::read(&dst).unwrap(), payload);
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn unknown_command_and_missing_store_fail_cleanly() {
     let (ok, _) = run(&["--store", "/nonexistent-robustore", "frobnicate"]);
     assert!(!ok);

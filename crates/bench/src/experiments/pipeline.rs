@@ -18,6 +18,14 @@
 //!   wall-clock, never data. A matching simulator pair
 //!   ([`AccessConfig::with_encode`]) records the same contrast at the
 //!   paper's scale.
+//! * **Concurrent client-write sweep** — 1/2/4/8 writer threads
+//!   overwriting disjoint files through one system over a sharded delayed
+//!   backend: per-disk shard locks let the disk sleeps overlap, so
+//!   aggregate throughput scales with the writer count. A group-commit
+//!   on/off A/B at a fixed writer count shows the dispatch-amortisation
+//!   win. The committed state (layouts, generation parity, per-disk
+//!   usage, read-back digests) is asserted byte-identical at every
+//!   writer count and batch size.
 //! * **Trial fan-out** — [`run_trials_threaded`]'s per-trial simulation
 //!   spread over worker threads.
 //!
@@ -31,8 +39,9 @@
 use std::time::{Duration, Instant};
 
 use robustore_core::{
-    default_encode_threads, default_pipeline_depth, AccessMode, Client, InMemoryBackend,
-    QosOptions, RefusedWrite, StorageBackend, StoreError, System, SystemConfig,
+    default_encode_threads, default_group_commit, default_pipeline_depth, AccessMode, Client,
+    DiskShard, InMemoryBackend, QosOptions, RefusedWrite, StorageBackend, StoreError, System,
+    SystemConfig,
 };
 use robustore_erasure::{LtCode, LtParams};
 use robustore_schemes::{run_trials_threaded, AccessConfig, AccessKind, SchemeKind};
@@ -174,6 +183,10 @@ pub fn bench_pipeline(trials: u64) -> String {
                     block_bytes: 256 << 10,
                     encode_threads: n_threads,
                     pipeline_depth: depth,
+                    // One sleep per block, not per batch: this stage
+                    // measures encode/I-O overlap, so the disk latency
+                    // must stay per write.
+                    group_commit: 1,
                     ..Default::default()
                 },
             );
@@ -257,6 +270,163 @@ pub fn bench_pipeline(trials: u64) -> String {
             value: stats.mean_bandwidth_mbps(),
             unit: "MB/s",
         });
+    }
+
+    // --- Stage A4: concurrent client-write sweep (sharded backend) ------
+    // N writer threads overwrite disjoint file subsets through one system
+    // over the same delayed backend. With per-disk shard locks the
+    // per-block disk sleeps overlap across writers, so aggregate
+    // throughput scales with the writer count until the disks themselves
+    // are busy — the per-disk-queue regime the sharded submission layer
+    // exists for. Layouts are pinned and the job order rotated per file,
+    // so the committed state is a pure function of the data: asserted
+    // identical at every thread count and with group commit on or off.
+    let sweep_files = 8usize;
+    let sweep_bytes: usize = if quick { 64 << 10 } else { 256 << 10 };
+    let sweep_payload = |file: usize, version: usize| -> Vec<u8> {
+        (0..sweep_bytes)
+            .map(|i| ((i * 13 + file * 31 + version * 97) % 251) as u8)
+            .collect()
+    };
+    // Committed state: per-disk usage plus each file's (layout,
+    // odd-parity ids, read-back digest).
+    type SweepState = (Vec<u64>, Vec<(Vec<(usize, Vec<u32>)>, Vec<u32>, u64)>);
+    let concurrent_sweep = |writers: usize, group_commit: usize| -> (f64, SweepState) {
+        let sys = System::with_backend(
+            Box::new(DelayBackend::new(InMemoryBackend::uniform(8, 50e6), delay)),
+            SystemConfig {
+                block_bytes: 16 << 10,
+                encode_threads: 1,
+                pipeline_depth: 4,
+                admission_capacity: 64,
+                group_commit,
+                ..Default::default()
+            },
+        );
+        assert!(sys.is_sharded(), "in-memory backend should shard");
+        let qos = QosOptions::best_effort()
+            .with_pinned_disks((0..8).collect())
+            .with_redundancy(2.0);
+        let user = sys.register_user();
+        let client = Client::connect(&sys, user);
+        // Pre-create serially so file ids — and with them the committed
+        // layouts — never depend on writer interleaving.
+        for f in 0..sweep_files {
+            let mut h = client
+                .open(&format!("sweep-{f}"), AccessMode::Write, qos.clone())
+                .expect("open for pre-create");
+            client
+                .write(&mut h, &sweep_payload(f, 1))
+                .expect("pre-create");
+            client.close(h).expect("close");
+        }
+        // Timed phase: every file overwritten once, split across writers.
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let sys = sys.clone();
+                let qos = qos.clone();
+                let sweep_payload = &sweep_payload;
+                scope.spawn(move || {
+                    let c = Client::connect(&sys, user);
+                    let mut f = w;
+                    while f < sweep_files {
+                        let mut h = c
+                            .open(&format!("sweep-{f}"), AccessMode::Write, qos.clone())
+                            .expect("open for overwrite");
+                        c.write(&mut h, &sweep_payload(f, 2)).expect("overwrite");
+                        c.close(h).expect("close");
+                        f += writers;
+                    }
+                });
+            }
+        });
+        let rate = (sweep_files * sweep_bytes) as f64 / 1e6 / t.elapsed().as_secs_f64();
+        let mut per_file = Vec::new();
+        for f in 0..sweep_files {
+            let name = format!("sweep-{f}");
+            let h = client
+                .open(&name, AccessMode::Read, QosOptions::best_effort())
+                .expect("open for read");
+            let got = client.read(&h).expect("read");
+            client.close(h).expect("close");
+            assert_eq!(
+                got,
+                sweep_payload(f, 2),
+                "concurrent overwrite corrupted {name}"
+            );
+            let meta = sys.export_meta(&name).expect("committed meta");
+            let mut odd: Vec<u32> = meta.odd_keys.iter().copied().collect();
+            odd.sort_unstable();
+            per_file.push((meta.layout.clone(), odd, fnv(&got)));
+        }
+        assert_eq!(sys.pool_outstanding_bytes(), 0, "leaked pooled buffers");
+        let used: Vec<u64> = (0..8).map(|d| sys.disk_used(d)).collect();
+        (rate, (used, per_file))
+    };
+
+    let sweep_threads = [1usize, 2, 4, 8];
+    let gc_batches = [1usize, default_group_commit().max(2)];
+    let mut sweep_rates = [0f64; 4];
+    let mut gc_rates = [0f64; 2];
+    let mut sweep_states: Vec<SweepState> = Vec::new();
+    for rep in 0..reps.min(3) {
+        for (slot, &writers) in sweep_threads.iter().enumerate() {
+            let (rate, state) = concurrent_sweep(writers, 1);
+            sweep_rates[slot] = sweep_rates[slot].max(rate);
+            if rep == 0 {
+                sweep_states.push(state);
+            }
+        }
+        // Group commit on/off at a fixed writer count: one dispatch
+        // (one DelayShard sleep) per same-disk run instead of per block.
+        for (slot, &batch) in gc_batches.iter().enumerate() {
+            let (rate, state) = concurrent_sweep(4, batch);
+            gc_rates[slot] = gc_rates[slot].max(rate);
+            if rep == 0 {
+                sweep_states.push(state);
+            }
+        }
+    }
+    // The whole point: concurrency and batching change wall-clock only.
+    assert!(
+        sweep_states.windows(2).all(|w| w[0] == w[1]),
+        "committed state depends on writer count or group commit"
+    );
+    for (slot, &writers) in sweep_threads.iter().enumerate() {
+        rows.push(Row {
+            section: "client-write-sweep",
+            config: format!(
+                "{sweep_files}x{}KiB delay={}us batch=1",
+                sweep_bytes >> 10,
+                delay.as_micros()
+            ),
+            threads: writers,
+            value: sweep_rates[slot],
+            unit: "MB/s",
+        });
+    }
+    for (slot, &batch) in gc_batches.iter().enumerate() {
+        rows.push(Row {
+            section: "group-commit",
+            config: format!(
+                "{sweep_files}x{}KiB delay={}us batch={batch}",
+                sweep_bytes >> 10,
+                delay.as_micros()
+            ),
+            threads: 4,
+            value: gc_rates[slot],
+            unit: "MB/s",
+        });
+    }
+    let sweep_scaling = sweep_rates[3] / sweep_rates[0];
+    if !quick {
+        // Soft floor so host noise can't flake CI; BENCH_pipeline.json
+        // records the full curve.
+        assert!(
+            sweep_scaling >= 2.0,
+            "sharded write scaling collapsed: {sweep_scaling:.2}x at 8 writers"
+        );
     }
 
     // --- Stage B: trial fan-out (run_trials_threaded) -------------------
@@ -351,14 +521,18 @@ pub fn bench_pipeline(trials: u64) -> String {
          encode/I-O overlap: pipelined write {:.2}x over the encode barrier \
          (wall-clock, core-count-bound);\n  \
          simulated at paper scale (deterministic): streamed encode {:.2}x over \
-         the barrier\n\
-         All stages are deterministic: thread count and pipeline depth change \
-         wall-clock only.\n{}\n",
+         the barrier\n  \
+         sharded backend: concurrent client write {:.2}x from 1 to 8 writers, \
+         group commit {:.2}x at 4 writers\n\
+         All stages are deterministic: thread count, pipeline depth, writer \
+         count, and group commit change wall-clock only.\n{}\n",
         speedup("segment-encode"),
         speedup("client-write"),
         speedup("trial-fanout"),
         a3_rates[1] / a3_rates[0],
         sim_of("stream") / sim_of("barrier"),
+        sweep_scaling,
+        gc_rates[1] / gc_rates[0],
         json_note
     ));
     out
@@ -412,6 +586,80 @@ impl StorageBackend for DelayBackend {
 
     fn disk_used(&self, disk: usize) -> u64 {
         self.inner.disk_used(disk)
+    }
+
+    fn count_read(&mut self) {
+        self.inner.count_read()
+    }
+
+    fn reads(&self) -> u64 {
+        self.inner.reads()
+    }
+
+    fn writes(&self) -> u64 {
+        self.inner.writes()
+    }
+
+    fn commit_batch(
+        &mut self,
+        disk: usize,
+        batch: Vec<(u64, Vec<u8>)>,
+    ) -> Vec<Result<(), RefusedWrite>> {
+        // One sleep per dispatch, same device model as the sharded path.
+        std::thread::sleep(self.write_delay);
+        self.inner.commit_batch(disk, batch)
+    }
+
+    fn try_shard(&mut self) -> Option<Vec<Box<dyn DiskShard>>> {
+        let write_delay = self.write_delay;
+        self.inner.try_shard().map(|shards| {
+            shards
+                .into_iter()
+                .map(|inner| Box::new(DelayShard { inner, write_delay }) as Box<dyn DiskShard>)
+                .collect()
+        })
+    }
+}
+
+/// Per-disk shard of a [`DelayBackend`]: the block-write sleep moves into
+/// the shard (still under the shard lock, so one disk stays serial) and
+/// [`DiskShard::commit_batch`] sleeps **once per dispatch** before
+/// delegating — the queue-flush amortisation that gives group commit
+/// something real to win.
+struct DelayShard {
+    inner: Box<dyn DiskShard>,
+    write_delay: Duration,
+}
+
+impl DiskShard for DelayShard {
+    fn disk_id(&self) -> usize {
+        self.inner.disk_id()
+    }
+
+    fn write_block(&mut self, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
+        std::thread::sleep(self.write_delay);
+        self.inner.write_block(block, data)
+    }
+
+    fn commit_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) -> Vec<Result<(), RefusedWrite>> {
+        std::thread::sleep(self.write_delay);
+        self.inner.commit_batch(batch)
+    }
+
+    fn read_block_into(&self, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        self.inner.read_block_into(block, buf)
+    }
+
+    fn delete_block(&mut self, block: u64) -> Result<(), StoreError> {
+        self.inner.delete_block(block)
+    }
+
+    fn speed(&self) -> f64 {
+        self.inner.speed()
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
     }
 
     fn count_read(&mut self) {

@@ -39,6 +39,91 @@ impl From<RefusedWrite> for StoreError {
     }
 }
 
+/// One disk's slice of a sharded backend: the same block-level
+/// operations as [`StorageBackend`], scoped to a single disk so every
+/// shard can sit behind its own lock and accesses to *different* disks
+/// proceed concurrently (see `crate::sharded::ShardedBackend`, which
+/// routes by disk id).
+///
+/// A shard knows its global disk id ([`DiskShard::disk_id`]) so wrappers
+/// keyed by disk — fault switches, shared counters — keep working after
+/// the split.
+pub trait DiskShard: Send {
+    /// The global disk id this shard serves.
+    fn disk_id(&self) -> usize;
+
+    /// Store `data` under key `block`. On failure the buffer comes back
+    /// inside [`RefusedWrite`], exactly as in
+    /// [`StorageBackend::write_block`].
+    fn write_block(&mut self, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite>;
+
+    /// Group commit: write `batch` in submission order under one dispatch
+    /// (one lock acquisition, one simulated queue flush), returning one
+    /// result per processed entry.
+    ///
+    /// The default loops [`DiskShard::write_block`] and **stops at the
+    /// first hard fault** (any error other than the refusal shape
+    /// [`StoreError::MissingBlock`]), so the returned vector may be
+    /// shorter than the batch — unprocessed tail entries were never
+    /// attempted, exactly as if they had been submitted one at a time
+    /// after an aborting fault. Refusals are per-entry and do not stop
+    /// the batch.
+    fn commit_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) -> Vec<Result<(), RefusedWrite>> {
+        let mut out = Vec::with_capacity(batch.len());
+        for (block, data) in batch {
+            let result = self.write_block(block, data);
+            let hard =
+                matches!(&result, Err(rw) if !matches!(rw.error, StoreError::MissingBlock { .. }));
+            out.push(result);
+            if hard {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Fetch block `block` into a caller-provided buffer.
+    fn read_block_into(&self, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError>;
+
+    /// Remove a block.
+    fn delete_block(&mut self, block: u64) -> Result<(), StoreError>;
+
+    /// Nominal bandwidth, bytes/second.
+    fn speed(&self) -> f64;
+
+    /// Bytes currently stored.
+    fn used(&self) -> u64;
+
+    /// Account one block read (mirrors [`StorageBackend::count_read`]).
+    fn count_read(&mut self) {}
+
+    /// Blocks read through this shard so far.
+    fn reads(&self) -> u64 {
+        0
+    }
+
+    /// Blocks written through this shard so far.
+    fn writes(&self) -> u64 {
+        0
+    }
+
+    /// Failure injection: take the disk offline or bring it back.
+    fn set_offline(&mut self, _offline: bool) {}
+
+    /// Fault injection: lose stored blocks with probability `fraction`
+    /// (see [`StorageBackend::drop_random_blocks`]; same seeded streams,
+    /// so a sharded backend loses the same victims as an unsharded one).
+    fn drop_random_blocks(&mut self, _fraction: f64, _seq: &SeedSequence) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Fault injection: flip one byte in stored blocks with probability
+    /// `fraction` (see [`StorageBackend::corrupt_random_blocks`]).
+    fn corrupt_random_blocks(&mut self, _fraction: f64, _seq: &SeedSequence) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
 /// Block-granular storage under the client.
 pub trait StorageBackend {
     /// Number of disks in the system.
@@ -65,6 +150,39 @@ pub trait StorageBackend {
     ) -> Result<(), StoreError> {
         *buf = self.read_block(disk, block)?;
         Ok(())
+    }
+
+    /// Group commit: write `batch` to `disk` in submission order under
+    /// one dispatch. Same contract as [`DiskShard::commit_batch`]: the
+    /// default loops [`StorageBackend::write_block`] and stops at the
+    /// first hard (non-refusal) fault, so the result vector may be
+    /// shorter than the batch.
+    fn commit_batch(
+        &mut self,
+        disk: usize,
+        batch: Vec<(u64, Vec<u8>)>,
+    ) -> Vec<Result<(), RefusedWrite>> {
+        let mut out = Vec::with_capacity(batch.len());
+        for (block, data) in batch {
+            let result = self.write_block(disk, block, data);
+            let hard =
+                matches!(&result, Err(rw) if !matches!(rw.error, StoreError::MissingBlock { .. }));
+            out.push(result);
+            if hard {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Split this backend into independent per-disk shards, consuming its
+    /// guts: each [`DiskShard`] owns one disk's state and can be locked
+    /// separately, so accesses touching different disks stop serialising
+    /// on one big lock. Returns `None` when the backend cannot shard (the
+    /// system then falls back to a single lock around the whole backend).
+    /// After a successful split the husk must not be used for I/O.
+    fn try_shard(&mut self) -> Option<Vec<Box<dyn DiskShard>>> {
+        None
     }
 
     /// Remove a block (updates delete obsolete coded blocks, §4.3.4).
@@ -142,6 +260,145 @@ struct DiskStore {
     offline: bool,
 }
 
+impl DiskStore {
+    /// `disk` is the store's global id — used only for error values and
+    /// the seeded fault streams, so shard and whole-backend behaviour
+    /// stay bit-identical.
+    fn write(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
+        if self.offline {
+            return Err(RefusedWrite::new(
+                StoreError::MissingBlock { disk, block },
+                data,
+            ));
+        }
+        self.used += data.len() as u64;
+        if let Some(old) = self.blocks.insert(block, data) {
+            self.used -= old.len() as u64;
+        }
+        Ok(())
+    }
+
+    fn read_into(&self, disk: usize, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        let data = if self.offline {
+            None
+        } else {
+            self.blocks.get(&block)
+        }
+        .ok_or(StoreError::MissingBlock { disk, block })?;
+        buf.clear();
+        buf.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn delete(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {
+        match self.blocks.remove(&block) {
+            Some(old) => {
+                self.used -= old.len() as u64;
+                Ok(())
+            }
+            None => Err(StoreError::MissingBlock { disk, block }),
+        }
+    }
+
+    fn drop_random(&mut self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in 0..=1");
+        let mut rng = seq.fork("block-loss", disk as u64);
+        let mut keys: Vec<u64> = self.blocks.keys().copied().collect();
+        keys.sort_unstable(); // HashMap order is not deterministic; draws must be
+        let mut lost = Vec::new();
+        for key in keys {
+            if uniform01(&mut rng) < fraction {
+                let data = self.blocks.remove(&key).expect("key just listed");
+                self.used -= data.len() as u64;
+                lost.push(key);
+            }
+        }
+        lost
+    }
+
+    fn corrupt_random(&mut self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction in 0..=1");
+        let mut rng = seq.fork("bit-rot", disk as u64);
+        let mut keys: Vec<u64> = self.blocks.keys().copied().collect();
+        keys.sort_unstable();
+        let mut rotted = Vec::new();
+        for key in keys {
+            if uniform01(&mut rng) < fraction {
+                let data = self.blocks.get_mut(&key).expect("key just listed");
+                if !data.is_empty() {
+                    let pos = (uniform01(&mut rng) * data.len() as f64) as usize;
+                    let last = data.len() - 1;
+                    data[pos.min(last)] ^= 0x40;
+                    rotted.push(key);
+                }
+            }
+        }
+        rotted
+    }
+}
+
+/// One in-memory disk split out of an [`InMemoryBackend`] by
+/// [`StorageBackend::try_shard`].
+#[derive(Debug)]
+struct InMemoryShard {
+    disk: usize,
+    store: DiskStore,
+    reads: u64,
+    writes: u64,
+}
+
+impl DiskShard for InMemoryShard {
+    fn disk_id(&self) -> usize {
+        self.disk
+    }
+
+    fn write_block(&mut self, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
+        self.store.write(self.disk, block, data)?;
+        self.writes += 1;
+        Ok(())
+    }
+
+    fn read_block_into(&self, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        self.store.read_into(self.disk, block, buf)
+    }
+
+    fn delete_block(&mut self, block: u64) -> Result<(), StoreError> {
+        self.store.delete(self.disk, block)
+    }
+
+    fn speed(&self) -> f64 {
+        self.store.speed
+    }
+
+    fn used(&self) -> u64 {
+        self.store.used
+    }
+
+    fn count_read(&mut self) {
+        self.reads += 1;
+    }
+
+    fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    fn set_offline(&mut self, offline: bool) {
+        self.store.offline = offline;
+    }
+
+    fn drop_random_blocks(&mut self, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        self.store.drop_random(self.disk, fraction, seq)
+    }
+
+    fn corrupt_random_blocks(&mut self, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        self.store.corrupt_random(self.disk, fraction, seq)
+    }
+}
+
 impl InMemoryBackend {
     /// A backend with the given per-disk nominal speeds (bytes/second).
     pub fn new(speeds: Vec<f64>) -> Self {
@@ -185,27 +442,15 @@ impl StorageBackend for InMemoryBackend {
                 data,
             ));
         };
-        if d.offline {
-            return Err(RefusedWrite::new(
-                StoreError::MissingBlock { disk, block },
-                data,
-            ));
-        }
-        d.used += data.len() as u64;
-        if let Some(old) = d.blocks.insert(block, data) {
-            d.used -= old.len() as u64;
-        }
+        d.write(disk, block, data)?;
         self.writes += 1;
         Ok(())
     }
 
     fn read_block(&self, disk: usize, block: u64) -> Result<Vec<u8>, StoreError> {
-        self.disks
-            .get(disk)
-            .filter(|d| !d.offline)
-            .and_then(|d| d.blocks.get(&block))
-            .cloned()
-            .ok_or(StoreError::MissingBlock { disk, block })
+        let mut buf = Vec::new();
+        self.read_block_into(disk, block, &mut buf)?;
+        Ok(buf)
     }
 
     /// Copies into `buf` in place — no allocation when its capacity
@@ -216,29 +461,34 @@ impl StorageBackend for InMemoryBackend {
         block: u64,
         buf: &mut Vec<u8>,
     ) -> Result<(), StoreError> {
-        let data = self
-            .disks
+        self.disks
             .get(disk)
-            .filter(|d| !d.offline)
-            .and_then(|d| d.blocks.get(&block))
-            .ok_or(StoreError::MissingBlock { disk, block })?;
-        buf.clear();
-        buf.extend_from_slice(data);
-        Ok(())
+            .ok_or(StoreError::MissingBlock { disk, block })?
+            .read_into(disk, block, buf)
     }
 
     fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {
-        let d = self
-            .disks
+        self.disks
             .get_mut(disk)
-            .ok_or(StoreError::MissingBlock { disk, block })?;
-        match d.blocks.remove(&block) {
-            Some(old) => {
-                d.used -= old.len() as u64;
-                Ok(())
-            }
-            None => Err(StoreError::MissingBlock { disk, block }),
-        }
+            .ok_or(StoreError::MissingBlock { disk, block })?
+            .delete(disk, block)
+    }
+
+    fn try_shard(&mut self) -> Option<Vec<Box<dyn DiskShard>>> {
+        Some(
+            self.disks
+                .drain(..)
+                .enumerate()
+                .map(|(disk, store)| {
+                    Box::new(InMemoryShard {
+                        disk,
+                        store,
+                        reads: 0,
+                        writes: 0,
+                    }) as Box<dyn DiskShard>
+                })
+                .collect(),
+        )
     }
 
     fn disk_speed(&self, disk: usize) -> f64 {
@@ -272,20 +522,7 @@ impl StorageBackend for InMemoryBackend {
     /// the dedicated `"block-loss"` stream); lost keys come back in
     /// ascending order.
     fn drop_random_blocks(&mut self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
-        assert!((0.0..=1.0).contains(&fraction), "fraction in 0..=1");
-        let d = &mut self.disks[disk];
-        let mut rng = seq.fork("block-loss", disk as u64);
-        let mut keys: Vec<u64> = d.blocks.keys().copied().collect();
-        keys.sort_unstable(); // HashMap order is not deterministic; draws must be
-        let mut lost = Vec::new();
-        for key in keys {
-            if uniform01(&mut rng) < fraction {
-                let data = d.blocks.remove(&key).expect("key just listed");
-                d.used -= data.len() as u64;
-                lost.push(key);
-            }
-        }
-        lost
+        self.disks[disk].drop_random(disk, fraction, seq)
     }
 
     /// Bit rot: victims keep their length and keep reading successfully,
@@ -298,24 +535,7 @@ impl StorageBackend for InMemoryBackend {
         fraction: f64,
         seq: &SeedSequence,
     ) -> Vec<u64> {
-        assert!((0.0..=1.0).contains(&fraction), "fraction in 0..=1");
-        let d = &mut self.disks[disk];
-        let mut rng = seq.fork("bit-rot", disk as u64);
-        let mut keys: Vec<u64> = d.blocks.keys().copied().collect();
-        keys.sort_unstable();
-        let mut rotted = Vec::new();
-        for key in keys {
-            if uniform01(&mut rng) < fraction {
-                let data = d.blocks.get_mut(&key).expect("key just listed");
-                if !data.is_empty() {
-                    let pos = (uniform01(&mut rng) * data.len() as f64) as usize;
-                    let last = data.len() - 1;
-                    data[pos.min(last)] ^= 0x40;
-                    rotted.push(key);
-                }
-            }
-        }
-        rotted
+        self.disks[disk].corrupt_random(disk, fraction, seq)
     }
 }
 

@@ -40,7 +40,7 @@ use robustore_simkit::{
     ReadFaultKind, ReadFaultPlan, SeedSequence, WriteFaultKind, WriteFaultPlan,
 };
 
-use crate::backend::{RefusedWrite, StorageBackend};
+use crate::backend::{DiskShard, RefusedWrite, StorageBackend};
 use crate::error::StoreError;
 
 #[derive(Debug, Default)]
@@ -340,6 +340,104 @@ impl<B: StorageBackend> StorageBackend for ChaosBackend<B> {
         seq: &SeedSequence,
     ) -> Vec<u64> {
         self.inner.corrupt_random_blocks(disk, fraction, seq)
+    }
+
+    fn try_shard(&mut self) -> Option<Vec<Box<dyn DiskShard>>> {
+        // Shard the inner backend and interpose on each shard with a
+        // clone of the *same* switch: fault budgets live in the shared
+        // switch state, so arming, clearing, and fault accounting keep
+        // working mid-access no matter which shard the access touches —
+        // and a per-disk budget drains identically whether the writes
+        // arrive one at a time or through a group-commit batch (the
+        // default [`DiskShard::commit_batch`] funnels every entry through
+        // the intercepting `write_block` and stops at the first hard
+        // fault, exactly like the unsharded wrapper).
+        let shards = self.inner.try_shard()?;
+        Some(
+            shards
+                .into_iter()
+                .map(|inner| {
+                    Box::new(ChaosShard {
+                        inner,
+                        switch: self.switch.clone(),
+                    }) as Box<dyn DiskShard>
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One fault-injecting disk shard: the sharded counterpart of
+/// [`ChaosBackend`], sharing its [`FaultSwitch`].
+struct ChaosShard {
+    inner: Box<dyn DiskShard>,
+    switch: FaultSwitch,
+}
+
+impl DiskShard for ChaosShard {
+    fn disk_id(&self) -> usize {
+        self.inner.disk_id()
+    }
+
+    fn write_block(&mut self, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
+        if let Some(error) = self.switch.intercept(self.inner.disk_id(), block) {
+            return Err(RefusedWrite::new(error, data));
+        }
+        self.inner.write_block(block, data)
+    }
+
+    fn read_block_into(&self, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        let fate = self.switch.intercept_read(self.inner.disk_id());
+        if let Some(ReadFate::Error(e)) = fate {
+            return Err(e);
+        }
+        self.inner.read_block_into(block, buf)?;
+        match fate {
+            Some(ReadFate::Corrupt) => {
+                if let Some(byte) = buf.first_mut() {
+                    *byte ^= 0xFF;
+                }
+            }
+            Some(ReadFate::Tear) => buf.truncate(buf.len() / 2),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn delete_block(&mut self, block: u64) -> Result<(), StoreError> {
+        self.inner.delete_block(block)
+    }
+
+    fn speed(&self) -> f64 {
+        self.inner.speed()
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    fn count_read(&mut self) {
+        self.inner.count_read();
+    }
+
+    fn reads(&self) -> u64 {
+        self.inner.reads()
+    }
+
+    fn writes(&self) -> u64 {
+        self.inner.writes()
+    }
+
+    fn set_offline(&mut self, offline: bool) {
+        self.inner.set_offline(offline);
+    }
+
+    fn drop_random_blocks(&mut self, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        self.inner.drop_random_blocks(fraction, seq)
+    }
+
+    fn corrupt_random_blocks(&mut self, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
+        self.inner.corrupt_random_blocks(fraction, seq)
     }
 }
 

@@ -43,6 +43,7 @@ use crate::metadata::{gen_key, AccessMode, CodingSpec, DiskInfo, FileMeta, Metad
 use crate::planner::LayoutPlanner;
 use crate::qos::QosOptions;
 use crate::scrub::ScrubReport;
+use crate::sharded::ShardedBackend;
 
 /// System-wide configuration.
 #[derive(Debug, Clone)]
@@ -77,6 +78,19 @@ pub struct SystemConfig {
     /// disk accepts the write; redirected — with a metadata commit —
     /// otherwise). Best-effort: repair never fails a successful read.
     pub read_repair: bool,
+    /// Dispatch backend operations through per-disk shards, each behind
+    /// its own lock, so concurrent accesses touching different disks
+    /// proceed in parallel (see [`crate::sharded`]). `false` forces the
+    /// whole backend behind one lock — the single-lock oracle the
+    /// differential tests compare against. Committed state is identical
+    /// either way.
+    pub sharded: bool,
+    /// Group commit: how many consecutive same-disk writes the write
+    /// pipeline may batch into one shard-lock acquisition
+    /// ([`crate::backend::DiskShard::commit_batch`]). `0` or `1`
+    /// disables batching. The backend sees every write in the same
+    /// order at any setting, so committed state is byte-identical.
+    pub group_commit: usize,
 }
 
 /// Bounded retry-with-backoff for transient read errors
@@ -118,6 +132,13 @@ pub fn default_pipeline_depth() -> usize {
     2 * default_encode_threads()
 }
 
+/// Default group-commit bound: up to 8 consecutive same-disk writes per
+/// shard-lock acquisition — enough to amortise dispatch costs without
+/// starving concurrent accesses of the shard.
+pub fn default_group_commit() -> usize {
+    8
+}
+
 impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig {
@@ -129,6 +150,8 @@ impl Default for SystemConfig {
             pipeline_depth: default_pipeline_depth(),
             read_retry: ReadRetry::default(),
             read_repair: true,
+            sharded: true,
+            group_commit: default_group_commit(),
         }
     }
 }
@@ -136,7 +159,10 @@ impl Default for SystemConfig {
 struct SystemInner {
     config: SystemConfig,
     meta: Mutex<MetadataServer>,
-    backend: Mutex<Box<dyn StorageBackend + Send>>,
+    /// The sharded submission layer: locking is per disk (or whole-backend
+    /// in the single-lock fallback) and *internal*, so accesses touching
+    /// different disks never exclude each other here.
+    backend: ShardedBackend,
     admission: Mutex<Vec<AdmissionController>>,
     authority: Mutex<KeyAuthority>,
     /// Recycled read buffers shared across accesses (one size at a time;
@@ -178,11 +204,12 @@ impl System {
                 availability: if id % 2 == 0 { 0.999 } else { 0.95 },
             });
         }
+        let backend = ShardedBackend::new(backend, config.sharded);
         System {
             inner: Arc::new(SystemInner {
                 config,
                 meta: Mutex::new(meta),
-                backend: Mutex::new(backend),
+                backend,
                 admission: Mutex::new(admission),
                 authority: Mutex::new(KeyAuthority::new()),
                 pool: Mutex::new(None),
@@ -248,19 +275,25 @@ impl System {
 
     /// Backend traffic counters `(block_reads, block_writes)`.
     pub fn backend_stats(&self) -> (u64, u64) {
-        let b = self.inner.backend.lock();
+        let b = &self.inner.backend;
         (b.reads(), b.writes())
+    }
+
+    /// Whether backend dispatch is sharded per disk (see
+    /// [`crate::sharded`]); `false` means the single-lock fallback.
+    pub fn is_sharded(&self) -> bool {
+        self.inner.backend.is_sharded()
     }
 
     /// Bytes stored on one disk (backend accounting; orphan detection in
     /// the crash-consistency tests).
     pub fn disk_used(&self, disk: usize) -> u64 {
-        self.inner.backend.lock().disk_used(disk)
+        self.inner.backend.disk_used(disk)
     }
 
     /// Bytes stored across every disk.
     pub fn total_used(&self) -> u64 {
-        let b = self.inner.backend.lock();
+        let b = &self.inner.backend;
         (0..b.num_disks()).map(|d| b.disk_used(d)).sum()
     }
 
@@ -309,7 +342,7 @@ impl System {
     /// Failure injection: take a disk offline or bring it back. Reads
     /// degrade gracefully (redundancy permitting); writes route around.
     pub fn set_disk_offline(&self, disk: usize, offline: bool) {
-        self.inner.backend.lock().set_offline(disk, offline);
+        self.inner.backend.set_offline(disk, offline);
     }
 
     /// Fault injection: deterministically lose each of `disk`'s stored
@@ -318,10 +351,7 @@ impl System {
     /// skipped and redundancy absorbs the loss up to its margin.
     /// Returns the lost block keys.
     pub fn lose_blocks(&self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
-        self.inner
-            .backend
-            .lock()
-            .drop_random_blocks(disk, fraction, seq)
+        self.inner.backend.drop_random_blocks(disk, fraction, seq)
     }
 
     /// Fault injection: silently flip one byte in each of `disk`'s stored
@@ -331,7 +361,6 @@ impl System {
     pub fn corrupt_blocks(&self, disk: usize, fraction: f64, seq: &SeedSequence) -> Vec<u64> {
         self.inner
             .backend
-            .lock()
             .corrupt_random_blocks(disk, fraction, seq)
     }
 
@@ -616,11 +645,9 @@ impl Client {
         let params = self.system.inner.config.lt;
         let code = LtCode::plan(k, n, params, seed)?;
 
+        let backend = &self.system.inner.backend;
         // Speculative spreading: block counts proportional to disk speed.
-        let weights: Vec<f64> = {
-            let backend = self.system.inner.backend.lock();
-            disks.iter().map(|&d| backend.disk_speed(d)).collect()
-        };
+        let weights: Vec<f64> = disks.iter().map(|&d| backend.disk_speed(d)).collect();
         let placement = Placement::coded_weighted(k, n, &weights);
 
         let layout: Vec<(usize, Vec<u32>)> = disks
@@ -676,19 +703,25 @@ impl Client {
             version,
         };
 
-        // Every planned write, flattened in layout order — the order the
+        // Every planned write, flattened slot by slot — the order the
         // in-order pipeline writer issues them, so the backend sees the
-        // same sequence at every thread count and pipeline depth.
-        let jobs: Vec<(usize, usize, u32)> = meta
-            .layout
-            .iter()
-            .enumerate()
-            .flat_map(|(slot, (d, ids))| ids.iter().map(move |&coded| (slot, *d, coded)))
+        // same sequence at every thread count and pipeline depth. The
+        // starting slot rotates by file id (deterministic): concurrent
+        // accesses to different files begin on different disks instead of
+        // convoying on the same shard. Per-slot id order is unchanged, so
+        // the committed layout does not depend on the rotation.
+        let slots = meta.layout.len();
+        let rot = (file_id as usize) % slots.max(1);
+        let jobs: Vec<(usize, usize, u32)> = (0..slots)
+            .map(|i| (i + rot) % slots)
+            .flat_map(|slot| {
+                let (d, ids) = &meta.layout[slot];
+                ids.iter().map(move |&coded| (slot, *d, coded))
+            })
             .collect();
         let job_ids: Vec<u32> = jobs.iter().map(|&(_, _, coded)| coded).collect();
 
         {
-            let mut backend = self.system.inner.backend.lock();
             // Writes the commit protocol must undo if this access aborts.
             let mut written: Vec<(usize, u64)> = Vec::new();
             // Ids each layout slot actually keeps (refusals drop out).
@@ -699,6 +732,17 @@ impl Client {
             // End-to-end integrity: digest every coded block once, as it
             // leaves the encoder, whatever disk it eventually lands on.
             let mut checksums: BTreeMap<u32, u32> = BTreeMap::new();
+
+            // Group commit: consecutive same-disk writes park here and go
+            // to the shard under one lock acquisition. A batch flushes
+            // when the job stream moves to another disk, when it reaches
+            // the configured bound, and once more at the end — so the
+            // backend still sees every write in exact job order and the
+            // failure semantics match unbatched writes (the batch stops
+            // at the first hard fault, like a write-per-lock loop).
+            let batch_cap = self.system.inner.config.group_commit.max(1);
+            let mut pending: Vec<(usize, u32, u64, Block)> = Vec::new();
+            let mut pending_disk = usize::MAX;
 
             // Bounded producer/consumer pipeline: encode workers run ahead
             // of this consumer by at most `pipeline_depth` blocks while the
@@ -716,24 +760,47 @@ impl Client {
                     let (slot, disk, _) = jobs[idx];
                     let key = gen_key(file_id, coded, new_odd.contains(&coded));
                     checksums.insert(coded, crc32c(&data));
-                    match backend.write_block(disk, key, data) {
-                        Ok(()) => {
-                            kept[slot].push(coded);
-                            written.push((disk, key));
-                            Ok(())
-                        }
-                        Err(rw) => match rw.error {
-                            StoreError::MissingBlock { .. } => {
-                                displaced.push((coded, rw.data));
-                                Ok(())
-                            }
-                            e => Err(e),
-                        },
+                    if disk != pending_disk && !pending.is_empty() {
+                        flush_batch(
+                            backend,
+                            pending_disk,
+                            std::mem::take(&mut pending),
+                            &mut kept,
+                            &mut written,
+                            &mut displaced,
+                        )?;
                     }
+                    pending_disk = disk;
+                    pending.push((slot, coded, key, data));
+                    if pending.len() >= batch_cap {
+                        flush_batch(
+                            backend,
+                            disk,
+                            std::mem::take(&mut pending),
+                            &mut kept,
+                            &mut written,
+                            &mut displaced,
+                        )?;
+                    }
+                    Ok(())
                 },
-            );
+            )
+            .and_then(|()| {
+                if pending.is_empty() {
+                    Ok(())
+                } else {
+                    flush_batch(
+                        backend,
+                        pending_disk,
+                        pending,
+                        &mut kept,
+                        &mut written,
+                        &mut displaced,
+                    )
+                }
+            });
             if let Err(e) = result {
-                delete_written(&mut **backend, &written);
+                delete_written(backend, &written);
                 return Err(e);
             }
             for (slot, (_, ids)) in meta.layout.iter_mut().enumerate() {
@@ -748,7 +815,7 @@ impl Client {
                     .map(|(slot, _)| slot)
                     .collect();
                 if healthy.is_empty() {
-                    delete_written(&mut **backend, &written);
+                    delete_written(backend, &written);
                     return Err(StoreError::InsufficientDisks { got: 0, need: 1 });
                 }
                 for (i, (coded, data)) in displaced.into_iter().enumerate() {
@@ -771,14 +838,14 @@ impl Client {
                             Err(rw) => match rw.error {
                                 StoreError::MissingBlock { .. } => data = rw.data,
                                 e => {
-                                    delete_written(&mut **backend, &written);
+                                    delete_written(backend, &written);
                                     return Err(e);
                                 }
                             },
                         }
                     }
                     if !placed {
-                        delete_written(&mut **backend, &written);
+                        delete_written(backend, &written);
                         return Err(StoreError::InsufficientDisks { got: 0, need: 1 });
                     }
                 }
@@ -789,7 +856,7 @@ impl Client {
             // from here the new one is.
             let mut meta_srv = self.system.inner.meta.lock();
             if let Err(e) = meta_srv.commit(meta.clone()) {
-                delete_written(&mut **backend, &written);
+                delete_written(backend, &written);
                 return Err(e);
             }
             // Garbage-collect the superseded generation (its keys differ
@@ -885,13 +952,12 @@ impl Client {
             }
         }
         let mut heap: BinaryHeap<Reverse<(T, usize, usize)>> = BinaryHeap::new();
-        let speeds: Vec<f64> = {
-            let backend = self.system.inner.backend.lock();
-            meta.layout
-                .iter()
-                .map(|(d, _)| backend.disk_speed(*d))
-                .collect()
-        };
+        let backend = &self.system.inner.backend;
+        let speeds: Vec<f64> = meta
+            .layout
+            .iter()
+            .map(|(d, _)| backend.disk_speed(*d))
+            .collect();
         let per_block_time: Vec<f64> = speeds
             .iter()
             .map(|&s| spec.block_bytes as f64 / s)
@@ -923,7 +989,9 @@ impl Client {
         let mut bad: BTreeSet<u32> = BTreeSet::new();
         let mut fatal: Option<StoreError> = None;
         {
-            let mut backend = self.system.inner.backend.lock();
+            // Shard-scoped access: each block fetch locks only its own
+            // disk's shard (inside the router), so concurrent readers and
+            // writers on other disks proceed in parallel.
             'fetch: while let Some(Reverse((T(t), slot, idx))) = heap.pop() {
                 let (disk, ids) = &meta.layout[slot];
                 let coded = ids[idx];
@@ -957,7 +1025,7 @@ impl Client {
                 };
                 match outcome {
                     Ok(()) => {
-                        backend.count_read();
+                        backend.count_read(*disk);
                         // Integrity gate: a block that fails its recorded
                         // digest — or arrives short (torn read) — is silent
                         // corruption, demoted to a missing block. Blocks
@@ -1089,7 +1157,7 @@ impl Client {
         let mut relocations: Vec<(u32, usize, usize)> = Vec::new();
         // Relocation writes only — rolled back if the commit is skipped.
         let mut placed: Vec<(usize, u64)> = Vec::new();
-        let mut backend = self.system.inner.backend.lock();
+        let backend = &self.system.inner.backend;
         for &id in bad {
             let Some(&home) = slot_of.get(&id) else {
                 continue;
@@ -1141,12 +1209,12 @@ impl Client {
                         let _ = backend.delete_block(meta.layout[old_slot].0, meta.block_key(id));
                     }
                 } else {
-                    delete_written(&mut **backend, &placed);
+                    delete_written(backend, &placed);
                 }
             } else {
                 // Overlapping readers: keep the file exactly as committed.
                 drop(meta_srv);
-                delete_written(&mut **backend, &placed);
+                delete_written(backend, &placed);
             }
         }
         repaired
@@ -1213,7 +1281,7 @@ impl Client {
         new_meta.version += 1;
         new_meta.odd_keys = new_odd.clone();
         {
-            let mut backend = self.system.inner.backend.lock();
+            let backend = &self.system.inner.backend;
             let mut written: Vec<(usize, u64)> = Vec::new();
             // Regenerated blocks get fresh digests; untouched ones keep
             // theirs (legacy files may have partial maps — that's fine).
@@ -1242,13 +1310,13 @@ impl Client {
                 },
             );
             if let Err(e) = result {
-                delete_written(&mut **backend, &written);
+                delete_written(backend, &written);
                 return Err(e);
             }
             new_meta.checksums = new_checksums;
             // Commit point, then garbage-collect the superseded blocks.
             if let Err(e) = self.system.inner.meta.lock().commit(new_meta.clone()) {
-                delete_written(&mut **backend, &written);
+                delete_written(backend, &written);
                 return Err(e);
             }
             for &coded in &dirty_coded {
@@ -1275,7 +1343,7 @@ impl Client {
                 .clone()
                 .ok_or_else(|| StoreError::NotFound(name.into()))?;
             {
-                let mut backend = self.system.inner.backend.lock();
+                let backend = &self.system.inner.backend;
                 for (disk, ids) in &meta.layout {
                     for &id in ids {
                         let _ = backend.delete_block(*disk, meta.block_key(id));
@@ -1355,8 +1423,8 @@ impl Client {
         let mut corrupt_home: BTreeMap<u32, usize> = BTreeMap::new();
         let mut missing = 0usize;
         let mut complete = false;
+        let backend = &self.system.inner.backend;
         {
-            let mut backend = self.system.inner.backend.lock();
             for (disk, ids) in &meta.layout {
                 for &id in ids {
                     let mut buf = pool.get_scratch();
@@ -1372,7 +1440,7 @@ impl Client {
                     };
                     let mut accepted = false;
                     if read_ok {
-                        backend.count_read();
+                        backend.count_read(*disk);
                         if buf.len() == block_len {
                             match meta.checksums.get(&id) {
                                 Some(&want) => {
@@ -1453,7 +1521,6 @@ impl Client {
         // need no rollback: they restore exactly the committed bytes.
         let mut relocated: Vec<(usize, u64)> = Vec::new();
         let report = {
-            let mut backend = self.system.inner.backend.lock();
             let num_disks = backend.num_disks();
             let mut count: Vec<usize> = vec![0; num_disks];
             for (disk, ids) in &new_layout {
@@ -1503,7 +1570,7 @@ impl Client {
             new_meta.layout = new_layout;
             new_meta.checksums = new_checksums;
             if let Err(e) = self.system.inner.meta.lock().commit(new_meta) {
-                delete_written(&mut **backend, &relocated);
+                delete_written(backend, &relocated);
                 pool.put_all(blocks);
                 return Err(e);
             }
@@ -1550,10 +1617,51 @@ impl Client {
 /// Roll back a partially written generation: delete every block the
 /// aborted access put down, so no orphans survive an error return. Delete
 /// failures are ignored — the block either never landed or is gone.
-fn delete_written(backend: &mut dyn StorageBackend, written: &[(usize, u64)]) {
+fn delete_written(backend: &ShardedBackend, written: &[(usize, u64)]) {
     for &(disk, key) in written {
         let _ = backend.delete_block(disk, key);
     }
+}
+
+/// Flush one group-commit batch to `disk`, folding each entry's outcome
+/// into the write-path bookkeeping exactly as an unbatched write loop
+/// would: success keeps the id in its layout slot and records the key for
+/// rollback, a refusal sets the block (with its bytes) aside for
+/// redirection, and a hard fault aborts the access — entries after it
+/// were never attempted, because [`crate::backend::DiskShard::commit_batch`]
+/// stops there, keeping fault budgets identical to unbatched writes.
+fn flush_batch(
+    backend: &ShardedBackend,
+    disk: usize,
+    batch: Vec<(usize, u32, u64, Block)>,
+    kept: &mut [Vec<u32>],
+    written: &mut Vec<(usize, u64)>,
+    displaced: &mut Vec<(u32, Block)>,
+) -> Result<(), StoreError> {
+    let tags: Vec<(usize, u32, u64)> = batch
+        .iter()
+        .map(|&(slot, coded, key, _)| (slot, coded, key))
+        .collect();
+    let results = backend.commit_batch(
+        disk,
+        batch
+            .into_iter()
+            .map(|(_, _, key, data)| (key, data))
+            .collect(),
+    );
+    for ((slot, coded, key), result) in tags.into_iter().zip(results) {
+        match result {
+            Ok(()) => {
+                kept[slot].push(coded);
+                written.push((disk, key));
+            }
+            Err(rw) => match rw.error {
+                StoreError::MissingBlock { .. } => displaced.push((coded, rw.data)),
+                e => return Err(e),
+            },
+        }
+    }
+    Ok(())
 }
 
 /// Encode the coded blocks named by `ids` on up to `threads` workers and

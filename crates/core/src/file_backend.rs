@@ -13,7 +13,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use crate::backend::{RefusedWrite, StorageBackend};
+use crate::backend::{DiskShard, RefusedWrite, StorageBackend};
 use crate::error::StoreError;
 
 /// Block storage rooted in a directory.
@@ -199,6 +199,156 @@ impl StorageBackend for FileBackend {
         for key in keys {
             if uniform01(&mut rng) < fraction {
                 let path = self.block_path(disk, key);
+                let Ok(mut data) = std::fs::read(&path) else {
+                    continue;
+                };
+                if data.is_empty() {
+                    continue;
+                }
+                let pos = (uniform01(&mut rng) * data.len() as f64) as usize;
+                let last = data.len() - 1;
+                data[pos.min(last)] ^= 0x40;
+                if std::fs::write(&path, &data).is_ok() {
+                    rotted.push(key);
+                }
+            }
+        }
+        rotted
+    }
+
+    fn try_shard(&mut self) -> Option<Vec<Box<dyn DiskShard>>> {
+        // One shard per disk directory. Shards never touch each other's
+        // directories, so per-disk locking is safe on a shared root; the
+        // `speeds` file is read-only after open.
+        Some(
+            (0..self.speeds.len())
+                .map(|disk| {
+                    Box::new(FileShard {
+                        root: self.root.clone(),
+                        disk,
+                        speed: self.speeds[disk],
+                        offline: self.offline[disk],
+                        reads: 0,
+                        writes: 0,
+                    }) as Box<dyn DiskShard>
+                })
+                .collect(),
+        )
+    }
+}
+
+/// One disk directory of a [`FileBackend`], as an independent shard.
+#[derive(Debug)]
+struct FileShard {
+    root: PathBuf,
+    disk: usize,
+    speed: f64,
+    offline: bool,
+    reads: u64,
+    writes: u64,
+}
+
+impl FileShard {
+    fn block_path(&self, block: u64) -> PathBuf {
+        self.root
+            .join(format!("disk-{}", self.disk))
+            .join(format!("{block:016x}.blk"))
+    }
+}
+
+impl DiskShard for FileShard {
+    fn disk_id(&self) -> usize {
+        self.disk
+    }
+
+    fn write_block(&mut self, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
+        if self.offline {
+            return Err(RefusedWrite::new(io_err(self.disk, block), data));
+        }
+        if std::fs::write(self.block_path(block), &data).is_err() {
+            return Err(RefusedWrite::new(io_err(self.disk, block), data));
+        }
+        self.writes += 1;
+        Ok(())
+    }
+
+    fn read_block_into(&self, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        use std::io::Read as _;
+        if self.offline {
+            return Err(io_err(self.disk, block));
+        }
+        let mut f =
+            std::fs::File::open(self.block_path(block)).map_err(|_| io_err(self.disk, block))?;
+        buf.clear();
+        f.read_to_end(buf).map_err(|_| io_err(self.disk, block))?;
+        Ok(())
+    }
+
+    fn delete_block(&mut self, block: u64) -> Result<(), StoreError> {
+        std::fs::remove_file(self.block_path(block)).map_err(|_| io_err(self.disk, block))
+    }
+
+    fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    fn used(&self) -> u64 {
+        let dir = self.root.join(format!("disk-{}", self.disk));
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    fn count_read(&mut self) {
+        self.reads += 1;
+    }
+
+    fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    fn set_offline(&mut self, offline: bool) {
+        self.offline = offline;
+    }
+
+    fn corrupt_random_blocks(
+        &mut self,
+        fraction: f64,
+        seq: &robustore_simkit::SeedSequence,
+    ) -> Vec<u64> {
+        use robustore_simkit::rng::uniform01;
+        assert!((0.0..=1.0).contains(&fraction), "fraction in 0..=1");
+        let dir = self.root.join(format!("disk-{}", self.disk));
+        let mut keys: Vec<u64> = std::fs::read_dir(&dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| {
+                        let name = e.file_name().into_string().ok()?;
+                        let hex = name.strip_suffix(".blk")?;
+                        u64::from_str_radix(hex, 16).ok()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        keys.sort_unstable();
+        // Same rng stream as the unsharded backend (`fork("bit-rot", disk)`),
+        // so a seeded scenario rots the same victims either way.
+        let mut rng = seq.fork("bit-rot", self.disk as u64);
+        let mut rotted = Vec::new();
+        for key in keys {
+            if uniform01(&mut rng) < fraction {
+                let path = self.block_path(key);
                 let Ok(mut data) = std::fs::read(&path) else {
                     continue;
                 };

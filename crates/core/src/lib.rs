@@ -22,6 +22,9 @@
 //! * [`qos`] — the QoS options of the `open` call (Appendix B).
 //! * [`backend`] — storage-server data plane; an in-memory implementation
 //!   with per-disk speeds stands in for remote filers.
+//! * [`sharded`] — the sharded submission layer: per-disk locks, routing
+//!   by disk id, and group commit, so concurrent accesses to different
+//!   disks proceed in parallel (the per-disk-queue regime of §5).
 //! * [`chaos`] — a fault-injecting backend wrapper driven by seeded
 //!   write- and read-fault plans, for crash-consistency and
 //!   degraded-read testing.
@@ -76,13 +79,14 @@ pub mod metadata;
 pub mod planner;
 pub mod qos;
 pub mod scrub;
+pub mod sharded;
 
 pub use admission::{AdmissionController, PriorityAdmissionController, PriorityDecision};
-pub use backend::{InMemoryBackend, RefusedWrite, StorageBackend};
+pub use backend::{DiskShard, InMemoryBackend, RefusedWrite, StorageBackend};
 pub use chaos::{ChaosBackend, FaultSwitch};
 pub use client::{
-    default_encode_threads, default_pipeline_depth, Client, FileHandle, ReadReport, ReadRetry,
-    System, SystemConfig, UpdateReport, WriteReport,
+    default_encode_threads, default_group_commit, default_pipeline_depth, Client, FileHandle,
+    ReadReport, ReadRetry, System, SystemConfig, UpdateReport, WriteReport,
 };
 pub use credentials::{Credential, CredentialChain, KeyAuthority, PublicKey, Rights};
 pub use error::StoreError;
@@ -92,3 +96,4 @@ pub use metadata::{gen_key, AccessMode, DiskInfo, FileMeta, MetadataServer};
 pub use planner::LayoutPlanner;
 pub use qos::QosOptions;
 pub use scrub::{ScrubReport, Scrubber, SweepReport};
+pub use sharded::ShardedBackend;

@@ -62,6 +62,24 @@ impl LayoutPlanner {
         if disks.is_empty() {
             return Err(StoreError::InsufficientDisks { got: 0, need: 1 });
         }
+        // Pinned layout: the plan is a pure function of the request — no
+        // load or usage reads, so concurrent accesses always plan the
+        // same disks regardless of interleaving.
+        if let Some(pinned) = &qos.pinned_disks {
+            if let Some(&bad) = pinned.iter().find(|&&d| d >= disks.len()) {
+                return Err(StoreError::MissingBlock {
+                    disk: bad,
+                    block: 0,
+                });
+            }
+            let redundancy = qos
+                .redundancy
+                .unwrap_or_else(|| self.redundancy_for(disks, pinned));
+            return Ok(Plan {
+                disks: pinned.clone(),
+                redundancy,
+            });
+        }
         let avg_bw = disks.iter().map(|d| d.expected_bandwidth).sum::<f64>() / disks.len() as f64;
         let target = qos
             .target_bandwidth
@@ -79,24 +97,30 @@ impl LayoutPlanner {
             });
         }
 
-        let redundancy = qos.redundancy.unwrap_or_else(|| {
-            let sel_avg = selected
-                .iter()
-                .map(|&i| disks[i].expected_bandwidth)
-                .sum::<f64>()
-                / selected.len() as f64;
-            let peak = selected
-                .iter()
-                .map(|&i| disks[i].expected_bandwidth)
-                .fold(0.0f64, f64::max);
-            ((1.0 + self.reception_overhead) * peak / sel_avg - 1.0)
-                .clamp(self.min_redundancy, self.max_redundancy)
-        });
+        let redundancy = qos
+            .redundancy
+            .unwrap_or_else(|| self.redundancy_for(disks, &selected));
 
         Ok(Plan {
             disks: selected,
             redundancy,
         })
+    }
+
+    /// §5.3.2 redundancy sizing over a chosen selection:
+    /// D = (1+ε)·(peak/average) − 1, clamped to the configured bounds.
+    fn redundancy_for(&self, disks: &[DiskInfo], selected: &[usize]) -> f64 {
+        let sel_avg = selected
+            .iter()
+            .map(|&i| disks[i].expected_bandwidth)
+            .sum::<f64>()
+            / selected.len() as f64;
+        let peak = selected
+            .iter()
+            .map(|&i| disks[i].expected_bandwidth)
+            .fold(0.0f64, f64::max);
+        ((1.0 + self.reception_overhead) * peak / sel_avg - 1.0)
+            .clamp(self.min_redundancy, self.max_redundancy)
     }
 
     /// §5.3.1 selection: score by (light load, free space), then
@@ -273,6 +297,38 @@ mod tests {
             )
             .unwrap();
         assert_eq!(plan.redundancy, 3.0);
+    }
+
+    #[test]
+    fn pinned_disks_bypass_dynamic_selection() {
+        let p = LayoutPlanner::default();
+        let mut disks = pool();
+        // Saturate a pinned disk: dynamic selection would avoid it, the
+        // pin keeps it — the plan must not depend on live load.
+        disks[2].load = 0.95;
+        let plan = p
+            .plan(
+                &QosOptions::best_effort().with_pinned_disks(vec![2, 5, 7]),
+                &disks,
+            )
+            .unwrap();
+        assert_eq!(plan.disks, vec![2, 5, 7], "pin order preserved");
+        // Redundancy still sized from the pinned selection's spread.
+        let sel: Vec<f64> = [2usize, 5, 7]
+            .iter()
+            .map(|&i| disks[i].expected_bandwidth)
+            .collect();
+        let avg = sel.iter().sum::<f64>() / 3.0;
+        let peak = sel.iter().fold(0.0f64, |a, &b| a.max(b));
+        let expected = (1.5 * peak / avg - 1.0).clamp(1.0, 9.0);
+        assert!((plan.redundancy - expected).abs() < 1e-9);
+        // Out-of-range pins error instead of planning nonsense.
+        assert!(p
+            .plan(
+                &QosOptions::best_effort().with_pinned_disks(vec![99]),
+                &disks
+            )
+            .is_err());
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub struct QosOptions {
     /// Relative priority for priority-based admission (unused by the
     /// capacity-based controller; carried for completeness).
     pub priority: u8,
+    /// Pin the layout to exactly these disks, bypassing dynamic
+    /// load/space/availability selection. Dynamic selection reads live
+    /// usage, so under concurrent accesses the chosen disks depend on
+    /// interleaving; pinning makes the plan a pure function of the
+    /// request — what the concurrency benchmarks and differential tests
+    /// need for byte-identical committed state across thread counts.
+    pub pinned_disks: Option<Vec<usize>>,
 }
 
 impl QosOptions {
@@ -50,6 +57,12 @@ impl QosOptions {
         self
     }
 
+    /// Pin the layout to exactly these disks (in this order).
+    pub fn with_pinned_disks(mut self, disks: Vec<usize>) -> Self {
+        self.pinned_disks = Some(disks);
+        self
+    }
+
     /// Basic consistency checks.
     pub fn validate(&self) -> Result<(), String> {
         if let Some(b) = self.target_bandwidth {
@@ -64,6 +77,11 @@ impl QosOptions {
         }
         if self.num_disks == Some(0) {
             return Err("disk count must be positive".into());
+        }
+        if let Some(pinned) = &self.pinned_disks {
+            if pinned.is_empty() {
+                return Err("pinned disk list cannot be empty".into());
+            }
         }
         Ok(())
     }
@@ -97,5 +115,13 @@ mod tests {
             .validate()
             .is_err());
         assert!(QosOptions::default().with_num_disks(0).validate().is_err());
+        assert!(QosOptions::default()
+            .with_pinned_disks(vec![])
+            .validate()
+            .is_err());
+        assert!(QosOptions::default()
+            .with_pinned_disks(vec![0, 3])
+            .validate()
+            .is_ok());
     }
 }

@@ -26,6 +26,13 @@
 //!   win. The committed state (layouts, generation parity, per-disk
 //!   usage, read-back digests) is asserted byte-identical at every
 //!   writer count and batch size.
+//! * **I/O-ring read fan-out** — one client thread holding 8 read
+//!   accesses in flight through `Client::read_many` over the async
+//!   per-disk ring (`SystemConfig::io_ring`), against the blocking
+//!   one-block-at-a-time oracle on a backend with real per-block read
+//!   latency. A cancellation A/B records backend block reads actually
+//!   serviced vs blocks stored: once a file decodes, its still-queued
+//!   speculative reads are revoked before they cost disk time.
 //! * **Trial fan-out** — [`run_trials_threaded`]'s per-trial simulation
 //!   spread over worker threads.
 //!
@@ -187,6 +194,11 @@ pub fn bench_pipeline(trials: u64) -> String {
                     // measures encode/I-O overlap, so the disk latency
                     // must stay per write.
                     group_commit: 1,
+                    // Blocking dispatch: the ring's async flush would
+                    // overlap disk writes even at depth 0, dissolving
+                    // the barrier this stage exists to measure. Stage A5
+                    // benchmarks the ring itself.
+                    io_ring: false,
                     ..Default::default()
                 },
             );
@@ -300,6 +312,10 @@ pub fn bench_pipeline(trials: u64) -> String {
                 pipeline_depth: 4,
                 admission_capacity: 64,
                 group_commit,
+                // Blocking dispatch: this stage measures the per-disk
+                // shard locks and group commit in isolation; the ring's
+                // own contrast is stage A5.
+                io_ring: false,
                 ..Default::default()
             },
         );
@@ -429,6 +445,179 @@ pub fn bench_pipeline(trials: u64) -> String {
         );
     }
 
+    // --- Stage A5: io-ring open-loop reads + speculative cancellation ---
+    // One client thread holds 8 read accesses in flight over a backend
+    // with real per-block read latency. The blocking oracle serves them
+    // one block at a time; the ring fans the per-disk queues out to
+    // workers, so the disk sleeps overlap across accesses — and once a
+    // file decodes, its still-queued reads are revoked before service,
+    // which shows up as fewer backend block reads than blocks stored.
+    let ring_files = 8usize;
+    let ring_bytes: usize = if quick { 64 << 10 } else { 256 << 10 };
+    let read_delay = Duration::from_micros(400);
+    let ring_payload = |f: usize| -> Vec<u8> {
+        (0..ring_bytes)
+            .map(|i| ((i * 17 + f * 53) % 251) as u8)
+            .collect()
+    };
+    // Committed write state: per-disk usage plus each file's (layout,
+    // odd-parity ids) — the ring and blocking setups must agree before
+    // their reads are comparable.
+    type RingState = (Vec<u64>, Vec<(Vec<(usize, Vec<u32>)>, Vec<u32>)>);
+    let ring_setup = |io_ring: bool| -> (System, Client, RingState) {
+        let sys = System::with_backend(
+            Box::new(DelayBackend::with_read_delay(
+                InMemoryBackend::uniform(8, 50e6),
+                read_delay,
+            )),
+            SystemConfig {
+                block_bytes: 16 << 10,
+                encode_threads: 1,
+                pipeline_depth: 4,
+                io_ring,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sys.uses_io_ring(), io_ring);
+        let client = Client::connect(&sys, sys.register_user());
+        // 3x redundancy so speculative cancellation has stored blocks
+        // left to revoke once the decoder completes.
+        let qos = QosOptions::best_effort().with_redundancy(3.0);
+        for f in 0..ring_files {
+            let mut h = client
+                .open(&format!("ring-{f}"), AccessMode::Write, qos.clone())
+                .expect("open for write");
+            client.write(&mut h, &ring_payload(f)).expect("write");
+            client.close(h).expect("close");
+        }
+        let mut per_file = Vec::new();
+        for f in 0..ring_files {
+            let meta = sys.export_meta(&format!("ring-{f}")).expect("meta");
+            let mut odd: Vec<u32> = meta.odd_keys.iter().copied().collect();
+            odd.sort_unstable();
+            per_file.push((meta.layout.clone(), odd));
+        }
+        let used = (0..8).map(|d| sys.disk_used(d)).collect();
+        (sys, client, (used, per_file))
+    };
+    let (ring_sys, ring_client, ring_written) = ring_setup(true);
+    let (block_sys, block_client, block_written) = ring_setup(false);
+    assert_eq!(
+        ring_written, block_written,
+        "io-ring write path committed different state than blocking"
+    );
+    let stored_total: usize = (0..ring_files)
+        .map(|f| {
+            ring_sys
+                .export_meta(&format!("ring-{f}"))
+                .expect("meta")
+                .stored_blocks()
+        })
+        .sum();
+    let names: Vec<String> = (0..ring_files).map(|f| format!("ring-{f}")).collect();
+    let mut ring_rate = 0f64;
+    let mut block_rate = 0f64;
+    let mut serviced = [0u64; 2]; // rep-0 backend block reads: [ring, blocking]
+    for rep in 0..reps.min(3) {
+        // Ring: one thread, every access in flight through read_many.
+        let handles: Vec<_> = names
+            .iter()
+            .map(|n| {
+                ring_client
+                    .open(n, AccessMode::Read, QosOptions::best_effort())
+                    .expect("open for read")
+            })
+            .collect();
+        let handle_refs: Vec<_> = handles.iter().collect();
+        let before = ring_sys.backend_stats().0;
+        let t = Instant::now();
+        let results = ring_client.read_many(&handle_refs);
+        let elapsed = t.elapsed().as_secs_f64();
+        if rep == 0 {
+            serviced[0] = ring_sys.backend_stats().0 - before;
+        }
+        for (f, r) in results.into_iter().enumerate() {
+            let (got, _) = r.expect("ring read");
+            assert_eq!(got, ring_payload(f), "ring read corrupted ring-{f}");
+        }
+        for h in handles {
+            ring_client.close(h).expect("close");
+        }
+        ring_rate = ring_rate.max((ring_files * ring_bytes) as f64 / 1e6 / elapsed);
+
+        // Blocking oracle: the same accesses served one block at a time
+        // (decoded bytes verified outside the timed region).
+        let before = block_sys.backend_stats().0;
+        let t = Instant::now();
+        let mut decoded = Vec::new();
+        for n in &names {
+            let h = block_client
+                .open(n, AccessMode::Read, QosOptions::best_effort())
+                .expect("open for read");
+            decoded.push(block_client.read(&h).expect("read"));
+            block_client.close(h).expect("close");
+        }
+        let elapsed = t.elapsed().as_secs_f64();
+        if rep == 0 {
+            serviced[1] = block_sys.backend_stats().0 - before;
+        }
+        for (f, got) in decoded.into_iter().enumerate() {
+            assert_eq!(got, ring_payload(f), "blocking read corrupted ring-{f}");
+        }
+        block_rate = block_rate.max((ring_files * ring_bytes) as f64 / 1e6 / elapsed);
+    }
+    assert_eq!(ring_sys.pool_outstanding_bytes(), 0, "ring reads leaked");
+    assert_eq!(
+        block_sys.pool_outstanding_bytes(),
+        0,
+        "blocking reads leaked"
+    );
+    for (config, rate) in [("ring", ring_rate), ("blocking", block_rate)] {
+        rows.push(Row {
+            section: "io-ring",
+            config: format!(
+                "{ring_files}x{}KiB rdelay={}us {config}",
+                ring_bytes >> 10,
+                read_delay.as_micros()
+            ),
+            threads: ring_files,
+            value: rate,
+            unit: "MB/s",
+        });
+    }
+    let reclaimed_ms = (stored_total as f64 - serviced[0] as f64) * read_delay.as_secs_f64() * 1e3;
+    for (config, value, unit) in [
+        ("serviced reads ring", serviced[0] as f64, "blocks"),
+        ("serviced reads blocking", serviced[1] as f64, "blocks"),
+        ("blocks stored", stored_total as f64, "blocks"),
+        ("disk time reclaimed", reclaimed_ms, "ms"),
+    ] {
+        rows.push(Row {
+            section: "io-ring-cancel",
+            config: config.into(),
+            threads: ring_files,
+            value,
+            unit,
+        });
+    }
+    let ring_speedup = ring_rate / block_rate;
+    if !quick {
+        // The acceptance bar for the ring: with decoded output already
+        // asserted byte-identical, fewer disk ops serviced than stored
+        // (cancellation-at-the-queue reclaims real disk time)...
+        assert!(
+            (serviced[0] as usize) < stored_total,
+            "cancellation reclaimed nothing: {} reads serviced, {stored_total} stored",
+            serviced[0]
+        );
+        // ...and at least 1.5x read throughput at 8 concurrent accesses
+        // on one client thread (soft floor; the JSON records the curve).
+        assert!(
+            ring_speedup >= 1.5,
+            "io-ring read fan-out collapsed: {ring_speedup:.2}x at {ring_files} accesses"
+        );
+    }
+
     // --- Stage B: trial fan-out (run_trials_threaded) -------------------
     let sim_trials: u64 = if quick { 4 } else { 24 };
     let mut cfg = AccessConfig::default().with_scheme(SchemeKind::RobuStore);
@@ -523,9 +712,12 @@ pub fn bench_pipeline(trials: u64) -> String {
          simulated at paper scale (deterministic): streamed encode {:.2}x over \
          the barrier\n  \
          sharded backend: concurrent client write {:.2}x from 1 to 8 writers, \
-         group commit {:.2}x at 4 writers\n\
+         group commit {:.2}x at 4 writers\n  \
+         io ring: open-loop read {:.2}x over blocking at {ring_files} accesses \
+         on one thread; cancellation serviced {} of {} stored block reads \
+         ({:.1}ms disk time reclaimed)\n\
          All stages are deterministic: thread count, pipeline depth, writer \
-         count, and group commit change wall-clock only.\n{}\n",
+         count, group commit, and the io ring change wall-clock only.\n{}\n",
         speedup("segment-encode"),
         speedup("client-write"),
         speedup("trial-fanout"),
@@ -533,23 +725,47 @@ pub fn bench_pipeline(trials: u64) -> String {
         sim_of("stream") / sim_of("barrier"),
         sweep_scaling,
         gc_rates[1] / gc_rates[0],
+        ring_speedup,
+        serviced[0],
+        stored_total,
+        reclaimed_ms,
         json_note
     ));
     out
 }
 
-/// An [`InMemoryBackend`] that sleeps on every block write — a stand-in
-/// for real disk latency, so the encode/I-O overlap of the pipelined
-/// write path shows up in wall-clock terms instead of vanishing into
-/// memcpy speed.
+/// An [`InMemoryBackend`] that sleeps on block writes and/or reads — a
+/// stand-in for real disk latency, so the encode/I-O overlap of the
+/// pipelined write path and the access fan-out of the I/O ring show up
+/// in wall-clock terms instead of vanishing into memcpy speed.
 struct DelayBackend {
     inner: InMemoryBackend,
     write_delay: Duration,
+    read_delay: Duration,
 }
 
 impl DelayBackend {
     fn new(inner: InMemoryBackend, write_delay: Duration) -> Self {
-        DelayBackend { inner, write_delay }
+        DelayBackend {
+            inner,
+            write_delay,
+            read_delay: Duration::ZERO,
+        }
+    }
+
+    fn with_read_delay(inner: InMemoryBackend, read_delay: Duration) -> Self {
+        DelayBackend {
+            inner,
+            write_delay: Duration::ZERO,
+            read_delay,
+        }
+    }
+}
+
+/// Sleep helper that skips the syscall entirely at zero.
+fn maybe_sleep(d: Duration) {
+    if !d.is_zero() {
+        std::thread::sleep(d);
     }
 }
 
@@ -559,11 +775,12 @@ impl StorageBackend for DelayBackend {
     }
 
     fn write_block(&mut self, disk: usize, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
-        std::thread::sleep(self.write_delay);
+        maybe_sleep(self.write_delay);
         self.inner.write_block(disk, block, data)
     }
 
     fn read_block(&self, disk: usize, block: u64) -> Result<Vec<u8>, StoreError> {
+        maybe_sleep(self.read_delay);
         self.inner.read_block(disk, block)
     }
 
@@ -573,6 +790,7 @@ impl StorageBackend for DelayBackend {
         block: u64,
         buf: &mut Vec<u8>,
     ) -> Result<(), StoreError> {
+        maybe_sleep(self.read_delay);
         self.inner.read_block_into(disk, block, buf)
     }
 
@@ -606,16 +824,23 @@ impl StorageBackend for DelayBackend {
         batch: Vec<(u64, Vec<u8>)>,
     ) -> Vec<Result<(), RefusedWrite>> {
         // One sleep per dispatch, same device model as the sharded path.
-        std::thread::sleep(self.write_delay);
+        maybe_sleep(self.write_delay);
         self.inner.commit_batch(disk, batch)
     }
 
     fn try_shard(&mut self) -> Option<Vec<Box<dyn DiskShard>>> {
         let write_delay = self.write_delay;
+        let read_delay = self.read_delay;
         self.inner.try_shard().map(|shards| {
             shards
                 .into_iter()
-                .map(|inner| Box::new(DelayShard { inner, write_delay }) as Box<dyn DiskShard>)
+                .map(|inner| {
+                    Box::new(DelayShard {
+                        inner,
+                        write_delay,
+                        read_delay,
+                    }) as Box<dyn DiskShard>
+                })
                 .collect()
         })
     }
@@ -629,6 +854,7 @@ impl StorageBackend for DelayBackend {
 struct DelayShard {
     inner: Box<dyn DiskShard>,
     write_delay: Duration,
+    read_delay: Duration,
 }
 
 impl DiskShard for DelayShard {
@@ -637,16 +863,17 @@ impl DiskShard for DelayShard {
     }
 
     fn write_block(&mut self, block: u64, data: Vec<u8>) -> Result<(), RefusedWrite> {
-        std::thread::sleep(self.write_delay);
+        maybe_sleep(self.write_delay);
         self.inner.write_block(block, data)
     }
 
     fn commit_batch(&mut self, batch: Vec<(u64, Vec<u8>)>) -> Vec<Result<(), RefusedWrite>> {
-        std::thread::sleep(self.write_delay);
+        maybe_sleep(self.write_delay);
         self.inner.commit_batch(batch)
     }
 
     fn read_block_into(&self, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        maybe_sleep(self.read_delay);
         self.inner.read_block_into(block, buf)
     }
 

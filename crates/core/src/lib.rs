@@ -25,6 +25,10 @@
 //! * [`sharded`] — the sharded submission layer: per-disk locks, routing
 //!   by disk id, and group commit, so concurrent accesses to different
 //!   disks proceed in parallel (the per-disk-queue regime of §5).
+//! * [`ring`] — the async per-disk submission/completion ring: one worker
+//!   per disk services queued ops, coalescing writes across accesses into
+//!   one group-commit dispatch, and speculative reads are cancelled in
+//!   the queue once decode succeeds (`SystemConfig::io_ring`).
 //! * [`chaos`] — a fault-injecting backend wrapper driven by seeded
 //!   write- and read-fault plans, for crash-consistency and
 //!   degraded-read testing.
@@ -78,6 +82,7 @@ pub mod integrity;
 pub mod metadata;
 pub mod planner;
 pub mod qos;
+pub mod ring;
 pub mod scrub;
 pub mod sharded;
 
@@ -95,5 +100,6 @@ pub use integrity::crc32c;
 pub use metadata::{gen_key, AccessMode, DiskInfo, FileMeta, MetadataServer};
 pub use planner::LayoutPlanner;
 pub use qos::QosOptions;
+pub use ring::{Completion, CompletionKind, IoRing, RingConfig, SubmitOp, WriteOutcome};
 pub use scrub::{ScrubReport, Scrubber, SweepReport};
 pub use sharded::ShardedBackend;

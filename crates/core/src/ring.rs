@@ -1,0 +1,664 @@
+//! Async per-disk submission/completion ring.
+//!
+//! PR 7 gave every disk its own lock; this module gives every disk its
+//! own *queue*. An [`IoRing`] spawns one worker thread per disk of a
+//! [`ShardedBackend`]; clients push [`SubmitOp`]s tagged with an access
+//! id and a per-access sequence tag, and receive [`Completion`]s on a
+//! channel they own. One client thread can therefore keep many accesses
+//! in flight at once — the per-disk-FIFO-queue regime of the MDS-queue
+//! model — instead of burning a thread per access on blocking calls.
+//!
+//! Three properties define the ring's semantics:
+//!
+//! * **Cross-access group commit.** A worker popping a write from its
+//!   queue also pops the contiguous run of queued writes behind it — from
+//!   *any* access — up to the configured batch cap, and lands the run in
+//!   one [`ShardedBackend::commit_batch`] dispatch. Per-access submission
+//!   order is preserved (the queue is FIFO and batches never reorder), so
+//!   failure semantics match unbatched writes.
+//! * **Speculative-read cancellation.** [`IoRing::cancel`] revokes every
+//!   op of one access that is still *queued*; each revoked op completes
+//!   as [`CompletionKind::Cancelled`] with its buffer handed back, and
+//!   the disk never services it. Ops already being serviced run to
+//!   completion — their completions must be drained and discarded by the
+//!   caller. This makes the paper's "cancel redundant requests on decode
+//!   success" policy reclaim real disk time instead of just wall clock.
+//! * **Exactly one completion per submission.** Every submitted op
+//!   produces exactly one [`Completion`] — serviced or cancelled — so a
+//!   reactor can drive `received == submitted` without timeouts. Workers
+//!   drain their queues before honouring shutdown.
+//!
+//! Workers replicate the blocking read-retry policy (bounded attempts on
+//! transient faults with exponential backoff) so that per-disk fault
+//! budgets are consumed in the same FIFO order as the blocking path;
+//! the differential suites assert committed state byte-identical with
+//! the ring on and off.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::error::StoreError;
+use crate::sharded::ShardedBackend;
+
+/// Tuning knobs for an [`IoRing`], snapshotted from `SystemConfig`.
+#[derive(Debug, Clone)]
+pub struct RingConfig {
+    /// Max writes coalesced into one `commit_batch` dispatch (min 1).
+    pub group_commit: usize,
+    /// Read attempts per op (>= 1); transient faults retry up to this.
+    pub read_attempts: u32,
+    /// Base backoff before a read retry, doubled per attempt. Plain
+    /// exponential (no jitter): the jittered sleep of the blocking path
+    /// is wall-clock-only behaviour, and workers must stay seed-free.
+    pub backoff_micros: u64,
+}
+
+/// One block operation submitted to a disk queue.
+#[derive(Debug)]
+pub enum SubmitOp {
+    /// Fetch a block into `buf` (recycled scratch; handed back in the
+    /// completion, including on cancellation).
+    Read {
+        /// Backend block key.
+        key: u64,
+        /// Scratch buffer the worker reads into.
+        buf: Vec<u8>,
+    },
+    /// Store `data` as block `key`. Contiguous queued writes are
+    /// coalesced across accesses into one group-commit dispatch.
+    Write {
+        /// Backend block key.
+        key: u64,
+        /// Encoded block payload.
+        data: Vec<u8>,
+    },
+    /// Remove block `key`.
+    Delete {
+        /// Backend block key.
+        key: u64,
+    },
+}
+
+/// Outcome of one write within a (possibly batched) commit dispatch.
+#[derive(Debug)]
+pub enum WriteOutcome {
+    /// The block landed.
+    Done,
+    /// The disk refused the write (admission/offline); the payload is
+    /// handed back for redirecting without re-encoding.
+    Refused {
+        /// The refusal error (a `MissingBlock`-class soft failure).
+        error: StoreError,
+        /// The unconsumed block payload.
+        data: Vec<u8>,
+    },
+    /// A hard mid-I/O fault consumed the block.
+    Fault(StoreError),
+    /// A hard fault earlier in the same batch aborted this entry before
+    /// the disk looked at it (batches stop at the first hard fault).
+    Aborted {
+        /// The disk whose batch aborted.
+        disk: usize,
+    },
+}
+
+/// What happened to one submitted op.
+#[derive(Debug)]
+pub enum CompletionKind {
+    /// A read was serviced (successfully or not).
+    Read {
+        /// `Ok` iff `buf` now holds the block bytes.
+        result: Result<(), StoreError>,
+        /// The scratch buffer handed back (contents valid only on `Ok`).
+        buf: Vec<u8>,
+        /// Transient-fault retries the worker performed for this op.
+        retries: u64,
+    },
+    /// A write was serviced (possibly as part of a cross-access batch).
+    Write(WriteOutcome),
+    /// A delete was serviced.
+    Delete(Result<(), StoreError>),
+    /// The op was revoked by [`IoRing::cancel`] before the disk serviced
+    /// it; the buffer/payload is handed back when the op carried one.
+    Cancelled {
+        /// Scratch or payload to recycle (`None` for deletes).
+        buf: Option<Vec<u8>>,
+    },
+}
+
+/// A completion event, delivered on the channel the submitter provided.
+#[derive(Debug)]
+pub struct Completion {
+    /// Access id the op was tagged with.
+    pub access: u64,
+    /// Per-access sequence tag the op was tagged with.
+    pub tag: u64,
+    /// Disk the op was queued on.
+    pub disk: usize,
+    /// What happened.
+    pub kind: CompletionKind,
+}
+
+struct Entry {
+    access: u64,
+    tag: u64,
+    op: SubmitOp,
+    done: Sender<Completion>,
+}
+
+struct QueueState {
+    entries: VecDeque<Entry>,
+    shutdown: bool,
+}
+
+struct DiskQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl DiskQueue {
+    fn new() -> Self {
+        DiskQueue {
+            state: Mutex::new(QueueState {
+                entries: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// The reactor front-end: per-disk submission queues over a
+/// [`ShardedBackend`], serviced by one worker thread per disk.
+pub struct IoRing {
+    queues: Arc<Vec<DiskQueue>>,
+    backend: Arc<ShardedBackend>,
+    config: RingConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl IoRing {
+    /// Start one worker per disk of `backend`.
+    pub fn start(backend: Arc<ShardedBackend>, config: RingConfig) -> Self {
+        let queues: Arc<Vec<DiskQueue>> =
+            Arc::new((0..backend.num_disks()).map(|_| DiskQueue::new()).collect());
+        let workers = (0..backend.num_disks())
+            .map(|disk| {
+                let queues = queues.clone();
+                let backend = backend.clone();
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("io-ring-{disk}"))
+                    .spawn(move || worker_loop(disk, &queues[disk], &backend, &config))
+                    .expect("spawn io-ring worker")
+            })
+            .collect();
+        IoRing {
+            queues,
+            backend,
+            config,
+            workers,
+        }
+    }
+
+    /// Queue `op` on `disk` for access `access` with per-access sequence
+    /// tag `tag`; the completion is sent to `done`. A disk id past the
+    /// end of the backend is serviced inline on the caller thread (the
+    /// `ShardedBackend` turns it into a graceful refusal), so submitters
+    /// need no bounds checks.
+    pub fn submit(
+        &self,
+        disk: usize,
+        access: u64,
+        tag: u64,
+        op: SubmitOp,
+        done: &Sender<Completion>,
+    ) {
+        match self.queues.get(disk) {
+            Some(queue) => {
+                let mut state = queue.state.lock().unwrap();
+                state.entries.push_back(Entry {
+                    access,
+                    tag,
+                    op,
+                    done: done.clone(),
+                });
+                drop(state);
+                queue.ready.notify_one();
+            }
+            None => {
+                let kind = service_op(disk, op, &self.backend, &self.config);
+                let _ = done.send(Completion {
+                    access,
+                    tag,
+                    disk,
+                    kind,
+                });
+            }
+        }
+    }
+
+    /// Revoke every still-queued op of `access` on every disk. Each
+    /// revoked op completes as [`CompletionKind::Cancelled`] with its
+    /// buffer handed back; ops a worker has already started run to
+    /// completion and must be drained by the caller.
+    pub fn cancel(&self, access: u64) {
+        for (disk, queue) in self.queues.iter().enumerate() {
+            let removed: Vec<Entry> = {
+                let mut state = queue.state.lock().unwrap();
+                let mut keep = VecDeque::with_capacity(state.entries.len());
+                let mut removed = Vec::new();
+                for entry in state.entries.drain(..) {
+                    if entry.access == access {
+                        removed.push(entry);
+                    } else {
+                        keep.push_back(entry);
+                    }
+                }
+                state.entries = keep;
+                removed
+            };
+            for entry in removed {
+                let buf = match entry.op {
+                    SubmitOp::Read { buf, .. } => Some(buf),
+                    SubmitOp::Write { data, .. } => Some(data),
+                    SubmitOp::Delete { .. } => None,
+                };
+                let _ = entry.done.send(Completion {
+                    access: entry.access,
+                    tag: entry.tag,
+                    disk,
+                    kind: CompletionKind::Cancelled { buf },
+                });
+            }
+        }
+    }
+}
+
+impl Drop for IoRing {
+    fn drop(&mut self) {
+        for queue in self.queues.iter() {
+            let mut state = queue.state.lock().unwrap();
+            state.shutdown = true;
+            drop(state);
+            queue.ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker main loop: pop ops (coalescing contiguous write runs across
+/// accesses), service them *outside* the queue lock, and deliver exactly
+/// one completion per op. Pending entries are drained before shutdown is
+/// honoured.
+fn worker_loop(disk: usize, queue: &DiskQueue, backend: &ShardedBackend, config: &RingConfig) {
+    let batch_cap = config.group_commit.max(1);
+    loop {
+        let popped: Vec<Entry> = {
+            let mut state = queue.state.lock().unwrap();
+            loop {
+                if !state.entries.is_empty() {
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = queue.ready.wait(state).unwrap();
+            }
+            if matches!(
+                state.entries.front().map(|e| &e.op),
+                Some(SubmitOp::Write { .. })
+            ) {
+                // Cross-access group commit: take the contiguous run of
+                // queued writes, whatever access they came from.
+                let mut batch = Vec::new();
+                while batch.len() < batch_cap
+                    && matches!(
+                        state.entries.front().map(|e| &e.op),
+                        Some(SubmitOp::Write { .. })
+                    )
+                {
+                    batch.push(state.entries.pop_front().unwrap());
+                }
+                batch
+            } else {
+                vec![state.entries.pop_front().unwrap()]
+            }
+        };
+        if matches!(popped.first().map(|e| &e.op), Some(SubmitOp::Write { .. })) {
+            service_write_batch(disk, popped, backend);
+        } else {
+            for entry in popped {
+                let kind = service_op(disk, entry.op, backend, config);
+                let _ = entry.done.send(Completion {
+                    access: entry.access,
+                    tag: entry.tag,
+                    disk,
+                    kind,
+                });
+            }
+        }
+    }
+}
+
+/// Land a run of writes in one `commit_batch` dispatch and fan the
+/// per-entry outcomes back out to their submitters. The batch contract
+/// (entries in order, stop at the first hard fault) means a result
+/// vector shorter than the batch marks the tail entries as aborted.
+fn service_write_batch(disk: usize, entries: Vec<Entry>, backend: &ShardedBackend) {
+    let mut meta = Vec::with_capacity(entries.len());
+    let mut batch = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let Entry {
+            access,
+            tag,
+            op,
+            done,
+        } = entry;
+        let SubmitOp::Write { key, data } = op else {
+            unreachable!("write batch holds only writes");
+        };
+        meta.push((access, tag, done));
+        batch.push((key, data));
+    }
+    let mut results = backend.commit_batch(disk, batch).into_iter();
+    for (access, tag, done) in meta {
+        let outcome = match results.next() {
+            Some(Ok(())) => WriteOutcome::Done,
+            Some(Err(rw)) => refusal_outcome(rw),
+            None => WriteOutcome::Aborted { disk },
+        };
+        let _ = done.send(Completion {
+            access,
+            tag,
+            disk,
+            kind: CompletionKind::Write(outcome),
+        });
+    }
+}
+
+/// Service one op on the calling thread, replicating the blocking read
+/// retry policy.
+fn service_op(
+    disk: usize,
+    op: SubmitOp,
+    backend: &ShardedBackend,
+    config: &RingConfig,
+) -> CompletionKind {
+    match op {
+        SubmitOp::Read { key, mut buf } => {
+            let max_attempts = config.read_attempts.max(1);
+            let mut attempt = 0u32;
+            let mut retries = 0u64;
+            let result = loop {
+                match backend.read_block_into(disk, key, &mut buf) {
+                    Ok(()) => {
+                        backend.count_read(disk);
+                        break Ok(());
+                    }
+                    Err(err @ StoreError::TransientIo { .. }) => {
+                        attempt += 1;
+                        if attempt >= max_attempts {
+                            break Err(err);
+                        }
+                        retries += 1;
+                        if config.backoff_micros > 0 {
+                            let us = config.backoff_micros << (attempt - 1);
+                            std::thread::sleep(std::time::Duration::from_micros(us));
+                        }
+                    }
+                    Err(err) => break Err(err),
+                }
+            };
+            CompletionKind::Read {
+                result,
+                buf,
+                retries,
+            }
+        }
+        SubmitOp::Write { key, data } => {
+            let outcome = match backend.write_block(disk, key, data) {
+                Ok(()) => WriteOutcome::Done,
+                Err(rw) => refusal_outcome(rw),
+            };
+            CompletionKind::Write(outcome)
+        }
+        SubmitOp::Delete { key } => CompletionKind::Delete(backend.delete_block(disk, key)),
+    }
+}
+
+/// Classify a failed write: refusals hand the payload back, hard faults
+/// consume it.
+fn refusal_outcome(rw: crate::backend::RefusedWrite) -> WriteOutcome {
+    match rw.error {
+        StoreError::MissingBlock { .. } => WriteOutcome::Refused {
+            error: rw.error,
+            data: rw.data,
+        },
+        error => WriteOutcome::Fault(error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InMemoryBackend;
+    use std::sync::mpsc;
+
+    fn ring(disks: usize) -> IoRing {
+        let backend = Arc::new(ShardedBackend::new(
+            Box::new(InMemoryBackend::uniform(disks, 10e6)),
+            true,
+        ));
+        IoRing::start(
+            backend,
+            RingConfig {
+                group_commit: 4,
+                read_attempts: 3,
+                backoff_micros: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn ring_write_read_delete_roundtrip() {
+        let r = ring(2);
+        let (tx, rx) = mpsc::channel();
+        r.submit(
+            1,
+            7,
+            0,
+            SubmitOp::Write {
+                key: 42,
+                data: vec![9; 16],
+            },
+            &tx,
+        );
+        let c = rx.recv().unwrap();
+        assert_eq!((c.access, c.tag, c.disk), (7, 0, 1));
+        assert!(matches!(c.kind, CompletionKind::Write(WriteOutcome::Done)));
+
+        r.submit(
+            1,
+            7,
+            1,
+            SubmitOp::Read {
+                key: 42,
+                buf: Vec::new(),
+            },
+            &tx,
+        );
+        let c = rx.recv().unwrap();
+        match c.kind {
+            CompletionKind::Read {
+                result,
+                buf,
+                retries,
+            } => {
+                result.unwrap();
+                assert_eq!(buf, vec![9; 16]);
+                assert_eq!(retries, 0);
+            }
+            other => panic!("unexpected completion {other:?}"),
+        }
+
+        r.submit(1, 7, 2, SubmitOp::Delete { key: 42 }, &tx);
+        let c = rx.recv().unwrap();
+        assert!(matches!(c.kind, CompletionKind::Delete(Ok(()))));
+
+        r.submit(
+            1,
+            7,
+            3,
+            SubmitOp::Read {
+                key: 42,
+                buf: Vec::new(),
+            },
+            &tx,
+        );
+        let c = rx.recv().unwrap();
+        assert!(matches!(
+            c.kind,
+            CompletionKind::Read {
+                result: Err(StoreError::MissingBlock { .. }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ring_out_of_range_disk_refuses_inline() {
+        let r = ring(1);
+        let (tx, rx) = mpsc::channel();
+        r.submit(
+            9,
+            1,
+            0,
+            SubmitOp::Write {
+                key: 0,
+                data: vec![1],
+            },
+            &tx,
+        );
+        let c = rx.recv().unwrap();
+        assert!(matches!(
+            c.kind,
+            CompletionKind::Write(WriteOutcome::Refused { .. })
+        ));
+        r.submit(
+            9,
+            1,
+            1,
+            SubmitOp::Read {
+                key: 0,
+                buf: Vec::new(),
+            },
+            &tx,
+        );
+        let c = rx.recv().unwrap();
+        assert!(matches!(
+            c.kind,
+            CompletionKind::Read { result: Err(_), .. }
+        ));
+    }
+
+    #[test]
+    fn ring_cancel_hands_buffers_back() {
+        // Queue ops on an offline-free ring but cancel before servicing
+        // can be guaranteed racy; instead cancel an access whose ops are
+        // behind a long queue on one disk by submitting from this thread
+        // and cancelling immediately — any op the worker already took
+        // completes as a real completion, the rest come back Cancelled.
+        let r = ring(1);
+        let (tx, rx) = mpsc::channel();
+        for tag in 0..64u64 {
+            r.submit(
+                0,
+                5,
+                tag,
+                SubmitOp::Read {
+                    key: tag,
+                    buf: Vec::new(),
+                },
+                &tx,
+            );
+        }
+        r.cancel(5);
+        let mut cancelled = 0;
+        let mut serviced = 0;
+        for _ in 0..64 {
+            match rx.recv().unwrap().kind {
+                CompletionKind::Cancelled { buf } => {
+                    assert!(buf.is_some(), "read cancels return the scratch buffer");
+                    cancelled += 1;
+                }
+                CompletionKind::Read { .. } => serviced += 1,
+                other => panic!("unexpected completion {other:?}"),
+            }
+        }
+        assert_eq!(cancelled + serviced, 64);
+        // Exactly one completion each: the channel must now be empty.
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn ring_cancel_leaves_other_accesses_queued() {
+        let r = ring(1);
+        let (tx, rx) = mpsc::channel();
+        for tag in 0..8u64 {
+            let access = if tag % 2 == 0 { 1 } else { 2 };
+            r.submit(0, access, tag, SubmitOp::Delete { key: 1000 + tag }, &tx);
+        }
+        r.cancel(1);
+        let mut outcomes = Vec::new();
+        for _ in 0..8 {
+            let c = rx.recv().unwrap();
+            outcomes.push((c.access, matches!(c.kind, CompletionKind::Cancelled { .. })));
+        }
+        // Every access-2 op was serviced, never cancelled.
+        assert!(outcomes
+            .iter()
+            .all(|&(access, cancelled)| access == 1 || !cancelled));
+    }
+
+    #[test]
+    fn ring_batches_contiguous_writes() {
+        let backend = Arc::new(ShardedBackend::new(
+            Box::new(InMemoryBackend::uniform(1, 10e6)),
+            true,
+        ));
+        let r = IoRing::start(
+            backend.clone(),
+            RingConfig {
+                group_commit: 4,
+                read_attempts: 1,
+                backoff_micros: 0,
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        for tag in 0..12u64 {
+            r.submit(
+                0,
+                tag % 3, // three interleaved accesses share the batch
+                tag,
+                SubmitOp::Write {
+                    key: tag,
+                    data: vec![tag as u8; 8],
+                },
+                &tx,
+            );
+        }
+        for _ in 0..12 {
+            let c = rx.recv().unwrap();
+            assert!(matches!(c.kind, CompletionKind::Write(WriteOutcome::Done)));
+        }
+        drop(r);
+        // All 12 blocks landed despite batching across accesses.
+        assert_eq!(backend.disk_used(0), 12 * 8);
+        assert_eq!(backend.writes(), 12);
+    }
+}

@@ -237,7 +237,9 @@ fn rs_roundtrip_is_kernel_invariant() {
 mod simd_differential {
     use super::*;
     use robustore_erasure::simd::{
-        self, gf_axpy_multi_simd, gf_axpy_simd, gf_scale_simd, xor_into_simd,
+        self, gf_axpy_multi_simd, gf_axpy_multi_simd_at, gf_axpy_simd, gf_axpy_simd_at,
+        gf_scale_simd, gf_scale_simd_at, tier_supported, xor_into_simd, xor_into_simd_at,
+        SimdLevel,
     };
 
     /// Skip guard: `false` (with a note) on hosts without shuffle units.
@@ -338,6 +340,73 @@ mod simd_differential {
                 "round {round}: len={} coef={} off={}",
                 case.len, case.coef, case.dst_off
             );
+        }
+    }
+
+    /// Every instruction tier the host supports — not just the probe's
+    /// preferred one — pinned to the scalar reference on the same
+    /// randomized case families, through the `*_at` entry points. On a
+    /// GFNI/AVX-512VBMI host this exercises the true-field-multiply and
+    /// 64-lane-permute kernels alongside AVX2 and SSSE3; tiers the CPU
+    /// lacks are skipped with a note.
+    #[test]
+    fn every_supported_tier_matches_scalar_on_random_cases() {
+        let tiers = [
+            SimdLevel::Ssse3,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512Vbmi,
+            SimdLevel::Gfni,
+            SimdLevel::Neon,
+        ];
+        for tier in tiers {
+            if !tier_supported(tier) {
+                eprintln!("tier {tier:?} unsupported on this CPU; cases skipped");
+                continue;
+            }
+            let mut rng = SeedSequence::new(0xA9).fork("tiers", tier as u64);
+            for round in 0..200 {
+                let case = Case::random(&mut rng, round);
+                let mut a = case.dst();
+                let mut b = case.dst();
+                gf_axpy_simd_at(tier, &mut a, case.coef, case.src());
+                gf_axpy_scalar(&mut b, case.coef, case.src());
+                assert_eq!(
+                    a, b,
+                    "{tier:?} axpy round {round}: len={} coef={} offs=({},{})",
+                    case.len, case.coef, case.dst_off, case.src_off
+                );
+
+                xor_into_simd_at(tier, &mut a, case.src());
+                xor_into_scalar(&mut b, case.src());
+                assert_eq!(a, b, "{tier:?} xor round {round}: len={}", case.len);
+
+                gf_scale_simd_at(tier, &mut a, case.coef);
+                gf_scale_scalar(&mut b, case.coef);
+                assert_eq!(
+                    a, b,
+                    "{tier:?} scale round {round}: len={} coef={}",
+                    case.len, case.coef
+                );
+
+                let extra: Vec<(u8, Vec<u8>)> = (0..rng.gen_range(0usize..6))
+                    .map(|_| {
+                        let mut s = vec![0u8; case.len];
+                        rng.fill_bytes(&mut s);
+                        (rng.gen::<u8>() & rng.gen::<u8>(), s)
+                    })
+                    .collect();
+                let mut srcs: Vec<(u8, &[u8])> = vec![(case.coef, case.src())];
+                srcs.extend(extra.iter().map(|(c, s)| (*c, s.as_slice())));
+                gf_axpy_multi_simd_at(tier, &mut a, &srcs);
+                gf_axpy_multi_scalar(&mut b, &srcs);
+                assert_eq!(
+                    a,
+                    b,
+                    "{tier:?} multi round {round}: len={} sources={}",
+                    case.len,
+                    srcs.len()
+                );
+            }
         }
     }
 

@@ -257,7 +257,14 @@ pub fn run_trials_threaded(
     threads: usize,
 ) -> TrialStats {
     let root = SeedSequence::new(master_seed);
-    let n_threads = threads.max(1).min(trials.max(1) as usize);
+    // Cap the fan-out at the machine's real parallelism: trials are CPU
+    // bound, so threads beyond the core count only add scheduler churn
+    // (on a 1-core host, 2 workers ran *slower* than 1). Determinism is
+    // unaffected — trial seeds and slots are indexed, not thread-owned.
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(usize::MAX);
+    let n_threads = threads.max(1).min(hw).min(trials.max(1) as usize);
     let mut outcomes: Vec<Option<AccessOutcome>> = vec![None; trials as usize];
     let chunk = trials.div_ceil(n_threads as u64).max(1);
     std::thread::scope(|scope| {

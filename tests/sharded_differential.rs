@@ -58,7 +58,7 @@ fn fname(file: usize) -> String {
     format!("diff-{file}")
 }
 
-fn make_system(sharded: bool, group_commit: usize) -> System {
+fn make_system(sharded: bool, group_commit: usize, io_ring: bool) -> System {
     let speeds: Vec<f64> = (0..DISKS).map(|i| 12e6 + i as f64 * 7e6).collect();
     let sys = System::with_backend(
         Box::new(InMemoryBackend::new(speeds)),
@@ -68,10 +68,12 @@ fn make_system(sharded: bool, group_commit: usize) -> System {
             pipeline_depth: 4,
             sharded,
             group_commit,
+            io_ring,
             ..Default::default()
         },
     );
     assert_eq!(sys.is_sharded(), sharded);
+    assert_eq!(sys.uses_io_ring(), io_ring);
     sys
 }
 
@@ -165,8 +167,8 @@ proptest! {
         ),
     ) {
         let ops = decode_ops(&raw);
-        let sharded = make_system(true, 8);
-        let whole = make_system(false, 8);
+        let sharded = make_system(true, 8, false);
+        let whole = make_system(false, 8, false);
         let client_a = Client::connect(&sharded, sharded.register_user());
         let client_b = Client::connect(&whole, whole.register_user());
         let mut model_a = BTreeMap::new();
@@ -200,7 +202,7 @@ proptest! {
         let ops = decode_ops(&raw);
         let mut states = Vec::new();
         for gc in [1usize, 8, batch] {
-            let sys = make_system(true, gc);
+            let sys = make_system(true, gc, false);
             let client = Client::connect(&sys, sys.register_user());
             let mut model = BTreeMap::new();
             run_schedule(&sys, &client, &ops, &mut model);
@@ -208,5 +210,38 @@ proptest! {
         }
         prop_assert_eq!(&states[0], &states[1]);
         prop_assert_eq!(&states[1], &states[2]);
+    }
+
+    /// The async I/O ring is a pure performance refactor over the
+    /// blocking sharded path: any serial schedule commits byte-identical
+    /// state — same file listing, layouts, generation parity, read-back
+    /// bytes, and per-disk byte counts — with the ring on or off.
+    #[test]
+    fn io_ring_matches_blocking_path(
+        raw in proptest::collection::vec(
+            ((0usize..4, 0usize..4), (1usize..24_000, any::<u8>(), any::<u16>())),
+            1..10,
+        ),
+    ) {
+        let ops = decode_ops(&raw);
+        let ring = make_system(true, 8, true);
+        let blocking = make_system(true, 8, false);
+        let client_a = Client::connect(&ring, ring.register_user());
+        let client_b = Client::connect(&blocking, blocking.register_user());
+        let mut model_a = BTreeMap::new();
+        let mut model_b = BTreeMap::new();
+        run_schedule(&ring, &client_a, &ops, &mut model_a);
+        run_schedule(&blocking, &client_b, &ops, &mut model_b);
+        prop_assert_eq!(&model_a, &model_b);
+
+        let got_ring = observe(&ring, &client_a);
+        let got_blocking = observe(&blocking, &client_b);
+        prop_assert_eq!(&got_ring, &got_blocking, "io ring diverged");
+
+        let live: Vec<String> = model_a.keys().cloned().collect();
+        prop_assert_eq!(&got_ring.0, &live);
+        for (name, _, _, bytes) in &got_ring.1 {
+            prop_assert_eq!(bytes, model_a.get(name).unwrap());
+        }
     }
 }

@@ -11,6 +11,7 @@ pub mod layoutvar;
 pub mod multiuser;
 pub mod pipeline;
 pub mod scrub;
+pub mod tail;
 
 use robustore_schemes::{run_trials, AccessConfig, TrialStats};
 use robustore_simkit::report::Table;

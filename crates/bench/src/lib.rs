@@ -174,6 +174,11 @@ pub fn registry() -> Vec<Experiment> {
             run: faults::faults,
         },
         Experiment {
+            id: "tail",
+            covers: "Perf extension: open-loop tail latency, static vs queue-aware adaptive read waves (writes BENCH_tail.json)",
+            run: tail::tail,
+        },
+        Experiment {
             id: "scrub",
             covers: "Self-healing extension: redundancy over time with/without scrubbing under seeded loss + bit rot (writes BENCH_scrub.json)",
             run: scrub::scrub,
@@ -197,7 +202,7 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 28, "one entry per paper artifact group plus extensions");
+        assert_eq!(n, 29, "one entry per paper artifact group plus extensions");
     }
 
     #[test]

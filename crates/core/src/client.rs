@@ -23,7 +23,7 @@
 //! * **update** (§4.3.4) — only the coded blocks whose coding-graph
 //!   neighbourhood intersects the changed originals are regenerated.
 
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -31,6 +31,7 @@ use parking_lot::Mutex;
 use robustore_erasure::lt::{LtCode, LtDecoder};
 use robustore_erasure::{Block, BlockPool, LtParams};
 use robustore_schemes::placement::Placement;
+use robustore_schemes::{AdaptiveReadPolicy, WaveSlot};
 use robustore_simkit::rng::uniform01;
 use robustore_simkit::SeedSequence;
 
@@ -40,7 +41,7 @@ use crate::credentials::{CredentialChain, KeyAuthority, PublicKey, Rights};
 use crate::error::StoreError;
 use crate::integrity::crc32c;
 use crate::metadata::{gen_key, AccessMode, CodingSpec, DiskInfo, FileMeta, MetadataServer};
-use crate::planner::LayoutPlanner;
+use crate::planner::{LayoutPlanner, ReadPolicy};
 use crate::qos::QosOptions;
 use crate::ring::{Completion, CompletionKind, IoRing, RingConfig, SubmitOp, WriteOutcome};
 use crate::scrub::ScrubReport;
@@ -101,6 +102,15 @@ pub struct SystemConfig {
     /// differential suites use as the oracle: committed state is
     /// byte-identical either way.
     pub io_ring: bool,
+    /// How ring reads schedule their speculative block requests:
+    /// [`ReadPolicy::Adaptive`] (the default) sizes staged waves from the
+    /// decoder's expected need and orders them by live per-disk load
+    /// ([`IoRing::load_map`]); [`ReadPolicy::Static`] requests every
+    /// stored block up front in nominal arrival order — the differential
+    /// oracle. Decoded bytes are identical under either policy; only
+    /// disk pressure and tail latency differ. The blocking path has no
+    /// telemetry, so it always behaves statically.
+    pub read_policy: ReadPolicy,
 }
 
 /// Bounded retry-with-backoff for transient read errors
@@ -163,6 +173,7 @@ impl Default for SystemConfig {
             sharded: true,
             group_commit: default_group_commit(),
             io_ring: true,
+            read_policy: ReadPolicy::default(),
         }
     }
 }
@@ -482,6 +493,15 @@ pub struct ReadReport {
     /// Damaged blocks re-encoded from the decoded data and re-placed on
     /// disks by read-repair during this access.
     pub blocks_repaired: usize,
+    /// Blocks the wave policy never requested: the decoder finished
+    /// before their wave came up. Unlike cancelled blocks these never
+    /// entered a disk queue at all. Always 0 under the static policy and
+    /// on the blocking path.
+    pub blocks_deferred: usize,
+    /// Submission waves issued (1 = the first wave sufficed; each stall
+    /// or deadline-budget extension adds one). Always 1 under the static
+    /// policy and on the blocking path.
+    pub waves: usize,
 }
 
 /// Report of an update.
@@ -1037,10 +1057,47 @@ impl Client {
         &self,
         handles: &[&FileHandle],
     ) -> Vec<Result<(Vec<u8>, ReadReport), StoreError>> {
-        if self.system.inner.ring.is_none() {
-            return handles.iter().map(|h| self.read_with_report(h)).collect();
-        }
         let mut results: ReadSlots = (0..handles.len()).map(|_| None).collect();
+        self.read_many_with(handles, None, |i, r| results[i] = Some(r));
+        results
+            .into_iter()
+            .map(|r| r.expect("every handle resolved"))
+            .collect()
+    }
+
+    /// Streaming form of [`Client::read_many`]: each access's result is
+    /// handed to `sink(handle_index, result)` the moment it resolves and
+    /// its buffers are recycled immediately, so a batch of hundreds of
+    /// accesses never holds more than the in-flight decoders' data in
+    /// memory. `arrivals` optionally paces the batch open-loop: entry `i`
+    /// is the offset in microseconds from the call's start before access
+    /// `i` submits its first request (the tail-latency harness feeds
+    /// Poisson offsets here; `None` starts everything at once). Offsets
+    /// pace submission only — completions of early accesses are serviced
+    /// while later ones wait. Without the ring, accesses run sequentially
+    /// in handle order (sleeping to each arrival offset first), so a slow
+    /// access delays later arrivals — the closed-loop caveat the ring
+    /// reactor exists to avoid. Accesses with different block sizes are
+    /// driven as separate sequential reactor batches; open-loop pacing is
+    /// only meaningful within one batch.
+    pub fn read_many_with(
+        &self,
+        handles: &[&FileHandle],
+        arrivals: Option<&[u64]>,
+        mut sink: impl FnMut(usize, Result<(Vec<u8>, ReadReport), StoreError>),
+    ) {
+        let t0 = std::time::Instant::now();
+        let arrival_of = |i: usize| arrivals.map_or(0, |offs| offs.get(i).copied().unwrap_or(0));
+        if self.system.inner.ring.is_none() {
+            for (i, h) in handles.iter().enumerate() {
+                let at = std::time::Duration::from_micros(arrival_of(i));
+                if let Some(wait) = at.checked_sub(t0.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                sink(i, self.read_with_report(h));
+            }
+            return;
+        }
         // Group valid handles by block size: the buffer pool holds one
         // size at a time, so each group runs as one reactor batch.
         let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -1052,7 +1109,7 @@ impl Client {
                         .or_default()
                         .push(i);
                 }
-                _ => results[i] = Some(Err(StoreError::StaleHandle)),
+                _ => sink(i, Err(StoreError::StaleHandle)),
             }
         }
         for (block_len, idxs) in groups {
@@ -1060,11 +1117,17 @@ impl Client {
                 Some(p) if p.block_len() == block_len => p,
                 _ => BlockPool::new(block_len),
             };
-            let metas: Vec<&FileMeta> = idxs
+            let jobs: Vec<(usize, &FileMeta, u64)> = idxs
                 .iter()
-                .map(|&i| handles[i].meta.as_ref().expect("validated above"))
+                .map(|&i| {
+                    (
+                        i,
+                        handles[i].meta.as_ref().expect("validated above"),
+                        arrival_of(i),
+                    )
+                })
                 .collect();
-            let batch = self.ring_read_batch(&metas, block_len, &mut pool);
+            self.ring_read_batch(&jobs, block_len, t0, &mut pool, &mut sink);
             {
                 let mut slot = self.system.inner.pool.lock();
                 match slot.as_mut() {
@@ -1072,46 +1135,77 @@ impl Client {
                     _ => *slot = Some(pool),
                 }
             }
-            for (i, r) in idxs.into_iter().zip(batch) {
-                results[i] = Some(r);
-            }
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every handle resolved"))
-            .collect()
     }
 
     /// The ring read reactor: drive a batch of same-block-size accesses
     /// to completion over the per-disk queues. Per access, requests are
-    /// submitted in the file's virtual-arrival order with a bounded
-    /// window, and completions are consumed strictly in tag order via a
-    /// reorder buffer — so the decoder sees the exact block sequence the
-    /// blocking path feeds it and the decode point (hence the committed
-    /// state and the report counters) is deterministic. On decode
-    /// success the access's queued ops are revoked ([`IoRing::cancel`]);
-    /// completions for ops the disks had already started are drained and
-    /// their buffers recycled.
+    /// submitted in the wave policy's schedule with a bounded window, and
+    /// completions are consumed strictly in tag order via a reorder
+    /// buffer — so the decoder sees a deterministic block sequence and
+    /// the decode point (hence the committed state and the report
+    /// counters) depends only on the schedule, never on completion
+    /// timing. Under [`ReadPolicy::Static`] — or adaptive with quiescent
+    /// telemetry — the schedule is the nominal arrival order, the whole
+    /// file is one wave, and the reactor behaves exactly like the
+    /// blocking oracle. Under load, adaptive accesses submit a first
+    /// wave of `⌈k·(1+ε)⌉` blocks and extend by `topup` entries whenever
+    /// their outstanding completions run dry before decode (stall) or
+    /// the deadline budget slips. On decode success the access's queued
+    /// ops are revoked ([`IoRing::cancel`]); completions for ops the
+    /// disks had already started are drained and their buffers recycled.
+    /// Each job is `(handle_index, meta, arrival_micros)`; results go to
+    /// `sink(handle_index, result)` as accesses resolve.
     fn ring_read_batch(
         &self,
-        metas: &[&FileMeta],
+        jobs: &[(usize, &FileMeta, u64)],
         block_len: usize,
+        t0: std::time::Instant,
         pool: &mut BlockPool,
-    ) -> Vec<Result<(Vec<u8>, ReadReport), StoreError>> {
+        sink: &mut impl FnMut(usize, Result<(Vec<u8>, ReadReport), StoreError>),
+    ) {
+        use std::time::{Duration, Instant};
         let ring = self.system.inner.ring.as_ref().expect("ring mode");
         let backend = &self.system.inner.backend;
+        let policy = self.system.inner.config.read_policy;
+        // Disk availabilities for the wave policy's mixing rule, indexed
+        // by disk id (one registry lock per batch).
+        let avail: Vec<f64> = {
+            let meta_srv = self.system.inner.meta.lock();
+            let mut avail = vec![1.0; backend.num_disks()];
+            for d in meta_srv.disks() {
+                if let Some(slot) = avail.get_mut(d.id) {
+                    *slot = d.availability;
+                }
+            }
+            avail
+        };
 
         /// Per-access reactor state.
         struct ReadState<'m> {
             meta: &'m FileMeta,
             decoder: LtDecoder<'m>,
-            /// `(slot, idx)` per tag — the virtual-arrival fetch order.
+            /// `(slot, idx)` per tag — the wave policy's fetch schedule
+            /// (empty until the access activates at its arrival time).
             order: Vec<(usize, usize)>,
             access: u64,
             /// Max requests in flight; small enough that an access never
             /// submits far past its decode point (cancellation savings),
             /// large enough to keep every disk of the layout busy.
             window: usize,
+            /// Submission bound: entries of `order` released so far (the
+            /// first wave, plus one top-up per extension).
+            limit: usize,
+            /// Entries added per top-up extension.
+            topup: usize,
+            /// Deadline budget between extensions (`None` = no timer).
+            deadline: Option<Duration>,
+            /// Next deadline slip, re-armed on each extension.
+            deadline_at: Option<Instant>,
+            /// When this access may submit its first wave.
+            arrival_at: Instant,
+            started: bool,
+            waves: usize,
             submitted: usize,
             /// Tags processed in order so far.
             next: usize,
@@ -1127,6 +1221,38 @@ impl Client {
             fatal: Option<StoreError>,
         }
 
+        impl ReadState<'_> {
+            /// All released work is done but the decoder isn't: extend.
+            fn stalled(&self) -> bool {
+                self.started
+                    && self.fatal.is_none()
+                    && !self.done_decoding
+                    && self.received == self.submitted
+                    && self.next == self.submitted
+                    && self.submitted == self.limit
+                    && self.limit < self.order.len()
+            }
+
+            /// Every outstanding completion drained and the access's fate
+            /// decided — ready to finalize and emit.
+            fn resolved(&self) -> bool {
+                self.started
+                    && self.received == self.submitted
+                    && (self.done_decoding || self.fatal.is_some() || self.next == self.order.len())
+            }
+
+            /// Release the next top-up wave and re-arm the deadline.
+            fn extend(&mut self, now: Instant) {
+                self.limit = (self.limit + self.topup).min(self.order.len());
+                self.waves += 1;
+                self.deadline_at = if self.limit < self.order.len() {
+                    self.deadline.map(|d| now + d)
+                } else {
+                    None
+                };
+            }
+        }
+
         /// Submit until the window is full (or the access is resolved).
         fn top_up(
             st: &mut ReadState<'_>,
@@ -1136,7 +1262,7 @@ impl Client {
         ) {
             while st.fatal.is_none()
                 && !st.done_decoding
-                && st.submitted < st.order.len()
+                && st.submitted < st.limit
                 && st.submitted - st.next < st.window
             {
                 let (slot, idx) = st.order[st.submitted];
@@ -1257,35 +1383,43 @@ impl Client {
             }
         }
 
-        let mut results: ReadSlots = (0..metas.len()).map(|_| None).collect();
         // Codes live outside the states so the decoders can borrow them.
-        let mut codes: Vec<Option<LtCode>> = Vec::with_capacity(metas.len());
-        for (i, meta) in metas.iter().enumerate() {
+        let mut codes: Vec<Option<LtCode>> = Vec::with_capacity(jobs.len());
+        for &(i, meta, _) in jobs {
             let spec = &meta.coding;
             match LtCode::plan(spec.k, spec.n, spec.params, spec.seed) {
                 Ok(c) => codes.push(Some(c)),
                 Err(e) => {
-                    results[i] = Some(Err(e.into()));
+                    sink(i, Err(e.into()));
                     codes.push(None);
                 }
             }
         }
-        let mut states: Vec<ReadState> = Vec::new();
-        let mut state_slot: Vec<usize> = Vec::new();
+        // One state slot per job (None = plan error, already emitted, or
+        // finalized); the schedule is computed lazily at each access's
+        // arrival time so it sees the freshest telemetry.
+        let mut states: Vec<Option<ReadState>> = Vec::with_capacity(jobs.len());
         let mut by_access: BTreeMap<u64, usize> = BTreeMap::new();
-        for (i, meta) in metas.iter().enumerate() {
-            let Some(code) = codes[i].as_ref() else {
+        for (si, &(_, meta, arrival_micros)) in jobs.iter().enumerate() {
+            let Some(code) = codes[si].as_ref() else {
+                states.push(None);
                 continue;
             };
             let access = self.system.next_access_id();
-            by_access.insert(access, states.len());
-            state_slot.push(i);
-            states.push(ReadState {
+            by_access.insert(access, si);
+            states.push(Some(ReadState {
                 meta,
                 decoder: LtDecoder::new(code, block_len),
-                order: arrival_order(meta, backend),
+                order: Vec::new(),
                 access,
                 window: (2 * meta.layout.len()).max(8),
+                limit: 0,
+                topup: 0,
+                deadline: None,
+                deadline_at: None,
+                arrival_at: t0 + Duration::from_micros(arrival_micros),
+                started: false,
+                waves: 0,
                 submitted: 0,
                 next: 0,
                 received: 0,
@@ -1298,93 +1432,173 @@ impl Client {
                 bad: BTreeSet::new(),
                 done_decoding: false,
                 fatal: None,
-            });
+            }));
         }
 
         // The reactor proper: one channel fans every disk's completions
         // back in; each completion advances its access (in tag order) and
         // tops its window back up. Every submitted op yields exactly one
-        // completion — serviced or cancelled — so the loop terminates
-        // without timeouts.
+        // completion — serviced or cancelled — so draining needs no
+        // timeouts; timers exist only for arrival pacing and deadline
+        // budgets. Accesses finalize (and emit) the moment they resolve.
         let (tx, rx) = std::sync::mpsc::channel();
-        for st in states.iter_mut() {
-            top_up(st, ring, &tx, pool);
-        }
-        while states.iter().any(|st| st.received < st.submitted) {
-            let c = rx.recv().expect("ring workers outlive the accesses");
-            let si = by_access[&c.access];
-            let st = &mut states[si];
-            st.received += 1;
-            st.parked.insert(c.tag, c.kind);
-            while let Some(kind) = st.parked.remove(&(st.next as u64)) {
-                let tag = st.next;
-                st.next += 1;
-                process(st, tag, kind, block_len, pool, ring);
-            }
-            top_up(st, ring, &tx, pool);
-        }
-
-        // Finalize each access exactly as the blocking tail does.
-        for (si, st) in states.into_iter().enumerate() {
-            let i = state_slot[si];
-            let ReadState {
-                meta,
-                mut decoder,
-                fetched,
-                retries,
-                missing,
-                corrupt,
-                unverified,
-                bad,
-                fatal,
-                ..
-            } = st;
-            let r = if let Some(e) = fatal {
-                pool.put_all(decoder.drain_all());
-                Err(e)
-            } else {
-                let complete = decoder.is_complete() || decoder.solve();
-                pool.put_all(decoder.drain_spares());
-                if !complete {
-                    pool.put_all(decoder.drain_all());
-                    Err(StoreError::Coding(
-                        robustore_erasure::CodingError::DecodeFailed,
-                    ))
-                } else {
-                    let blocks = decoder.into_data().expect("complete decoder yields data");
-                    let repaired = if self.system.inner.config.read_repair && !bad.is_empty() {
-                        let code = codes[i].as_ref().expect("state implies planned code");
-                        self.try_read_repair(meta, code, &blocks, &bad)
-                    } else {
-                        0
-                    };
-                    let mut out = Vec::with_capacity(meta.size_bytes as usize);
-                    for b in blocks {
-                        out.extend_from_slice(&b);
-                        pool.put(b);
-                    }
-                    out.truncate(meta.size_bytes as usize);
-                    Ok((
-                        out,
-                        ReadReport {
-                            blocks_fetched: fetched,
-                            blocks_cancelled: meta.stored_blocks().saturating_sub(fetched),
-                            reception_overhead: fetched as f64 / meta.coding.k as f64 - 1.0,
-                            transient_retries: retries,
-                            blocks_missing: missing,
-                            blocks_corrupt: corrupt,
-                            blocks_unverified: unverified,
-                            blocks_repaired: repaired,
-                        },
-                    ))
+        loop {
+            let now = Instant::now();
+            for si in 0..states.len() {
+                let Some(st) = states[si].as_mut() else {
+                    continue;
+                };
+                // Activate due arrivals: snapshot the live load and build
+                // the wave schedule.
+                if !st.started && now >= st.arrival_at {
+                    let sched = policy.schedule(
+                        &wave_slots(st.meta, backend, &avail),
+                        st.meta.coding.k,
+                        &ring.load_map(),
+                    );
+                    st.order = sched.order;
+                    st.limit = sched.first_wave;
+                    st.topup = sched.topup.max(1);
+                    st.deadline = sched.deadline_micros.map(Duration::from_micros);
+                    st.deadline_at = st.deadline.map(|d| now + d);
+                    st.started = true;
+                    st.waves = 1;
+                    top_up(st, ring, &tx, pool);
                 }
+                if !st.started {
+                    continue;
+                }
+                if st.done_decoding || st.fatal.is_some() {
+                    st.deadline_at = None;
+                } else if st.deadline_at.is_some_and(|at| now >= at) && st.limit < st.order.len() {
+                    // Deadline budget slipped: release the next wave even
+                    // though completions are still trickling in.
+                    st.extend(now);
+                    top_up(st, ring, &tx, pool);
+                }
+                if st.stalled() {
+                    // Released work ran dry before decode (faulty or
+                    // deferred blocks): release the next wave now.
+                    st.extend(now);
+                    top_up(st, ring, &tx, pool);
+                }
+                if st.resolved() {
+                    // Finalize exactly as the blocking tail does, then
+                    // emit and free the state (buffers recycle now, not
+                    // at batch end — bounded memory for huge batches).
+                    let st = states[si].take().expect("checked above");
+                    let i = jobs[si].0;
+                    let ReadState {
+                        meta,
+                        mut decoder,
+                        order,
+                        submitted,
+                        waves,
+                        fetched,
+                        retries,
+                        missing,
+                        corrupt,
+                        unverified,
+                        bad,
+                        fatal,
+                        ..
+                    } = st;
+                    let r = if let Some(e) = fatal {
+                        pool.put_all(decoder.drain_all());
+                        Err(e)
+                    } else {
+                        let complete = decoder.is_complete() || decoder.solve();
+                        pool.put_all(decoder.drain_spares());
+                        if !complete {
+                            pool.put_all(decoder.drain_all());
+                            Err(StoreError::Coding(
+                                robustore_erasure::CodingError::DecodeFailed,
+                            ))
+                        } else {
+                            let blocks = decoder.into_data().expect("complete decoder yields data");
+                            let repaired = if self.system.inner.config.read_repair
+                                && !bad.is_empty()
+                            {
+                                let code = codes[si].as_ref().expect("state implies planned code");
+                                self.try_read_repair(meta, code, &blocks, &bad)
+                            } else {
+                                0
+                            };
+                            let mut out = Vec::with_capacity(meta.size_bytes as usize);
+                            for b in blocks {
+                                out.extend_from_slice(&b);
+                                pool.put(b);
+                            }
+                            out.truncate(meta.size_bytes as usize);
+                            Ok((
+                                out,
+                                ReadReport {
+                                    blocks_fetched: fetched,
+                                    blocks_cancelled: meta.stored_blocks().saturating_sub(fetched),
+                                    reception_overhead: fetched as f64 / meta.coding.k as f64 - 1.0,
+                                    transient_retries: retries,
+                                    blocks_missing: missing,
+                                    blocks_corrupt: corrupt,
+                                    blocks_unverified: unverified,
+                                    blocks_repaired: repaired,
+                                    blocks_deferred: order.len() - submitted,
+                                    waves: waves.max(1),
+                                },
+                            ))
+                        }
+                    };
+                    sink(i, r);
+                }
+            }
+            if states.iter().all(Option::is_none) {
+                break;
+            }
+            // Wait for the next event: a completion, the next arrival, or
+            // the earliest deadline.
+            let outstanding = states.iter().flatten().any(|st| st.received < st.submitted);
+            let timer: Option<Instant> = states
+                .iter()
+                .flatten()
+                .filter_map(|st| {
+                    if st.started {
+                        st.deadline_at
+                    } else {
+                        Some(st.arrival_at)
+                    }
+                })
+                .min();
+            let c = if outstanding {
+                match timer {
+                    Some(at) => {
+                        let wait = at.saturating_duration_since(Instant::now());
+                        match rx.recv_timeout(wait) {
+                            Ok(c) => Some(c),
+                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+                            Err(e) => unreachable!("ring workers outlive the accesses: {e}"),
+                        }
+                    }
+                    None => Some(rx.recv().expect("ring workers outlive the accesses")),
+                }
+            } else {
+                let at = timer.expect("unresolved access with no work has a timer");
+                std::thread::sleep(at.saturating_duration_since(Instant::now()));
+                None
             };
-            results[i] = Some(r);
+            if let Some(c) = c {
+                let si = by_access[&c.access];
+                let st = states[si]
+                    .as_mut()
+                    .expect("resolved accesses have no completions left");
+                st.received += 1;
+                st.parked.insert(c.tag, c.kind);
+                while let Some(kind) = st.parked.remove(&(st.next as u64)) {
+                    let tag = st.next;
+                    st.next += 1;
+                    process(st, tag, kind, block_len, pool, ring);
+                }
+                top_up(st, ring, &tx, pool);
+            }
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every meta resolved"))
-            .collect()
     }
 
     fn read_inner(
@@ -1434,30 +1648,31 @@ impl Client {
                 // remains anywhere. Transient errors get a bounded retry
                 // first; only then is the block demoted to missing.
                 let mut buf = pool.get_scratch();
-                let mut attempt = 0u32;
-                let outcome = loop {
-                    match backend.read_block_into(*disk, meta.block_key(coded), &mut buf) {
-                        Ok(()) => break Ok(()),
-                        Err(StoreError::TransientIo { .. }) => {
-                            attempt += 1;
-                            if attempt >= max_attempts {
-                                break Err(None); // retries exhausted → missing
-                            }
-                            transient_retries += 1;
-                            if retry.backoff_micros > 0 {
-                                let jitter = 0.5 + uniform01(&mut backoff_rng);
-                                let micros =
-                                    (retry.backoff_micros << (attempt - 1)) as f64 * jitter;
-                                std::thread::sleep(std::time::Duration::from_micros(micros as u64));
-                            }
+                let (result, retries) = backend.read_block_retry(
+                    *disk,
+                    meta.block_key(coded),
+                    &mut buf,
+                    max_attempts,
+                    |attempt| {
+                        if retry.backoff_micros > 0 {
+                            let jitter = 0.5 + uniform01(&mut backoff_rng);
+                            let micros = (retry.backoff_micros << (attempt - 1)) as f64 * jitter;
+                            std::thread::sleep(std::time::Duration::from_micros(micros as u64));
                         }
-                        Err(StoreError::MissingBlock { .. }) => break Err(None),
-                        Err(e) => break Err(Some(e)),
+                    },
+                );
+                transient_retries += retries;
+                let outcome = match result {
+                    Ok(()) => Ok(()),
+                    // Retries exhausted (transient) or the block is gone:
+                    // demoted to missing either way.
+                    Err(StoreError::TransientIo { .. }) | Err(StoreError::MissingBlock { .. }) => {
+                        Err(None)
                     }
+                    Err(e) => Err(Some(e)),
                 };
                 match outcome {
                     Ok(()) => {
-                        backend.count_read(*disk);
                         // Integrity gate: a block that fails its recorded
                         // digest — or arrives short (torn read) — is silent
                         // corruption, demoted to a missing block. Blocks
@@ -1551,6 +1766,8 @@ impl Client {
                 blocks_corrupt: corrupt,
                 blocks_unverified: unverified,
                 blocks_repaired: repaired,
+                blocks_deferred: 0,
+                waves: 1,
             },
         ))
     }
@@ -2014,22 +2231,17 @@ impl Client {
                 for (disk, ids) in &meta.layout {
                     for &id in ids {
                         let mut buf = pool.get_scratch();
-                        let mut attempt = 0u32;
-                        let read_ok = loop {
-                            match backend.read_block_into(*disk, meta.block_key(id), &mut buf) {
-                                Ok(()) => break true,
-                                Err(StoreError::TransientIo { .. })
-                                    if attempt + 1 < max_attempts =>
-                                {
-                                    attempt += 1;
-                                }
-                                Err(_) => break false,
-                            }
-                        };
-                        if read_ok {
-                            backend.count_read(*disk);
-                        }
-                        if let Some(buf) = ingest(*disk, id, read_ok, buf) {
+                        // Shared retry helper, no backoff sleep: scrub is
+                        // a background sweep and the simulated backends
+                        // recover instantly.
+                        let (result, _) = backend.read_block_retry(
+                            *disk,
+                            meta.block_key(id),
+                            &mut buf,
+                            max_attempts,
+                            |_| {},
+                        );
+                        if let Some(buf) = ingest(*disk, id, result.is_ok(), buf) {
                             recycle(pool, buf);
                         }
                     }
@@ -2187,36 +2399,23 @@ impl Client {
 /// a slot's successor regardless of the fetch outcome, so the two paths
 /// consume blocks in the same deterministic sequence.
 fn arrival_order(meta: &FileMeta, backend: &ShardedBackend) -> Vec<(usize, usize)> {
-    use std::cmp::Reverse;
-    #[derive(PartialEq, PartialOrd)]
-    struct T(f64);
-    #[allow(clippy::derive_ord_xor_partial_ord)]
-    impl Eq for T {}
-    #[allow(clippy::derive_ord_xor_partial_ord)]
-    impl Ord for T {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("finite arrival times")
-        }
-    }
-    let per_block_time: Vec<f64> = meta
-        .layout
+    AdaptiveReadPolicy::static_schedule(&wave_slots(meta, backend, &[])).order
+}
+
+/// Describe a file's layout to the wave scheduler: one [`WaveSlot`] per
+/// layout entry, with the nominal per-block service time from the disk's
+/// catalogued speed. `avail` maps disk id → availability (empty when the
+/// caller doesn't need the mixing rule, e.g. for the static order).
+fn wave_slots(meta: &FileMeta, backend: &ShardedBackend, avail: &[f64]) -> Vec<WaveSlot> {
+    meta.layout
         .iter()
-        .map(|(d, _)| meta.coding.block_bytes as f64 / backend.disk_speed(*d))
-        .collect();
-    let mut heap: BinaryHeap<Reverse<(T, usize, usize)>> = BinaryHeap::new();
-    for (slot, (_, ids)) in meta.layout.iter().enumerate() {
-        if !ids.is_empty() {
-            heap.push(Reverse((T(per_block_time[slot]), slot, 0)));
-        }
-    }
-    let mut order = Vec::new();
-    while let Some(Reverse((T(t), slot, idx))) = heap.pop() {
-        order.push((slot, idx));
-        if idx + 1 < meta.layout[slot].1.len() {
-            heap.push(Reverse((T(t + per_block_time[slot]), slot, idx + 1)));
-        }
-    }
-    order
+        .map(|(d, ids)| WaveSlot {
+            disk: *d,
+            blocks: ids.len(),
+            nominal_micros: meta.coding.block_bytes as f64 / backend.disk_speed(*d) * 1e6,
+            availability: avail.get(*d).copied().unwrap_or(1.0),
+        })
+        .collect()
 }
 
 /// Windowed write submitter over the [`IoRing`] — the write-path analogue

@@ -98,8 +98,12 @@ pub use error::StoreError;
 pub use file_backend::FileBackend;
 pub use integrity::crc32c;
 pub use metadata::{gen_key, AccessMode, DiskInfo, FileMeta, MetadataServer};
-pub use planner::LayoutPlanner;
+pub use planner::{LayoutPlanner, ReadPolicy};
+// The wave-policy vocabulary lives in `robustore-schemes` (pure
+// bookkeeping, like the RRAID-A planner); re-exported here because
+// `SystemConfig::read_policy` and `IoRing::load_map` speak it.
 pub use qos::QosOptions;
 pub use ring::{Completion, CompletionKind, IoRing, RingConfig, SubmitOp, WriteOutcome};
+pub use robustore_schemes::{AdaptiveReadPolicy, DiskLoad, DiskLoadMap, WaveSchedule, WaveSlot};
 pub use scrub::{ScrubReport, Scrubber, SweepReport};
 pub use sharded::ShardedBackend;

@@ -13,9 +13,48 @@
 //!   disk bandwidth) − 1, the ratio that leaves every disk enough blocks
 //!   to stream for the whole read.
 
+use robustore_schemes::{AdaptiveReadPolicy, DiskLoadMap, WaveSchedule, WaveSlot};
+
 use crate::error::StoreError;
 use crate::metadata::DiskInfo;
 use crate::qos::QosOptions;
+
+/// How the client schedules speculative block requests on a read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadPolicy {
+    /// The paper's 2007 policy: request every stored block up front in
+    /// nominal arrival order, cancel leftovers on decode. Kept as the
+    /// differential oracle — byte-identical data, maximal disk pressure.
+    Static,
+    /// Queue-aware staged waves sized from the decoder's expected need
+    /// and ordered by live per-disk completion estimates.
+    Adaptive(AdaptiveReadPolicy),
+}
+
+impl Default for ReadPolicy {
+    fn default() -> Self {
+        ReadPolicy::Adaptive(AdaptiveReadPolicy::default())
+    }
+}
+
+impl ReadPolicy {
+    /// The default adaptive policy.
+    pub fn adaptive() -> Self {
+        Self::default()
+    }
+
+    /// Build the submission schedule for one access: `slots` describe the
+    /// file's layout, `k` is the decoder's block need, `load` the live
+    /// ring telemetry (empty on the blocking path). Static policy — and
+    /// adaptive with no telemetry — yield the request-everything schedule
+    /// in nominal arrival order.
+    pub fn schedule(&self, slots: &[WaveSlot], k: usize, load: &DiskLoadMap) -> WaveSchedule {
+        match self {
+            ReadPolicy::Static => AdaptiveReadPolicy::static_schedule(slots),
+            ReadPolicy::Adaptive(policy) => policy.schedule(slots, k, load),
+        }
+    }
+}
 
 /// The output of planning: which disks, how much redundancy.
 #[derive(Debug, Clone)]

@@ -28,16 +28,24 @@
 //!   reactor can drive `received == submitted` without timeouts. Workers
 //!   drain their queues before honouring shutdown.
 //!
-//! Workers replicate the blocking read-retry policy (bounded attempts on
-//! transient faults with exponential backoff) so that per-disk fault
-//! budgets are consumed in the same FIFO order as the blocking path;
-//! the differential suites assert committed state byte-identical with
-//! the ring on and off.
+//! Workers share the blocking path's read-retry helper
+//! ([`ShardedBackend::read_block_retry`]) so that per-disk fault budgets
+//! and retry counters are consumed identically on both paths; the
+//! differential suites assert committed state byte-identical with the
+//! ring on and off.
+//!
+//! Each worker also exports live load telemetry — queue depth, in-flight
+//! count, and an EWMA of per-op service time — behind the lock-free
+//! [`IoRing::load_map`] snapshot, which feeds the queue-aware
+//! [`robustore_schemes::AdaptiveReadPolicy`].
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+use robustore_schemes::{DiskLoad, DiskLoadMap};
 
 use crate::error::StoreError;
 use crate::sharded::ShardedBackend;
@@ -170,10 +178,49 @@ impl DiskQueue {
     }
 }
 
+/// EWMA smoothing factor for per-op service time. Small enough to ride
+/// out one-off hiccups, large enough that a few completions reveal a
+/// straggling disk.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Live load counters for one disk, updated lock-free around queue and
+/// service events. `queued`/`in_flight` are multi-writer counters;
+/// `ewma_bits` (an `f64` as bits) has a single writer — the disk's
+/// worker — so plain relaxed load/store suffices.
+#[derive(Debug, Default)]
+struct DiskStat {
+    queued: AtomicU64,
+    in_flight: AtomicU64,
+    ewma_bits: AtomicU64,
+}
+
+impl DiskStat {
+    fn snapshot(&self) -> DiskLoad {
+        DiskLoad {
+            queued: self.queued.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            ewma_service_micros: f64::from_bits(self.ewma_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Fold a measured per-op service time (µs) into the EWMA. Worker
+    /// thread only.
+    fn record_service(&self, micros: f64) {
+        let old = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
+        let new = if old == 0.0 {
+            micros
+        } else {
+            EWMA_ALPHA * micros + (1.0 - EWMA_ALPHA) * old
+        };
+        self.ewma_bits.store(new.to_bits(), Ordering::Relaxed);
+    }
+}
+
 /// The reactor front-end: per-disk submission queues over a
 /// [`ShardedBackend`], serviced by one worker thread per disk.
 pub struct IoRing {
     queues: Arc<Vec<DiskQueue>>,
+    stats: Arc<Vec<DiskStat>>,
     backend: Arc<ShardedBackend>,
     config: RingConfig,
     workers: Vec<JoinHandle<()>>,
@@ -184,23 +231,39 @@ impl IoRing {
     pub fn start(backend: Arc<ShardedBackend>, config: RingConfig) -> Self {
         let queues: Arc<Vec<DiskQueue>> =
             Arc::new((0..backend.num_disks()).map(|_| DiskQueue::new()).collect());
+        let stats: Arc<Vec<DiskStat>> = Arc::new(
+            (0..backend.num_disks())
+                .map(|_| DiskStat::default())
+                .collect(),
+        );
         let workers = (0..backend.num_disks())
             .map(|disk| {
                 let queues = queues.clone();
+                let stats = stats.clone();
                 let backend = backend.clone();
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("io-ring-{disk}"))
-                    .spawn(move || worker_loop(disk, &queues[disk], &backend, &config))
+                    .spawn(move || {
+                        worker_loop(disk, &queues[disk], &stats[disk], &backend, &config)
+                    })
                     .expect("spawn io-ring worker")
             })
             .collect();
         IoRing {
             queues,
+            stats,
             backend,
             config,
             workers,
         }
+    }
+
+    /// Snapshot every disk's live load — queue depth, in-flight count,
+    /// EWMA service latency — for the queue-aware read policy. Lock-free:
+    /// three relaxed atomic loads per disk.
+    pub fn load_map(&self) -> DiskLoadMap {
+        DiskLoadMap::from_loads(self.stats.iter().map(DiskStat::snapshot).collect())
     }
 
     /// Queue `op` on `disk` for access `access` with per-access sequence
@@ -225,6 +288,7 @@ impl IoRing {
                     op,
                     done: done.clone(),
                 });
+                self.stats[disk].queued.fetch_add(1, Ordering::Relaxed);
                 drop(state);
                 queue.ready.notify_one();
             }
@@ -260,6 +324,9 @@ impl IoRing {
                 state.entries = keep;
                 removed
             };
+            self.stats[disk]
+                .queued
+                .fetch_sub(removed.len() as u64, Ordering::Relaxed);
             for entry in removed {
                 let buf = match entry.op {
                     SubmitOp::Read { buf, .. } => Some(buf),
@@ -295,7 +362,13 @@ impl Drop for IoRing {
 /// accesses), service them *outside* the queue lock, and deliver exactly
 /// one completion per op. Pending entries are drained before shutdown is
 /// honoured.
-fn worker_loop(disk: usize, queue: &DiskQueue, backend: &ShardedBackend, config: &RingConfig) {
+fn worker_loop(
+    disk: usize,
+    queue: &DiskQueue,
+    stat: &DiskStat,
+    backend: &ShardedBackend,
+    config: &RingConfig,
+) {
     let batch_cap = config.group_commit.max(1);
     loop {
         let popped: Vec<Entry> = {
@@ -329,11 +402,21 @@ fn worker_loop(disk: usize, queue: &DiskQueue, backend: &ShardedBackend, config:
                 vec![state.entries.pop_front().unwrap()]
             }
         };
+        let n = popped.len() as u64;
+        stat.queued.fetch_sub(n, Ordering::Relaxed);
+        stat.in_flight.fetch_add(n, Ordering::Relaxed);
+        // The stat updates below happen *before* the completion sends, so
+        // a submitter that has drained all its completions observes its
+        // own ops fully retired from the load map — a quiescent reactor
+        // never sees ghost in-flight residue from its previous access.
         if matches!(popped.first().map(|e| &e.op), Some(SubmitOp::Write { .. })) {
-            service_write_batch(disk, popped, backend);
+            service_write_batch(disk, popped, stat, backend);
         } else {
             for entry in popped {
+                let begun = std::time::Instant::now();
                 let kind = service_op(disk, entry.op, backend, config);
+                stat.record_service(begun.elapsed().as_secs_f64() * 1e6);
+                stat.in_flight.fetch_sub(1, Ordering::Relaxed);
                 let _ = entry.done.send(Completion {
                     access: entry.access,
                     tag: entry.tag,
@@ -349,7 +432,13 @@ fn worker_loop(disk: usize, queue: &DiskQueue, backend: &ShardedBackend, config:
 /// per-entry outcomes back out to their submitters. The batch contract
 /// (entries in order, stop at the first hard fault) means a result
 /// vector shorter than the batch marks the tail entries as aborted.
-fn service_write_batch(disk: usize, entries: Vec<Entry>, backend: &ShardedBackend) {
+fn service_write_batch(
+    disk: usize,
+    entries: Vec<Entry>,
+    stat: &DiskStat,
+    backend: &ShardedBackend,
+) {
+    let n = entries.len() as u64;
     let mut meta = Vec::with_capacity(entries.len());
     let mut batch = Vec::with_capacity(entries.len());
     for entry in entries {
@@ -365,7 +454,13 @@ fn service_write_batch(disk: usize, entries: Vec<Entry>, backend: &ShardedBacken
         meta.push((access, tag, done));
         batch.push((key, data));
     }
-    let mut results = backend.commit_batch(disk, batch).into_iter();
+    let begun = std::time::Instant::now();
+    let results = backend.commit_batch(disk, batch);
+    // One EWMA sample per op (the batch's wall time split evenly), folded
+    // before the sends for the same reason as the read path.
+    stat.record_service(begun.elapsed().as_secs_f64() * 1e6 / n as f64);
+    stat.in_flight.fetch_sub(n, Ordering::Relaxed);
+    let mut results = results.into_iter();
     for (access, tag, done) in meta {
         let outcome = match results.next() {
             Some(Ok(())) => WriteOutcome::Done,
@@ -391,29 +486,13 @@ fn service_op(
 ) -> CompletionKind {
     match op {
         SubmitOp::Read { key, mut buf } => {
-            let max_attempts = config.read_attempts.max(1);
-            let mut attempt = 0u32;
-            let mut retries = 0u64;
-            let result = loop {
-                match backend.read_block_into(disk, key, &mut buf) {
-                    Ok(()) => {
-                        backend.count_read(disk);
-                        break Ok(());
+            let (result, retries) =
+                backend.read_block_retry(disk, key, &mut buf, config.read_attempts, |attempt| {
+                    if config.backoff_micros > 0 {
+                        let us = config.backoff_micros << (attempt - 1);
+                        std::thread::sleep(std::time::Duration::from_micros(us));
                     }
-                    Err(err @ StoreError::TransientIo { .. }) => {
-                        attempt += 1;
-                        if attempt >= max_attempts {
-                            break Err(err);
-                        }
-                        retries += 1;
-                        if config.backoff_micros > 0 {
-                            let us = config.backoff_micros << (attempt - 1);
-                            std::thread::sleep(std::time::Duration::from_micros(us));
-                        }
-                    }
-                    Err(err) => break Err(err),
-                }
-            };
+                });
             CompletionKind::Read {
                 result,
                 buf,
@@ -623,6 +702,51 @@ mod tests {
         assert!(outcomes
             .iter()
             .all(|&(access, cancelled)| access == 1 || !cancelled));
+    }
+
+    #[test]
+    fn ring_load_map_tracks_service_and_drains() {
+        let r = ring(2);
+        let (tx, rx) = mpsc::channel();
+        for tag in 0..16u64 {
+            r.submit(
+                0,
+                1,
+                tag,
+                SubmitOp::Write {
+                    key: tag,
+                    data: vec![1; 32],
+                },
+                &tx,
+            );
+        }
+        for _ in 0..16 {
+            rx.recv().unwrap();
+        }
+        // Give the worker a beat to finish its post-send accounting.
+        for _ in 0..100 {
+            let l = r.load_map();
+            let d0 = *l.get(0).unwrap();
+            if d0.queued == 0 && d0.in_flight == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let l = r.load_map();
+        assert!(!l.is_empty());
+        let d0 = *l.get(0).unwrap();
+        assert_eq!(d0.queued, 0, "all ops drained");
+        assert_eq!(d0.in_flight, 0);
+        assert!(
+            d0.ewma_service_micros > 0.0,
+            "serviced ops leave an EWMA sample"
+        );
+        let d1 = *l.get(1).unwrap();
+        assert_eq!(
+            d1.ewma_service_micros, 0.0,
+            "idle disk has no service sample"
+        );
+        assert!(l.get(2).is_none());
     }
 
     #[test]

@@ -145,6 +145,46 @@ impl ShardedBackend {
         }
     }
 
+    /// Fetch a block with the shared bounded-retry policy: transient
+    /// faults retry up to `max_attempts` total attempts, calling
+    /// `backoff(attempt)` before each retry (the caller supplies the
+    /// sleep — plain exponential on the ring workers, seeded jitter on
+    /// the blocking path, nothing during scrub). A successful read is
+    /// counted against the disk here, so the retry accounting and the
+    /// per-disk read counters cannot drift between the two paths.
+    /// Returns the final result and the number of retries performed;
+    /// exhausted retries surface the last `TransientIo` error.
+    pub fn read_block_retry(
+        &self,
+        disk: usize,
+        block: u64,
+        buf: &mut Vec<u8>,
+        max_attempts: u32,
+        mut backoff: impl FnMut(u32),
+    ) -> (Result<(), StoreError>, u64) {
+        let max_attempts = max_attempts.max(1);
+        let mut attempt = 0u32;
+        let mut retries = 0u64;
+        let result = loop {
+            match self.read_block_into(disk, block, buf) {
+                Ok(()) => {
+                    self.count_read(disk);
+                    break Ok(());
+                }
+                Err(err @ StoreError::TransientIo { .. }) => {
+                    attempt += 1;
+                    if attempt >= max_attempts {
+                        break Err(err);
+                    }
+                    retries += 1;
+                    backoff(attempt);
+                }
+                Err(err) => break Err(err),
+            }
+        };
+        (result, retries)
+    }
+
     /// Remove a block.
     pub fn delete_block(&self, disk: usize, block: u64) -> Result<(), StoreError> {
         match &self.mode {

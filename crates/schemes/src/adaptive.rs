@@ -216,3 +216,427 @@ mod tests {
         assert!(p.all_received());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Queue-aware wave scheduling for the speculative (LT-coded) read path.
+//
+// RobuSTore's original policy requests *every* stored block and cancels the
+// leftovers once the decoder finishes. That is optimal at low load but
+// self-defeating under traffic: the redundant requests are exactly what
+// builds the queues that create tail latency. The types below implement the
+// queue-aware alternative — request a first wave sized to the decoder's
+// expected need, ordered by *estimated* completion time from live per-disk
+// load, and top up from the fastest remaining queues only when completions
+// stall or a deadline budget slips.
+//
+// Like `AdaptivePlanner` above, this is pure bookkeeping: the I/O ring
+// feeds it a load snapshot, the client executes the schedule.
+
+/// Live load estimate for one disk, snapshotted from its ring worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DiskLoad {
+    /// Operations accepted by the worker's queue but not yet started.
+    pub queued: u64,
+    /// Operations the worker has started and not yet completed.
+    pub in_flight: u64,
+    /// Exponentially weighted moving average of per-op service time in
+    /// microseconds; `0.0` until the first completion.
+    pub ewma_service_micros: f64,
+}
+
+impl DiskLoad {
+    /// Queued plus in-flight — the backlog a new request waits behind.
+    pub fn backlog(&self) -> u64 {
+        self.queued + self.in_flight
+    }
+}
+
+/// A snapshot of per-disk load, indexed by disk id. An *empty* map (no
+/// telemetry source, e.g. the blocking path) makes every policy degenerate
+/// to the static arrival-order schedule.
+#[derive(Debug, Clone, Default)]
+pub struct DiskLoadMap {
+    loads: Vec<DiskLoad>,
+}
+
+impl DiskLoadMap {
+    /// The empty map: no live information, schedules degenerate to static.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from per-disk loads, indexed by disk id.
+    pub fn from_loads(loads: Vec<DiskLoad>) -> Self {
+        DiskLoadMap { loads }
+    }
+
+    /// True when the map carries no live information.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Load estimate for `disk`, if the map knows it.
+    pub fn get(&self, disk: usize) -> Option<&DiskLoad> {
+        self.loads.get(disk)
+    }
+}
+
+/// One layout slot as the wave scheduler sees it: a disk holding `blocks`
+/// coded blocks of the file, with a nominal (catalogued-bandwidth) per-block
+/// service time and the disk's availability class input.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveSlot {
+    /// Disk id (for load lookup).
+    pub disk: usize,
+    /// Stored blocks of this file on the disk.
+    pub blocks: usize,
+    /// Nominal per-block service time, microseconds
+    /// (`block_bytes / catalogued_bandwidth`).
+    pub nominal_micros: f64,
+    /// Catalogued availability of the disk (mixing-rule input).
+    pub availability: f64,
+}
+
+/// The full submission schedule for one access.
+///
+/// `order` lists every stored block as `(slot, idx)` — slot index into the
+/// `WaveSlot` array, block index within that slot — sorted by estimated
+/// completion time. The client submits `order[..first_wave]` up front, then
+/// extends its submission limit by `topup` entries whenever completions
+/// stall or the deadline budget slips, until the decoder finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveSchedule {
+    /// Every stored block as `(slot, idx)`, in estimated completion order.
+    pub order: Vec<(usize, usize)>,
+    /// Entries of `order` to request immediately.
+    pub first_wave: usize,
+    /// Entries added per top-up wave.
+    pub topup: usize,
+    /// Budget (µs) after which the client should top up even though
+    /// completions are still trickling in; `None` disables the timer
+    /// (static schedule: everything is already submitted).
+    pub deadline_micros: Option<u64>,
+}
+
+/// Queue-aware wave policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveReadPolicy {
+    /// ε in the first-wave size `⌈k·(1+ε)⌉` — matched to the LT decoder's
+    /// expected reception overhead.
+    pub first_wave_overhead: f64,
+    /// Top-up wave size as a fraction of `k` (at least one block).
+    pub topup_fraction: f64,
+    /// Deadline budget as a multiple of the first wave's estimated
+    /// completion time.
+    pub deadline_factor: f64,
+}
+
+impl Default for AdaptiveReadPolicy {
+    fn default() -> Self {
+        AdaptiveReadPolicy {
+            first_wave_overhead: 0.5,
+            topup_fraction: 0.25,
+            deadline_factor: 2.0,
+        }
+    }
+}
+
+/// Merge per-slot block streams by estimated completion time. For a slot
+/// with per-block service estimate `srv` and a backlog of `b` foreign ops,
+/// its `i`-th block is estimated to complete at `(b + i + 1)·srv` — the
+/// accumulation mirrors the virtual-arrival merge the static path uses, so
+/// with no live load the two produce bit-identical orders.
+fn merge_by_completion(slots: &[WaveSlot], srv: &[f64], start: &[f64]) -> Vec<(usize, usize)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq, PartialOrd)]
+    struct T(f64);
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Eq for T {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Ord for T {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .partial_cmp(&other.0)
+                .expect("finite completion times")
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(T, usize, usize)>> = BinaryHeap::new();
+    for (slot, ws) in slots.iter().enumerate() {
+        if ws.blocks > 0 {
+            heap.push(Reverse((T(start[slot] + srv[slot]), slot, 0)));
+        }
+    }
+    let mut order = Vec::new();
+    while let Some(Reverse((T(t), slot, idx))) = heap.pop() {
+        order.push((slot, idx));
+        if idx + 1 < slots[slot].blocks {
+            heap.push(Reverse((T(t + srv[slot]), slot, idx + 1)));
+        }
+    }
+    order
+}
+
+/// Estimated completion time of the `n`-th entry (0-based) of a merged
+/// order — recomputed by replaying the accumulation.
+fn completion_time_at(order: &[(usize, usize)], srv: &[f64], start: &[f64], n: usize) -> f64 {
+    let (slot, idx) = order[n];
+    start[slot] + (idx as f64 + 1.0) * srv[slot]
+}
+
+impl AdaptiveReadPolicy {
+    /// The static (request-everything) schedule: blocks in nominal
+    /// arrival order, all submitted as the first wave, no deadline. This
+    /// is the differential oracle the adaptive policy must match byte for
+    /// byte, and exactly the order the pre-wave client used.
+    pub fn static_schedule(slots: &[WaveSlot]) -> WaveSchedule {
+        let srv: Vec<f64> = slots.iter().map(|s| s.nominal_micros).collect();
+        let start = vec![0.0; slots.len()];
+        let order = merge_by_completion(slots, &srv, &start);
+        let n = order.len();
+        WaveSchedule {
+            order,
+            first_wave: n,
+            topup: n.max(1),
+            deadline_micros: None,
+        }
+    }
+
+    /// Build the submission schedule for one access over `slots`, needing
+    /// `k` decoded blocks, given the live `load` snapshot.
+    ///
+    /// Per-slot service time is `max(nominal, EWMA)` — the nominal floor
+    /// keeps a freshly idle disk from looking infinitely fast — and each
+    /// slot's stream starts behind its current backlog. An empty load map
+    /// degenerates to [`Self::static_schedule`]. The first wave is
+    /// `⌈k·(1+ε)⌉` blocks, fixed up so it touches both availability
+    /// classes (the planner's mixing rule): if every first-wave block sits
+    /// on one side of the median availability while the other side holds
+    /// blocks, the other side's earliest block is swapped into the wave.
+    pub fn schedule(&self, slots: &[WaveSlot], k: usize, load: &DiskLoadMap) -> WaveSchedule {
+        if load.is_empty() {
+            return Self::static_schedule(slots);
+        }
+        let srv: Vec<f64> = slots
+            .iter()
+            .map(|s| match load.get(s.disk) {
+                Some(l) if l.ewma_service_micros > s.nominal_micros => l.ewma_service_micros,
+                _ => s.nominal_micros,
+            })
+            .collect();
+        let start: Vec<f64> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let backlog = load.get(s.disk).map_or(0, |l| l.backlog());
+                backlog as f64 * srv[i]
+            })
+            .collect();
+        let mut order = merge_by_completion(slots, &srv, &start);
+        let total = order.len();
+        let first_wave = ((k as f64 * (1.0 + self.first_wave_overhead)).ceil() as usize)
+            .clamp(1.min(total), total);
+        fix_up_mixing(&mut order, slots, first_wave);
+        let topup = ((k as f64 * self.topup_fraction).ceil() as usize).max(1);
+        let deadline_micros = if first_wave < total && first_wave > 0 {
+            let t = completion_time_at(&order, &srv, &start, first_wave - 1);
+            Some((t * self.deadline_factor).ceil() as u64)
+        } else {
+            None
+        };
+        WaveSchedule {
+            order,
+            first_wave,
+            topup,
+            deadline_micros,
+        }
+    }
+}
+
+/// Enforce the planner's availability-class mixing rule on the first wave:
+/// classes split at the median availability of block-holding slots (at or
+/// above the median is the high class). If one non-empty class has no
+/// block inside `order[..first_wave]`, swap its earliest entry into the
+/// last first-wave position. The rest of the order is untouched, so the
+/// static-oracle prefix property degrades by at most one entry.
+fn fix_up_mixing(order: &mut [(usize, usize)], slots: &[WaveSlot], first_wave: usize) {
+    if first_wave == 0 || first_wave >= order.len() {
+        return;
+    }
+    let mut avails: Vec<f64> = slots
+        .iter()
+        .filter(|s| s.blocks > 0)
+        .map(|s| s.availability)
+        .collect();
+    if avails.len() < 2 {
+        return;
+    }
+    avails.sort_by(|a, b| a.partial_cmp(b).expect("finite availability"));
+    let median = avails[avails.len() / 2];
+    let is_high = |slot: usize| slots[slot].availability >= median;
+    let wave_has = |order: &[(usize, usize)], high: bool| {
+        order[..first_wave].iter().any(|&(s, _)| is_high(s) == high)
+    };
+    for class_high in [false, true] {
+        let class_exists = slots
+            .iter()
+            .enumerate()
+            .any(|(i, s)| s.blocks > 0 && is_high(i) == class_high);
+        if class_exists && !wave_has(order, class_high) {
+            if let Some(pos) = order[first_wave..]
+                .iter()
+                .position(|&(s, _)| is_high(s) == class_high)
+            {
+                order.swap(first_wave - 1, first_wave + pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod wave_tests {
+    use super::*;
+
+    fn slots(blocks: &[usize], nominal: f64) -> Vec<WaveSlot> {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(d, &b)| WaveSlot {
+                disk: d,
+                blocks: b,
+                nominal_micros: nominal,
+                availability: if d % 2 == 0 { 0.999 } else { 0.95 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_load_degenerates_to_static() {
+        let s = slots(&[3, 3, 3, 3], 100.0);
+        let policy = AdaptiveReadPolicy::default();
+        let adaptive = policy.schedule(&s, 4, &DiskLoadMap::empty());
+        let oracle = AdaptiveReadPolicy::static_schedule(&s);
+        assert_eq!(adaptive, oracle);
+        assert_eq!(adaptive.first_wave, adaptive.order.len());
+        assert_eq!(adaptive.deadline_micros, None);
+    }
+
+    #[test]
+    fn zero_load_map_matches_static_order() {
+        // A present-but-quiescent load map must give the static order too
+        // (EWMA below nominal, zero backlog).
+        let s = slots(&[2, 4, 1, 3], 250.0);
+        let load = DiskLoadMap::from_loads(vec![DiskLoad::default(); 4]);
+        let policy = AdaptiveReadPolicy::default();
+        let adaptive = policy.schedule(&s, 20, &load);
+        let oracle = AdaptiveReadPolicy::static_schedule(&s);
+        assert_eq!(adaptive.order, oracle.order);
+    }
+
+    #[test]
+    fn backlogged_disk_is_scheduled_late() {
+        let s = slots(&[2, 2], 100.0);
+        let load = DiskLoadMap::from_loads(vec![
+            DiskLoad {
+                queued: 5,
+                in_flight: 1,
+                ewma_service_micros: 0.0,
+            },
+            DiskLoad::default(),
+        ]);
+        let sched = AdaptiveReadPolicy::default().schedule(&s, 2, &load);
+        // Disk 1's two blocks (100, 200 µs) beat disk 0's (700, 800 µs).
+        assert_eq!(sched.order, vec![(1, 0), (1, 1), (0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn slow_ewma_overrides_nominal() {
+        let s = slots(&[1, 1], 100.0);
+        let load = DiskLoadMap::from_loads(vec![
+            DiskLoad {
+                queued: 0,
+                in_flight: 0,
+                ewma_service_micros: 5_000.0,
+            },
+            DiskLoad::default(),
+        ]);
+        let sched = AdaptiveReadPolicy::default().schedule(&s, 1, &load);
+        assert_eq!(sched.order[0], (1, 0));
+    }
+
+    #[test]
+    fn first_wave_sized_from_reception_overhead() {
+        let s = slots(&[8, 8, 8, 8], 100.0);
+        let load = DiskLoadMap::from_loads(vec![DiskLoad::default(); 4]);
+        let sched = AdaptiveReadPolicy::default().schedule(&s, 16, &load);
+        assert_eq!(sched.first_wave, 24, "⌈16·1.5⌉");
+        assert_eq!(sched.topup, 4, "⌈16·0.25⌉");
+        assert!(sched.deadline_micros.is_some());
+        assert_eq!(sched.order.len(), 32);
+    }
+
+    #[test]
+    fn first_wave_clamped_to_total() {
+        let s = slots(&[2, 2], 100.0);
+        let load = DiskLoadMap::from_loads(vec![DiskLoad::default(); 2]);
+        let sched = AdaptiveReadPolicy::default().schedule(&s, 16, &load);
+        assert_eq!(sched.first_wave, 4);
+        assert_eq!(sched.deadline_micros, None, "nothing left to top up");
+    }
+
+    #[test]
+    fn mixing_fix_up_pulls_in_missing_class() {
+        // Disk 0 (high class) is so fast the natural first wave is all
+        // disk 0; the fix-up must swap one low-class block in.
+        let s = vec![
+            WaveSlot {
+                disk: 0,
+                blocks: 6,
+                nominal_micros: 10.0,
+                availability: 0.999,
+            },
+            WaveSlot {
+                disk: 1,
+                blocks: 6,
+                nominal_micros: 10_000.0,
+                availability: 0.95,
+            },
+        ];
+        let load = DiskLoadMap::from_loads(vec![DiskLoad::default(); 2]);
+        let policy = AdaptiveReadPolicy {
+            first_wave_overhead: 0.0,
+            ..Default::default()
+        };
+        let sched = policy.schedule(&s, 4, &load);
+        assert_eq!(sched.first_wave, 4);
+        let wave = &sched.order[..4];
+        assert!(
+            wave.iter().any(|&(slot, _)| slot == 1),
+            "low-availability class must appear in the first wave: {wave:?}"
+        );
+        assert!(wave.iter().any(|&(slot, _)| slot == 0));
+        // Everything is still a permutation of all stored blocks.
+        let mut sorted = sched.order.clone();
+        sorted.sort_unstable();
+        let expect: Vec<(usize, usize)> = (0..2_usize)
+            .flat_map(|s| (0..6).map(move |i| (s, i)))
+            .collect();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn deadline_scales_with_first_wave_estimate() {
+        let s = slots(&[4, 4], 100.0);
+        let load = DiskLoadMap::from_loads(vec![DiskLoad::default(); 2]);
+        let policy = AdaptiveReadPolicy {
+            first_wave_overhead: 0.0,
+            topup_fraction: 0.5,
+            deadline_factor: 3.0,
+        };
+        let sched = policy.schedule(&s, 4, &load);
+        assert_eq!(sched.first_wave, 4);
+        // First wave = first two blocks of each disk; the 4th entry
+        // completes at 200 µs, so the budget is 600 µs.
+        assert_eq!(sched.deadline_micros, Some(600));
+    }
+}

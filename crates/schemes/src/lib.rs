@@ -18,7 +18,8 @@
 //! * [`tracker`] — scheme-specific completion detection.
 //! * [`engine`] — the discrete-event coordinator that runs one read or
 //!   write access against a [`robustore_cluster::Cluster`].
-//! * [`adaptive`] — RRAID-A's client-side work-stealing planner.
+//! * [`adaptive`] — RRAID-A's client-side work-stealing planner, plus the
+//!   queue-aware wave policy used by the real client's speculative reads.
 //! * [`outcome`] — per-access metrics (§6.2.3: access bandwidth, latency,
 //!   I/O overhead) and multi-trial statistics.
 //! * [`runner`] — builds clusters, runs trials, and orchestrates
@@ -50,6 +51,7 @@ pub mod placement;
 pub mod runner;
 pub mod tracker;
 
+pub use adaptive::{AdaptiveReadPolicy, DiskLoad, DiskLoadMap, WaveSchedule, WaveSlot};
 pub use config::{AccessConfig, AccessKind, SchemeKind, Striping};
 // The scheme engine itself is symbolic (it moves block *ids*, not bytes),
 // so it never needs a pool; the re-export serves data-path callers built

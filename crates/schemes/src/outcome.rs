@@ -27,6 +27,11 @@ pub enum RequestOutcome {
     /// The request was lost: its disk was down or failed mid-access, or
     /// retries of a flaky disk were exhausted.
     Failed,
+    /// The queue-aware wave policy never issued the request: the decoder
+    /// finished before the block's wave came up. Unlike
+    /// [`CancelledBySpeculation`](Self::CancelledBySpeculation) these cost
+    /// no disk or network work at all.
+    Deferred,
 }
 
 /// One entry of the per-request outcome log: which slot served which
@@ -111,6 +116,8 @@ pub struct TrialStats {
     pub timed_out_requests: u64,
     /// Requests lost to injected faults, across all trials.
     pub failed_requests: u64,
+    /// Requests the wave policy never issued, across all trials.
+    pub deferred_requests: u64,
 }
 
 impl TrialStats {
@@ -126,6 +133,7 @@ impl TrialStats {
         self.cancelled_requests += o.count_outcome(RequestOutcome::CancelledBySpeculation);
         self.timed_out_requests += o.count_outcome(RequestOutcome::TimedOut);
         self.failed_requests += o.count_outcome(RequestOutcome::Failed);
+        self.deferred_requests += o.count_outcome(RequestOutcome::Deferred);
         if o.failed {
             self.failures += 1;
             return;
@@ -196,6 +204,11 @@ mod tests {
                     semantic: 1,
                     outcome: RequestOutcome::CancelledBySpeculation,
                 },
+                RequestRecord {
+                    slot: 1,
+                    semantic: 2,
+                    outcome: RequestOutcome::Deferred,
+                },
             ],
         }
     }
@@ -230,6 +243,7 @@ mod tests {
         assert_eq!(s.cancelled_requests, 2);
         assert_eq!(s.timed_out_requests, 0);
         assert_eq!(s.failed_requests, 0);
+        assert_eq!(s.deferred_requests, 2);
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub use faults::{
     ReadFaultScenario, WriteFault, WriteFaultKind, WriteFaultPlan, WriteFaultScenario,
 };
 pub use rng::{SeedSequence, SimRng};
-pub use stats::{OnlineStats, Summary};
+pub use stats::{LogHistogram, OnlineStats, Summary};
 pub use time::{SimDuration, SimTime};

@@ -10,6 +10,7 @@ pub mod faults;
 pub mod layoutvar;
 pub mod multiuser;
 pub mod pipeline;
+pub mod repair;
 pub mod scrub;
 pub mod tail;
 

@@ -183,6 +183,11 @@ pub fn registry() -> Vec<Experiment> {
             covers: "Self-healing extension: redundancy over time with/without scrubbing under seeded loss + bit rot (writes BENCH_scrub.json)",
             run: scrub::scrub,
         },
+        Experiment {
+            id: "repair",
+            covers: "Repair extension: eager vs rate-limited repair under foreground load, plus predicted MTTDL per scheme (writes BENCH_repair.json)",
+            run: repair::repair,
+        },
     ]
 }
 
@@ -202,7 +207,7 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 29, "one entry per paper artifact group plus extensions");
+        assert_eq!(n, 30, "one entry per paper artifact group plus extensions");
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub trait DiskShard: Send {
     /// Fetch block `block` into a caller-provided buffer.
     fn read_block_into(&self, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError>;
 
+    /// Presence probe: does this shard currently hold a readable copy of
+    /// `block`? Cheap risk assessment for the repair service — it must
+    /// not count as a read or consume injected-fault budgets (fault
+    /// wrappers delegate straight to the wrapped store). The default
+    /// attempts a full read into scratch, which is correct but not cheap;
+    /// stores with an index should override it.
+    fn has_block(&self, block: u64) -> bool {
+        let mut scratch = Vec::new();
+        self.read_block_into(block, &mut scratch).is_ok()
+    }
+
     /// Remove a block.
     fn delete_block(&mut self, block: u64) -> Result<(), StoreError>;
 
@@ -185,6 +196,13 @@ pub trait StorageBackend {
         None
     }
 
+    /// Presence probe: same contract as [`DiskShard::has_block`], scoped
+    /// by disk id.
+    fn has_block(&self, disk: usize, block: u64) -> bool {
+        let mut scratch = Vec::new();
+        self.read_block_into(disk, block, &mut scratch).is_ok()
+    }
+
     /// Remove a block (updates delete obsolete coded blocks, §4.3.4).
     fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError>;
 
@@ -278,6 +296,10 @@ impl DiskStore {
         Ok(())
     }
 
+    fn has(&self, block: u64) -> bool {
+        !self.offline && self.blocks.contains_key(&block)
+    }
+
     fn read_into(&self, disk: usize, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError> {
         let data = if self.offline {
             None
@@ -360,6 +382,10 @@ impl DiskShard for InMemoryShard {
 
     fn read_block_into(&self, block: u64, buf: &mut Vec<u8>) -> Result<(), StoreError> {
         self.store.read_into(self.disk, block, buf)
+    }
+
+    fn has_block(&self, block: u64) -> bool {
+        self.store.has(block)
     }
 
     fn delete_block(&mut self, block: u64) -> Result<(), StoreError> {
@@ -465,6 +491,10 @@ impl StorageBackend for InMemoryBackend {
             .get(disk)
             .ok_or(StoreError::MissingBlock { disk, block })?
             .read_into(disk, block, buf)
+    }
+
+    fn has_block(&self, disk: usize, block: u64) -> bool {
+        self.disks.get(disk).is_some_and(|d| d.has(block))
     }
 
     fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {

@@ -305,6 +305,12 @@ impl<B: StorageBackend> StorageBackend for ChaosBackend<B> {
         self.inner.delete_block(disk, block)
     }
 
+    /// Presence probes are not reads: they bypass the switch so risk
+    /// assessment never drains armed fault budgets.
+    fn has_block(&self, disk: usize, block: u64) -> bool {
+        self.inner.has_block(disk, block)
+    }
+
     fn disk_speed(&self, disk: usize) -> f64 {
         self.inner.disk_speed(disk)
     }
@@ -406,6 +412,11 @@ impl DiskShard for ChaosShard {
 
     fn delete_block(&mut self, block: u64) -> Result<(), StoreError> {
         self.inner.delete_block(block)
+    }
+
+    /// Presence probes bypass the switch (see the backend impl).
+    fn has_block(&self, block: u64) -> bool {
+        self.inner.has_block(block)
     }
 
     fn speed(&self) -> f64 {

@@ -43,7 +43,10 @@ use crate::integrity::crc32c;
 use crate::metadata::{gen_key, AccessMode, CodingSpec, DiskInfo, FileMeta, MetadataServer};
 use crate::planner::{LayoutPlanner, ReadPolicy};
 use crate::qos::QosOptions;
-use crate::ring::{Completion, CompletionKind, IoRing, RingConfig, SubmitOp, WriteOutcome};
+use crate::repair::ScrubOptions;
+use crate::ring::{
+    Completion, CompletionKind, IoRing, Priority, RingConfig, SubmitOp, WriteOutcome,
+};
 use crate::scrub::ScrubReport;
 use crate::sharded::ShardedBackend;
 
@@ -341,6 +344,24 @@ impl System {
         (0..b.num_disks()).map(|d| b.disk_used(d)).sum()
     }
 
+    /// Number of disks in the backend.
+    pub fn num_disks(&self) -> usize {
+        self.inner.backend.num_disks()
+    }
+
+    /// Presence probe: does `disk` currently hold a readable copy of
+    /// block key `key`? Not a read — counters and injected-fault budgets
+    /// are untouched. The repair service's risk assessment runs on this,
+    /// so surveying a large store costs no disk traffic.
+    pub fn probe_block(&self, disk: usize, key: u64) -> bool {
+        self.inner.backend.has_block(disk, key)
+    }
+
+    /// Live load snapshot from the I/O ring (`None` without the ring).
+    pub fn load_map(&self) -> Option<robustore_schemes::DiskLoadMap> {
+        self.inner.ring.as_ref().map(|r| r.load_map())
+    }
+
     /// Read-buffer pool counters `(fresh_allocations, reuses)` — the
     /// byte-allocation evidence that repeated reads recycle buffers
     /// instead of allocating (zeros before the first read).
@@ -406,6 +427,33 @@ impl System {
         self.inner
             .backend
             .corrupt_random_blocks(disk, fraction, seq)
+    }
+
+    /// Fault injection, file-scoped: deterministically delete each of
+    /// `name`'s stored blocks with probability `fraction` (seeded by
+    /// `seq`), leaving every other file untouched. Metadata is not
+    /// told — the damage is latent until a read, scrub, or repair-risk
+    /// survey trips over it. Returns the number of blocks dropped.
+    pub fn lose_file_blocks(&self, name: &str, fraction: f64, seq: &SeedSequence) -> usize {
+        let Some(meta) = self.export_meta(name) else {
+            return 0;
+        };
+        let mut rng = seq.fork("file-loss", meta.file_id);
+        let mut dropped = 0;
+        for (disk, ids) in &meta.layout {
+            for &id in ids {
+                if uniform01(&mut rng) < fraction
+                    && self
+                        .inner
+                        .backend
+                        .delete_block(*disk, meta.block_key(id))
+                        .is_ok()
+                {
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
     }
 
     /// Snapshot a file's metadata (for persistence alongside a durable
@@ -1217,6 +1265,9 @@ impl Client {
             corrupt: usize,
             unverified: usize,
             bad: BTreeSet<u32>,
+            /// Ids fetched and verified good — exempt from the repair
+            /// audit (re-reading them would double-count disk traffic).
+            good: BTreeSet<u32>,
             done_decoding: bool,
             fatal: Option<StoreError>,
         }
@@ -1341,6 +1392,7 @@ impl Client {
                             };
                             if accepted {
                                 st.fetched += 1;
+                                st.good.insert(coded);
                                 if st.decoder.receive(coded as usize, buf) {
                                     // Decode complete: revoke everything
                                     // still queued before a disk gets to
@@ -1430,6 +1482,7 @@ impl Client {
                 corrupt: 0,
                 unverified: 0,
                 bad: BTreeSet::new(),
+                good: BTreeSet::new(),
                 done_decoding: false,
                 fatal: None,
             }));
@@ -1500,6 +1553,7 @@ impl Client {
                         corrupt,
                         unverified,
                         bad,
+                        good,
                         fatal,
                         ..
                     } = st;
@@ -1520,7 +1574,7 @@ impl Client {
                                 && !bad.is_empty()
                             {
                                 let code = codes[si].as_ref().expect("state implies planned code");
-                                self.try_read_repair(meta, code, &blocks, &bad)
+                                self.try_read_repair(meta, code, &blocks, &bad, &good)
                             } else {
                                 0
                             };
@@ -1633,6 +1687,8 @@ impl Client {
         // Ids the layout stores but the read could not use (missing or
         // failed verification) — the read-repair candidates.
         let mut bad: BTreeSet<u32> = BTreeSet::new();
+        // Ids fetched and verified good — exempt from the repair audit.
+        let mut good: BTreeSet<u32> = BTreeSet::new();
         let mut fatal: Option<StoreError> = None;
         {
             // Shard-scoped access: each block fetch locks only its own
@@ -1696,6 +1752,7 @@ impl Client {
                         };
                         if accepted {
                             fetched += 1;
+                            good.insert(coded);
                             if decoder.receive(coded as usize, buf) {
                                 break; // completion: cancel everything still queued
                             }
@@ -1744,7 +1801,7 @@ impl Client {
         // blocks encoded, so put them back while the data is in hand.
         // Strictly best-effort — a successful read never fails here.
         let repaired = if self.system.inner.config.read_repair && !bad.is_empty() {
-            self.try_read_repair(meta, code, &blocks, &bad)
+            self.try_read_repair(meta, code, &blocks, &bad, &good)
         } else {
             0
         };
@@ -1785,6 +1842,16 @@ impl Client {
     ///   (i.e. it is the sole reader; `update` holds the writer lock so
     ///   it can never race this commit). Otherwise relocations roll back.
     ///
+    /// The repair set is **canonical**: which damaged blocks a read
+    /// *encounters* before its decoder completes depends on the wave
+    /// schedule's prefix (adaptive scheduling reorders it under load), so
+    /// repairing only the encountered set would make committed state
+    /// arrival-order-sensitive. Once any damage is seen, every stored id
+    /// the read did not itself verify is audited (read + checksum, or
+    /// compared against a re-encode for digest-less legacy blocks) and
+    /// the full damage set is repaired — byte-identical committed state
+    /// whatever prefix the read happened to fetch.
+    ///
     /// Returns the number of blocks restored. Never fails the read.
     fn try_read_repair(
         &self,
@@ -1792,6 +1859,7 @@ impl Client {
         code: &LtCode,
         blocks: &[Block],
         bad: &BTreeSet<u32>,
+        good: &BTreeSet<u32>,
     ) -> usize {
         let mut slot_of: BTreeMap<u32, usize> = BTreeMap::new();
         for (slot, (_, ids)) in meta.layout.iter().enumerate() {
@@ -1799,12 +1867,42 @@ impl Client {
                 slot_of.insert(id, slot);
             }
         }
+        // Audit everything the read neither verified nor already condemned.
+        let block_len = meta.coding.block_bytes as usize;
+        let max_attempts = self.system.inner.config.read_retry.attempts.max(1);
+        let backend = &self.system.inner.backend;
+        let mut damage = bad.clone();
+        let mut scratch = Vec::new();
+        for (disk, ids) in &meta.layout {
+            for &id in ids {
+                if good.contains(&id) || damage.contains(&id) {
+                    continue;
+                }
+                let (result, _) = backend.read_block_retry(
+                    *disk,
+                    meta.block_key(id),
+                    &mut scratch,
+                    max_attempts,
+                    |_| {},
+                );
+                let ok = result.is_ok()
+                    && scratch.len() == block_len
+                    && match meta.checksums.get(&id) {
+                        Some(&want) => crc32c(&scratch) == want,
+                        // Legacy digest-less block: the decoded data is
+                        // ground truth, compare against the re-encode.
+                        None => scratch == code.encode_block(blocks, id as usize),
+                    };
+                if !ok {
+                    damage.insert(id);
+                }
+            }
+        }
         let mut repaired = 0usize;
         let mut relocations: Vec<(u32, usize, usize)> = Vec::new();
         // Relocation writes only — rolled back if the commit is skipped.
         let mut placed: Vec<(usize, u64)> = Vec::new();
-        let backend = &self.system.inner.backend;
-        for &id in bad {
+        for &id in &damage {
             let Some(&home) = slot_of.get(&id) else {
                 continue;
             };
@@ -2089,13 +2187,32 @@ impl Client {
     /// the scrub fails with `DecodeFailed` rather than commit anything
     /// derived from it.
     pub fn scrub(&self, name: &str) -> Result<ScrubReport, StoreError> {
+        self.scrub_with(name, &ScrubOptions::default())
+    }
+
+    /// [`Client::scrub`] with repair-service controls: an optional
+    /// token-bucket throttle charged per block of repair I/O, background
+    /// scheduling class on ring submissions (so repair traffic waits
+    /// behind every queued foreground op), and load-aware re-placement
+    /// that consults the ring's live load map so restored blocks land on
+    /// genuinely least-loaded disks. The default options reproduce
+    /// [`Client::scrub`] exactly.
+    pub fn scrub_with(
+        &self,
+        name: &str,
+        opts: &ScrubOptions<'_>,
+    ) -> Result<ScrubReport, StoreError> {
         let handle = self.open(name, AccessMode::Write, QosOptions::best_effort())?;
-        let result = self.scrub_admitted(&handle);
+        let result = self.scrub_admitted_with(&handle, opts);
         self.close(handle)?;
         result
     }
 
-    fn scrub_admitted(&self, handle: &FileHandle) -> Result<ScrubReport, StoreError> {
+    fn scrub_admitted_with(
+        &self,
+        handle: &FileHandle,
+        opts: &ScrubOptions<'_>,
+    ) -> Result<ScrubReport, StoreError> {
         let meta = handle
             .meta
             .clone()
@@ -2107,7 +2224,7 @@ impl Client {
             Some(p) if p.block_len() == block_len => p,
             _ => BlockPool::new(block_len),
         };
-        let result = self.scrub_inner(&meta, &code, block_len, &mut pool);
+        let result = self.scrub_inner(&meta, &code, block_len, &mut pool, opts);
         {
             let mut slot = self.system.inner.pool.lock();
             match slot.as_mut() {
@@ -2124,8 +2241,19 @@ impl Client {
         code: &LtCode,
         block_len: usize,
         pool: &mut BlockPool,
+        opts: &ScrubOptions<'_>,
     ) -> Result<ScrubReport, StoreError> {
         let spec = &meta.coding;
+        let priority = if opts.background {
+            Priority::Background
+        } else {
+            Priority::Foreground
+        };
+        let charge = |bytes: usize| {
+            if let Some(bucket) = opts.throttle {
+                bucket.acquire(bytes as u64);
+            }
+        };
         let max_attempts = self.system.inner.config.read_retry.attempts.max(1);
         let mut decoder = LtDecoder::new(code, block_len);
         let mut verified: BTreeSet<u32> = BTreeSet::new();
@@ -2202,7 +2330,12 @@ impl Client {
                 while next < jobs.len() {
                     while submitted < jobs.len() && submitted - next < window {
                         let (disk, id) = jobs[submitted];
-                        ring.submit(
+                        // The throttle paces *submission*: tokens are
+                        // charged before an op may enter the queue, so
+                        // repair I/O never bursts past the budget no
+                        // matter how deep the window is.
+                        charge(block_len);
+                        ring.submit_with(
                             disk,
                             access,
                             submitted as u64,
@@ -2210,6 +2343,7 @@ impl Client {
                                 key: meta.block_key(id),
                                 buf: pool.get_scratch(),
                             },
+                            priority,
                             &tx,
                         );
                         submitted += 1;
@@ -2231,6 +2365,7 @@ impl Client {
                 for (disk, ids) in &meta.layout {
                     for &id in ids {
                         let mut buf = pool.get_scratch();
+                        charge(block_len);
                         // Shared retry helper, no backoff sleep: scrub is
                         // a background sweep and the simulated backends
                         // recover instantly.
@@ -2307,22 +2442,77 @@ impl Client {
                 .enumerate()
                 .map(|(slot, (d, _))| (*d, slot))
                 .collect();
+            // Background repair writes go through the ring one at a time
+            // at background priority — a foreground burst can always
+            // overtake. A refusal hands the payload back for the next
+            // candidate disk; a hard fault consumes it and the block is
+            // left for the next repair cycle.
+            let ring_bg = if opts.background {
+                self.system.inner.ring.as_ref()
+            } else {
+                None
+            };
+            let place_access = ring_bg.map(|_| self.system.next_access_id());
+            let place = |disk: usize, key: u64, data: Vec<u8>| -> Result<(), Option<Vec<u8>>> {
+                match ring_bg {
+                    Some(ring) => {
+                        let (wtx, wrx) = std::sync::mpsc::channel();
+                        ring.submit_with(
+                            disk,
+                            place_access.unwrap_or(0),
+                            0,
+                            SubmitOp::Write { key, data },
+                            Priority::Background,
+                            &wtx,
+                        );
+                        match wrx.recv().expect("ring workers outlive the access").kind {
+                            CompletionKind::Write(WriteOutcome::Done) => Ok(()),
+                            CompletionKind::Write(WriteOutcome::Refused { data, .. }) => {
+                                Err(Some(data))
+                            }
+                            CompletionKind::Write(_) => Err(None),
+                            other => unreachable!("write submission got {other:?}"),
+                        }
+                    }
+                    None => backend
+                        .write_block(disk, key, data)
+                        .map_err(|rw| Some(rw.data)),
+                }
+            };
             for &id in &absent {
                 let key = gen_key(meta.file_id, id, meta.odd_keys.contains(&id));
                 let mut data = code.encode_block(&blocks, id as usize);
                 let crc = crc32c(&data);
-                // Candidate disks, emptiest first (ties → lowest id);
-                // refusals just move to the next candidate — best effort.
+                charge(block_len);
+                // Candidate disks: live queue pressure first when the
+                // repair service asks for load-aware placement (quiescent
+                // disks tie at zero and the order degenerates to the
+                // default), then per-file balance, then lowest id.
+                // Refusals just move to the next candidate — best effort.
                 let mut order: Vec<usize> = (0..num_disks).collect();
-                order.sort_by_key(|&d| (count[d], d));
+                match opts
+                    .load_aware
+                    .then(|| self.system.inner.ring.as_ref())
+                    .flatten()
+                {
+                    Some(ring) => {
+                        let lm = ring.load_map();
+                        order.sort_by_key(|&d| {
+                            let backlog = lm.get(d).map_or(0, |l| l.queued + l.in_flight);
+                            (backlog, count[d], d)
+                        });
+                    }
+                    None => order.sort_by_key(|&d| (count[d], d)),
+                }
                 let mut placed_on = None;
                 for &disk in &order {
-                    match backend.write_block(disk, key, data) {
+                    match place(disk, key, data) {
                         Ok(()) => {
                             placed_on = Some(disk);
                             break;
                         }
-                        Err(rw) => data = rw.data,
+                        Err(Some(back)) => data = back,
+                        Err(None) => break, // hard fault consumed the payload
                     }
                 }
                 let Some(disk) = placed_on else { continue };

@@ -129,6 +129,10 @@ impl StorageBackend for FileBackend {
         Ok(())
     }
 
+    fn has_block(&self, disk: usize, block: u64) -> bool {
+        disk < self.speeds.len() && !self.offline[disk] && self.block_path(disk, block).is_file()
+    }
+
     fn delete_block(&mut self, disk: usize, block: u64) -> Result<(), StoreError> {
         if disk >= self.speeds.len() {
             return Err(io_err(disk, block));
@@ -282,6 +286,10 @@ impl DiskShard for FileShard {
         buf.clear();
         f.read_to_end(buf).map_err(|_| io_err(self.disk, block))?;
         Ok(())
+    }
+
+    fn has_block(&self, block: u64) -> bool {
+        !self.offline && self.block_path(block).is_file()
     }
 
     fn delete_block(&mut self, block: u64) -> Result<(), StoreError> {

@@ -37,6 +37,11 @@
 //!   corruption to a missing block the redundancy absorbs.
 //! * [`scrub`] — background scrubbing: sweep files, verify every stored
 //!   block, and restore each file to its full redundancy target.
+//! * [`repair`] — the prioritised, rate-limited repair service over the
+//!   scrubber: a risk queue ordering files most-at-risk-first (weighted
+//!   by disk health), a token-bucket MB/s budget on repair I/O, a
+//!   background scheduling class on ring submissions, and load-aware
+//!   re-placement.
 //!
 //! Everything is deterministic and synchronous: the crate models the
 //! *control* architecture with real coding and real data movement, while
@@ -82,6 +87,7 @@ pub mod integrity;
 pub mod metadata;
 pub mod planner;
 pub mod qos;
+pub mod repair;
 pub mod ring;
 pub mod scrub;
 pub mod sharded;
@@ -103,7 +109,10 @@ pub use planner::{LayoutPlanner, ReadPolicy};
 // bookkeeping, like the RRAID-A planner); re-exported here because
 // `SystemConfig::read_policy` and `IoRing::load_map` speak it.
 pub use qos::QosOptions;
-pub use ring::{Completion, CompletionKind, IoRing, RingConfig, SubmitOp, WriteOutcome};
+pub use repair::{
+    health_weight, RepairRunReport, RepairService, RiskEntry, ScrubOptions, TokenBucket,
+};
+pub use ring::{Completion, CompletionKind, IoRing, Priority, RingConfig, SubmitOp, WriteOutcome};
 pub use robustore_schemes::{AdaptiveReadPolicy, DiskLoad, DiskLoadMap, WaveSchedule, WaveSlot};
 pub use scrub::{ScrubReport, Scrubber, SweepReport};
 pub use sharded::ShardedBackend;

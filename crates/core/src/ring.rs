@@ -27,6 +27,11 @@
 //!   produces exactly one [`Completion`] — serviced or cancelled — so a
 //!   reactor can drive `received == submitted` without timeouts. Workers
 //!   drain their queues before honouring shutdown.
+//! * **Two scheduling classes.** Each disk keeps a foreground and a
+//!   background FIFO ([`Priority`]); background (repair/scrub) ops are
+//!   serviced only when no foreground op is queued, so a deep repair
+//!   backlog can never starve serving traffic. Background queue depth is
+//!   excluded from [`IoRing::load_map`]'s `queued` for the same reason.
 //!
 //! Workers share the blocking path's read-retry helper
 //! ([`ShardedBackend::read_block_retry`]) so that per-disk fault budgets
@@ -149,6 +154,21 @@ pub struct Completion {
     pub kind: CompletionKind,
 }
 
+/// Scheduling class for a submitted op. Foreground ops (client reads and
+/// writes) always overtake queued background ops (repair/scrub traffic) on
+/// the same disk, so a deep repair backlog can never starve serving
+/// traffic. Within a class the queue stays strictly FIFO, preserving the
+/// per-access ordering the group-commit contract relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Client-facing traffic; serviced first. The default.
+    #[default]
+    Foreground,
+    /// Repair/scrub traffic; serviced only when no foreground op is
+    /// queued. An op already being serviced is never preempted.
+    Background,
+}
+
 struct Entry {
     access: u64,
     tag: u64,
@@ -157,7 +177,10 @@ struct Entry {
 }
 
 struct QueueState {
+    /// Foreground FIFO — drained before `background` is looked at.
     entries: VecDeque<Entry>,
+    /// Background FIFO (repair traffic).
+    background: VecDeque<Entry>,
     shutdown: bool,
 }
 
@@ -171,6 +194,7 @@ impl DiskQueue {
         DiskQueue {
             state: Mutex::new(QueueState {
                 entries: VecDeque::new(),
+                background: VecDeque::new(),
                 shutdown: false,
             }),
             ready: Condvar::new(),
@@ -189,9 +213,19 @@ const EWMA_ALPHA: f64 = 0.2;
 /// worker — so plain relaxed load/store suffices.
 #[derive(Debug, Default)]
 struct DiskStat {
+    /// Foreground queue depth. Background entries are tracked separately
+    /// (`bg_queued`) and excluded here: they never delay a newly queued
+    /// foreground op, so counting them would inflate the adaptive read
+    /// policy's completion estimates.
     queued: AtomicU64,
+    bg_queued: AtomicU64,
     in_flight: AtomicU64,
     ewma_bits: AtomicU64,
+    /// Whether `ewma_bits` holds a real sample yet. A plain `old == 0.0`
+    /// sentinel is wrong: a genuine 0µs sample (sub-µs in-memory op)
+    /// would make the *next* sample re-seed the EWMA with full weight,
+    /// discarding history.
+    ewma_seeded: AtomicU64,
 }
 
 impl DiskStat {
@@ -203,13 +237,20 @@ impl DiskStat {
         }
     }
 
+    fn queued_for(&self, priority: Priority) -> &AtomicU64 {
+        match priority {
+            Priority::Foreground => &self.queued,
+            Priority::Background => &self.bg_queued,
+        }
+    }
+
     /// Fold a measured per-op service time (µs) into the EWMA. Worker
-    /// thread only.
+    /// thread only (the seeded flag and bits are single-writer).
     fn record_service(&self, micros: f64) {
-        let old = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
-        let new = if old == 0.0 {
+        let new = if self.ewma_seeded.swap(1, Ordering::Relaxed) == 0 {
             micros
         } else {
+            let old = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
             EWMA_ALPHA * micros + (1.0 - EWMA_ALPHA) * old
         };
         self.ewma_bits.store(new.to_bits(), Ordering::Relaxed);
@@ -270,7 +311,8 @@ impl IoRing {
     /// tag `tag`; the completion is sent to `done`. A disk id past the
     /// end of the backend is serviced inline on the caller thread (the
     /// `ShardedBackend` turns it into a graceful refusal), so submitters
-    /// need no bounds checks.
+    /// need no bounds checks. Equivalent to [`IoRing::submit_with`] at
+    /// [`Priority::Foreground`].
     pub fn submit(
         &self,
         disk: usize,
@@ -279,16 +321,36 @@ impl IoRing {
         op: SubmitOp,
         done: &Sender<Completion>,
     ) {
+        self.submit_with(disk, access, tag, op, Priority::Foreground, done);
+    }
+
+    /// [`IoRing::submit`] with an explicit scheduling class. Background
+    /// ops wait behind every queued foreground op on the same disk.
+    pub fn submit_with(
+        &self,
+        disk: usize,
+        access: u64,
+        tag: u64,
+        op: SubmitOp,
+        priority: Priority,
+        done: &Sender<Completion>,
+    ) {
         match self.queues.get(disk) {
             Some(queue) => {
                 let mut state = queue.state.lock().unwrap();
-                state.entries.push_back(Entry {
+                let entry = Entry {
                     access,
                     tag,
                     op,
                     done: done.clone(),
-                });
-                self.stats[disk].queued.fetch_add(1, Ordering::Relaxed);
+                };
+                match priority {
+                    Priority::Foreground => state.entries.push_back(entry),
+                    Priority::Background => state.background.push_back(entry),
+                }
+                self.stats[disk]
+                    .queued_for(priority)
+                    .fetch_add(1, Ordering::Relaxed);
                 drop(state);
                 queue.ready.notify_one();
             }
@@ -304,6 +366,16 @@ impl IoRing {
         }
     }
 
+    /// Background (repair-class) queue depth per disk. Telemetry for the
+    /// repair service and its tests; not part of [`IoRing::load_map`]
+    /// because background ops never delay foreground completions.
+    pub fn background_backlog(&self) -> Vec<u64> {
+        self.stats
+            .iter()
+            .map(|s| s.bg_queued.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Revoke every still-queued op of `access` on every disk. Each
     /// revoked op completes as [`CompletionKind::Cancelled`] with its
     /// buffer handed back; ops a worker has already started run to
@@ -312,21 +384,28 @@ impl IoRing {
         for (disk, queue) in self.queues.iter().enumerate() {
             let removed: Vec<Entry> = {
                 let mut state = queue.state.lock().unwrap();
-                let mut keep = VecDeque::with_capacity(state.entries.len());
+                let state = &mut *state;
                 let mut removed = Vec::new();
-                for entry in state.entries.drain(..) {
-                    if entry.access == access {
-                        removed.push(entry);
-                    } else {
-                        keep.push_back(entry);
+                for (priority, queue_of) in [
+                    (Priority::Foreground, &mut state.entries),
+                    (Priority::Background, &mut state.background),
+                ] {
+                    let mut keep = VecDeque::with_capacity(queue_of.len());
+                    let before = removed.len();
+                    for entry in queue_of.drain(..) {
+                        if entry.access == access {
+                            removed.push(entry);
+                        } else {
+                            keep.push_back(entry);
+                        }
                     }
+                    *queue_of = keep;
+                    self.stats[disk]
+                        .queued_for(priority)
+                        .fetch_sub((removed.len() - before) as u64, Ordering::Relaxed);
                 }
-                state.entries = keep;
                 removed
             };
-            self.stats[disk]
-                .queued
-                .fetch_sub(removed.len() as u64, Ordering::Relaxed);
             for entry in removed {
                 let buf = match entry.op {
                     SubmitOp::Read { buf, .. } => Some(buf),
@@ -371,10 +450,10 @@ fn worker_loop(
 ) {
     let batch_cap = config.group_commit.max(1);
     loop {
-        let popped: Vec<Entry> = {
+        let (popped, priority): (Vec<Entry>, Priority) = {
             let mut state = queue.state.lock().unwrap();
             loop {
-                if !state.entries.is_empty() {
+                if !state.entries.is_empty() || !state.background.is_empty() {
                     break;
                 }
                 if state.shutdown {
@@ -382,8 +461,21 @@ fn worker_loop(
                 }
                 state = queue.ready.wait(state).unwrap();
             }
-            if matches!(
-                state.entries.front().map(|e| &e.op),
+            // Strict priority: the background queue is looked at only
+            // when no foreground op is queued. Write runs coalesce within
+            // one class so a batch never smuggles background writes ahead
+            // of foreground ones.
+            let priority = if state.entries.is_empty() {
+                Priority::Background
+            } else {
+                Priority::Foreground
+            };
+            let class_queue = match priority {
+                Priority::Foreground => &mut state.entries,
+                Priority::Background => &mut state.background,
+            };
+            let popped = if matches!(
+                class_queue.front().map(|e| &e.op),
                 Some(SubmitOp::Write { .. })
             ) {
                 // Cross-access group commit: take the contiguous run of
@@ -391,19 +483,20 @@ fn worker_loop(
                 let mut batch = Vec::new();
                 while batch.len() < batch_cap
                     && matches!(
-                        state.entries.front().map(|e| &e.op),
+                        class_queue.front().map(|e| &e.op),
                         Some(SubmitOp::Write { .. })
                     )
                 {
-                    batch.push(state.entries.pop_front().unwrap());
+                    batch.push(class_queue.pop_front().unwrap());
                 }
                 batch
             } else {
-                vec![state.entries.pop_front().unwrap()]
-            }
+                vec![class_queue.pop_front().unwrap()]
+            };
+            (popped, priority)
         };
         let n = popped.len() as u64;
-        stat.queued.fetch_sub(n, Ordering::Relaxed);
+        stat.queued_for(priority).fetch_sub(n, Ordering::Relaxed);
         stat.in_flight.fetch_add(n, Ordering::Relaxed);
         // The stat updates below happen *before* the completion sends, so
         // a submitter that has drained all its completions observes its
@@ -747,6 +840,109 @@ mod tests {
             "idle disk has no service sample"
         );
         assert!(l.get(2).is_none());
+    }
+
+    #[test]
+    fn ewma_zero_sample_does_not_reseed() {
+        // Regression: a genuine 0µs sample used to store 0.0, which the
+        // next sample mistook for "unseeded" and re-seeded the EWMA with
+        // full weight, discarding history.
+        let s = DiskStat::default();
+        s.record_service(100.0);
+        s.record_service(0.0); // sub-µs in-memory op rounds down to zero
+        s.record_service(1000.0);
+        let e = s.snapshot().ewma_service_micros;
+        // 100 → 0.2·0 + 0.8·100 = 80 → 0.2·1000 + 0.8·80 = 264. The buggy
+        // sentinel would have re-seeded to 1000.
+        assert!((e - 264.0).abs() < 1e-9, "ewma {e} should be 264");
+    }
+
+    #[test]
+    fn ring_background_ops_wait_for_foreground() {
+        // Park the single worker on a slow foreground op (a missing-key
+        // read with real retry backoff), queue background deletes and
+        // *then* foreground deletes behind it, and check that strict
+        // priority services every foreground op first anyway.
+        let backend = Arc::new(ShardedBackend::new(
+            Box::new(InMemoryBackend::uniform(1, 10e6)),
+            true,
+        ));
+        let r = IoRing::start(
+            backend,
+            RingConfig {
+                group_commit: 4,
+                read_attempts: 3,
+                backoff_micros: 20_000, // ~60ms parked on the first read
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        r.submit(
+            0,
+            9,
+            0,
+            SubmitOp::Read {
+                key: 777,
+                buf: Vec::new(),
+            },
+            &tx,
+        );
+        for tag in 0..4u64 {
+            r.submit_with(
+                0,
+                2,
+                tag,
+                SubmitOp::Delete { key: 100 + tag },
+                Priority::Background,
+                &tx,
+            );
+        }
+        assert_eq!(r.background_backlog(), vec![4]);
+        for tag in 0..4u64 {
+            r.submit(0, 1, tag, SubmitOp::Delete { key: 200 + tag }, &tx);
+        }
+        let mut order = Vec::new();
+        for _ in 0..9 {
+            let c = rx.recv().unwrap();
+            if matches!(c.kind, CompletionKind::Delete(_)) {
+                order.push(c.access);
+            }
+        }
+        assert_eq!(order, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(r.background_backlog(), vec![0]);
+    }
+
+    #[test]
+    fn ring_cancel_revokes_background_ops_too() {
+        let r = ring(1);
+        let (tx, rx) = mpsc::channel();
+        for tag in 0..32u64 {
+            r.submit_with(
+                0,
+                5,
+                tag,
+                SubmitOp::Read {
+                    key: tag,
+                    buf: Vec::new(),
+                },
+                Priority::Background,
+                &tx,
+            );
+        }
+        r.cancel(5);
+        let (mut cancelled, mut serviced) = (0, 0);
+        for _ in 0..32 {
+            match rx.recv().unwrap().kind {
+                CompletionKind::Cancelled { buf } => {
+                    assert!(buf.is_some());
+                    cancelled += 1;
+                }
+                CompletionKind::Read { .. } => serviced += 1,
+                other => panic!("unexpected completion {other:?}"),
+            }
+        }
+        assert_eq!(cancelled + serviced, 32);
+        assert_eq!(r.background_backlog(), vec![0]);
+        assert!(rx.try_recv().is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::client::Client;
 use crate::error::StoreError;
+use crate::repair::ScrubOptions;
 
 /// What one per-file scrub pass found and fixed.
 #[derive(Debug, Clone)]
@@ -55,6 +56,10 @@ pub struct SweepReport {
     /// Files the scrubber could not repair (typically: damage already
     /// past the code's decodability margin), with the error.
     pub failed: Vec<(String, StoreError)>,
+    /// Files that vanished between the listing and their scrub — a
+    /// concurrent delete, not damage. They are *not* failures: retrying
+    /// a deleted file forever would wedge the sweep on a ghost.
+    pub skipped: Vec<String>,
 }
 
 impl SweepReport {
@@ -74,11 +79,26 @@ impl<'a> Scrubber<'a> {
     /// Scrub every file in the store, continuing past per-file failures —
     /// one undecodable file must not stop the sweep from saving the rest.
     pub fn sweep(&self) -> SweepReport {
+        self.sweep_with(&ScrubOptions::default())
+    }
+
+    /// [`Scrubber::sweep`] with repair-service controls (throttle,
+    /// background class, load-aware placement) threaded into every
+    /// per-file scrub.
+    pub fn sweep_with(&self, opts: &ScrubOptions<'_>) -> SweepReport {
+        self.sweep_names(&self.client.system().list_files(), opts)
+    }
+
+    /// Sweep a caller-chosen set of files (e.g. a repair service's risk
+    /// queue). A file deleted between listing and scrub is recorded in
+    /// [`SweepReport::skipped`], not treated as a failure.
+    pub fn sweep_names(&self, names: &[String], opts: &ScrubOptions<'_>) -> SweepReport {
         let mut report = SweepReport::default();
-        for name in self.client.system().list_files() {
-            match self.client.scrub(&name) {
+        for name in names {
+            match self.client.scrub_with(name, opts) {
                 Ok(r) => report.scrubbed.push(r),
-                Err(e) => report.failed.push((name, e)),
+                Err(StoreError::NotFound(_)) => report.skipped.push(name.clone()),
+                Err(e) => report.failed.push((name.clone(), e)),
             }
         }
         report

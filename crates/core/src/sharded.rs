@@ -185,6 +185,16 @@ impl ShardedBackend {
         (result, retries)
     }
 
+    /// Presence probe: does `disk` currently hold a readable copy of
+    /// `block`? Not a read — counters and injected-fault budgets are
+    /// untouched (see [`DiskShard::has_block`]).
+    pub fn has_block(&self, disk: usize, block: u64) -> bool {
+        match &self.mode {
+            Mode::Sharded(shards) => shards.get(disk).is_some_and(|s| s.lock().has_block(block)),
+            Mode::Whole(b) => b.lock().has_block(disk, block),
+        }
+    }
+
     /// Remove a block.
     pub fn delete_block(&self, disk: usize, block: u64) -> Result<(), StoreError> {
         match &self.mode {

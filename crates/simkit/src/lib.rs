@@ -17,12 +17,16 @@
 //! * [`stats`] — online mean/variance accumulation and summaries used by the
 //!   evaluation harness (access bandwidth, latency standard deviation, ...).
 //! * [`report`] — plain-text table formatting for the experiment binaries.
+//! * [`durability`] — predicted MTTDL from a birth–death repair chain,
+//!   comparing replication vs RS vs LT at equal storage overhead with
+//!   the failure rate calibrated from seeded decay traces.
 //!
 //! The engine is intentionally minimal: RobuSTore's evaluation (paper
 //! Chapter 6) is a closed-loop client/disk simulation, which maps naturally
 //! onto a single event queue drained by a scheme-specific coordinator loop
 //! rather than onto a general process-oriented framework.
 
+pub mod durability;
 pub mod event;
 pub mod faults;
 pub mod report;
@@ -30,6 +34,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use durability::{compare_at_overhead, lambda_from_decay, mttdl_birth_death, MttdlEstimate};
 pub use event::EventQueue;
 pub use faults::{
     FaultEvent, FaultKind, FaultPlan, FaultScenario, ReadFault, ReadFaultKind, ReadFaultPlan,

@@ -167,7 +167,24 @@ fn scrubber_restores_full_redundancy_unscrubbed_store_decays() {
     let data = payload(180_000, 5);
 
     let run = |scrubbed: bool| -> (usize, usize) {
-        let (sys, _switch) = chaos_system();
+        // The control's self-healing is fully off (no scrubber AND no
+        // read-repair): the read-repair audit restores the *entire*
+        // damage set on any read that trips over damage, so a store
+        // that merely keeps reading never decays — only a store with no
+        // healer at all demonstrates the decay the scrubber prevents.
+        let speeds: Vec<f64> = (0..DISKS).map(|i| 10e6 + i as f64 * 6e6).collect();
+        let (backend, _switch) = ChaosBackend::new(InMemoryBackend::new(speeds));
+        let sys = System::with_backend(
+            Box::new(backend),
+            SystemConfig {
+                block_bytes: 4 << 10,
+                encode_threads: 4,
+                pipeline_depth: 8,
+                io_ring: false,
+                read_repair: scrubbed,
+                ..Default::default()
+            },
+        );
         let client = Client::connect(&sys, sys.register_user());
         put(&client, "wear", &data);
         let mut ok_rounds = 0;

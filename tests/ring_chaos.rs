@@ -394,18 +394,20 @@ fn cross_access_batches_respect_submission_order_and_cancel_revokes_queued_write
 #[test]
 fn seeded_persistent_faults_replay_identically_ring_vs_blocking() {
     // Decoded bytes, committed layouts, and per-disk byte counts must be
-    // identical with the ring on or off, through damage, an offline
-    // window, and a scrub sweep. Persistent faults only — see the module
-    // doc for why budgeted fault switches are excluded.
+    // identical with the ring on or off AND under either wave policy,
+    // through damage, an offline window, and a scrub sweep. Persistent
+    // faults only — see the module doc for why budgeted fault switches
+    // are excluded.
     //
-    // The read policy is pinned to `Static` so both runs issue the same
-    // speculative-read prefix: this test isolates ring *mechanics*
-    // against the blocking oracle, and under `Adaptive` a wall-clock
-    // EWMA hiccup could reorder the prefix and hence which blocks get
-    // read-repaired (committed state). The adaptive-vs-static
-    // differential lives in `tests/read_policy.rs`, which compares
-    // decoded bytes — those are order-independent.
-    let run = |io_ring: bool| {
+    // The adaptive policy may legally reorder the speculative-read
+    // prefix on a wall-clock EWMA hiccup, so which damaged blocks a read
+    // *observes* is schedule-dependent. Read-repair canonicalises: it
+    // audits every stored id the read didn't verify before committing,
+    // so the committed set is the full damage set in every run and the
+    // schedule moves wall-clock only. This test pins that guarantee by
+    // comparing Static and Adaptive ring runs (and the blocking oracle)
+    // for byte-identical committed state.
+    let run = |io_ring: bool, read_policy: ReadPolicy| {
         let sys = System::with_backend(
             Box::new(InMemoryBackend::new(speeds())),
             SystemConfig {
@@ -413,7 +415,7 @@ fn seeded_persistent_faults_replay_identically_ring_vs_blocking() {
                 encode_threads: 2,
                 pipeline_depth: 4,
                 io_ring,
-                read_policy: ReadPolicy::Static,
+                read_policy,
                 ..Default::default()
             },
         );
@@ -464,9 +466,17 @@ fn seeded_persistent_faults_replay_identically_ring_vs_blocking() {
         (decoded, used, state)
     };
 
-    let ring = run(true);
-    let blocking = run(false);
-    assert_eq!(ring.0[0], payload(200_000, 11));
-    assert_eq!(ring.0[1], payload(140_000, 12));
-    assert_eq!(ring, blocking, "ring diverged from the blocking oracle");
+    let ring_static = run(true, ReadPolicy::Static);
+    let ring_adaptive = run(true, ReadPolicy::adaptive());
+    let blocking = run(false, ReadPolicy::Static);
+    assert_eq!(ring_static.0[0], payload(200_000, 11));
+    assert_eq!(ring_static.0[1], payload(140_000, 12));
+    assert_eq!(
+        ring_static, blocking,
+        "ring diverged from the blocking oracle"
+    );
+    assert_eq!(
+        ring_adaptive, blocking,
+        "adaptive wave policy changed committed state, not just wall-clock"
+    );
 }

@@ -188,6 +188,11 @@ pub fn registry() -> Vec<Experiment> {
             covers: "Repair extension: eager vs rate-limited repair under foreground load, plus predicted MTTDL per scheme (writes BENCH_repair.json)",
             run: repair::repair,
         },
+        Experiment {
+            id: "metadata",
+            covers: "Metadata extension: sharded WAL namespace scaling 10^4->10^6 files, crash-recovery time, zero loss under seeded replica chaos (writes BENCH_metadata.json)",
+            run: metadata::metadata,
+        },
     ]
 }
 
@@ -207,7 +212,7 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 30, "one entry per paper artifact group plus extensions");
+        assert_eq!(n, 31, "one entry per paper artifact group plus extensions");
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::credentials::{CredentialChain, KeyAuthority, PublicKey, Rights};
 use crate::error::StoreError;
 use crate::integrity::crc32c;
 use crate::metadata::{gen_key, AccessMode, CodingSpec, DiskInfo, FileMeta, MetadataServer};
+use crate::metastore::{MetaPlane, Metastore, MetastoreConfig, RecoveryReport};
 use crate::planner::{LayoutPlanner, ReadPolicy};
 use crate::qos::QosOptions;
 use crate::repair::ScrubOptions;
@@ -114,6 +115,15 @@ pub struct SystemConfig {
     /// disk pressure and tail latency differ. The blocking path has no
     /// telemetry, so it always behaves statically.
     pub read_policy: ReadPolicy,
+    /// The durable metadata plane (see [`crate::metastore`]): the
+    /// namespace hash-sharded across WAL-backed, quorum-replicated
+    /// shards with crash recovery. `Some` (the default, in-memory
+    /// replicas) makes every metadata commit a replicated log append;
+    /// set a `dir` in the config for file-backed replicas that survive
+    /// process restarts. `None` keeps the seed's single in-memory
+    /// `MetadataServer` — the differential oracle. Namespace semantics
+    /// are identical either way; only durability differs.
+    pub metastore: Option<MetastoreConfig>,
 }
 
 /// Bounded retry-with-backoff for transient read errors
@@ -177,13 +187,14 @@ impl Default for SystemConfig {
             group_commit: default_group_commit(),
             io_ring: true,
             read_policy: ReadPolicy::default(),
+            metastore: Some(MetastoreConfig::default()),
         }
     }
 }
 
 struct SystemInner {
     config: SystemConfig,
-    meta: Mutex<MetadataServer>,
+    meta: Mutex<MetaPlane>,
     /// The sharded submission layer: locking is per disk (or whole-backend
     /// in the single-lock fallback) and *internal*, so accesses touching
     /// different disks never exclude each other here. Shared with the
@@ -217,7 +228,12 @@ impl System {
     /// Stand up a system over any [`StorageBackend`] (e.g. the durable
     /// [`crate::file_backend::FileBackend`]).
     pub fn with_backend(backend: Box<dyn StorageBackend + Send>, config: SystemConfig) -> Self {
-        let mut meta = MetadataServer::new();
+        let mut meta = match &config.metastore {
+            Some(mc) => MetaPlane::Durable(Box::new(
+                Metastore::new(mc.clone()).expect("metastore replicas must be openable"),
+            )),
+            None => MetaPlane::Memory(MetadataServer::new()),
+        };
         let admission = (0..backend.num_disks())
             .map(|_| AdmissionController::new(config.admission_capacity))
             .collect();
@@ -463,14 +479,47 @@ impl System {
     }
 
     /// Restore metadata saved by [`System::export_meta`] into a freshly
-    /// opened system (bootstrapping a durable store).
-    pub fn import_meta(&self, meta: FileMeta) {
-        self.inner.meta.lock().restore(meta);
+    /// opened system (bootstrapping a durable store). On the durable
+    /// metadata plane this is a quorum commit and can fail.
+    pub fn import_meta(&self, meta: FileMeta) -> Result<(), StoreError> {
+        self.inner.meta.lock().restore(meta)
     }
 
     /// List the files the metadata server knows about.
     pub fn list_files(&self) -> Vec<String> {
         self.inner.meta.lock().list()
+    }
+
+    /// Advance the metadata plane's stale-lock reclaim epoch (a
+    /// supervising heartbeat round; see [`crate::locks`]). Locks whose
+    /// holders stay silent for the lease length become reclaimable.
+    pub fn begin_lock_epoch(&self) -> u64 {
+        self.inner.meta.lock().begin_lock_epoch()
+    }
+
+    /// File locks reclaimed from presumed-crashed holders so far.
+    pub fn locks_reclaimed(&self) -> u64 {
+        self.inner.meta.lock().locks_reclaimed()
+    }
+
+    /// Run `f` against the durable metadata plane ([`Metastore`]) —
+    /// chaos hooks, forced compaction, replica handles. `None` when the
+    /// system runs the in-memory oracle plane.
+    pub fn with_metastore<R>(&self, f: impl FnOnce(&mut Metastore) -> R) -> Option<R> {
+        self.inner.meta.lock().as_durable_mut().map(f)
+    }
+
+    /// Crash-recover the durable metadata plane: discard all volatile
+    /// metadata state (namespace images, locks, id cursor) and rebuild
+    /// it from the shard replicas — log replay with torn-tail
+    /// truncation, winner election, read-repair. `None` on the
+    /// in-memory plane (which cannot recover — that is the point).
+    pub fn recover_metadata(&self) -> Option<Result<Vec<RecoveryReport>, StoreError>> {
+        self.inner
+            .meta
+            .lock()
+            .as_durable_mut()
+            .map(|m| m.crash_and_recover())
     }
 
     fn next_access_id(&self) -> u64 {
@@ -740,7 +789,7 @@ impl Client {
             let mut meta_srv = self.system.inner.meta.lock();
             match &handle.meta {
                 Some(m) => (m.file_id, m.version + 1),
-                None => (meta_srv.allocate_file_id(), 1),
+                None => (meta_srv.allocate_file_id()?, 1),
             }
         };
         let seed = file_id

@@ -56,6 +56,23 @@ pub enum StoreError {
     AccessDenied(String),
     /// Offset/length out of the file's range.
     OutOfRange,
+    /// A metadata replica is down or failed mid-operation (real or
+    /// injected). One replica failing is routine — quorum absorbs it;
+    /// this surfaces only from direct replica access.
+    MetaReplicaDown(String),
+    /// A metadata shard could not reach a majority of its replicas, so
+    /// a commit cannot be made durable. The namespace image is left
+    /// unchanged; the caller's write is *not* committed.
+    MetaQuorumLost {
+        /// The shard that lost quorum.
+        shard: usize,
+        /// Replica acks obtained.
+        acks: usize,
+        /// Acks required for majority.
+        need: usize,
+    },
+    /// A filesystem-level I/O error from a durable metadata replica.
+    Io(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -84,6 +101,16 @@ impl std::fmt::Display for StoreError {
             StoreError::Coding(e) => write!(f, "coding error: {e}"),
             StoreError::AccessDenied(why) => write!(f, "access denied: {why}"),
             StoreError::OutOfRange => write!(f, "offset/length out of range"),
+            StoreError::MetaReplicaDown(who) => {
+                write!(f, "metadata replica down: {who}")
+            }
+            StoreError::MetaQuorumLost { shard, acks, need } => {
+                write!(
+                    f,
+                    "metadata shard {shard} lost quorum: {acks} of {need} required acks"
+                )
+            }
+            StoreError::Io(e) => write!(f, "metadata replica I/O error: {e}"),
         }
     }
 }

@@ -37,6 +37,14 @@
 //!   corruption to a missing block the redundancy absorbs.
 //! * [`scrub`] — background scrubbing: sweep files, verify every stored
 //!   block, and restore each file to its full redundancy target.
+//! * [`metastore`] — the durable metadata plane: the namespace
+//!   hash-sharded across WAL-backed shards, each replicated with
+//!   majority-quorum commits, crash recovery with torn-tail truncation
+//!   and read-repair, and snapshot+compaction to bound replay
+//!   (`SystemConfig::metastore`; the in-memory server remains the
+//!   differential oracle).
+//! * [`locks`] — reader/writer file locks with epoch-based stale-lock
+//!   reclaim, shared by both metadata planes.
 //! * [`repair`] — the prioritised, rate-limited repair service over the
 //!   scrubber: a risk queue ordering files most-at-risk-first (weighted
 //!   by disk health), a token-bucket MB/s budget on repair I/O, a
@@ -84,7 +92,9 @@ pub mod credentials;
 pub mod error;
 pub mod file_backend;
 pub mod integrity;
+pub mod locks;
 pub mod metadata;
+pub mod metastore;
 pub mod planner;
 pub mod qos;
 pub mod repair;
@@ -103,14 +113,17 @@ pub use credentials::{Credential, CredentialChain, KeyAuthority, PublicKey, Righ
 pub use error::StoreError;
 pub use file_backend::FileBackend;
 pub use integrity::crc32c;
-pub use metadata::{gen_key, AccessMode, DiskInfo, FileMeta, MetadataServer};
+pub use locks::LockTable;
+pub use metadata::{gen_key, AccessMode, CodingSpec, DiskInfo, FileMeta, MetadataServer};
+pub use metastore::{MemReplica, MetaPlane, MetaShard, Metastore, MetastoreConfig, RecoveryReport};
 pub use planner::{LayoutPlanner, ReadPolicy};
 // The wave-policy vocabulary lives in `robustore-schemes` (pure
 // bookkeeping, like the RRAID-A planner); re-exported here because
 // `SystemConfig::read_policy` and `IoRing::load_map` speak it.
 pub use qos::QosOptions;
 pub use repair::{
-    health_weight, RepairRunReport, RepairService, RiskEntry, ScrubOptions, TokenBucket,
+    health_weight, RepairRunReport, RepairService, RiskEntry, ScrubOptions, ScrubTickReport,
+    TokenBucket,
 };
 pub use ring::{Completion, CompletionKind, IoRing, Priority, RingConfig, SubmitOp, WriteOutcome};
 pub use robustore_schemes::{AdaptiveReadPolicy, DiskLoad, DiskLoadMap, WaveSchedule, WaveSlot};

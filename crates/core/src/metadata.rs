@@ -14,6 +14,7 @@ use robustore_erasure::LtParams;
 
 use crate::credentials::PublicKey;
 use crate::error::StoreError;
+use crate::locks::LockTable;
 
 /// How a file is opened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +66,7 @@ pub struct CodingSpec {
 }
 
 /// Per-file metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FileMeta {
     /// File name (namespace key).
     pub name: String,
@@ -120,18 +121,12 @@ impl FileMeta {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum LockState {
-    Readers(usize),
-    Writer,
-}
-
 /// The metadata server.
 #[derive(Debug, Default)]
 pub struct MetadataServer {
     files: HashMap<String, FileMeta>,
     disks: Vec<DiskInfo>,
-    locks: HashMap<String, LockState>,
+    locks: LockTable,
     next_file_id: u64,
 }
 
@@ -166,41 +161,37 @@ impl MetadataServer {
     }
 
     /// Acquire the lock for `mode` and return the file's metadata
-    /// (`None` metadata for a write to a new file).
+    /// (`None` metadata for a write to a new file). A stale lock left by
+    /// a crashed holder (see [`crate::locks::LockTable`]) is reclaimed
+    /// instead of conflicting.
     pub fn open(&mut self, name: &str, mode: AccessMode) -> Result<Option<FileMeta>, StoreError> {
-        let meta = self.files.get(name);
-        if mode == AccessMode::Read && meta.is_none() {
+        if mode == AccessMode::Read && !self.files.contains_key(name) {
             return Err(StoreError::NotFound(name.to_string()));
         }
-        let state = self.locks.get(name).copied();
-        let new_state = match (mode, state) {
-            (AccessMode::Read, None) => LockState::Readers(1),
-            (AccessMode::Read, Some(LockState::Readers(n))) => LockState::Readers(n + 1),
-            (AccessMode::Read, Some(LockState::Writer)) => {
-                return Err(StoreError::LockConflict(name.to_string()))
-            }
-            (AccessMode::Write, None) => LockState::Writer,
-            (AccessMode::Write, Some(_)) => return Err(StoreError::LockConflict(name.to_string())),
-        };
-        self.locks.insert(name.to_string(), new_state);
-        Ok(meta.cloned())
+        self.locks.acquire(name, mode)?;
+        Ok(self.files.get(name).cloned())
     }
 
     /// Release the lock taken by `open`.
     pub fn close(&mut self, name: &str, mode: AccessMode) {
-        match (mode, self.locks.get(name).copied()) {
-            (AccessMode::Read, Some(LockState::Readers(1))) => {
-                self.locks.remove(name);
-            }
-            (AccessMode::Read, Some(LockState::Readers(n))) if n > 1 => {
-                self.locks
-                    .insert(name.to_string(), LockState::Readers(n - 1));
-            }
-            (AccessMode::Write, Some(LockState::Writer)) => {
-                self.locks.remove(name);
-            }
-            (m, s) => panic!("unbalanced close: mode {m:?}, lock state {s:?}"),
-        }
+        self.locks.release(name, mode);
+    }
+
+    /// Advance the stale-lock reclaim epoch (a supervising heartbeat
+    /// round). Locks whose holders have not touched them for the lease
+    /// length become reclaimable by the next conflicting `open`.
+    pub fn begin_lock_epoch(&mut self) -> u64 {
+        self.locks.begin_epoch()
+    }
+
+    /// Locks reclaimed from presumed-crashed holders so far.
+    pub fn locks_reclaimed(&self) -> u64 {
+        self.locks.reclaimed()
+    }
+
+    /// Override the stale-lock lease length in epochs (minimum 1).
+    pub fn set_lock_lease_epochs(&mut self, lease: u64) {
+        self.locks.set_lease_epochs(lease);
     }
 
     /// Try to upgrade a sole-reader lock on `name` to the writer lock
@@ -209,24 +200,13 @@ impl MetadataServer {
     /// other readers present, or no read lock held, it returns `false`
     /// and the lock is untouched. Pair with [`MetadataServer::downgrade`].
     pub fn try_upgrade(&mut self, name: &str) -> bool {
-        match self.locks.get(name) {
-            Some(LockState::Readers(1)) => {
-                self.locks.insert(name.to_string(), LockState::Writer);
-                true
-            }
-            _ => false,
-        }
+        self.locks.try_upgrade(name)
     }
 
     /// Downgrade the writer lock on `name` back to a single-reader lock,
     /// undoing [`MetadataServer::try_upgrade`].
     pub fn downgrade(&mut self, name: &str) {
-        match self.locks.get(name) {
-            Some(LockState::Writer) => {
-                self.locks.insert(name.to_string(), LockState::Readers(1));
-            }
-            s => panic!("downgrade without writer lock: {s:?}"),
-        }
+        self.locks.downgrade(name)
     }
 
     /// Allocate a file id for a new file.
@@ -238,24 +218,21 @@ impl MetadataServer {
     /// Commit metadata after a write/update (the client "registers the
     /// data structure and location", §4.3.2). Requires the writer lock.
     pub fn commit(&mut self, meta: FileMeta) -> Result<(), StoreError> {
-        match self.locks.get(meta.name.as_str()) {
-            Some(LockState::Writer) => {
-                self.files.insert(meta.name.clone(), meta);
-                Ok(())
-            }
-            _ => Err(StoreError::StaleHandle),
+        if !self.locks.holds_writer(&meta.name) {
+            return Err(StoreError::StaleHandle);
         }
+        self.files.insert(meta.name.clone(), meta);
+        Ok(())
     }
 
     /// Remove a file's metadata (requires the writer lock).
     pub fn remove(&mut self, name: &str) -> Result<FileMeta, StoreError> {
-        match self.locks.get(name) {
-            Some(LockState::Writer) => self
-                .files
-                .remove(name)
-                .ok_or_else(|| StoreError::NotFound(name.to_string())),
-            _ => Err(StoreError::StaleHandle),
+        if !self.locks.holds_writer(name) {
+            return Err(StoreError::StaleHandle);
         }
+        self.files
+            .remove(name)
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))
     }
 
     /// Look up without locking (status queries).
@@ -439,6 +416,37 @@ mod tests {
         m.open("f", AccessMode::Write).unwrap();
         assert!(!m.try_upgrade("f"));
         m.close("f", AccessMode::Write);
+    }
+
+    #[test]
+    fn crashed_writer_lock_is_reclaimed_after_lease() {
+        // Regression: a caller that opened for Write and then crashed
+        // (never closed) used to wedge the file forever. With the epoch
+        // lease the orphaned lock is reclaimed once it lags the lease.
+        let mut m = MetadataServer::new();
+        m.open("f", AccessMode::Write).unwrap();
+        m.commit(meta("f", 1)).unwrap();
+        // Caller crashes here: no close("f", Write).
+
+        // Fresh writer in the same epoch: still blocked (lock is live).
+        assert!(matches!(
+            m.open("f", AccessMode::Write),
+            Err(StoreError::LockConflict(_))
+        ));
+        m.begin_lock_epoch();
+        assert!(matches!(
+            m.open("f", AccessMode::Write),
+            Err(StoreError::LockConflict(_))
+        ));
+        m.begin_lock_epoch();
+        // Two epochs of silence: presumed crashed, reclaimed.
+        m.open("f", AccessMode::Write).unwrap();
+        assert_eq!(m.locks_reclaimed(), 1);
+        let mut upd = meta("f", 1);
+        upd.version = 2;
+        m.commit(upd).unwrap();
+        m.close("f", AccessMode::Write);
+        assert_eq!(m.stat("f").unwrap().version, 2);
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Binary codec for metadata log records.
+//!
+//! Every mutation of a metadata shard is one [`MetaRecord`], serialised
+//! with a hand-rolled little-endian codec (no serde offline) and framed
+//! by the WAL layer ([`super::wal`]) with a length + CRC32C header. The
+//! record that matters most is [`MetaRecord::Commit`]: it carries the
+//! *complete* new [`FileMeta`] — layout, generation parities, checksums —
+//! so the copy-on-write protocol's metadata flip is a single atomic log
+//! append. There is never a record that partially describes a file;
+//! replaying any prefix of the log yields a namespace in which every
+//! file is wholly pre- or wholly post- some commit.
+//!
+//! Records carry the shard-local log sequence number (LSN) so replay
+//! over a snapshot can skip records the snapshot already folded in.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use robustore_erasure::LtParams;
+
+use crate::metadata::{CodingSpec, FileMeta};
+
+/// One durable metadata mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaRecord {
+    /// Create or update: the file's complete new metadata. The append of
+    /// this record *is* the commit point of the write protocol.
+    Commit(FileMeta),
+    /// Remove the named file.
+    Remove(String),
+    /// Dynamic storage-server registry update (usage, load).
+    DiskUpdate {
+        /// Disk id.
+        id: usize,
+        /// Bytes in use.
+        used_bytes: u64,
+        /// Recent load in [0, 1].
+        load: f64,
+    },
+    /// Raise the file-id allocator floor: every id below `floor` is
+    /// burned, even by writes that crashed before their commit record —
+    /// a recovered store can never re-issue an id whose orphaned blocks
+    /// may still be on disk.
+    IdFloor(u64),
+}
+
+impl MetaRecord {
+    /// Stable tag byte.
+    fn tag(&self) -> u8 {
+        match self {
+            MetaRecord::Commit(_) => 1,
+            MetaRecord::Remove(_) => 2,
+            MetaRecord::DiskUpdate { .. } => 3,
+            MetaRecord::IdFloor(_) => 4,
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounded little-endian reader over a record payload. Every `take_*`
+/// returns `None` past the end, so a truncated or corrupted payload
+/// decodes to `None` instead of panicking.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.take(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Serialise `meta` (shared with shard snapshots, which are a sequence
+/// of these).
+fn encode_meta(out: &mut Vec<u8>, m: &FileMeta) {
+    put_str(out, &m.name);
+    put_u64(out, m.file_id);
+    put_u64(out, m.size_bytes);
+    put_u64(out, m.coding.k as u64);
+    put_u64(out, m.coding.n as u64);
+    put_u64(out, m.coding.block_bytes);
+    put_f64(out, m.coding.params.c);
+    put_f64(out, m.coding.params.delta);
+    put_u64(out, m.coding.params.max_graph_attempts as u64);
+    put_u64(out, m.coding.seed);
+    put_u64(out, m.owner);
+    put_u64(out, m.version);
+    put_u32(out, m.odd_keys.len() as u32);
+    for &id in &m.odd_keys {
+        put_u32(out, id);
+    }
+    put_u32(out, m.layout.len() as u32);
+    for (disk, ids) in &m.layout {
+        put_u64(out, *disk as u64);
+        put_u32(out, ids.len() as u32);
+        for &id in ids {
+            put_u32(out, id);
+        }
+    }
+    put_u32(out, m.checksums.len() as u32);
+    for (&id, &crc) in &m.checksums {
+        put_u32(out, id);
+        put_u32(out, crc);
+    }
+}
+
+/// Inverse of [`encode_meta`]; `None` on truncation or malformation.
+fn decode_meta(r: &mut Reader<'_>) -> Option<FileMeta> {
+    let name = r.str()?;
+    let file_id = r.u64()?;
+    let size_bytes = r.u64()?;
+    let k = r.u64()? as usize;
+    let n = r.u64()? as usize;
+    let block_bytes = r.u64()?;
+    let c = r.f64()?;
+    let delta = r.f64()?;
+    let max_graph_attempts = r.u64()? as usize;
+    let seed = r.u64()?;
+    let owner = r.u64()?;
+    let version = r.u64()?;
+    let odd_count = r.u32()? as usize;
+    let mut odd_keys = BTreeSet::new();
+    for _ in 0..odd_count {
+        odd_keys.insert(r.u32()?);
+    }
+    let disks = r.u32()? as usize;
+    let mut layout = Vec::with_capacity(disks.min(1024));
+    for _ in 0..disks {
+        let disk = r.u64()? as usize;
+        let ids_count = r.u32()? as usize;
+        let mut ids = Vec::with_capacity(ids_count.min(65_536));
+        for _ in 0..ids_count {
+            ids.push(r.u32()?);
+        }
+        layout.push((disk, ids));
+    }
+    let crcs = r.u32()? as usize;
+    let mut checksums = BTreeMap::new();
+    for _ in 0..crcs {
+        let id = r.u32()?;
+        let crc = r.u32()?;
+        checksums.insert(id, crc);
+    }
+    Some(FileMeta {
+        name,
+        file_id,
+        size_bytes,
+        coding: CodingSpec {
+            k,
+            n,
+            block_bytes,
+            params: LtParams {
+                c,
+                delta,
+                max_graph_attempts,
+            },
+            seed,
+        },
+        layout,
+        odd_keys,
+        checksums,
+        owner,
+        version,
+    })
+}
+
+/// Serialise a record with its LSN: `[tag][lsn][body]`.
+pub fn encode_record(lsn: u64, rec: &MetaRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(rec.tag());
+    put_u64(&mut out, lsn);
+    match rec {
+        MetaRecord::Commit(meta) => encode_meta(&mut out, meta),
+        MetaRecord::Remove(name) => put_str(&mut out, name),
+        MetaRecord::DiskUpdate {
+            id,
+            used_bytes,
+            load,
+        } => {
+            put_u64(&mut out, *id as u64);
+            put_u64(&mut out, *used_bytes);
+            put_f64(&mut out, *load);
+        }
+        MetaRecord::IdFloor(floor) => put_u64(&mut out, *floor),
+    }
+    out
+}
+
+/// Inverse of [`encode_record`]: `(lsn, record)`, or `None` if the
+/// payload is malformed (wrong tag, short body, trailing garbage).
+pub fn decode_record(payload: &[u8]) -> Option<(u64, MetaRecord)> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    let lsn = r.u64()?;
+    let rec = match tag {
+        1 => MetaRecord::Commit(decode_meta(&mut r)?),
+        2 => MetaRecord::Remove(r.str()?),
+        3 => MetaRecord::DiskUpdate {
+            id: r.u64()? as usize,
+            used_bytes: r.u64()?,
+            load: r.f64()?,
+        },
+        4 => MetaRecord::IdFloor(r.u64()?),
+        _ => return None,
+    };
+    if !r.done() {
+        return None;
+    }
+    Some((lsn, rec))
+}
+
+/// Serialise a whole shard snapshot: the applied LSN, the id floor the
+/// shard has seen, and every file image. Entries are written in sorted
+/// name order so the same image always encodes to the same bytes, even
+/// off a hash-ordered map.
+pub fn encode_snapshot(
+    applied_lsn: u64,
+    id_floor: u64,
+    files: &HashMap<String, FileMeta>,
+) -> Vec<u8> {
+    let mut names: Vec<&String> = files.keys().collect();
+    names.sort_unstable();
+    let mut out = Vec::with_capacity(64 + files.len() * 96);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u64(&mut out, applied_lsn);
+    put_u64(&mut out, id_floor);
+    put_u64(&mut out, files.len() as u64);
+    for name in names {
+        encode_meta(&mut out, &files[name]);
+    }
+    out
+}
+
+/// Inverse of [`encode_snapshot`].
+pub fn decode_snapshot(bytes: &[u8]) -> Option<(u64, u64, Vec<FileMeta>)> {
+    let mut r = Reader::new(bytes);
+    if r.take(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let applied_lsn = r.u64()?;
+    let id_floor = r.u64()?;
+    let count = r.u64()? as usize;
+    let mut files = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        files.push(decode_meta(&mut r)?);
+    }
+    if !r.done() {
+        return None;
+    }
+    Some((applied_lsn, id_floor, files))
+}
+
+/// Snapshot header magic (versioned).
+pub const SNAPSHOT_MAGIC: &[u8] = b"rbst-meta-snap-1";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str) -> FileMeta {
+        FileMeta {
+            name: name.into(),
+            file_id: 7,
+            size_bytes: 1 << 20,
+            coding: CodingSpec {
+                k: 16,
+                n: 48,
+                block_bytes: 64 << 10,
+                params: LtParams::default(),
+                seed: 0xDEAD_BEEF,
+            },
+            layout: vec![(0, vec![0, 1, 2]), (3, vec![5, 9])],
+            odd_keys: [1u32, 9].into_iter().collect(),
+            checksums: [(0u32, 0xAAu32), (1, 0xBB)].into_iter().collect(),
+            owner: 42,
+            version: 3,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        for rec in [
+            MetaRecord::Commit(meta("a/b")),
+            MetaRecord::Remove("gone".into()),
+            MetaRecord::DiskUpdate {
+                id: 5,
+                used_bytes: 123,
+                load: 0.75,
+            },
+            MetaRecord::IdFloor(4096),
+        ] {
+            let bytes = encode_record(99, &rec);
+            let (lsn, back) = decode_record(&bytes).expect("decodes");
+            assert_eq!(lsn, 99);
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn truncated_record_decodes_to_none() {
+        let bytes = encode_record(1, &MetaRecord::Commit(meta("f")));
+        for cut in [0, 1, 5, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_record(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_record(1, &MetaRecord::Remove("x".into()));
+        bytes.push(0);
+        assert!(decode_record(&bytes).is_none());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut bytes = encode_record(1, &MetaRecord::IdFloor(1));
+        bytes[0] = 200;
+        assert!(decode_record(&bytes).is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut files = HashMap::new();
+        // Inserted unsorted: the encoder must order by name itself.
+        for name in ["c", "a", "b"] {
+            files.insert(name.to_string(), meta(name));
+        }
+        let bytes = encode_snapshot(17, 1024, &files);
+        let (lsn, floor, back) = decode_snapshot(&bytes).expect("decodes");
+        assert_eq!((lsn, floor), (17, 1024));
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], files["a"]);
+        // Truncation anywhere is detected.
+        assert!(decode_snapshot(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_snapshot(&bytes[..8]).is_none());
+    }
+}

@@ -18,6 +18,14 @@
 //!   redundancy margin weighted by per-disk health, and repaired
 //!   most-at-risk-first under the budget.
 //!
+//! The service also keeps a **backlog** fed by the scrubber
+//! ([`RepairService::enqueue_sweep`]): files a sweep left short of full
+//! strength — lock-busy skips, refused restores, damage past the decode
+//! margin — queue up and are retried by [`RepairService::run_enqueued`],
+//! which probes only the suspects instead of re-surveying the namespace.
+//! [`RepairService::scrub_tick`] chains the two into a continuous
+//! schedule: retry the backlog, sweep, enqueue the residue for next tick.
+//!
 //! The risk score follows the liquid-repair observation that not all
 //! missing blocks are equally urgent: a file with `k + 10` survivors on
 //! healthy disks can wait; a file with `k + 1` survivors where two of
@@ -26,7 +34,7 @@
 //! the queue ascending, so the files closest to unrecoverable are
 //! repaired first.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -35,7 +43,7 @@ use robustore_diskmodel::DiskHealth;
 
 use crate::client::Client;
 use crate::error::StoreError;
-use crate::scrub::ScrubReport;
+use crate::scrub::{ScrubReport, Scrubber, SweepReport};
 
 /// A wall-clock token bucket metering repair I/O in bytes.
 ///
@@ -222,6 +230,21 @@ pub struct RepairService {
     health: Mutex<BTreeMap<usize, DiskHealth>>,
     background: bool,
     load_aware: bool,
+    /// Files earlier sweeps could not fully restore, awaiting the next
+    /// [`RepairService::run_enqueued`] pass (deduplicated, name-ordered).
+    pending: Mutex<BTreeSet<String>>,
+}
+
+/// What one [`RepairService::scrub_tick`] of the continuous schedule did.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubTickReport {
+    /// The backlog pass: files enqueued by earlier ticks, retried first.
+    pub backlog: RepairRunReport,
+    /// The store-wide sweep that followed.
+    pub sweep: SweepReport,
+    /// Files this tick's sweep left short of full strength, enqueued for
+    /// the next tick.
+    pub enqueued_for_next: usize,
 }
 
 impl RepairService {
@@ -234,6 +257,7 @@ impl RepairService {
             health: Mutex::new(BTreeMap::new()),
             background: true,
             load_aware: true,
+            pending: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -282,9 +306,16 @@ impl RepairService {
     /// deterministic). Probes touch no disk counters and consume no
     /// injected-fault budgets.
     pub fn risk_queue(&self) -> Vec<RiskEntry> {
+        self.rank_names(self.client.system().list_files())
+    }
+
+    /// Survey and rank only `names` — the enqueued-backlog variant of
+    /// [`RepairService::risk_queue`]: probing a handful of known-suspect
+    /// files instead of the whole namespace.
+    fn rank_names(&self, names: Vec<String>) -> Vec<RiskEntry> {
         let system = self.client.system();
         let mut entries = Vec::new();
-        for name in system.list_files() {
+        for name in names {
             let Some(meta) = system.export_meta(&name) else {
                 continue; // deleted mid-survey
             };
@@ -367,6 +398,116 @@ impl RepairService {
             load_aware: self.load_aware,
         };
         self.client.scrub_with(name, &opts)
+    }
+
+    /// Queue a file for the next [`RepairService::run_enqueued`] pass.
+    /// Idempotent: the backlog is a set.
+    pub fn enqueue(&self, name: impl Into<String>) {
+        self.pending.lock().insert(name.into());
+    }
+
+    /// Feed the backlog from a sweep: every file the sweep left short of
+    /// full strength is enqueued — failures (damage past the margin may
+    /// heal when a disk returns), skips (lock-busy or ghost; a ghost is
+    /// dropped by the next pass's survey), and files restored to fewer
+    /// than their target blocks (disks refused writes). Returns how many
+    /// files the backlog gained.
+    pub fn enqueue_sweep(&self, sweep: &SweepReport) -> usize {
+        let mut pending = self.pending.lock();
+        let before = pending.len();
+        for (name, _) in &sweep.failed {
+            pending.insert(name.clone());
+        }
+        for name in &sweep.skipped {
+            pending.insert(name.clone());
+        }
+        for r in &sweep.scrubbed {
+            if r.blocks_stored_after < r.blocks_target {
+                pending.insert(r.file.clone());
+            }
+        }
+        pending.len() - before
+    }
+
+    /// The current backlog, name-ordered (for observability and tests).
+    pub fn pending(&self) -> Vec<String> {
+        self.pending.lock().iter().cloned().collect()
+    }
+
+    /// Drain the backlog: survey *only* the enqueued files, rank them
+    /// most-at-risk-first, and scrub the damaged ones under the budget —
+    /// at most `max_files` of them. Files beyond `max_files` and files
+    /// still lock-busy stay queued for the next pass; files found fully
+    /// healthy, deleted, or repaired leave the queue; a scrub that fails
+    /// outright (damage past the decode margin) also leaves the queue —
+    /// it is re-enqueued only if a later sweep still sees it short.
+    pub fn run_enqueued(&self, max_files: usize) -> RepairRunReport {
+        let names: Vec<String> = std::mem::take(&mut *self.pending.lock())
+            .into_iter()
+            .collect();
+        let queue = self.rank_names(names);
+        let charged_before = self.bucket.as_ref().map_or(0, |b| b.consumed());
+        let mut report = RepairRunReport {
+            surveyed: queue.len(),
+            ..RepairRunReport::default()
+        };
+        let opts = ScrubOptions {
+            throttle: self.bucket.as_ref(),
+            background: self.background,
+            load_aware: self.load_aware,
+        };
+        for entry in queue {
+            if report.repaired + report.failed.len() >= max_files {
+                self.pending.lock().insert(entry.name); // next pass
+                continue;
+            }
+            let degraded = entry.margin < (entry.target - entry.k) as f64;
+            if entry.present == entry.target && !degraded {
+                continue; // healed since it was enqueued
+            }
+            match self.client.scrub_with(&entry.name, &opts) {
+                Ok(scrub) => {
+                    report.blocks_restored += scrub.blocks_restored;
+                    report.repaired += 1;
+                    if scrub.blocks_stored_after < scrub.blocks_target {
+                        self.pending.lock().insert(entry.name); // still short
+                    }
+                }
+                Err(StoreError::NotFound(_)) => report.skipped += 1,
+                Err(StoreError::LockConflict(_)) => {
+                    report.skipped += 1;
+                    self.pending.lock().insert(entry.name); // busy: retry
+                }
+                Err(e) => report.failed.push((entry.name, e.to_string())),
+            }
+        }
+        report.bytes_charged = self
+            .bucket
+            .as_ref()
+            .map_or(0, |b| b.consumed() - charged_before);
+        report
+    }
+
+    /// One tick of the continuous scrub schedule: retry the backlog
+    /// first (files earlier ticks left short — at most `max_backlog` of
+    /// them), then sweep the whole store under this service's options
+    /// and enqueue whatever the sweep could not fully restore for the
+    /// next tick. Run on a timer, this replaces on-demand surveys with a
+    /// standing scrub-feeds-repair loop.
+    pub fn scrub_tick(&self, max_backlog: usize) -> ScrubTickReport {
+        let backlog = self.run_enqueued(max_backlog);
+        let opts = ScrubOptions {
+            throttle: self.bucket.as_ref(),
+            background: self.background,
+            load_aware: self.load_aware,
+        };
+        let sweep = Scrubber::new(&self.client).sweep_with(&opts);
+        let enqueued_for_next = self.enqueue_sweep(&sweep);
+        ScrubTickReport {
+            backlog,
+            sweep,
+            enqueued_for_next,
+        }
     }
 }
 

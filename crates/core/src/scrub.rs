@@ -56,9 +56,11 @@ pub struct SweepReport {
     /// Files the scrubber could not repair (typically: damage already
     /// past the code's decodability margin), with the error.
     pub failed: Vec<(String, StoreError)>,
-    /// Files that vanished between the listing and their scrub — a
-    /// concurrent delete, not damage. They are *not* failures: retrying
-    /// a deleted file forever would wedge the sweep on a ghost.
+    /// Files that vanished between the listing and their scrub (a
+    /// concurrent delete) or were lock-busy under a concurrent writer.
+    /// Transient conditions, not damage — they are *not* failures:
+    /// retrying a ghost forever would wedge the sweep, and a busy file
+    /// is simply revisited by the next sweep.
     pub skipped: Vec<String>,
 }
 
@@ -97,7 +99,9 @@ impl<'a> Scrubber<'a> {
         for name in names {
             match self.client.scrub_with(name, opts) {
                 Ok(r) => report.scrubbed.push(r),
-                Err(StoreError::NotFound(_)) => report.skipped.push(name.clone()),
+                Err(StoreError::NotFound(_)) | Err(StoreError::LockConflict(_)) => {
+                    report.skipped.push(name.clone())
+                }
                 Err(e) => report.failed.push((name.clone(), e)),
             }
         }

@@ -544,6 +544,233 @@ impl ReadFaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Metadata-plane faults
+// ---------------------------------------------------------------------------
+
+/// What a metadata-plane fault does to one shard replica.
+///
+/// Read- and write-path faults perturb *data* disks; metadata faults
+/// instead hit the replicated write-ahead logs behind the namespace,
+/// where quorum commit and log-replay recovery are what is under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaFaultKind {
+    /// The replica stops acknowledging appends and reads (process kill,
+    /// network partition). A minority of these per shard must not cost
+    /// availability; reads repair it when it returns.
+    ReplicaDown,
+    /// The replica's *next* log append persists only the first `keep`
+    /// bytes of the frame (crash mid-commit): recovery must treat the
+    /// torn frame as absent, never surface a half-applied record.
+    TornAppend {
+        /// Frame bytes that reach the log before the crash.
+        keep: usize,
+    },
+    /// The last `bytes` bytes already in the replica's log are flipped
+    /// (bit rot on the tail): CRC framing must truncate, and quorum
+    /// read-repair must re-converge the replica.
+    CorruptTail {
+        /// Trailing log bytes corrupted.
+        bytes: usize,
+    },
+}
+
+/// One metadata fault bound to a (shard, replica) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaFault {
+    /// The afflicted shard.
+    pub shard: usize,
+    /// The replica index within that shard.
+    pub replica: usize,
+    /// What happens to it.
+    pub kind: MetaFaultKind,
+}
+
+/// A named, parameterized metadata fault shape; expanded to concrete
+/// per-replica faults by [`MetaFaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MetaFaultScenario {
+    /// No metadata faults.
+    #[default]
+    None,
+    /// On every shard, `per_replica_losses` randomly chosen replicas go
+    /// down — clamped to a strict minority, so quorum (and therefore
+    /// every committed file) survives by construction.
+    MinorityLoss {
+        /// Replicas lost per shard (clamped to < quorum).
+        per_replica_losses: usize,
+    },
+    /// On `shards` randomly chosen shards, one random replica tears its
+    /// next append after `keep` bytes (crash mid-commit).
+    CrashMidCommit {
+        /// Distinct shards whose next commit is torn on one replica.
+        shards: usize,
+        /// Frame bytes persisted before the crash.
+        keep: usize,
+    },
+    /// On `shards` randomly chosen shards, one random replica has the
+    /// last `bytes` bytes of its log bit-flipped.
+    TailRot {
+        /// Distinct shards with a rotten log tail on one replica.
+        shards: usize,
+        /// Trailing bytes flipped per afflicted replica.
+        bytes: usize,
+    },
+    /// The combined storm: a strict-minority loss on every shard *plus*
+    /// a torn append and a rotten tail, each on one random replica of
+    /// every shard (never a downed one) — the worst survivable round.
+    Storm {
+        /// Replicas lost per shard (clamped to < quorum).
+        per_replica_losses: usize,
+        /// Frame bytes persisted before each torn crash.
+        keep: usize,
+        /// Trailing bytes flipped per rotten tail.
+        bytes: usize,
+    },
+}
+
+impl MetaFaultScenario {
+    /// Short stable name for reports and experiment ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetaFaultScenario::None => "none",
+            MetaFaultScenario::MinorityLoss { .. } => "minority_loss",
+            MetaFaultScenario::CrashMidCommit { .. } => "crash_mid_commit",
+            MetaFaultScenario::TailRot { .. } => "tail_rot",
+            MetaFaultScenario::Storm { .. } => "storm",
+        }
+    }
+}
+
+/// A concrete, deterministic set of metadata-plane faults for a
+/// metastore of `shards` shards with `replicas` replicas each. Like the
+/// disk-fault plans, the expansion draws only from a dedicated labelled
+/// stream (`"meta-faults"`), so arming metadata faults never perturbs
+/// any other randomness in a trial; and loss counts are clamped below
+/// quorum so a generated plan is always survivable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetaFaultPlan {
+    /// The per-replica faults, sorted by (shard, replica).
+    pub faults: Vec<MetaFault>,
+}
+
+impl MetaFaultPlan {
+    /// The empty plan (no metadata faults).
+    pub fn empty() -> Self {
+        MetaFaultPlan::default()
+    }
+
+    /// Expand `scenario` over `shards` shards of `replicas` replicas.
+    /// The plan is a pure function of (scenario, shards, replicas, seed).
+    pub fn generate(
+        scenario: &MetaFaultScenario,
+        shards: usize,
+        replicas: usize,
+        seq: &SeedSequence,
+    ) -> Self {
+        use rand::Rng;
+        let mut rng = seq.subsequence("meta-faults", 0).fork("plan", 0);
+        // The largest per-shard loss that still leaves a majority: with
+        // R replicas quorum is R/2 + 1, so at most R - quorum may fall.
+        let minority = replicas.saturating_sub(replicas / 2 + 1);
+        let mut faults = Vec::new();
+        // `n` distinct replicas of `shard`, avoiding `used`.
+        let pick = |rng: &mut crate::rng::SimRng, n: usize, used: &mut Vec<usize>| -> Vec<usize> {
+            let mut free: Vec<usize> = (0..replicas).filter(|r| !used.contains(r)).collect();
+            rand::seq::SliceRandom::shuffle(&mut free[..], rng);
+            let picked: Vec<usize> = free.into_iter().take(n).collect();
+            used.extend(picked.iter().copied());
+            picked
+        };
+        let shard_subset = |rng: &mut crate::rng::SimRng, n: usize| -> Vec<usize> {
+            let mut order: Vec<usize> = (0..shards).collect();
+            rand::seq::SliceRandom::shuffle(&mut order[..], rng);
+            order.truncate(n.min(shards));
+            order
+        };
+        match *scenario {
+            MetaFaultScenario::None => {}
+            MetaFaultScenario::MinorityLoss { per_replica_losses } => {
+                for shard in 0..shards {
+                    let mut used = Vec::new();
+                    for replica in pick(&mut rng, per_replica_losses.min(minority), &mut used) {
+                        faults.push(MetaFault {
+                            shard,
+                            replica,
+                            kind: MetaFaultKind::ReplicaDown,
+                        });
+                    }
+                }
+            }
+            MetaFaultScenario::CrashMidCommit { shards: n, keep } => {
+                for shard in shard_subset(&mut rng, n) {
+                    faults.push(MetaFault {
+                        shard,
+                        replica: rng.gen_range(0..replicas),
+                        kind: MetaFaultKind::TornAppend { keep },
+                    });
+                }
+            }
+            MetaFaultScenario::TailRot { shards: n, bytes } => {
+                for shard in shard_subset(&mut rng, n) {
+                    faults.push(MetaFault {
+                        shard,
+                        replica: rng.gen_range(0..replicas),
+                        kind: MetaFaultKind::CorruptTail { bytes },
+                    });
+                }
+            }
+            MetaFaultScenario::Storm {
+                per_replica_losses,
+                keep,
+                bytes,
+            } => {
+                for shard in 0..shards {
+                    let mut used = Vec::new();
+                    for replica in pick(&mut rng, per_replica_losses.min(minority), &mut used) {
+                        faults.push(MetaFault {
+                            shard,
+                            replica,
+                            kind: MetaFaultKind::ReplicaDown,
+                        });
+                    }
+                    // Tear and rot live replicas only: a fault armed on
+                    // a downed replica would test nothing.
+                    for replica in pick(&mut rng, 1, &mut used) {
+                        faults.push(MetaFault {
+                            shard,
+                            replica,
+                            kind: MetaFaultKind::TornAppend { keep },
+                        });
+                    }
+                    for replica in pick(&mut rng, 1, &mut used) {
+                        faults.push(MetaFault {
+                            shard,
+                            replica,
+                            kind: MetaFaultKind::CorruptTail { bytes },
+                        });
+                    }
+                }
+            }
+        }
+        faults.sort_by_key(|f| (f.shard, f.replica));
+        MetaFaultPlan { faults }
+    }
+
+    /// True when the plan arms nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Replicas the plan downs on `shard`.
+    pub fn downed(&self, shard: usize) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| f.shard == shard && f.kind == MetaFaultKind::ReplicaDown)
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -732,6 +959,87 @@ mod tests {
             }
             .name(),
             "mixed"
+        );
+    }
+
+    #[test]
+    fn meta_fault_plans_are_deterministic_and_minority_bounded() {
+        let s = MetaFaultScenario::MinorityLoss {
+            per_replica_losses: 9,
+        };
+        let a = MetaFaultPlan::generate(&s, 4, 3, &seq());
+        let b = MetaFaultPlan::generate(&s, 4, 3, &seq());
+        assert_eq!(a, b);
+        // 3 replicas -> quorum 2 -> at most 1 loss per shard, however
+        // greedy the scenario asked to be.
+        for shard in 0..4 {
+            assert_eq!(a.downed(shard), 1, "shard {shard} must keep quorum");
+        }
+        assert!(a
+            .faults
+            .windows(2)
+            .all(|w| (w[0].shard, w[0].replica) < (w[1].shard, w[1].replica)));
+        // 5 replicas -> quorum 3 -> up to 2 losses per shard.
+        let wide = MetaFaultPlan::generate(&s, 2, 5, &seq());
+        for shard in 0..2 {
+            assert_eq!(wide.downed(shard), 2);
+        }
+    }
+
+    #[test]
+    fn meta_fault_scenario_shapes() {
+        assert!(MetaFaultPlan::generate(&MetaFaultScenario::None, 8, 3, &seq()).is_empty());
+        let torn = MetaFaultPlan::generate(
+            &MetaFaultScenario::CrashMidCommit { shards: 3, keep: 5 },
+            8,
+            3,
+            &seq(),
+        );
+        assert_eq!(torn.faults.len(), 3);
+        let shards: std::collections::HashSet<usize> =
+            torn.faults.iter().map(|f| f.shard).collect();
+        assert_eq!(shards.len(), 3, "torn shards must be distinct");
+        assert!(torn
+            .faults
+            .iter()
+            .all(|f| f.kind == MetaFaultKind::TornAppend { keep: 5 } && f.replica < 3));
+        let rot = MetaFaultPlan::generate(
+            &MetaFaultScenario::TailRot {
+                shards: 99,
+                bytes: 7,
+            },
+            4,
+            3,
+            &seq(),
+        );
+        assert_eq!(rot.faults.len(), 4, "shard subset saturates at the store");
+        // Storm: on every shard, 1 down + 1 torn + 1 rotten, all on
+        // distinct replicas (with R = 5 there is room for all three).
+        let storm = MetaFaultPlan::generate(
+            &MetaFaultScenario::Storm {
+                per_replica_losses: 1,
+                keep: 4,
+                bytes: 8,
+            },
+            2,
+            5,
+            &seq(),
+        );
+        for shard in 0..2 {
+            let on: Vec<&MetaFault> = storm.faults.iter().filter(|f| f.shard == shard).collect();
+            assert_eq!(on.len(), 3);
+            let replicas: std::collections::HashSet<usize> = on.iter().map(|f| f.replica).collect();
+            assert_eq!(replicas.len(), 3, "storm victims must be distinct replicas");
+        }
+        assert_eq!(MetaFaultScenario::default().name(), "none");
+        assert_eq!(
+            MetaFaultScenario::Storm {
+                per_replica_losses: 1,
+                keep: 0,
+                bytes: 1
+            }
+            .name(),
+            "storm"
         );
     }
 }

@@ -37,8 +37,9 @@ pub mod time;
 pub use durability::{compare_at_overhead, lambda_from_decay, mttdl_birth_death, MttdlEstimate};
 pub use event::EventQueue;
 pub use faults::{
-    FaultEvent, FaultKind, FaultPlan, FaultScenario, ReadFault, ReadFaultKind, ReadFaultPlan,
-    ReadFaultScenario, WriteFault, WriteFaultKind, WriteFaultPlan, WriteFaultScenario,
+    FaultEvent, FaultKind, FaultPlan, FaultScenario, MetaFault, MetaFaultKind, MetaFaultPlan,
+    MetaFaultScenario, ReadFault, ReadFaultKind, ReadFaultPlan, ReadFaultScenario, WriteFault,
+    WriteFaultKind, WriteFaultPlan, WriteFaultScenario,
 };
 pub use rng::{SeedSequence, SimRng};
 pub use stats::{LogHistogram, OnlineStats, Summary};

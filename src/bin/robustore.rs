@@ -83,13 +83,27 @@ mod sidecar {
         out
     }
 
-    pub fn decode(text: &str, owner: u64) -> Option<FileMeta> {
+    /// Decode a sidecar, or say precisely why it cannot be trusted —
+    /// torn/truncated files and unknown versions must surface a clean
+    /// error, never a panic or a silently empty meta.
+    pub fn decode(text: &str, owner: u64) -> Result<FileMeta, String> {
         let mut lines = text.lines();
-        let header = lines.next()?;
+        let header = lines.next().ok_or("empty sidecar")?;
         let has_checksums = match header {
             "robustore-meta-v3" => true,
             "robustore-meta-v2" => false, // forward-compat: no crc lines
-            _ => return None,
+            "robustore-meta-v1" => {
+                return Err(
+                    "v1 sidecar indexes blocks under the pre-generation key scheme; \
+                     refusing to misaddress every block"
+                        .into(),
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unrecognised sidecar header {other:?} (torn file or future version)"
+                ))
+            }
         };
         let mut name = None;
         let mut file_id = None;
@@ -104,62 +118,70 @@ mod sidecar {
         let mut odd_keys = std::collections::BTreeSet::new();
         let mut layout: Vec<(usize, Vec<u32>)> = Vec::new();
         let mut checksums = std::collections::BTreeMap::new();
+        let bad = |key: &str, value: &str| format!("bad {key} value {value:?} (torn line?)");
         for line in lines {
-            let (key, value) = line.split_once('=')?;
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed line {line:?} (torn file?)"))?;
             match key {
                 "name" => name = Some(value.to_string()),
-                "file_id" => file_id = value.parse().ok(),
-                "size_bytes" => size_bytes = value.parse().ok(),
-                "k" => k = value.parse().ok(),
-                "n" => n = value.parse().ok(),
-                "block_bytes" => block_bytes = value.parse().ok(),
-                "lt_c" => c = value.parse().ok(),
-                "lt_delta" => delta = value.parse().ok(),
-                "seed" => seed = value.parse().ok(),
-                "version" => version = value.parse().ok(),
+                "file_id" => file_id = Some(value.parse().map_err(|_| bad(key, value))?),
+                "size_bytes" => size_bytes = Some(value.parse().map_err(|_| bad(key, value))?),
+                "k" => k = Some(value.parse().map_err(|_| bad(key, value))?),
+                "n" => n = Some(value.parse().map_err(|_| bad(key, value))?),
+                "block_bytes" => block_bytes = Some(value.parse().map_err(|_| bad(key, value))?),
+                "lt_c" => c = Some(value.parse().map_err(|_| bad(key, value))?),
+                "lt_delta" => delta = Some(value.parse().map_err(|_| bad(key, value))?),
+                "seed" => seed = Some(value.parse().map_err(|_| bad(key, value))?),
+                "version" => version = Some(value.parse().map_err(|_| bad(key, value))?),
                 "odd" => {
                     for t in value.split(',').filter(|t| !t.is_empty()) {
-                        odd_keys.insert(t.parse().ok()?);
+                        odd_keys.insert(t.parse().map_err(|_| bad(key, value))?);
                     }
                 }
                 "disk" => {
-                    let (disk, ids) = value.split_once(':')?;
+                    let (disk, ids) = value.split_once(':').ok_or_else(|| bad(key, value))?;
                     let ids: Vec<u32> = if ids.is_empty() {
                         Vec::new()
                     } else {
                         ids.split(',')
                             .map(|t| t.parse().ok())
-                            .collect::<Option<_>>()?
+                            .collect::<Option<_>>()
+                            .ok_or_else(|| bad(key, value))?
                     };
-                    layout.push((disk.parse().ok()?, ids));
+                    layout.push((disk.parse().map_err(|_| bad(key, value))?, ids));
                 }
                 "crc" if has_checksums => {
-                    let (id, crc) = value.split_once(':')?;
-                    checksums.insert(id.parse().ok()?, u32::from_str_radix(crc, 16).ok()?);
+                    let (id, crc) = value.split_once(':').ok_or_else(|| bad(key, value))?;
+                    checksums.insert(
+                        id.parse().map_err(|_| bad(key, value))?,
+                        u32::from_str_radix(crc, 16).map_err(|_| bad(key, value))?,
+                    );
                 }
-                _ => return None,
+                _ => return Err(format!("unknown sidecar key {key:?}")),
             }
         }
-        Some(FileMeta {
-            name: name?,
-            file_id: file_id?,
-            size_bytes: size_bytes?,
+        let missing = |field: &str| format!("truncated sidecar: missing {field}");
+        Ok(FileMeta {
+            name: name.ok_or_else(|| missing("name"))?,
+            file_id: file_id.ok_or_else(|| missing("file_id"))?,
+            size_bytes: size_bytes.ok_or_else(|| missing("size_bytes"))?,
             coding: CodingSpec {
-                k: k?,
-                n: n?,
-                block_bytes: block_bytes?,
+                k: k.ok_or_else(|| missing("k"))?,
+                n: n.ok_or_else(|| missing("n"))?,
+                block_bytes: block_bytes.ok_or_else(|| missing("block_bytes"))?,
                 params: LtParams {
-                    c: c?,
-                    delta: delta?,
+                    c: c.ok_or_else(|| missing("lt_c"))?,
+                    delta: delta.ok_or_else(|| missing("lt_delta"))?,
                     ..Default::default()
                 },
-                seed: seed?,
+                seed: seed.ok_or_else(|| missing("seed"))?,
             },
             layout,
             odd_keys,
             checksums,
             owner,
-            version: version?,
+            version: version.ok_or_else(|| missing("version"))?,
         })
     }
 }
@@ -205,8 +227,22 @@ fn open_store(store: &Path) -> (System, Client) {
     if let Ok(entries) = std::fs::read_dir(meta_dir(store)) {
         for entry in entries.filter_map(|e| e.ok()) {
             if let Ok(text) = std::fs::read_to_string(entry.path()) {
-                if let Some(meta) = sidecar::decode(&text, me) {
-                    system.import_meta(meta);
+                // A sidecar that cannot be trusted is skipped loudly:
+                // the file's blocks stay on disk, the namespace entry is
+                // simply absent until the sidecar is repaired.
+                match sidecar::decode(&text, me) {
+                    Ok(meta) => {
+                        if let Err(e) = system.import_meta(meta) {
+                            eprintln!(
+                                "warning: could not restore metadata from {}: {e}",
+                                entry.path().display()
+                            );
+                        }
+                    }
+                    Err(why) => eprintln!(
+                        "warning: skipping sidecar {}: {why}",
+                        entry.path().display()
+                    ),
                 }
             }
         }

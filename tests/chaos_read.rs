@@ -313,7 +313,7 @@ fn legacy_metadata_without_checksums_reads_unverified() {
     let mut meta = sys.export_meta("vintage").unwrap();
     assert!(!meta.checksums.is_empty());
     meta.checksums.clear(); // what a v2-era sidecar restores to
-    sys.import_meta(meta);
+    sys.import_meta(meta).unwrap();
 
     let (got, rr) = read_with_report(&sys, &client, "vintage");
     assert_eq!(got, data);

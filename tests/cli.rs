@@ -285,3 +285,144 @@ fn unknown_command_and_missing_store_fail_cleanly() {
     assert!(!ok);
     assert!(out.contains("no store"), "{out}");
 }
+
+#[test]
+fn torn_and_legacy_sidecars_surface_clean_errors_not_panics() {
+    // Forward-compat under truncation: whatever state a crash or an old
+    // binary leaves a sidecar in — v1 header, half a header, a file cut
+    // mid-line, a missing field, an empty file — the store must open,
+    // warn precisely, keep serving the healthy files, and fail the
+    // damaged file's reads cleanly. Never a panic, never a silently
+    // empty meta.
+    let dir = temp_dir("torn");
+    let store = dir.join("store");
+    let store_s = store.to_str().unwrap();
+    run(&["--store", store_s, "init", "--disks", "6"]);
+
+    let payload = vec![0x3Cu8; 200_000];
+    let src = dir.join("p.bin");
+    std::fs::write(&src, &payload).unwrap();
+    for name in ["good", "victim"] {
+        let (ok, out) = run(&[
+            "--store",
+            store_s,
+            "put",
+            src.to_str().unwrap(),
+            "--name",
+            name,
+        ]);
+        assert!(ok, "{out}");
+    }
+
+    // Find the victim's sidecar by content (paths are name-hashed).
+    let sidecar = std::fs::read_dir(store.join("metadata"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.extension().is_some_and(|x| x == "meta")
+                && std::fs::read_to_string(p).is_ok_and(|t| t.contains("name=victim"))
+        })
+        .unwrap();
+    let pristine = std::fs::read_to_string(&sidecar).unwrap();
+    assert!(pristine.starts_with("robustore-meta-v3"), "{pristine}");
+
+    let v2: String = pristine
+        .replace("robustore-meta-v3", "robustore-meta-v2")
+        .lines()
+        .filter(|l| !l.starts_with("crc="))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    // (mangled sidecar bytes, error text the warning must carry)
+    let cases: Vec<(String, &str)> = vec![
+        // v1: refused outright — its block keys would misaddress.
+        (
+            pristine.replace("robustore-meta-v3", "robustore-meta-v1"),
+            "v1 sidecar",
+        ),
+        // Torn mid-header: unrecognised version string.
+        (pristine[..9].to_string(), "unrecognised sidecar header"),
+        // Future version: must be refused, not guessed at.
+        (
+            pristine.replace("robustore-meta-v3", "robustore-meta-v9"),
+            "unrecognised sidecar header",
+        ),
+        // Truncated after a few fields: a required field is missing.
+        (
+            pristine.lines().take(3).map(|l| format!("{l}\n")).collect(),
+            "truncated sidecar: missing",
+        ),
+        // A v2 sidecar cut mid-line: the torn line is named.
+        (
+            {
+                let cut = v2.rfind('=').unwrap();
+                v2[..cut].to_string()
+            },
+            "malformed line",
+        ),
+        // Zero bytes (crash before the first write hit the disk).
+        (String::new(), "empty sidecar"),
+    ];
+
+    for (bytes, why) in cases {
+        std::fs::write(&sidecar, &bytes).unwrap();
+
+        // The store opens, warns about the one bad sidecar, and still
+        // lists the healthy file.
+        let (ok, out) = run(&["--store", store_s, "ls"]);
+        assert!(ok, "ls must survive a bad sidecar ({why}): {out}");
+        assert!(!out.contains("panicked"), "panic leaked ({why}): {out}");
+        assert!(
+            out.contains("warning: skipping sidecar") && out.contains(why),
+            "expected a warning naming {why:?}: {out}"
+        );
+        assert!(out.contains("good"), "healthy file vanished ({why}): {out}");
+        assert!(
+            !out.contains("victim"),
+            "untrusted meta served ({why}): {out}"
+        );
+
+        // Reading the damaged file fails cleanly in a fresh process.
+        let dst = dir.join("v.out");
+        let (ok, out) = run(&[
+            "--store",
+            store_s,
+            "get",
+            "victim",
+            "--out",
+            dst.to_str().unwrap(),
+        ]);
+        assert!(!ok, "get of a torn-sidecar file must fail ({why}): {out}");
+        assert!(!out.contains("panicked"), "panic leaked ({why}): {out}");
+
+        // The healthy file still round-trips bit-exact.
+        let dst = dir.join("g.out");
+        let (ok, out) = run(&[
+            "--store",
+            store_s,
+            "get",
+            "good",
+            "--out",
+            dst.to_str().unwrap(),
+        ]);
+        assert!(ok, "healthy get failed ({why}): {out}");
+        assert_eq!(std::fs::read(&dst).unwrap(), payload, "({why})");
+    }
+
+    // Restoring the pristine sidecar restores the file: the damage was
+    // never destructive, only distrusted.
+    std::fs::write(&sidecar, &pristine).unwrap();
+    let dst = dir.join("v.out");
+    let (ok, out) = run(&[
+        "--store",
+        store_s,
+        "get",
+        "victim",
+        "--out",
+        dst.to_str().unwrap(),
+    ]);
+    assert!(ok, "restored sidecar must serve again: {out}");
+    assert_eq!(std::fs::read(&dst).unwrap(), payload);
+
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -19,7 +19,12 @@
 //!   the metadata-reachable block set), and loses no decodability;
 //! * **repair restores full strength across decay rounds** — seeded
 //!   per-file loss each round, and every round ends with every file
-//!   bit-correct and back to its full `n`-block target.
+//!   bit-correct and back to its full `n`-block target;
+//! * **sweep reports feed the repair backlog** — a file the sweep could
+//!   not finish (lock-busy, refused restores) is enqueued and healed by
+//!   a later backlog pass that probes only the suspects, and the
+//!   continuous `scrub_tick` schedule converges without any on-demand
+//!   store-wide survey.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -366,4 +371,104 @@ fn unthrottled_bucket_charges_are_exact() {
         (stored as u64) * BLOCK + (lost as u64) * BLOCK,
         "scrub charged a different byte count than it moved"
     );
+}
+
+#[test]
+fn sweep_reports_feed_the_repair_backlog() {
+    let sys = system();
+    let client = Client::connect(&sys, sys.register_user());
+    put(&client, "busy", &payload(60_000, 30));
+    put(&client, "hurt", &payload(60_000, 31));
+    put(&client, "fine", &payload(60_000, 32));
+
+    // Both "busy" and "hurt" are damaged, but "busy" is also
+    // write-locked: the sweep heals "hurt" in place and must hand
+    // "busy" to the repair backlog instead of failing it.
+    let seq = SeedSequence::new(0xFEED);
+    assert!(sys.lose_file_blocks("busy", 0.3, &seq.subsequence("loss", 0)) > 0);
+    assert!(sys.lose_file_blocks("hurt", 0.3, &seq.subsequence("loss", 1)) > 0);
+    let held = client
+        .open("busy", AccessMode::Write, QosOptions::best_effort())
+        .unwrap();
+
+    let service = RepairService::new(Client::connect(&sys, client.identity()));
+    let sweep = Scrubber::new(&client).sweep();
+    assert_eq!(
+        sweep.skipped,
+        vec!["busy".to_string()],
+        "lock-busy file must be a skip, not a failure"
+    );
+    assert!(sweep.failed.is_empty(), "failed: {:?}", sweep.failed);
+    assert_eq!(
+        service.enqueue_sweep(&sweep),
+        1,
+        "only the skip rides into the backlog"
+    );
+    assert_eq!(service.pending(), vec!["busy".to_string()]);
+
+    // Still locked: the backlog pass re-queues it instead of failing.
+    let r = service.run_enqueued(usize::MAX);
+    assert_eq!((r.repaired, r.skipped), (0, 1));
+    assert!(r.failed.is_empty());
+    assert_eq!(service.pending(), vec!["busy".to_string()]);
+
+    // Lock released: the next backlog pass repairs it by probing only
+    // the enqueued file — no store-wide survey.
+    client.close(held).unwrap();
+    let r = service.run_enqueued(usize::MAX);
+    assert_eq!(r.surveyed, 1, "backlog pass surveys only enqueued files");
+    assert_eq!(r.repaired, 1);
+    assert!(r.blocks_restored > 0);
+    assert!(service.pending().is_empty());
+    assert_eq!(read_back(&client, "busy"), payload(60_000, 30));
+    for e in service.risk_queue() {
+        assert_eq!(e.present, e.target, "{} not at full strength", e.name);
+    }
+}
+
+#[test]
+fn continuous_scrub_ticks_converge_without_on_demand_surveys() {
+    let sys = system();
+    let client = Client::connect(&sys, sys.register_user());
+    for f in 0..3 {
+        put(&client, &format!("tick-{f}"), &payload(50_000, 40 + f));
+    }
+    let service = RepairService::new(Client::connect(&sys, client.identity()));
+    let seq = SeedSequence::new(0x71CC);
+    for f in 0..3u64 {
+        sys.lose_file_blocks(&format!("tick-{f}"), 0.35, &seq.subsequence("decay", f));
+    }
+
+    // Tick 1: a writer holds tick-1, so the sweep skips it and the tick
+    // enqueues it for later instead of dropping it on the floor.
+    let held = client
+        .open("tick-1", AccessMode::Write, QosOptions::best_effort())
+        .unwrap();
+    let t1 = service.scrub_tick(usize::MAX);
+    assert_eq!(
+        t1.backlog.surveyed, 0,
+        "nothing queued before the first tick"
+    );
+    assert_eq!(t1.sweep.skipped, vec!["tick-1".to_string()]);
+    assert!(t1.sweep.failed.is_empty());
+    assert_eq!(t1.enqueued_for_next, 1);
+    client.close(held).unwrap();
+
+    // Tick 2: the backlog pass heals tick-1 before the sweep even runs,
+    // and the schedule quiesces — nothing left for tick 3.
+    let t2 = service.scrub_tick(usize::MAX);
+    assert_eq!(t2.backlog.repaired, 1);
+    assert!(t2.backlog.blocks_restored > 0);
+    assert_eq!(t2.enqueued_for_next, 0);
+    assert!(service.pending().is_empty());
+    for f in 0..3 {
+        assert_eq!(
+            read_back(&client, &format!("tick-{f}")),
+            payload(50_000, 40 + f),
+            "tick-{f} lost data"
+        );
+    }
+    for e in service.risk_queue() {
+        assert_eq!(e.present, e.target, "{} not at full strength", e.name);
+    }
 }
